@@ -1,0 +1,85 @@
+// MKI negative-control ablation: does the InfoNCE term extract real
+// knowledge from the metadata, or does it merely regularize? We train
+// identical selectors with (a) correct metadata texts, (b) texts
+// shuffled across samples (knowledge destroyed, loss term kept), and
+// (c) one constant text for all samples (no discriminative content).
+// If MKI works as the paper claims, (a) > (b), (c).
+
+#include <cstdio>
+#include <numeric>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace kdsel;
+  auto env = bench::MustCreateEnv();
+  const auto seeds = bench::BenchSeeds();
+
+  auto data = env->BuildTrainingData();
+  if (!data.ok()) {
+    std::fprintf(stderr, "training data failed\n");
+    return 1;
+  }
+
+  auto evaluate_with_texts = [&](std::vector<std::string> texts,
+                                 const std::string& name) {
+    core::SelectorTrainingData variant = *data;
+    variant.texts = std::move(texts);
+    bench::SolutionResult avg;
+    avg.name = name;
+    for (uint64_t seed : seeds) {
+      core::TrainerOptions opts;
+      opts.backbone = "ConvNet";
+      opts.use_mki = true;
+      opts.epochs = env->config().epochs;
+      opts.batch_size = env->config().batch_size;
+      opts.seed = seed;
+      core::TrainStats stats;
+      auto selector = core::TrainSelector(variant, opts, &stats);
+      KDSEL_CHECK(selector.ok());
+      auto auc = env->EvaluateSelector(**selector);
+      KDSEL_CHECK(auc.ok());
+      for (const auto& [dataset, v] : *auc) avg.auc[dataset] += v;
+      avg.train_seconds += stats.train_seconds;
+    }
+    for (auto& [dataset, v] : avg.auc) {
+      v /= static_cast<double>(seeds.size());
+    }
+    avg.train_seconds /= static_cast<double>(seeds.size());
+    std::fprintf(stderr, "[bench] %-18s avg AUC-PR %.4f\n", name.c_str(),
+                 avg.auc.at("Average"));
+    return avg;
+  };
+
+  // (a) Correct texts, as built by the pipeline.
+  auto correct = evaluate_with_texts(data->texts, "correct texts");
+
+  // (b) Shuffled: same text multiset, randomly reassigned to samples.
+  std::vector<std::string> shuffled = data->texts;
+  Rng rng(99);
+  rng.Shuffle(shuffled);
+  auto scrambled = evaluate_with_texts(std::move(shuffled), "shuffled texts");
+
+  // (c) Constant text: no per-sample information at all.
+  std::vector<std::string> constant(
+      data->texts.size(),
+      "This is a time series from a dataset. It may contain anomalies.");
+  auto uninformative =
+      evaluate_with_texts(std::move(constant), "constant text");
+
+  std::printf("\nMKI metadata-quality ablation (ConvNet + MKI only)\n");
+  exp::Table table({"Metadata", "AUC-PR"});
+  table.AddRow({"correct (paper template)",
+                StrFormat("%.4f", correct.auc.at("Average"))});
+  table.AddRow({"shuffled across samples",
+                StrFormat("%.4f", scrambled.auc.at("Average"))});
+  table.AddRow({"constant (uninformative)",
+                StrFormat("%.4f", uninformative.auc.at("Average"))});
+  table.Print();
+
+  std::printf(
+      "\nExpected shape: correct metadata beats both controls — the MKI\n"
+      "gain comes from mutual information between series features and\n"
+      "their own metadata, not from the extra loss term per se.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Window-length ablation: the paper runs every baseline over
+// subsequence lengths L in {16,...,1024} and reports the best. This
+// bench sweeps L for the ConvNet selector with and without KDSelector's
+// knowledge modules, showing that the knowledge gain is not an artifact
+// of one window size. The detector-performance matrix is shared across
+// window lengths (model selection labels are per-series).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace kdsel;
+
+  exp::Table table(
+      {"Window L", "Standard AUC-PR", "+PISL&MKI AUC-PR", "Delta"});
+  const auto seeds = bench::BenchSeeds();
+
+  for (size_t window : {size_t{32}, size_t{64}, size_t{128}}) {
+    auto config = exp::ExperimentConfig::FromEnv();
+    config.window_length = window;
+    auto env = exp::BenchmarkEnvironment::Create(config);
+    if (!env.ok()) {
+      std::fprintf(stderr, "env failed: %s\n",
+                   env.status().ToString().c_str());
+      return 1;
+    }
+    core::TrainerOptions standard;
+    standard.backbone = "ConvNet";
+    auto base = bench::TrainAndEvaluateAvg(
+        **env, standard, StrFormat("L=%zu standard", window), seeds);
+    core::TrainerOptions kd = standard;
+    kd.use_pisl = true;
+    kd.use_mki = true;
+    auto ours = bench::TrainAndEvaluateAvg(
+        **env, kd, StrFormat("L=%zu +PISL&MKI", window), seeds);
+    table.AddRow({StrFormat("%zu", window),
+                  StrFormat("%.4f", base.auc.at("Average")),
+                  StrFormat("%.4f", ours.auc.at("Average")),
+                  StrFormat("%+.4f", ours.auc.at("Average") -
+                                         base.auc.at("Average"))});
+  }
+
+  std::printf("\nWindow-length ablation (ConvNet)\n");
+  table.Print();
+  std::printf(
+      "\nExpected shape: the knowledge gain is clearest at the default\n"
+      "L=64. Short windows lose shape context and long windows yield few\n"
+      "training samples per series, so the deltas at the extremes are\n"
+      "noise-dominated on the compact benchmark.\n");
+  return 0;
+}

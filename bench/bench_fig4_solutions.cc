@@ -1,0 +1,126 @@
+// Reproduces paper Fig. 4 / Table 9: AUC-PR of ten model-selection
+// solutions across the 14 test datasets — the four feature-based
+// classical baselines (KNN, SVC, AdaBoost, RandomForest), the kernel
+// baseline (Rocket), the four plain NN selectors (ConvNet, ResNet,
+// InceptionTime, Transformer) and Ours (ResNet + PISL&MKI; PA excluded
+// for fairness, as in the paper). Expected shape: "Ours" has the best
+// cross-dataset average.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "selectors/classical.h"
+#include "selectors/rocket.h"
+
+namespace {
+
+using namespace kdsel;
+
+/// Fits a classical (window-level) selector on the env's training data
+/// and evaluates it with the shared protocol.
+bench::SolutionResult FitAndEvaluateClassical(
+    const exp::BenchmarkEnvironment& env, selectors::Selector& selector) {
+  auto data = env.BuildTrainingData();
+  if (!data.ok()) std::exit(1);
+  selectors::TrainingData window_data;
+  window_data.windows = data->windows;
+  window_data.labels = data->labels;
+  window_data.num_classes = data->num_classes;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto fit = selector.Fit(window_data);
+  if (!fit.ok()) {
+    std::fprintf(stderr, "%s fit failed: %s\n", selector.name().c_str(),
+                 fit.ToString().c_str());
+    std::exit(1);
+  }
+  bench::SolutionResult result;
+  result.train_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  result.name = selector.name();
+  auto auc = env.EvaluateSelector(selector);
+  if (!auc.ok()) std::exit(1);
+  result.auc = std::move(auc).value();
+  std::fprintf(stderr, "[bench] %-22s avg AUC-PR %.4f, %6.1fs\n",
+               result.name.c_str(), result.auc.at("Average"),
+               result.train_seconds);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  auto env = bench::MustCreateEnv();
+
+  std::vector<bench::SolutionResult> results;
+
+  // Non-NN baselines (TSFresh-style features / random kernels).
+  {
+    selectors::KnnSelector knn({});
+    results.push_back(FitAndEvaluateClassical(*env, knn));
+    selectors::SvcSelector svc({});
+    results.push_back(FitAndEvaluateClassical(*env, svc));
+    selectors::AdaBoostSelector ada({});
+    results.push_back(FitAndEvaluateClassical(*env, ada));
+    selectors::RandomForestSelector forest({});
+    results.push_back(FitAndEvaluateClassical(*env, forest));
+    selectors::RocketSelector rocket({});
+    results.push_back(FitAndEvaluateClassical(*env, rocket));
+  }
+
+  // Plain NN selectors (standard learning framework), seed-averaged.
+  const auto seeds = bench::BenchSeeds();
+  for (const std::string arch :
+       {"ConvNet", "ResNet", "InceptionTime", "Transformer"}) {
+    core::TrainerOptions opts;
+    opts.backbone = arch;
+    results.push_back(bench::TrainAndEvaluateAvg(*env, opts, arch, seeds));
+  }
+
+  // Ours: ResNet + PISL & MKI (PA off for a fair accuracy comparison).
+  {
+    core::TrainerOptions opts;
+    opts.backbone = "ResNet";
+    opts.use_pisl = true;
+    opts.use_mki = true;
+    results.push_back(bench::TrainAndEvaluateAvg(*env, opts, "Ours", seeds));
+  }
+
+  std::printf(
+      "\nFig. 4 / Table 9: AUC-PR of different model selection solutions\n");
+  std::vector<std::map<std::string, double>> maps;
+  std::vector<std::string> names;
+  for (const auto& r : results) {
+    maps.push_back(r.auc);
+    names.push_back(r.name);
+  }
+  std::fputs(
+      exp::FormatPerDatasetTable(env->test_dataset_names(), names, maps)
+          .c_str(),
+      stdout);
+
+  // Rank the solutions by average, mirroring how Fig. 4 is read.
+  std::printf("\nSolutions ranked by cross-dataset average AUC-PR:\n");
+  std::vector<size_t> order(results.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return results[a].auc.at("Average") > results[b].auc.at("Average");
+  });
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    const auto& r = results[order[rank]];
+    std::printf("  %zu. %-14s %.4f\n", rank + 1, r.name.c_str(),
+                r.auc.at("Average"));
+  }
+
+  std::printf(
+      "\nPaper reference (Table 9 averages): Ours 0.461 beats all nine\n"
+      "baselines. Expected shape: \"Ours\" beats every plain NN selector\n"
+      "and ranks at/near the top overall. Note: on this synthetic\n"
+      "benchmark the feature-based tree ensembles are stronger than on\n"
+      "real TSB-UAD data (family identity is cleanly encoded in summary\n"
+      "statistics), so their relative position is higher than in the\n"
+      "paper; see EXPERIMENTS.md.\n");
+  return 0;
+}

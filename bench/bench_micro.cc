@@ -1,0 +1,122 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// primitives: tensor algebra, conv layers, every TSAD detector, LSH
+// hashing, text encoding, and feature extraction.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "datagen/families.h"
+#include "features/features.h"
+#include "lsh/simhash.h"
+#include "nn/conv.h"
+#include "nn/tensor.h"
+#include "text/text_encoder.h"
+#include "tsad/detector.h"
+
+namespace {
+
+using namespace kdsel;
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  nn::Tensor a({n, n}), b({n, n});
+  for (float& v : a.mutable_data()) v = static_cast<float>(rng.Normal());
+  for (float& v : b.mutable_data()) v = static_cast<float>(rng.Normal());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMul(a, b));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Conv1dForward(benchmark::State& state) {
+  Rng rng(2);
+  nn::Conv1d conv(16, 16, 5, rng);
+  nn::Tensor x({32, 16, 64});
+  for (float& v : x.mutable_data()) v = static_cast<float>(rng.Normal());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x, true));
+  }
+}
+BENCHMARK(BM_Conv1dForward);
+
+void BM_Conv1dBackward(benchmark::State& state) {
+  Rng rng(3);
+  nn::Conv1d conv(16, 16, 5, rng);
+  nn::Tensor x({32, 16, 64});
+  nn::Tensor g({32, 16, 64});
+  for (float& v : x.mutable_data()) v = static_cast<float>(rng.Normal());
+  for (float& v : g.mutable_data()) v = static_cast<float>(rng.Normal());
+  (void)conv.Forward(x, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Backward(g));
+  }
+}
+BENCHMARK(BM_Conv1dBackward);
+
+void BM_DetectorScore(benchmark::State& state) {
+  const auto& names = tsad::CanonicalModelNames();
+  const std::string name = names[static_cast<size_t>(state.range(0))];
+  auto detector = tsad::BuildDetector(name, 7);
+  KDSEL_CHECK(detector.ok());
+  Rng rng(4);
+  auto series = datagen::GenerateSeries(datagen::Family::kYahoo, 512, 0, rng);
+  KDSEL_CHECK(series.ok());
+  for (auto _ : state) {
+    auto scores = (*detector)->Score(*series);
+    benchmark::DoNotOptimize(scores);
+  }
+  state.SetLabel(name);
+}
+BENCHMARK(BM_DetectorScore)->DenseRange(0, 11)->Unit(benchmark::kMillisecond);
+
+void BM_SimHashSignature(benchmark::State& state) {
+  lsh::SimHash hasher(64, 14, 5);
+  Rng rng(5);
+  std::vector<float> x(64);
+  for (float& v : x) v = static_cast<float>(rng.Normal());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.Signature(x));
+  }
+}
+BENCHMARK(BM_SimHashSignature);
+
+void BM_TextEncode(benchmark::State& state) {
+  text::HashedTextEncoder encoder;
+  const std::string text =
+      "This is a time series from dataset ECG, a standard "
+      "electrocardiogram dataset. The length of the series is 1024. "
+      "There are 3 anomalies in this series. The lengths of the "
+      "anomalies are 40, 55, 61.";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.Encode(text));
+  }
+}
+BENCHMARK(BM_TextEncode);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<float> window(64);
+  for (float& v : window) v = static_cast<float>(rng.Normal());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::ExtractFeatures(window));
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_GenerateSeries(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    auto series =
+        datagen::GenerateSeries(datagen::Family::kMgab, 1024, 0, rng);
+    benchmark::DoNotOptimize(series);
+  }
+}
+BENCHMARK(BM_GenerateSeries);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Reproduces paper Table 2 / Table 7: the pruning-based acceleration
+// (PA) module versus InfoBatch and full-data training, with PISL & MKI
+// kept on (the paper's protocol for this table). Expected shape:
+// PA saves more training time (fewer sample visits) than InfoBatch at a
+// near-lossless AUC-PR cost (paper: -0.009 AUC for -58.3% time).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace kdsel;
+  auto env = bench::MustCreateEnv();
+
+  auto base = [] {
+    core::TrainerOptions o;
+    o.backbone = "ResNet";
+    o.seed = 1;
+    o.use_pisl = true;
+    o.use_mki = true;
+    return o;
+  };
+
+  core::TrainerOptions full = base();
+
+  core::TrainerOptions infobatch = base();
+  infobatch.pruning.mode = core::PruningMode::kInfoBatch;
+  infobatch.pruning.prune_ratio = 0.8;
+
+  core::TrainerOptions pa = base();
+  pa.pruning.mode = core::PruningMode::kPa;
+  pa.pruning.prune_ratio = 0.8;
+  pa.pruning.lsh_bits = 14;
+  pa.pruning.num_bins = 8;
+
+  const auto seeds = bench::BenchSeeds();
+  std::vector<bench::SolutionResult> results;
+  results.push_back(
+      bench::TrainAndEvaluateAvg(*env, full, "Full data", seeds));
+  results.push_back(
+      bench::TrainAndEvaluateAvg(*env, infobatch, "+InfoBatch", seeds));
+  results.push_back(bench::TrainAndEvaluateAvg(*env, pa, "+PA (Ours)", seeds));
+
+  const double full_time = results[0].train_seconds;
+  const double full_visits = static_cast<double>(results[0].samples_visited);
+
+  std::printf("\nTable 2: Results of PA on all datasets\n");
+  exp::Table summary(
+      {"Metric", "Full data", "+InfoBatch", "+PA (Ours)"});
+  std::vector<std::string> auc_row{"AUC-PR"};
+  std::vector<std::string> time_row{"Time (s)"};
+  std::vector<std::string> saved_row{"Saved time (%)"};
+  std::vector<std::string> visits_row{"Sample visits"};
+  std::vector<std::string> visit_saved_row{"Saved visits (%)"};
+  for (const auto& r : results) {
+    auc_row.push_back(StrFormat("%.4f", r.auc.at("Average")));
+    time_row.push_back(StrFormat("%.1f", r.train_seconds));
+    saved_row.push_back(
+        StrFormat("%.1f", 100.0 * (1.0 - r.train_seconds / full_time)));
+    visits_row.push_back(StrFormat("%zu", r.samples_visited));
+    visit_saved_row.push_back(StrFormat(
+        "%.1f",
+        100.0 * (1.0 - static_cast<double>(r.samples_visited) / full_visits)));
+  }
+  summary.AddRow(auc_row);
+  summary.AddRow(time_row);
+  summary.AddRow(saved_row);
+  summary.AddRow(visits_row);
+  summary.AddRow(visit_saved_row);
+  summary.Print();
+
+  std::printf("\nTable 7: Full per-dataset results of PA (AUC-PR)\n");
+  std::vector<std::map<std::string, double>> maps;
+  std::vector<std::string> names;
+  for (const auto& r : results) {
+    maps.push_back(r.auc);
+    names.push_back(r.name);
+  }
+  std::fputs(
+      exp::FormatPerDatasetTable(env->test_dataset_names(), names, maps)
+          .c_str(),
+      stdout);
+
+  std::printf(
+      "\nPaper reference (Table 2): AUC-PR 0.461 / 0.455 / 0.452; time\n"
+      "saved 0%% / 39.1%% / 58.3%%. Expected shape: PA prunes strictly\n"
+      "more sample visits than InfoBatch with a similarly small AUC-PR\n"
+      "drop (redundant high-loss samples are additionally pruned).\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces paper Table 3 / Table 8: KDSelector is architecture-
+// agnostic. For each backbone (ResNet, InceptionTime, Transformer) we
+// train the default (standard framework) selector and the +KDSelector
+// variant. Following the paper's protocol, the AUC-PR improvement is
+// measured with PISL&MKI (no pruning, fair accuracy comparison) and the
+// time saving is measured with PA enabled on the KDSelector side.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace kdsel;
+  auto env = bench::MustCreateEnv();
+
+  const std::vector<std::string> architectures{"ResNet", "InceptionTime",
+                                               "Transformer"};
+  std::vector<std::map<std::string, double>> maps;
+  std::vector<std::string> names;
+
+  exp::Table summary({"Architecture", "Default AUC-PR", "+KDSel AUC-PR",
+                      "Improved", "+KDSel time (s)", "+KDSel(PA) time (s)",
+                      "PA saved time (%)", "PA saved visits (%)"});
+
+  const auto seeds = bench::BenchSeeds();
+  for (const auto& arch : architectures) {
+    core::TrainerOptions standard;
+    standard.backbone = arch;
+    auto base = bench::TrainAndEvaluateAvg(*env, standard,
+                                           arch + " (default)", seeds);
+
+    core::TrainerOptions enhanced = standard;
+    enhanced.use_pisl = true;
+    enhanced.use_mki = true;
+    auto kd = bench::TrainAndEvaluateAvg(*env, enhanced,
+                                         arch + " +KDSelector", seeds);
+
+    core::TrainerOptions pruned = enhanced;
+    pruned.pruning.mode = core::PruningMode::kPa;
+    auto kd_pa = bench::TrainAndEvaluateAvg(*env, pruned,
+                                            arch + " +KDSelector(PA)", seeds);
+
+    // The PA columns compare the same configuration (PISL&MKI) with and
+    // without pruning — the quantity PA controls. Sample visits are the
+    // hardware-independent measure; wall-clock tracks them on one core.
+    summary.AddRow(
+        {arch, StrFormat("%.4f", base.auc.at("Average")),
+         StrFormat("%.4f", kd.auc.at("Average")),
+         StrFormat("%+.4f", kd.auc.at("Average") - base.auc.at("Average")),
+         StrFormat("%.1f", kd.train_seconds),
+         StrFormat("%.1f", kd_pa.train_seconds),
+         StrFormat("%.1f",
+                   100.0 * (1.0 - kd_pa.train_seconds / kd.train_seconds)),
+         StrFormat("%.1f",
+                   100.0 * (1.0 - double(kd_pa.samples_visited) /
+                                      double(kd_pa.full_visits)))});
+
+    maps.push_back(base.auc);
+    names.push_back(arch + " default");
+    maps.push_back(kd.auc);
+    names.push_back(arch + " +KD");
+  }
+
+  std::printf("\nTable 3: Results of KDSelector on different architectures\n");
+  summary.Print();
+
+  std::printf("\nTable 8: Full per-dataset results on architectures\n");
+  std::fputs(
+      exp::FormatPerDatasetTable(env->test_dataset_names(), names, maps)
+          .c_str(),
+      stdout);
+
+  std::printf(
+      "\nPaper reference (Table 3): improved AUC-PR +0.040 (ResNet),\n"
+      "+0.046 (InceptionTime), +0.015 (Transformer); time saved 58.3%%,\n"
+      "70.96%%, 74.17%%. Expected shape: KDSelector improves every\n"
+      "architecture's accuracy and PA saves a large share of sample\n"
+      "visits on every architecture.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+#ifndef KDSEL_BENCH_BENCH_UTIL_H_
+#define KDSEL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stringutil.h"
+#include "core/trainer.h"
+#include "exp/env.h"
+#include "exp/tables.h"
+
+namespace kdsel::bench {
+
+/// Builds the shared benchmark environment, aborting on failure (benches
+/// have no meaningful recovery path).
+inline std::unique_ptr<exp::BenchmarkEnvironment> MustCreateEnv() {
+  auto config = exp::ExperimentConfig::FromEnv();
+  std::fprintf(stderr, "[bench] environment: %zu series/family, seed %llu\n",
+               config.series_per_family,
+               static_cast<unsigned long long>(config.seed));
+  auto env = exp::BenchmarkEnvironment::Create(config);
+  if (!env.ok()) {
+    std::fprintf(stderr, "environment setup failed: %s\n",
+                 env.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(env).value();
+}
+
+/// One selector-training measurement: per-dataset AUC-PR + timing.
+struct SolutionResult {
+  std::string name;
+  std::map<std::string, double> auc;  ///< dataset -> AUC-PR (+"Average").
+  double train_seconds = 0.0;
+  size_t samples_visited = 0;
+  size_t full_visits = 0;
+};
+
+/// Trains an NN selector under `options` on the environment's pooled
+/// training data and evaluates it with the paper's protocol.
+inline SolutionResult TrainAndEvaluate(const exp::BenchmarkEnvironment& env,
+                                       core::TrainerOptions options,
+                                       const std::string& name) {
+  auto data = env.BuildTrainingData();
+  if (!data.ok()) {
+    std::fprintf(stderr, "training data failed: %s\n",
+                 data.status().ToString().c_str());
+    std::exit(1);
+  }
+  options.epochs = env.config().epochs;
+  options.batch_size = env.config().batch_size;
+  core::TrainStats stats;
+  auto selector = core::TrainSelector(*data, options, &stats);
+  if (!selector.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 selector.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto auc = env.EvaluateSelector(**selector);
+  if (!auc.ok()) {
+    std::fprintf(stderr, "evaluation failed: %s\n",
+                 auc.status().ToString().c_str());
+    std::exit(1);
+  }
+  SolutionResult result;
+  result.name = name;
+  result.auc = std::move(auc).value();
+  result.train_seconds = stats.train_seconds;
+  result.samples_visited = stats.samples_visited;
+  result.full_visits = stats.full_dataset_visits;
+  std::fprintf(stderr,
+               "[bench] %-22s avg AUC-PR %.4f, %6.1fs, visited %zu/%zu\n",
+               name.c_str(), result.auc.at("Average"), result.train_seconds,
+               result.samples_visited, result.full_visits);
+  return result;
+}
+
+/// Trains under `options` once per seed and averages the per-dataset
+/// AUC-PR and timing. Single-seed NN results on the compact benchmark
+/// are noisy; the paper-style tables report the seed mean.
+inline SolutionResult TrainAndEvaluateAvg(const exp::BenchmarkEnvironment& env,
+                                          const core::TrainerOptions& options,
+                                          const std::string& name,
+                                          const std::vector<uint64_t>& seeds) {
+  SolutionResult avg;
+  avg.name = name;
+  for (uint64_t seed : seeds) {
+    core::TrainerOptions opts = options;
+    opts.seed = seed;
+    opts.pruning.seed = seed * 131 + 7;
+    SolutionResult r = TrainAndEvaluate(env, opts, name);
+    for (const auto& [dataset, auc] : r.auc) avg.auc[dataset] += auc;
+    avg.train_seconds += r.train_seconds;
+    avg.samples_visited += r.samples_visited;
+    avg.full_visits += r.full_visits;
+  }
+  const double inv = 1.0 / static_cast<double>(seeds.size());
+  for (auto& [dataset, auc] : avg.auc) auc *= inv;
+  avg.train_seconds *= inv;
+  avg.samples_visited =
+      static_cast<size_t>(double(avg.samples_visited) * inv);
+  avg.full_visits = static_cast<size_t>(double(avg.full_visits) * inv);
+  return avg;
+}
+
+/// Seeds used by the seed-averaged table benches. KDSEL_BENCH_SEEDS=1
+/// shrinks to a single seed for quick runs.
+inline std::vector<uint64_t> BenchSeeds() {
+  const char* env = std::getenv("KDSEL_BENCH_SEEDS");
+  size_t n = env ? std::strtoul(env, nullptr, 10) : 3;
+  if (n == 0) n = 1;
+  std::vector<uint64_t> seeds;
+  for (size_t i = 0; i < n; ++i) seeds.push_back(i + 1);
+  return seeds;
+}
+
+}  // namespace kdsel::bench
+
+#endif  // KDSEL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,77 @@
+// A compact accuracy study using the experiment harness: compares the
+// standard NN selector against the full KDSelector configuration on a
+// small instance of the 16-family benchmark and prints a per-dataset
+// AUC-PR table — the demo paper's "superiority of KDSelector" scenario
+// at example scale. (The bench/ binaries run the full-size versions.)
+//
+// Build & run:  ./build/examples/benchmark_study
+
+#include <cstdio>
+
+#include "core/trainer.h"
+#include "exp/env.h"
+#include "exp/tables.h"
+
+namespace {
+
+int Run() {
+  using namespace kdsel;
+
+  exp::ExperimentConfig config;
+  config.series_per_family = 3;
+  config.min_length = 384;
+  config.max_length = 640;
+  config.window_length = 64;
+  config.epochs = 8;
+  config.seed = 13;
+  config.cache_dir = ".kdsel_cache";
+
+  std::printf("building benchmark environment (first run computes the\n"
+              "detector performance matrix; later runs hit the cache)...\n");
+  auto env = exp::BenchmarkEnvironment::Create(config);
+  if (!env.ok()) {
+    std::fprintf(stderr, "environment failed: %s\n",
+                 env.status().ToString().c_str());
+    return 1;
+  }
+
+  auto data = (*env)->BuildTrainingData();
+  if (!data.ok()) return 1;
+  std::printf("training windows: %zu, models: %zu\n\n", data->size(),
+              (*env)->num_models());
+
+  auto train_and_eval = [&](bool kd) {
+    core::TrainerOptions opts;
+    opts.backbone = "ResNet";
+    opts.epochs = config.epochs;
+    opts.seed = 2;
+    opts.use_pisl = kd;
+    opts.use_mki = kd;
+    core::TrainStats stats;
+    auto selector = core::TrainSelector(*data, opts, &stats);
+    KDSEL_CHECK(selector.ok());
+    auto auc = (*env)->EvaluateSelector(**selector);
+    KDSEL_CHECK(auc.ok());
+    std::printf("%-22s trained in %.1fs, average AUC-PR %.4f\n",
+                kd ? "ResNet+KDSelector" : "ResNet (standard)",
+                stats.train_seconds, auc->at("Average"));
+    return *auc;
+  };
+
+  auto standard = train_and_eval(false);
+  auto ours = train_and_eval(true);
+  auto oracle = (*env)->EvaluateFixedModel(-1);
+  KDSEL_CHECK(oracle.ok());
+
+  std::printf("\nPer-dataset AUC-PR (oracle = per-series best model):\n");
+  std::fputs(exp::FormatPerDatasetTable((*env)->test_dataset_names(),
+                                        {"Standard", "KDSelector", "Oracle"},
+                                        {standard, ours, *oracle})
+                 .c_str(),
+             stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

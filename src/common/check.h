@@ -1,0 +1,36 @@
+#ifndef KDSEL_COMMON_CHECK_H_
+#define KDSEL_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kdsel::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "KDSEL_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace kdsel::internal
+
+/// Invariant check that is active in all build types. Use for programmer
+/// errors (index math, shape mismatches) that indicate bugs rather than
+/// bad user input; user input errors return Status instead.
+#define KDSEL_CHECK(cond)                                        \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      ::kdsel::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+    }                                                            \
+  } while (0)
+
+/// Debug-only check for hot loops.
+#ifndef NDEBUG
+#define KDSEL_DCHECK(cond) KDSEL_CHECK(cond)
+#else
+#define KDSEL_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#endif
+
+#endif  // KDSEL_COMMON_CHECK_H_

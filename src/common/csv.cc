@@ -1,0 +1,38 @@
+#include "common/csv.h"
+
+#include <fstream>
+
+#include "common/stringutil.h"
+
+namespace kdsel {
+
+StatusOr<CsvTable> ReadCsv(const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  CsvTable table;
+  std::string line;
+  bool header_pending = has_header;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    auto cells = Split(line, ',');
+    if (header_pending) {
+      table.header = std::move(cells);
+      header_pending = false;
+    } else {
+      table.rows.push_back(std::move(cells));
+    }
+  }
+  return table;
+}
+
+Status WriteCsv(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  if (!table.header.empty()) out << Join(table.header, ",") << "\n";
+  for (const auto& row : table.rows) out << Join(row, ",") << "\n";
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace kdsel

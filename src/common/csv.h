@@ -1,0 +1,27 @@
+#ifndef KDSEL_COMMON_CSV_H_
+#define KDSEL_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kdsel {
+
+/// A parsed CSV file: optional header row plus rows of string cells.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Reads a comma-separated file. When `has_header` is true the first
+/// non-empty line populates `header`. No quoting support — the library
+/// only reads files it wrote itself or simple numeric exports.
+StatusOr<CsvTable> ReadCsv(const std::string& path, bool has_header);
+
+/// Writes `table` to `path`, overwriting any existing file.
+Status WriteCsv(const std::string& path, const CsvTable& table);
+
+}  // namespace kdsel
+
+#endif  // KDSEL_COMMON_CSV_H_

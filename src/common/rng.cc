@@ -1,0 +1,20 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+namespace kdsel {
+
+std::vector<size_t> Rng::Sample(size_t n, size_t k) {
+  KDSEL_CHECK(k <= n);
+  // Partial Fisher-Yates: only the first k positions are settled.
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + Index(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace kdsel

@@ -1,0 +1,51 @@
+#include "core/mki.h"
+
+namespace kdsel::core {
+
+MkiHead::MkiHead(const Options& options, Rng& rng) : options_(options) {
+  KDSEL_CHECK(options_.ts_feature_dim > 0);
+  h_t_.Add(std::make_unique<nn::Linear>(options_.ts_feature_dim,
+                                        options_.hidden, rng));
+  h_t_.Add(std::make_unique<nn::ReLU>());
+  h_t_.Add(std::make_unique<nn::Linear>(options_.hidden, options_.shared_dim,
+                                        rng));
+  h_k_.Add(std::make_unique<nn::Linear>(options_.text_feature_dim,
+                                        options_.hidden, rng));
+  h_k_.Add(std::make_unique<nn::ReLU>());
+  h_k_.Add(std::make_unique<nn::Linear>(options_.hidden, options_.shared_dim,
+                                        rng));
+}
+
+std::vector<nn::Parameter*> MkiHead::Parameters() {
+  std::vector<nn::Parameter*> params = h_t_.Parameters();
+  for (auto* p : h_k_.Parameters()) params.push_back(p);
+  return params;
+}
+
+MkiHead::Result MkiHead::ComputeLoss(const nn::Tensor& z_t,
+                                     const nn::Tensor& z_k,
+                                     const std::vector<float>& weights,
+                                     const std::vector<size_t>& group_ids) {
+  KDSEL_CHECK(z_t.rank() == 2 && z_t.dim(1) == options_.ts_feature_dim);
+  KDSEL_CHECK(z_k.rank() == 2 && z_k.dim(1) == options_.text_feature_dim);
+  KDSEL_CHECK(z_t.dim(0) == z_k.dim(0));
+
+  nn::Tensor proj_t = h_t_.Forward(z_t, /*training=*/true);
+  nn::Tensor proj_k = h_k_.Forward(z_k, /*training=*/true);
+  nn::InfoNceResult nce = nn::InfoNce(proj_t, proj_k, options_.temperature,
+                                      weights, group_ids);
+
+  // Scale by lambda and backpropagate through both projections. The
+  // text encoder itself is frozen, so grad wrt z_k stops at h_k.
+  const float lambda = static_cast<float>(options_.lambda);
+  nce.grad_a.ScaleInPlace(lambda);
+  nce.grad_b.ScaleInPlace(lambda);
+  Result result;
+  result.grad_z_t = h_t_.Backward(nce.grad_a);
+  (void)h_k_.Backward(nce.grad_b);
+  result.loss = options_.lambda * nce.mean_loss;
+  result.per_sample = std::move(nce.per_sample);
+  return result;
+}
+
+}  // namespace kdsel::core

@@ -1,0 +1,138 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "datagen/benchmark.h"
+#include "metrics/metrics.h"
+
+namespace kdsel::core {
+
+namespace fs = std::filesystem;
+
+StatusOr<std::vector<float>> EvaluateDetectorsOnSeries(
+    const std::vector<std::unique_ptr<tsad::Detector>>& models,
+    const ts::TimeSeries& series, metrics::Metric metric) {
+  if (!series.has_labels()) {
+    return Status::InvalidArgument(
+        "label generation requires ground-truth anomaly labels");
+  }
+  std::vector<float> performance;
+  performance.reserve(models.size());
+  for (const auto& model : models) {
+    auto scores = model->Score(series);
+    if (!scores.ok()) {
+      // A detector that cannot handle this series (e.g. too short)
+      // contributes the worst possible performance instead of failing
+      // the whole pipeline.
+      performance.push_back(0.0f);
+      continue;
+    }
+    KDSEL_ASSIGN_OR_RETURN(
+        double value,
+        metrics::EvaluateMetric(metric, *scores, series.labels()));
+    performance.push_back(static_cast<float>(value));
+  }
+  return performance;
+}
+
+StatusOr<SelectorTrainingData> BuildSelectorTrainingData(
+    const std::vector<ts::TimeSeries>& series,
+    const std::vector<std::vector<float>>& performance,
+    const ts::WindowOptions& window_options) {
+  if (series.size() != performance.size()) {
+    return Status::InvalidArgument("series/performance size mismatch");
+  }
+  if (series.empty()) return Status::InvalidArgument("no series");
+  SelectorTrainingData data;
+  data.num_classes = performance[0].size();
+  for (size_t s = 0; s < series.size(); ++s) {
+    if (performance[s].size() != data.num_classes) {
+      return Status::InvalidArgument("ragged performance matrix");
+    }
+    const int best = static_cast<int>(
+        std::max_element(performance[s].begin(), performance[s].end()) -
+        performance[s].begin());
+    const std::string text = datagen::BuildMetadataText(series[s]);
+    KDSEL_ASSIGN_OR_RETURN(auto windows,
+                           ts::ExtractWindows(series[s], s, window_options));
+    for (auto& w : windows) {
+      data.windows.push_back(std::move(w.values));
+      data.labels.push_back(best);
+      data.performance.push_back(performance[s]);
+      data.texts.push_back(text);
+    }
+  }
+  return data;
+}
+
+StatusOr<DetectionResult> DetectWithSelection(
+    const selectors::Selector& selector,
+    const std::vector<std::unique_ptr<tsad::Detector>>& models,
+    const ts::TimeSeries& series, const ts::WindowOptions& window_options) {
+  KDSEL_ASSIGN_OR_RETURN(
+      SeriesSelection sel,
+      SelectSeriesModel(selector, series, window_options, models.size()));
+  DetectionResult result;
+  result.selected_model = sel.model;
+  result.votes = std::move(sel.votes);
+  result.model_name = models[static_cast<size_t>(sel.model)]->name();
+  KDSEL_ASSIGN_OR_RETURN(
+      result.anomaly_scores,
+      models[static_cast<size_t>(sel.model)]->Score(series));
+  if (series.has_labels()) {
+    KDSEL_ASSIGN_OR_RETURN(
+        result.auc_pr,
+        metrics::AucPr(result.anomaly_scores, series.labels()));
+  }
+  return result;
+}
+
+SelectorManager::SelectorManager(std::string directory)
+    : directory_(std::move(directory)) {}
+
+std::string SelectorManager::PathFor(const std::string& name) const {
+  return (fs::path(directory_) / name).string();
+}
+
+Status SelectorManager::Save(const TrainedSelector& selector,
+                             const std::string& name) const {
+  if (name.empty() || name.find('/') != std::string::npos) {
+    return Status::InvalidArgument("invalid selector name: " + name);
+  }
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  if (ec) return Status::IoError("cannot create directory: " + directory_);
+  return selector.Save(PathFor(name));
+}
+
+StatusOr<std::unique_ptr<TrainedSelector>> SelectorManager::Load(
+    const std::string& name) const {
+  return TrainedSelector::Load(PathFor(name));
+}
+
+StatusOr<std::vector<std::string>> SelectorManager::List() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  if (!fs::exists(directory_, ec)) return names;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    if (entry.path().extension() == ".meta") {
+      names.push_back(entry.path().stem().string());
+    }
+  }
+  if (ec) return Status::IoError("cannot list " + directory_);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status SelectorManager::Remove(const std::string& name) const {
+  std::error_code ec;
+  bool removed_meta = fs::remove(PathFor(name) + ".meta", ec);
+  bool removed_weights = fs::remove(PathFor(name) + ".weights", ec);
+  if (!removed_meta && !removed_weights) {
+    return Status::NotFound("no saved selector named " + name);
+  }
+  return Status::OK();
+}
+
+}  // namespace kdsel::core

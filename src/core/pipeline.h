@@ -1,0 +1,80 @@
+#ifndef KDSEL_CORE_PIPELINE_H_
+#define KDSEL_CORE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/selection.h"
+#include "core/trainer.h"
+#include "metrics/range_metrics.h"
+#include "ts/window.h"
+#include "tsad/detector.h"
+
+namespace kdsel::core {
+
+/// Per-series label-generation result: the detector performance vector
+/// P(M_j(T)) plus windows and metadata text derived from the series.
+struct LabeledSeries {
+  std::vector<float> performance;  ///< AUC-PR of each model on the series.
+  int best_model = 0;
+  std::string metadata_text;
+  std::vector<std::vector<float>> windows;
+};
+
+/// Runs every detector in `models` on `series` and scores it with the
+/// chosen metric (Definition 2.1's P; defaults to the paper's AUC-PR)
+/// against the series' ground-truth labels — the benchmark's
+/// label-generation step. Requires a labeled series.
+StatusOr<std::vector<float>> EvaluateDetectorsOnSeries(
+    const std::vector<std::unique_ptr<tsad::Detector>>& models,
+    const ts::TimeSeries& series,
+    metrics::Metric metric = metrics::Metric::kAucPr);
+
+/// Builds window-level selector training data from labeled historical
+/// series: every window of a series inherits the series' best model
+/// (hard label), performance vector (PISL) and metadata text (MKI).
+StatusOr<SelectorTrainingData> BuildSelectorTrainingData(
+    const std::vector<ts::TimeSeries>& series,
+    const std::vector<std::vector<float>>& performance,
+    const ts::WindowOptions& window_options);
+
+/// End-to-end TSAD-with-model-selection (the demo system's three-step
+/// pipeline): given a trained selector and the model set, selects a
+/// model per series, runs only that model, and reports its scores.
+struct DetectionResult {
+  int selected_model = 0;
+  std::string model_name;
+  std::vector<int> votes;
+  std::vector<float> anomaly_scores;
+  double auc_pr = 0.0;  ///< Only meaningful when the series has labels.
+};
+
+StatusOr<DetectionResult> DetectWithSelection(
+    const selectors::Selector& selector,
+    const std::vector<std::unique_ptr<tsad::Detector>>& models,
+    const ts::TimeSeries& series, const ts::WindowOptions& window_options);
+
+/// Saves/loads/lists named TrainedSelectors under a directory (the demo
+/// system's Selector Management module).
+class SelectorManager {
+ public:
+  explicit SelectorManager(std::string directory);
+
+  Status Save(const TrainedSelector& selector, const std::string& name) const;
+  StatusOr<std::unique_ptr<TrainedSelector>> Load(
+      const std::string& name) const;
+  StatusOr<std::vector<std::string>> List() const;
+  Status Remove(const std::string& name) const;
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  std::string PathFor(const std::string& name) const;
+
+  std::string directory_;
+};
+
+}  // namespace kdsel::core
+
+#endif  // KDSEL_CORE_PIPELINE_H_

@@ -1,0 +1,156 @@
+#include "core/pruning.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "lsh/simhash.h"
+
+namespace kdsel::core {
+
+const char* PruningModeToString(PruningMode mode) {
+  switch (mode) {
+    case PruningMode::kNone:
+      return "none";
+    case PruningMode::kInfoBatch:
+      return "infobatch";
+    case PruningMode::kPa:
+      return "pa";
+  }
+  return "unknown";
+}
+
+Pruner::Pruner(const PrunerOptions& options, size_t num_samples,
+               const std::vector<std::vector<float>>& samples)
+    : options_(options),
+      num_samples_(num_samples),
+      rng_(options.seed),
+      avg_loss_(num_samples, 0.0),
+      seen_(num_samples, 0) {
+  KDSEL_CHECK(options_.prune_ratio >= 0.0 && options_.prune_ratio < 1.0);
+  if (options_.mode == PruningMode::kPa) {
+    KDSEL_CHECK(samples.size() == num_samples);
+    KDSEL_CHECK(!samples.empty());
+    lsh::SimHash hasher(samples[0].size(), options_.lsh_bits,
+                        options_.seed ^ 0xabcdef12345ull);
+    signatures_.resize(num_samples);
+    for (size_t i = 0; i < num_samples; ++i) {
+      signatures_[i] = hasher.Signature(samples[i]);
+    }
+  }
+}
+
+void Pruner::RecordLoss(size_t sample, double loss) {
+  KDSEL_DCHECK(sample < num_samples_);
+  // Running mean over all epochs the sample participated in (the
+  // paper's average loss over past epochs).
+  const double n = static_cast<double>(++seen_[sample]);
+  avg_loss_[sample] += (loss - avg_loss_[sample]) / n;
+}
+
+double Pruner::MeanLoss() const {
+  // Mean over samples with at least one observation.
+  double total = 0.0;
+  size_t count = 0;
+  for (size_t i = 0; i < num_samples_; ++i) {
+    if (seen_[i]) {
+      total += avg_loss_[i];
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+EpochPlan Pruner::PlanEpoch(size_t epoch, size_t total_epochs) {
+  const bool anneal =
+      total_epochs > 0 &&
+      static_cast<double>(epoch) >=
+          (1.0 - options_.anneal_fraction) * static_cast<double>(total_epochs);
+  const bool first_epoch = epoch == 0;
+  if (options_.mode == PruningMode::kNone || anneal || first_epoch) {
+    EpochPlan plan;
+    plan.kept.resize(num_samples_);
+    std::iota(plan.kept.begin(), plan.kept.end(), size_t{0});
+    plan.weights.assign(num_samples_, 1.0f);
+    return plan;
+  }
+  return options_.mode == PruningMode::kInfoBatch ? PlanInfoBatch() : PlanPa();
+}
+
+EpochPlan Pruner::PlanInfoBatch() {
+  EpochPlan plan;
+  const double mean = MeanLoss();
+  const double r = options_.prune_ratio;
+  const float rescale = static_cast<float>(1.0 / (1.0 - r));
+  for (size_t i = 0; i < num_samples_; ++i) {
+    const bool low = seen_[i] && avg_loss_[i] < mean;
+    if (low) {
+      if (rng_.Bernoulli(r)) continue;  // pruned this epoch
+      plan.kept.push_back(i);
+      plan.weights.push_back(rescale);
+    } else {
+      plan.kept.push_back(i);
+      plan.weights.push_back(1.0f);
+    }
+  }
+  return plan;
+}
+
+EpochPlan Pruner::PlanPa() {
+  EpochPlan plan;
+  const double mean = MeanLoss();
+  const double r = options_.prune_ratio;
+  const float rescale = static_cast<float>(1.0 / (1.0 - r));
+
+  // Low-loss samples: pruned exactly as InfoBatch, no bucketing.
+  std::vector<size_t> high;
+  for (size_t i = 0; i < num_samples_; ++i) {
+    const bool low = seen_[i] && avg_loss_[i] < mean;
+    if (low) {
+      if (rng_.Bernoulli(r)) continue;
+      plan.kept.push_back(i);
+      plan.weights.push_back(rescale);
+    } else {
+      high.push_back(i);
+    }
+  }
+
+  if (high.empty()) return plan;
+
+  // Equi-depth binning of high-loss samples by current average loss:
+  // sort by loss, then cut into `num_bins` equal-count bins.
+  std::vector<size_t> order = high;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (avg_loss_[a] != avg_loss_[b]) return avg_loss_[a] < avg_loss_[b];
+    return a < b;  // deterministic tie-break
+  });
+  const size_t bins = std::max<size_t>(1, options_.num_bins);
+  std::vector<size_t> bin_of(num_samples_, 0);
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    bin_of[order[pos]] = pos * bins / order.size();
+  }
+
+  // Buckets = (LSH signature, loss bin). Samples in a multi-sample
+  // bucket are similar in value (same signature) and in loss (same
+  // equi-depth bin) => redundant per Sect. A.1 => prunable.
+  std::map<std::pair<uint64_t, size_t>, std::vector<size_t>> buckets;
+  for (size_t i : high) {
+    buckets[{signatures_[i], bin_of[i]}].push_back(i);
+  }
+  for (auto& [key, members] : buckets) {
+    if (members.size() <= 1) {
+      // Singleton buckets carry non-redundant information: keep as-is.
+      plan.kept.push_back(members[0]);
+      plan.weights.push_back(1.0f);
+      continue;
+    }
+    for (size_t i : members) {
+      if (rng_.Bernoulli(r)) continue;
+      plan.kept.push_back(i);
+      plan.weights.push_back(rescale);
+    }
+  }
+  return plan;
+}
+
+}  // namespace kdsel::core

@@ -1,0 +1,87 @@
+#ifndef KDSEL_CORE_PRUNING_H_
+#define KDSEL_CORE_PRUNING_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace kdsel::core {
+
+/// Which dynamic data-pruning strategy the trainer applies per epoch.
+enum class PruningMode {
+  kNone,       ///< Iterate all samples every epoch (standard SGD).
+  kInfoBatch,  ///< Qin et al. ICLR'24: prune low-loss samples, rescale.
+  kPa,         ///< The paper's PA: InfoBatch + LSH/loss-bin bucketing of
+               ///< high-loss samples to also prune redundant ones.
+};
+
+const char* PruningModeToString(PruningMode mode);
+
+/// The samples an epoch will visit plus each sample's gradient-rescale
+/// weight (1 for untouched samples, 1/(1-r) for survivors of a pruned
+/// group — the unbiasedness correction of paper Sect. A.2).
+struct EpochPlan {
+  std::vector<size_t> kept;
+  std::vector<float> weights;  ///< Parallel to `kept`.
+};
+
+/// Options shared by the pruning strategies.
+struct PrunerOptions {
+  PruningMode mode = PruningMode::kNone;
+  double prune_ratio = 0.8;      ///< r (paper: 0.8).
+  size_t lsh_bits = 14;          ///< PA: SimHash signature width.
+  size_t num_bins = 8;           ///< PA: equi-depth loss bins p.
+  /// Final fraction of epochs trained on full data (InfoBatch's
+  /// annealing; prevents end-of-training bias).
+  double anneal_fraction = 0.125;
+  uint64_t seed = 97;
+};
+
+/// Per-epoch sample pruning with persistent loss statistics.
+///
+/// The trainer feeds back observed per-sample losses after each epoch
+/// via RecordLosses; PlanEpoch consumes the running mean losses to pick
+/// the next epoch's samples. Samples never observed yet are treated as
+/// high-loss (never pruned as "easy").
+class Pruner {
+ public:
+  /// `samples` are the raw sample vectors used only when mode == kPa to
+  /// build LSH signatures (values are training-invariant, so this
+  /// happens once, before training — paper Sect. 3).
+  Pruner(const PrunerOptions& options, size_t num_samples,
+         const std::vector<std::vector<float>>& samples);
+
+  /// Chooses the samples for `epoch` (0-based) of `total_epochs`.
+  EpochPlan PlanEpoch(size_t epoch, size_t total_epochs);
+
+  /// Updates the running average loss of `sample` with an observation.
+  void RecordLoss(size_t sample, double loss);
+
+  /// Mean of current average losses over all samples (the paper's L-bar).
+  double MeanLoss() const;
+
+  /// Average loss of one sample (0 until first observation).
+  double SampleLoss(size_t i) const { return avg_loss_[i]; }
+  bool SampleSeen(size_t i) const { return seen_[i] != 0; }
+
+  const PrunerOptions& options() const { return options_; }
+
+ private:
+  EpochPlan PlanInfoBatch();
+  EpochPlan PlanPa();
+
+  PrunerOptions options_;
+  size_t num_samples_;
+  Rng rng_;
+  std::vector<double> avg_loss_;
+  std::vector<uint32_t> seen_;     ///< Observation counts.
+  std::vector<uint64_t> signatures_;  ///< LSH signature per sample (PA).
+};
+
+}  // namespace kdsel::core
+
+#endif  // KDSEL_CORE_PRUNING_H_

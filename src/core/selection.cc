@@ -1,0 +1,52 @@
+#include "core/selection.h"
+
+#include <algorithm>
+
+namespace kdsel::core {
+
+StatusOr<SeriesSelection> SelectSeriesModel(
+    const selectors::Selector& selector, const ts::TimeSeries& series,
+    const ts::WindowOptions& window_options, size_t num_classes) {
+  if (num_classes == 0) {
+    return Status::InvalidArgument("num_classes must be positive");
+  }
+  KDSEL_ASSIGN_OR_RETURN(auto windows,
+                         ts::ExtractWindows(series, 0, window_options));
+  if (windows.empty()) {
+    return Status::InvalidArgument("series produced no windows");
+  }
+  std::vector<std::vector<float>> rows;
+  rows.reserve(windows.size());
+  for (auto& w : windows) rows.push_back(std::move(w.values));
+  KDSEL_ASSIGN_OR_RETURN(auto pred, selector.Predict(rows));
+
+  SeriesSelection out;
+  out.votes.assign(num_classes, 0);
+  out.num_windows = rows.size();
+  for (int p : pred) {
+    if (p < 0 || static_cast<size_t>(p) >= num_classes) {
+      return Status::Internal("selector predicted out-of-range model id");
+    }
+    ++out.votes[static_cast<size_t>(p)];
+  }
+  out.model = static_cast<int>(
+      std::max_element(out.votes.begin(), out.votes.end()) -
+      out.votes.begin());
+  return out;
+}
+
+StatusOr<std::vector<SeriesSelection>> SelectSeriesModels(
+    const selectors::Selector& selector,
+    const std::vector<ts::TimeSeries>& series,
+    const ts::WindowOptions& window_options, size_t num_classes) {
+  std::vector<SeriesSelection> out;
+  out.reserve(series.size());
+  for (const auto& s : series) {
+    KDSEL_ASSIGN_OR_RETURN(
+        auto sel, SelectSeriesModel(selector, s, window_options, num_classes));
+    out.push_back(std::move(sel));
+  }
+  return out;
+}
+
+}  // namespace kdsel::core

@@ -1,0 +1,48 @@
+#include "core/soft_label.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kdsel::core {
+
+StatusOr<nn::Tensor> BuildSoftLabels(
+    const std::vector<std::vector<float>>& performance, double t_soft) {
+  if (performance.empty()) {
+    return Status::InvalidArgument("empty performance matrix");
+  }
+  if (t_soft <= 0) {
+    return Status::InvalidArgument("t_soft must be positive");
+  }
+  const size_t n = performance.size();
+  const size_t m = performance[0].size();
+  nn::Tensor out({n, m});
+  for (size_t i = 0; i < n; ++i) {
+    if (performance[i].size() != m) {
+      return Status::InvalidArgument("ragged performance matrix");
+    }
+    float mx = performance[i][0];
+    for (float p : performance[i]) mx = std::max(mx, p);
+    double sum = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+      const double e = std::exp((performance[i][j] - mx) / t_soft);
+      out.At(i, j) = static_cast<float>(e);
+      sum += e;
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (size_t j = 0; j < m; ++j) out.At(i, j) *= inv;
+  }
+  return out;
+}
+
+std::vector<int> HardLabelsFromPerformance(
+    const std::vector<std::vector<float>>& performance) {
+  std::vector<int> labels;
+  labels.reserve(performance.size());
+  for (const auto& row : performance) {
+    labels.push_back(static_cast<int>(
+        std::max_element(row.begin(), row.end()) - row.begin()));
+  }
+  return labels;
+}
+
+}  // namespace kdsel::core

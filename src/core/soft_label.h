@@ -1,0 +1,29 @@
+#ifndef KDSEL_CORE_SOFT_LABEL_H_
+#define KDSEL_CORE_SOFT_LABEL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "nn/tensor.h"
+
+namespace kdsel::core {
+
+/// PISL (performance-informed selector learning), paper Sect. 3.
+///
+/// Transforms each sample's vector of detector performance scores
+/// P(M_j(T_i)) into a soft label p_i = Softmax(P / t_soft): better
+/// detectors get proportionally higher selection probability, and the
+/// temperature t_soft controls how peaked the distribution is.
+/// The result is used as the target of a soft cross-entropy term mixed
+/// into the training loss with weight alpha.
+StatusOr<nn::Tensor> BuildSoftLabels(
+    const std::vector<std::vector<float>>& performance, double t_soft);
+
+/// Hard labels from a performance matrix: argmax per row (ties broken
+/// toward the lower index, deterministically).
+std::vector<int> HardLabelsFromPerformance(
+    const std::vector<std::vector<float>>& performance);
+
+}  // namespace kdsel::core
+
+#endif  // KDSEL_CORE_SOFT_LABEL_H_

@@ -1,0 +1,384 @@
+#include "core/trainer.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <numeric>
+
+#include "common/stringutil.h"
+#include "core/soft_label.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+
+namespace kdsel::core {
+
+namespace {
+
+/// Gathers window rows into a [batch, L] tensor.
+nn::Tensor GatherWindows(const std::vector<std::vector<float>>& windows,
+                         const std::vector<size_t>& idx) {
+  KDSEL_CHECK(!idx.empty());
+  const size_t dim = windows[idx[0]].size();
+  nn::Tensor out({idx.size(), dim});
+  for (size_t i = 0; i < idx.size(); ++i) {
+    std::copy(windows[idx[i]].begin(), windows[idx[i]].end(),
+              out.raw() + i * dim);
+  }
+  return out;
+}
+
+/// Gathers rows of a 2-D tensor.
+nn::Tensor GatherRows(const nn::Tensor& src, const std::vector<size_t>& idx) {
+  const size_t dim = src.dim(1);
+  nn::Tensor out({idx.size(), dim});
+  for (size_t i = 0; i < idx.size(); ++i) {
+    std::copy(src.raw() + idx[i] * dim, src.raw() + (idx[i] + 1) * dim,
+              out.raw() + i * dim);
+  }
+  return out;
+}
+
+Status ValidateSelectorTrainingData(const SelectorTrainingData& data,
+                                    const TrainerOptions& options) {
+  if (data.windows.empty()) return Status::InvalidArgument("no windows");
+  if (data.labels.size() != data.windows.size()) {
+    return Status::InvalidArgument("labels/windows size mismatch");
+  }
+  if (data.num_classes == 0) {
+    return Status::InvalidArgument("num_classes must be positive");
+  }
+  const size_t dim = data.windows[0].size();
+  for (const auto& w : data.windows) {
+    if (w.size() != dim) return Status::InvalidArgument("ragged windows");
+  }
+  for (int y : data.labels) {
+    if (y < 0 || static_cast<size_t>(y) >= data.num_classes) {
+      return Status::InvalidArgument("label out of range");
+    }
+  }
+  if (options.use_pisl) {
+    if (data.performance.size() != data.windows.size()) {
+      return Status::InvalidArgument(
+          "PISL requires a performance row per sample");
+    }
+    for (const auto& p : data.performance) {
+      if (p.size() != data.num_classes) {
+        return Status::InvalidArgument(
+            "performance row width must equal num_classes");
+      }
+    }
+  }
+  if (options.use_mki && data.texts.size() != data.windows.size()) {
+    return Status::InvalidArgument("MKI requires a text per sample");
+  }
+  if (options.epochs == 0 || options.batch_size == 0) {
+    return Status::InvalidArgument("epochs/batch_size must be positive");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+TrainedSelector::TrainedSelector(
+    std::unique_ptr<selectors::Backbone> backbone,
+    std::unique_ptr<nn::Linear> classifier, size_t num_classes,
+    std::string display_name)
+    : backbone_(std::move(backbone)),
+      classifier_(std::move(classifier)),
+      num_classes_(num_classes),
+      display_name_(std::move(display_name)) {}
+
+Status TrainedSelector::Fit(const selectors::TrainingData& /*data*/) {
+  return Status::FailedPrecondition(
+      "TrainedSelector is produced by core::TrainSelector; call that instead");
+}
+
+StatusOr<nn::Tensor> TrainedSelector::Encode(
+    const std::vector<std::vector<float>>& windows) const {
+  if (windows.empty()) return Status::InvalidArgument("no windows");
+  const size_t L = backbone_->input_length();
+  for (const auto& w : windows) {
+    if (w.size() != L) {
+      return Status::InvalidArgument("window length mismatch with selector");
+    }
+  }
+  nn::Tensor features({windows.size(), backbone_->feature_dim()});
+  const size_t kBatch = 256;
+  std::vector<size_t> idx;
+  for (size_t off = 0; off < windows.size(); off += kBatch) {
+    idx.clear();
+    for (size_t i = off; i < std::min(windows.size(), off + kBatch); ++i) {
+      idx.push_back(i);
+    }
+    nn::Tensor x = GatherWindows(windows, idx);
+    nn::Tensor z = backbone_->Forward(x, /*training=*/false);
+    std::copy(z.raw(), z.raw() + z.size(),
+              features.raw() + off * backbone_->feature_dim());
+  }
+  return features;
+}
+
+StatusOr<nn::Tensor> TrainedSelector::Logits(
+    const std::vector<std::vector<float>>& windows) const {
+  KDSEL_ASSIGN_OR_RETURN(nn::Tensor features, Encode(windows));
+  return classifier_->Forward(features, /*training=*/false);
+}
+
+StatusOr<std::vector<int>> TrainedSelector::Predict(
+    const std::vector<std::vector<float>>& windows) const {
+  KDSEL_ASSIGN_OR_RETURN(nn::Tensor logits, Logits(windows));
+  std::vector<int> out(windows.size());
+  const size_t m = logits.dim(1);
+  for (size_t i = 0; i < windows.size(); ++i) {
+    const float* row = logits.raw() + i * m;
+    size_t best = 0;
+    for (size_t j = 1; j < m; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[i] = static_cast<int>(best);
+  }
+  return out;
+}
+
+Status TrainedSelector::Save(const std::string& prefix) const {
+  std::ofstream meta(prefix + ".meta");
+  if (!meta) return Status::IoError("cannot write " + prefix + ".meta");
+  meta << "backbone=" << backbone_->name() << "\n";
+  meta << "input_length=" << backbone_->input_length() << "\n";
+  meta << "num_classes=" << num_classes_ << "\n";
+  meta << "display_name=" << display_name_ << "\n";
+  if (!meta) return Status::IoError("write failed: " + prefix + ".meta");
+  meta.close();
+
+  std::vector<const nn::Tensor*> tensors;
+  for (nn::Parameter* p : backbone_->Parameters()) tensors.push_back(&p->value);
+  for (nn::Tensor* t : backbone_->StateTensors()) tensors.push_back(t);
+  for (nn::Parameter* p : classifier_->Parameters()) tensors.push_back(&p->value);
+  return nn::WriteTensors(tensors, prefix + ".weights");
+}
+
+StatusOr<std::unique_ptr<TrainedSelector>> TrainedSelector::Load(
+    const std::string& prefix) {
+  std::ifstream meta(prefix + ".meta");
+  if (!meta) return Status::IoError("cannot read " + prefix + ".meta");
+  std::string backbone_name, display_name = "NN-selector";
+  size_t input_length = 0, num_classes = 0;
+  std::string line;
+  while (std::getline(meta, line)) {
+    auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    std::string key = line.substr(0, eq), value = line.substr(eq + 1);
+    if (key == "backbone") backbone_name = value;
+    if (key == "input_length") input_length = std::stoul(value);
+    if (key == "num_classes") num_classes = std::stoul(value);
+    if (key == "display_name") display_name = value;
+  }
+  if (backbone_name.empty() || input_length == 0 || num_classes == 0) {
+    return Status::IoError("incomplete selector meta file");
+  }
+  Rng rng(0);  // Initialization is overwritten by the checkpoint load.
+  KDSEL_ASSIGN_OR_RETURN(auto backbone,
+                         selectors::BuildBackbone(backbone_name, input_length,
+                                                  rng));
+  auto classifier =
+      std::make_unique<nn::Linear>(backbone->feature_dim(), num_classes, rng);
+
+  KDSEL_ASSIGN_OR_RETURN(auto tensors, nn::ReadTensors(prefix + ".weights"));
+  std::vector<nn::Tensor*> targets;
+  for (nn::Parameter* p : backbone->Parameters()) targets.push_back(&p->value);
+  for (nn::Tensor* t : backbone->StateTensors()) targets.push_back(t);
+  for (nn::Parameter* p : classifier->Parameters()) targets.push_back(&p->value);
+  if (targets.size() != tensors.size()) {
+    return Status::FailedPrecondition("checkpoint/architecture mismatch");
+  }
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (targets[i]->shape() != tensors[i].shape()) {
+      return Status::FailedPrecondition("checkpoint tensor shape mismatch");
+    }
+    *targets[i] = std::move(tensors[i]);
+  }
+  return std::make_unique<TrainedSelector>(std::move(backbone),
+                                           std::move(classifier), num_classes,
+                                           display_name);
+}
+
+StatusOr<std::unique_ptr<TrainedSelector>> TrainSelector(
+    const SelectorTrainingData& data, const TrainerOptions& options,
+    TrainStats* stats) {
+  KDSEL_RETURN_NOT_OK(ValidateSelectorTrainingData(data, options));
+  const auto t_begin = std::chrono::steady_clock::now();
+
+  const size_t n = data.size();
+  const size_t input_length = data.windows[0].size();
+  const size_t m = data.num_classes;
+
+  Rng rng(options.seed);
+  KDSEL_ASSIGN_OR_RETURN(
+      auto backbone,
+      selectors::BuildBackbone(options.backbone, input_length, rng));
+  auto classifier =
+      std::make_unique<nn::Linear>(backbone->feature_dim(), m, rng);
+
+  // PISL: precompute soft labels from the performance matrix.
+  nn::Tensor soft_labels;
+  if (options.use_pisl) {
+    KDSEL_ASSIGN_OR_RETURN(soft_labels,
+                           BuildSoftLabels(data.performance, options.t_soft));
+  }
+
+  // MKI: embed the metadata texts once with the frozen encoder. Texts
+  // repeat heavily (every window of a series shares one text), so only
+  // unique texts are encoded and samples index into them.
+  std::unique_ptr<MkiHead> mki;
+  nn::Tensor text_embeddings;
+  std::vector<size_t> text_index;
+  if (options.use_mki) {
+    std::vector<std::string> unique_texts;
+    std::map<std::string, size_t> text_ids;
+    text_index.reserve(n);
+    for (const std::string& t : data.texts) {
+      auto [it, inserted] = text_ids.try_emplace(t, unique_texts.size());
+      if (inserted) unique_texts.push_back(t);
+      text_index.push_back(it->second);
+    }
+    text::HashedTextEncoder encoder;
+    text_embeddings = encoder.EncodeBatch(unique_texts);
+    MkiHead::Options mo;
+    mo.ts_feature_dim = backbone->feature_dim();
+    mo.text_feature_dim = encoder.output_dim();
+    mo.hidden = options.mki_hidden;
+    mo.shared_dim = options.mki_shared_dim;
+    mo.temperature = options.infonce_temperature;
+    mo.lambda = options.lambda;
+    mki = std::make_unique<MkiHead>(mo, rng);
+  }
+
+  std::vector<nn::Parameter*> params = backbone->Parameters();
+  for (auto* p : classifier->Parameters()) params.push_back(p);
+  if (mki) {
+    for (auto* p : mki->Parameters()) params.push_back(p);
+  }
+  nn::Adam optimizer(params, options.learning_rate, 0.9, 0.999, 1e-8,
+                     options.weight_decay);
+
+  Pruner pruner(options.pruning, n, data.windows);
+
+  const double alpha = options.use_pisl ? options.alpha : 0.0;
+  if (stats) {
+    stats->samples_visited = 0;
+    stats->full_dataset_visits = options.epochs * n;
+    stats->epoch_loss.clear();
+  }
+
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    EpochPlan plan = pruner.PlanEpoch(epoch, options.epochs);
+    // Shuffle kept samples and their weights together.
+    std::vector<size_t> perm(plan.kept.size());
+    std::iota(perm.begin(), perm.end(), size_t{0});
+    rng.Shuffle(perm);
+
+    double epoch_loss = 0.0;
+    size_t epoch_batches = 0;
+    for (size_t off = 0; off < perm.size(); off += options.batch_size) {
+      const size_t end = std::min(perm.size(), off + options.batch_size);
+      std::vector<size_t> idx;
+      std::vector<float> weights;
+      idx.reserve(end - off);
+      weights.reserve(end - off);
+      for (size_t i = off; i < end; ++i) {
+        idx.push_back(plan.kept[perm[i]]);
+        weights.push_back(plan.weights[perm[i]]);
+      }
+      // MKI's InfoNCE contrasts each sample against the rest of the
+      // batch; a 1-sample batch has no negatives, so skip the remainder
+      // batch in that degenerate case.
+      if (idx.size() < 2 && options.use_mki) continue;
+
+      nn::Tensor x = GatherWindows(data.windows, idx);
+      nn::Tensor z = backbone->Forward(x, /*training=*/true);
+      nn::Tensor logits = classifier->Forward(z, /*training=*/true);
+
+      std::vector<int> batch_labels(idx.size());
+      for (size_t i = 0; i < idx.size(); ++i) {
+        batch_labels[i] = data.labels[idx[i]];
+      }
+      nn::LossResult hard =
+          nn::SoftmaxCrossEntropyHard(logits, batch_labels, weights);
+      nn::Tensor grad_logits = hard.grad;
+      std::vector<float> per_sample = hard.per_sample;
+      double batch_loss = hard.mean_loss;
+      if (alpha > 0) {
+        nn::Tensor soft_batch = GatherRows(soft_labels, idx);
+        nn::LossResult soft =
+            nn::SoftmaxCrossEntropySoft(logits, soft_batch, weights);
+        // (1 - alpha) * L_CE + alpha * L_PISL.
+        grad_logits.ScaleInPlace(static_cast<float>(1.0 - alpha));
+        grad_logits.AxpyInPlace(static_cast<float>(alpha), soft.grad);
+        batch_loss = (1.0 - alpha) * hard.mean_loss + alpha * soft.mean_loss;
+        for (size_t i = 0; i < per_sample.size(); ++i) {
+          per_sample[i] = static_cast<float>((1.0 - alpha) * per_sample[i] +
+                                             alpha * soft.per_sample[i]);
+        }
+      }
+
+      nn::Tensor grad_z = classifier->Backward(grad_logits);
+      if (mki) {
+        std::vector<size_t> text_rows(idx.size());
+        for (size_t i = 0; i < idx.size(); ++i) {
+          text_rows[i] = text_index[idx[i]];
+        }
+        nn::Tensor z_k = GatherRows(text_embeddings, text_rows);
+        // Text row ids double as group ids: windows sharing a metadata
+        // text must not serve as each other's InfoNCE negatives.
+        MkiHead::Result mki_out =
+            mki->ComputeLoss(z, z_k, weights, text_rows);
+        grad_z.AddInPlace(mki_out.grad_z_t);
+        batch_loss += mki_out.loss;
+        for (size_t i = 0; i < per_sample.size(); ++i) {
+          per_sample[i] += static_cast<float>(options.lambda) *
+                           mki_out.per_sample[i];
+        }
+      }
+      backbone->Backward(grad_z);
+      nn::ClipGradNorm(params, options.clip_norm);
+      optimizer.Step();
+      optimizer.ZeroGrad();
+
+      for (size_t i = 0; i < idx.size(); ++i) {
+        pruner.RecordLoss(idx[i], per_sample[i]);
+      }
+      epoch_loss += batch_loss;
+      ++epoch_batches;
+      if (stats) stats->samples_visited += idx.size();
+    }
+    if (stats) {
+      stats->epoch_loss.push_back(
+          epoch_batches ? epoch_loss / static_cast<double>(epoch_batches)
+                        : 0.0);
+    }
+    if (options.verbose) {
+      std::fprintf(stderr, "[trainer] epoch %zu/%zu: kept=%zu loss=%.4f\n",
+                   epoch + 1, options.epochs, plan.kept.size(),
+                   epoch_batches ? epoch_loss / double(epoch_batches) : 0.0);
+    }
+  }
+
+  if (stats) {
+    stats->train_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_begin)
+            .count();
+  }
+  std::string display_name = options.backbone;
+  if (options.use_pisl || options.use_mki ||
+      options.pruning.mode != PruningMode::kNone) {
+    display_name += "+KDSelector";
+  }
+  return std::make_unique<TrainedSelector>(std::move(backbone),
+                                           std::move(classifier), m,
+                                           display_name);
+}
+
+}  // namespace kdsel::core

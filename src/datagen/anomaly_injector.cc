@@ -1,0 +1,177 @@
+#include "datagen/anomaly_injector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kdsel::datagen {
+
+namespace {
+
+/// Population stddev of a span of values (used to scale magnitudes).
+double LocalStddev(const std::vector<float>& v, size_t begin, size_t end) {
+  if (end <= begin) return 0.0;
+  double mean = 0.0;
+  for (size_t i = begin; i < end; ++i) mean += v[i];
+  mean /= static_cast<double>(end - begin);
+  double ss = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    double d = v[i] - mean;
+    ss += d * d;
+  }
+  double sd = std::sqrt(ss / static_cast<double>(end - begin));
+  return std::max(sd, 1e-3);  // Floor so flat signals still show anomalies.
+}
+
+void ApplyAnomaly(const AnomalySpec& spec, size_t begin, size_t end, Rng& rng,
+                  std::vector<float>& v) {
+  const double sd = LocalStddev(v, 0, v.size());
+  const double sign = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+  switch (spec.type) {
+    case AnomalyType::kSpike: {
+      for (size_t i = begin; i < end; ++i) {
+        v[i] += static_cast<float>(sign * spec.magnitude * sd *
+                                   (0.8 + 0.4 * rng.Uniform()));
+      }
+      break;
+    }
+    case AnomalyType::kLevelShift: {
+      double shift = sign * spec.magnitude * sd;
+      for (size_t i = begin; i < end; ++i) v[i] += static_cast<float>(shift);
+      break;
+    }
+    case AnomalyType::kNoiseBurst: {
+      for (size_t i = begin; i < end; ++i) {
+        v[i] += static_cast<float>(rng.Normal(0.0, spec.magnitude * sd));
+      }
+      break;
+    }
+    case AnomalyType::kFlatline: {
+      float level = v[begin];
+      for (size_t i = begin; i < end; ++i) v[i] = level;
+      break;
+    }
+    case AnomalyType::kAmplitudeChange: {
+      double mean = 0.0;
+      for (size_t i = begin; i < end; ++i) mean += v[i];
+      mean /= static_cast<double>(end - begin);
+      double scale = 1.0 + spec.magnitude * (0.5 + rng.Uniform());
+      for (size_t i = begin; i < end; ++i) {
+        v[i] = static_cast<float>(mean + (v[i] - mean) * scale);
+      }
+      break;
+    }
+    case AnomalyType::kFrequencyShift: {
+      // Time-compress the segment by 2x, repeating it to fill the span.
+      std::vector<float> seg(v.begin() + static_cast<ptrdiff_t>(begin),
+                             v.begin() + static_cast<ptrdiff_t>(end));
+      size_t n = seg.size();
+      for (size_t i = 0; i < n; ++i) {
+        v[begin + i] = seg[(2 * i) % n];
+      }
+      break;
+    }
+    case AnomalyType::kSegmentSwap: {
+      size_t n = end - begin;
+      if (v.size() > 3 * n) {
+        // Copy a distant segment over this one.
+        size_t src;
+        do {
+          src = rng.Index(v.size() - n);
+        } while (src + n > begin && src < end);  // avoid self-overlap
+        for (size_t i = 0; i < n; ++i) v[begin + i] = v[src + i];
+        // Add a slight offset so the swap is detectable in principle.
+        double shift = 0.5 * spec.magnitude * LocalStddev(v, begin, end);
+        for (size_t i = begin; i < end; ++i) {
+          v[i] += static_cast<float>(shift);
+        }
+      } else {
+        // Series too short to swap; degrade to a level shift.
+        double shift = sign * spec.magnitude * sd;
+        for (size_t i = begin; i < end; ++i) v[i] += static_cast<float>(shift);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+const char* AnomalyTypeToString(AnomalyType type) {
+  switch (type) {
+    case AnomalyType::kSpike:
+      return "spike";
+    case AnomalyType::kLevelShift:
+      return "level_shift";
+    case AnomalyType::kNoiseBurst:
+      return "noise_burst";
+    case AnomalyType::kFlatline:
+      return "flatline";
+    case AnomalyType::kAmplitudeChange:
+      return "amplitude_change";
+    case AnomalyType::kFrequencyShift:
+      return "frequency_shift";
+    case AnomalyType::kSegmentSwap:
+      return "segment_swap";
+  }
+  return "unknown";
+}
+
+StatusOr<size_t> InjectAnomalies(const InjectionPlan& plan, Rng& rng,
+                                 ts::TimeSeries& series) {
+  if (plan.candidates.empty()) {
+    return Status::InvalidArgument("injection plan has no candidate specs");
+  }
+  if (series.length() < 32) {
+    return Status::InvalidArgument("series too short for anomaly injection");
+  }
+  auto& v = series.mutable_values();
+  if (plan.none_probability > 0 && rng.Bernoulli(plan.none_probability)) {
+    KDSEL_RETURN_NOT_OK(series.SetLabels(
+        std::vector<uint8_t>(series.length(), 0)));
+    return size_t{0};
+  }
+  size_t count = static_cast<size_t>(
+      rng.Int(static_cast<int64_t>(plan.min_count),
+              static_cast<int64_t>(plan.max_count)));
+  const size_t margin = std::max<size_t>(4, series.length() / 50);
+
+  std::vector<std::pair<size_t, size_t>> placed;
+  size_t injected = 0;
+  for (size_t a = 0; a < count; ++a) {
+    const AnomalySpec& spec =
+        plan.candidates[rng.Index(plan.candidates.size())];
+    size_t max_len = std::min(spec.max_length, series.length() / 4);
+    size_t min_len = std::min(spec.min_length, max_len);
+    if (max_len == 0) continue;
+    size_t len = static_cast<size_t>(rng.Int(
+        static_cast<int64_t>(min_len), static_cast<int64_t>(max_len)));
+    if (len == 0 || series.length() < len + 2 * margin) continue;
+
+    // Rejection-sample a non-overlapping placement.
+    bool ok = false;
+    size_t begin = 0;
+    for (int attempt = 0; attempt < 32 && !ok; ++attempt) {
+      begin = margin + rng.Index(series.length() - len - 2 * margin + 1);
+      ok = true;
+      for (auto [b, e] : placed) {
+        if (begin < e + margin && b < begin + len + margin) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) continue;
+
+    ApplyAnomaly(spec, begin, begin + len, rng, v);
+    KDSEL_RETURN_NOT_OK(series.MarkAnomaly(begin, begin + len));
+    placed.emplace_back(begin, begin + len);
+    ++injected;
+  }
+  if (!series.has_labels()) {
+    KDSEL_RETURN_NOT_OK(
+        series.SetLabels(std::vector<uint8_t>(series.length(), 0)));
+  }
+  return injected;
+}
+
+}  // namespace kdsel::datagen

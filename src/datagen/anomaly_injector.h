@@ -1,0 +1,51 @@
+#ifndef KDSEL_DATAGEN_ANOMALY_INJECTOR_H_
+#define KDSEL_DATAGEN_ANOMALY_INJECTOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ts/time_series.h"
+
+namespace kdsel::datagen {
+
+/// Anomaly shapes the injector can plant into a base signal. Different
+/// dataset families mix these differently, which is what makes detector
+/// rankings family-dependent (the property model selection relies on).
+enum class AnomalyType {
+  kSpike,           ///< One or a few extreme point outliers.
+  kLevelShift,      ///< Segment offset by a constant.
+  kNoiseBurst,      ///< Segment with greatly increased variance.
+  kFlatline,        ///< Segment frozen at a constant value.
+  kAmplitudeChange, ///< Segment scaled up/down around its local mean.
+  kFrequencyShift,  ///< Segment time-warped (compressed oscillation).
+  kSegmentSwap,     ///< Segment replaced by a copy from elsewhere (subtle).
+};
+
+const char* AnomalyTypeToString(AnomalyType type);
+
+/// Specification of one anomaly to inject.
+struct AnomalySpec {
+  AnomalyType type = AnomalyType::kSpike;
+  size_t min_length = 1;
+  size_t max_length = 1;
+  double magnitude = 3.0;  ///< In units of the signal's local stddev.
+};
+
+/// Plan for injecting anomalies into one series.
+struct InjectionPlan {
+  std::vector<AnomalySpec> candidates;  ///< Sampled uniformly per anomaly.
+  size_t min_count = 1;
+  size_t max_count = 3;
+  double none_probability = 0.0;  ///< Chance the series stays clean.
+};
+
+/// Injects anomalies according to `plan` into `series` (values mutated,
+/// labels set). Anomaly placements avoid overlapping each other and keep
+/// a margin from the series boundaries. Returns the number injected.
+StatusOr<size_t> InjectAnomalies(const InjectionPlan& plan, Rng& rng,
+                                 ts::TimeSeries& series);
+
+}  // namespace kdsel::datagen
+
+#endif  // KDSEL_DATAGEN_ANOMALY_INJECTOR_H_

@@ -1,0 +1,58 @@
+#include "datagen/benchmark.h"
+
+#include "common/stringutil.h"
+
+namespace kdsel::datagen {
+
+StatusOr<ts::Dataset> GenerateFamilyDataset(Family family,
+                                            const BenchmarkOptions& options) {
+  if (options.series_per_family == 0) {
+    return Status::InvalidArgument("series_per_family must be positive");
+  }
+  if (options.min_length > options.max_length || options.min_length < 64) {
+    return Status::InvalidArgument("invalid length range");
+  }
+  // Seed derived from family so each dataset is independent of the others
+  // and of series_per_family changes elsewhere.
+  Rng rng(options.seed * 1315423911ull +
+          static_cast<uint64_t>(family) * 2654435761ull);
+  ts::Dataset ds;
+  ds.name = FamilyName(family);
+  ds.domain_description = FamilyDescription(family);
+  for (size_t i = 0; i < options.series_per_family; ++i) {
+    size_t length = options.min_length +
+                    rng.Index(options.max_length - options.min_length + 1);
+    KDSEL_ASSIGN_OR_RETURN(auto series,
+                           GenerateSeries(family, length, i, rng));
+    ds.series.push_back(std::move(series));
+  }
+  return ds;
+}
+
+StatusOr<std::vector<ts::Dataset>> GenerateBenchmark(
+    const BenchmarkOptions& options) {
+  std::vector<ts::Dataset> benchmark;
+  for (Family family : AllFamilies()) {
+    KDSEL_ASSIGN_OR_RETURN(auto ds, GenerateFamilyDataset(family, options));
+    benchmark.push_back(std::move(ds));
+  }
+  return benchmark;
+}
+
+std::string BuildMetadataText(const ts::TimeSeries& series) {
+  auto regions = series.AnomalyRegions();
+  std::string text = StrFormat(
+      "This is a time series from dataset %s, %s. The length of the series "
+      "is %zu. There are %zu anomalies in this series.",
+      series.GetMeta("dataset").c_str(), series.GetMeta("domain").c_str(),
+      series.length(), regions.size());
+  if (!regions.empty()) {
+    std::vector<std::string> lengths;
+    lengths.reserve(regions.size());
+    for (const auto& r : regions) lengths.push_back(std::to_string(r.length()));
+    text += " The lengths of the anomalies are " + Join(lengths, ", ") + ".";
+  }
+  return text;
+}
+
+}  // namespace kdsel::datagen

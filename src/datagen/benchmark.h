@@ -1,0 +1,42 @@
+#ifndef KDSEL_DATAGEN_BENCHMARK_H_
+#define KDSEL_DATAGEN_BENCHMARK_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/families.h"
+#include "ts/dataset.h"
+
+namespace kdsel::datagen {
+
+/// Options for synthesizing the 16-family benchmark that stands in for
+/// TSB-UAD (see DESIGN.md substitution table).
+struct BenchmarkOptions {
+  size_t series_per_family = 12;
+  size_t min_length = 800;
+  size_t max_length = 1600;
+  uint64_t seed = 42;
+};
+
+/// Generates all 16 datasets. Deterministic for a fixed seed.
+StatusOr<std::vector<ts::Dataset>> GenerateBenchmark(
+    const BenchmarkOptions& options);
+
+/// Generates a single family's dataset.
+StatusOr<ts::Dataset> GenerateFamilyDataset(Family family,
+                                            const BenchmarkOptions& options);
+
+/// Renders the paper's metadata template for one series:
+///
+///   "This is a time series from dataset [name], [description]. The length
+///    of the series is [L]. There are [k] anomalies in this series. The
+///    lengths of the anomalies are [l1, l2, ...]."
+///
+/// The final sentence is omitted when the series has no anomalies,
+/// matching the paper's template exactly.
+std::string BuildMetadataText(const ts::TimeSeries& series);
+
+}  // namespace kdsel::datagen
+
+#endif  // KDSEL_DATAGEN_BENCHMARK_H_

@@ -1,0 +1,63 @@
+#ifndef KDSEL_DATAGEN_FAMILIES_H_
+#define KDSEL_DATAGEN_FAMILIES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "datagen/anomaly_injector.h"
+#include "ts/time_series.h"
+
+namespace kdsel::datagen {
+
+/// The 16 TSB-UAD-like dataset families this library synthesizes. Each
+/// family has a characteristic base signal and anomaly profile so that no
+/// single TSAD model wins on all of them — the premise of model selection.
+enum class Family {
+  kDodgers,
+  kEcg,
+  kIops,
+  kKdd21,
+  kMgab,
+  kNab,
+  kSensorScope,
+  kYahoo,
+  kDaphnet,
+  kGhl,
+  kGenesis,
+  kMitdb,
+  kOpportunity,
+  kOccupancy,
+  kSmd,
+  kSvdb,
+};
+
+/// All 16 families in a stable order.
+const std::vector<Family>& AllFamilies();
+
+/// Canonical dataset name, e.g. "ECG", "YAHOO".
+const char* FamilyName(Family family);
+
+/// Natural-language domain knowledge, adapted from TSB-UAD's dataset
+/// descriptions (paper Table 4). Used as MKI metadata text.
+const char* FamilyDescription(Family family);
+
+/// Parses a family from its canonical name (case-insensitive).
+StatusOr<Family> FamilyFromName(const std::string& name);
+
+/// Generates one base (anomaly-free) series of `length` points for
+/// `family`. Deterministic given `rng` state.
+std::vector<float> GenerateBaseSignal(Family family, size_t length, Rng& rng);
+
+/// The anomaly-injection profile characteristic of `family`.
+InjectionPlan FamilyInjectionPlan(Family family);
+
+/// Generates one fully-labeled series (base signal + injected anomalies +
+/// metadata: dataset name, domain, series name).
+StatusOr<ts::TimeSeries> GenerateSeries(Family family, size_t length,
+                                        size_t index, Rng& rng);
+
+}  // namespace kdsel::datagen
+
+#endif  // KDSEL_DATAGEN_FAMILIES_H_

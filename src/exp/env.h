@@ -1,0 +1,118 @@
+#ifndef KDSEL_EXP_ENV_H_
+#define KDSEL_EXP_ENV_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/trainer.h"
+#include "datagen/benchmark.h"
+#include "ts/dataset.h"
+#include "tsad/detector.h"
+
+namespace kdsel::exp {
+
+/// Scale and reproducibility knobs for the experiment environment.
+///
+/// The defaults are sized for a single-core container so the complete
+/// bench suite reproduces every table in minutes; KDSEL_BENCH_SCALE=paper
+/// enlarges the benchmark toward the paper's scale.
+struct ExperimentConfig {
+  size_t series_per_family = 6;
+  size_t min_length = 512;
+  size_t max_length = 1024;
+  double train_fraction = 0.5;
+  size_t window_length = 64;
+  size_t epochs = 12;
+  size_t batch_size = 64;
+  uint64_t seed = 42;
+  std::string cache_dir = ".kdsel_cache";
+
+  /// Reads KDSEL_BENCH_SCALE ("quick" default / "paper") and
+  /// KDSEL_CACHE_DIR overrides from the environment.
+  static ExperimentConfig FromEnv();
+
+  /// A short key identifying every input of the performance matrix.
+  std::string CacheKey() const;
+};
+
+/// The shared substrate of all experiments: the 16-family benchmark,
+/// per-dataset train/test splits, the 12-model TSAD set, and the full
+/// (series x model) AUC-PR performance matrix.
+///
+/// The performance matrix is the expensive part (it runs every detector
+/// on every series); it is computed once and cached on disk so each
+/// bench binary pays only a file read.
+class BenchmarkEnvironment {
+ public:
+  /// Builds (or loads from cache) the whole environment.
+  static StatusOr<std::unique_ptr<BenchmarkEnvironment>> Create(
+      const ExperimentConfig& config);
+
+  const ExperimentConfig& config() const { return config_; }
+  const std::vector<std::unique_ptr<tsad::Detector>>& models() const {
+    return models_;
+  }
+  size_t num_models() const { return models_.size(); }
+
+  /// Training series pooled over all 16 datasets, with matching rows of
+  /// the performance matrix.
+  const std::vector<ts::TimeSeries>& train_series() const {
+    return train_series_;
+  }
+  const std::vector<std::vector<float>>& train_performance() const {
+    return train_performance_;
+  }
+
+  /// The 14 test datasets (all families except Dodgers and Occupancy,
+  /// mirroring the paper's Fig. 4 test set).
+  const std::vector<std::string>& test_dataset_names() const {
+    return test_dataset_names_;
+  }
+  const std::vector<ts::TimeSeries>& test_series(
+      const std::string& dataset) const;
+  const std::vector<std::vector<float>>& test_performance(
+      const std::string& dataset) const;
+
+  /// Window-level training data (hard labels + PISL performance rows +
+  /// MKI texts) for the configured window length.
+  StatusOr<core::SelectorTrainingData> BuildTrainingData() const;
+
+  /// Evaluates a window-level selector with the paper's protocol: per
+  /// test series, majority-vote a model, look up that model's AUC-PR,
+  /// average per dataset. Returns dataset name -> mean AUC-PR plus the
+  /// cross-dataset average under key "Average".
+  StatusOr<std::map<std::string, double>> EvaluateSelector(
+      const selectors::Selector& selector) const;
+
+  /// The window options used throughout (stride = length, z-normalized).
+  ts::WindowOptions window_options() const;
+
+  /// AUC-PR of always picking `model` (used by ablations), or of the
+  /// per-series oracle when `model` < 0.
+  StatusOr<std::map<std::string, double>> EvaluateFixedModel(int model) const;
+
+ private:
+  BenchmarkEnvironment() = default;
+
+  Status Build(const ExperimentConfig& config);
+  Status ComputePerformance(
+      const std::vector<ts::Dataset>& datasets,
+      std::map<std::string, std::vector<float>>& by_name);
+  StatusOr<bool> LoadCache(std::map<std::string, std::vector<float>>& by_name);
+  Status StoreCache(const std::map<std::string, std::vector<float>>& by_name);
+
+  ExperimentConfig config_;
+  std::vector<std::unique_ptr<tsad::Detector>> models_;
+  std::vector<ts::TimeSeries> train_series_;
+  std::vector<std::vector<float>> train_performance_;
+  std::vector<std::string> test_dataset_names_;
+  std::map<std::string, std::vector<ts::TimeSeries>> test_series_;
+  std::map<std::string, std::vector<std::vector<float>>> test_performance_;
+};
+
+}  // namespace kdsel::exp
+
+#endif  // KDSEL_EXP_ENV_H_

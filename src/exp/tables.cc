@@ -1,0 +1,79 @@
+#include "exp/tables.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/stringutil.h"
+
+namespace kdsel::exp {
+
+Table::Table(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  KDSEL_CHECK(!columns_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(columns_.size(), "-");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::AddRow(const std::string& label, const std::vector<double>& values,
+                   int precision) {
+  std::vector<std::string> cells{label};
+  for (double v : values) {
+    cells.push_back(StrFormat("%.*f", precision, v));
+  }
+  AddRow(std::move(cells));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> width(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      line += " " + cells[c] + std::string(width[c] - cells[c].size(), ' ') +
+              " |";
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(columns_);
+  std::string rule = "|";
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    rule += std::string(width[c] + 2, '-') + "|";
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string FormatPerDatasetTable(
+    const std::vector<std::string>& datasets,
+    const std::vector<std::string>& methods,
+    const std::vector<std::map<std::string, double>>& results) {
+  KDSEL_CHECK(methods.size() == results.size());
+  std::vector<std::string> columns{"Dataset"};
+  for (const auto& m : methods) columns.push_back(m);
+  Table table(columns);
+  auto add = [&](const std::string& name) {
+    std::vector<std::string> cells{name};
+    for (const auto& r : results) {
+      auto it = r.find(name);
+      cells.push_back(it == r.end() ? std::string("-")
+                                    : StrFormat("%.4f", it->second));
+    }
+    table.AddRow(std::move(cells));
+  };
+  for (const auto& d : datasets) add(d);
+  add("Average");
+  return table.ToString();
+}
+
+}  // namespace kdsel::exp

@@ -1,0 +1,42 @@
+#ifndef KDSEL_EXP_TABLES_H_
+#define KDSEL_EXP_TABLES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace kdsel::exp {
+
+/// Minimal fixed-width table printer used by the bench binaries to emit
+/// paper-style result tables to stdout.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Adds a row; missing cells print as "-".
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: a row of (label, doubles...) with fixed precision.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 4);
+
+  /// Renders with column separators and a header rule.
+  std::string ToString() const;
+  void Print() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats per-dataset results (dataset -> value maps keyed identically
+/// across methods) as a paper-style table: one row per dataset plus an
+/// Average row, one column per method.
+std::string FormatPerDatasetTable(
+    const std::vector<std::string>& datasets,
+    const std::vector<std::string>& methods,
+    const std::vector<std::map<std::string, double>>& results);
+
+}  // namespace kdsel::exp
+
+#endif  // KDSEL_EXP_TABLES_H_

@@ -1,0 +1,334 @@
+#include "features/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace kdsel::features {
+
+namespace {
+
+const char* kFeatureNames[] = {
+    "mean",
+    "std",
+    "min",
+    "max",
+    "median",
+    "q25",
+    "q75",
+    "iqr",
+    "skewness",
+    "kurtosis",
+    "abs_energy",
+    "mean_abs_change",
+    "mean_change",
+    "max_abs_change",
+    "zero_cross_rate",
+    "mean_cross_rate",
+    "count_above_mean",
+    "longest_strike_above_mean",
+    "longest_strike_below_mean",
+    "first_loc_max",
+    "first_loc_min",
+    "autocorr_lag1",
+    "autocorr_lag2",
+    "autocorr_lag4",
+    "autocorr_lag8",
+    "partial_range_1",  // range of first half
+    "partial_range_2",  // range of second half
+    "cid_ce",
+    "c3",
+    "binned_entropy",
+    "num_peaks",
+    "var_of_diff",
+    "ratio_beyond_1sigma",
+    "ratio_beyond_2sigma",
+    "time_reversal_asymmetry",
+    "abs_sum_of_changes",
+    "last_minus_first",
+    "rms",
+    "mad",
+};
+
+double Quantile(std::vector<float>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return (1 - frac) * sorted[lo] + frac * sorted[hi];
+}
+
+double Autocorr(const std::vector<float>& v, double mean, double var,
+                size_t lag) {
+  if (v.size() <= lag || var < 1e-12) return 0.0;
+  double acc = 0.0;
+  for (size_t i = lag; i < v.size(); ++i) {
+    acc += (v[i] - mean) * (v[i - lag] - mean);
+  }
+  return acc / (var * static_cast<double>(v.size() - lag));
+}
+
+}  // namespace
+
+const std::vector<std::string>& FeatureNames() {
+  static const std::vector<std::string>* names = [] {
+    auto* n = new std::vector<std::string>();
+    for (const char* name : kFeatureNames) n->push_back(name);
+    return n;
+  }();
+  return *names;
+}
+
+size_t FeatureCount() { return FeatureNames().size(); }
+
+std::vector<float> ExtractFeatures(const std::vector<float>& v) {
+  std::vector<float> f;
+  f.reserve(FeatureCount());
+  const size_t n = v.size();
+  KDSEL_CHECK(n >= 4);
+
+  double mean = 0.0;
+  for (float x : v) mean += x;
+  mean /= static_cast<double>(n);
+  double var = 0.0, m3 = 0.0, m4 = 0.0;
+  for (float x : v) {
+    double d = x - mean;
+    var += d * d;
+    m3 += d * d * d;
+    m4 += d * d * d * d;
+  }
+  var /= static_cast<double>(n);
+  m3 /= static_cast<double>(n);
+  m4 /= static_cast<double>(n);
+  const double stddev = std::sqrt(var);
+
+  std::vector<float> sorted(v);
+  std::sort(sorted.begin(), sorted.end());
+  const double median = Quantile(sorted, 0.5);
+  const double q25 = Quantile(sorted, 0.25);
+  const double q75 = Quantile(sorted, 0.75);
+
+  f.push_back(static_cast<float>(mean));
+  f.push_back(static_cast<float>(stddev));
+  f.push_back(sorted.front());
+  f.push_back(sorted.back());
+  f.push_back(static_cast<float>(median));
+  f.push_back(static_cast<float>(q25));
+  f.push_back(static_cast<float>(q75));
+  f.push_back(static_cast<float>(q75 - q25));
+  f.push_back(static_cast<float>(stddev > 1e-9 ? m3 / (var * stddev) : 0.0));
+  f.push_back(static_cast<float>(var > 1e-12 ? m4 / (var * var) - 3.0 : 0.0));
+
+  double abs_energy = 0.0;
+  for (float x : v) abs_energy += static_cast<double>(x) * x;
+  f.push_back(static_cast<float>(abs_energy / static_cast<double>(n)));
+
+  double sum_abs_change = 0.0, sum_change = 0.0, max_abs_change = 0.0;
+  double var_diff = 0.0, mean_diff = 0.0;
+  for (size_t i = 1; i < n; ++i) {
+    double d = static_cast<double>(v[i]) - v[i - 1];
+    sum_abs_change += std::abs(d);
+    sum_change += d;
+    max_abs_change = std::max(max_abs_change, std::abs(d));
+    mean_diff += d;
+  }
+  mean_diff /= static_cast<double>(n - 1);
+  for (size_t i = 1; i < n; ++i) {
+    double d = static_cast<double>(v[i]) - v[i - 1] - mean_diff;
+    var_diff += d * d;
+  }
+  var_diff /= static_cast<double>(n - 1);
+  f.push_back(static_cast<float>(sum_abs_change / static_cast<double>(n - 1)));
+  f.push_back(static_cast<float>(sum_change / static_cast<double>(n - 1)));
+  f.push_back(static_cast<float>(max_abs_change));
+
+  size_t zero_cross = 0, mean_cross = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if ((v[i] >= 0) != (v[i - 1] >= 0)) ++zero_cross;
+    if ((v[i] >= mean) != (v[i - 1] >= mean)) ++mean_cross;
+  }
+  f.push_back(static_cast<float>(zero_cross) / static_cast<float>(n - 1));
+  f.push_back(static_cast<float>(mean_cross) / static_cast<float>(n - 1));
+
+  size_t above = 0, strike_above = 0, strike_below = 0;
+  size_t cur_above = 0, cur_below = 0;
+  for (float x : v) {
+    if (x > mean) {
+      ++above;
+      ++cur_above;
+      cur_below = 0;
+    } else {
+      ++cur_below;
+      cur_above = 0;
+    }
+    strike_above = std::max(strike_above, cur_above);
+    strike_below = std::max(strike_below, cur_below);
+  }
+  f.push_back(static_cast<float>(above) / static_cast<float>(n));
+  f.push_back(static_cast<float>(strike_above) / static_cast<float>(n));
+  f.push_back(static_cast<float>(strike_below) / static_cast<float>(n));
+
+  size_t argmax = 0, argmin = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (v[i] > v[argmax]) argmax = i;
+    if (v[i] < v[argmin]) argmin = i;
+  }
+  f.push_back(static_cast<float>(argmax) / static_cast<float>(n));
+  f.push_back(static_cast<float>(argmin) / static_cast<float>(n));
+
+  const double var_n = var * static_cast<double>(n);
+  f.push_back(static_cast<float>(Autocorr(v, mean, var_n / double(n), 1)));
+  f.push_back(static_cast<float>(Autocorr(v, mean, var_n / double(n), 2)));
+  f.push_back(static_cast<float>(Autocorr(v, mean, var_n / double(n), 4)));
+  f.push_back(static_cast<float>(Autocorr(v, mean, var_n / double(n), 8)));
+
+  auto range_of = [&](size_t begin, size_t end) {
+    float lo = v[begin], hi = v[begin];
+    for (size_t i = begin; i < end; ++i) {
+      lo = std::min(lo, v[i]);
+      hi = std::max(hi, v[i]);
+    }
+    return hi - lo;
+  };
+  f.push_back(range_of(0, n / 2));
+  f.push_back(range_of(n / 2, n));
+
+  // CID complexity estimate: sqrt(sum of squared diffs).
+  double cid = 0.0;
+  for (size_t i = 1; i < n; ++i) {
+    double d = static_cast<double>(v[i]) - v[i - 1];
+    cid += d * d;
+  }
+  f.push_back(static_cast<float>(std::sqrt(cid)));
+
+  // c3 nonlinearity statistic, lag 1.
+  double c3 = 0.0;
+  if (n > 2) {
+    for (size_t i = 2; i < n; ++i) {
+      c3 += static_cast<double>(v[i]) * v[i - 1] * v[i - 2];
+    }
+    c3 /= static_cast<double>(n - 2);
+  }
+  f.push_back(static_cast<float>(c3));
+
+  // Binned entropy over 10 equi-width bins.
+  {
+    const size_t kBins = 10;
+    double lo = sorted.front(), hi = sorted.back();
+    double entropy = 0.0;
+    if (hi - lo > 1e-12) {
+      std::vector<double> hist(kBins, 0.0);
+      for (float x : v) {
+        size_t b = static_cast<size_t>((x - lo) / (hi - lo) * kBins);
+        hist[std::min(b, kBins - 1)] += 1.0;
+      }
+      for (double h : hist) {
+        if (h > 0) {
+          double p = h / static_cast<double>(n);
+          entropy -= p * std::log(p);
+        }
+      }
+    }
+    f.push_back(static_cast<float>(entropy));
+  }
+
+  // Peaks: local maxima with support 1.
+  size_t peaks = 0;
+  for (size_t i = 1; i + 1 < n; ++i) {
+    if (v[i] > v[i - 1] && v[i] > v[i + 1]) ++peaks;
+  }
+  f.push_back(static_cast<float>(peaks) / static_cast<float>(n));
+  f.push_back(static_cast<float>(var_diff));
+
+  size_t beyond1 = 0, beyond2 = 0;
+  for (float x : v) {
+    double d = std::abs(x - mean);
+    if (d > stddev) ++beyond1;
+    if (d > 2 * stddev) ++beyond2;
+  }
+  f.push_back(static_cast<float>(beyond1) / static_cast<float>(n));
+  f.push_back(static_cast<float>(beyond2) / static_cast<float>(n));
+
+  // Time-reversal asymmetry statistic, lag 1.
+  double tra = 0.0;
+  if (n > 2) {
+    for (size_t i = 0; i + 2 < n; ++i) {
+      double a = v[i + 2], b = v[i + 1], c = v[i];
+      tra += a * a * b - b * c * c;
+    }
+    tra /= static_cast<double>(n - 2);
+  }
+  f.push_back(static_cast<float>(tra));
+  f.push_back(static_cast<float>(sum_abs_change));
+  f.push_back(v.back() - v.front());
+  f.push_back(static_cast<float>(std::sqrt(abs_energy / double(n))));
+
+  // Median absolute deviation.
+  {
+    std::vector<float> dev(n);
+    for (size_t i = 0; i < n; ++i) {
+      dev[i] = std::abs(v[i] - static_cast<float>(median));
+    }
+    std::sort(dev.begin(), dev.end());
+    f.push_back(static_cast<float>(Quantile(dev, 0.5)));
+  }
+
+  KDSEL_CHECK(f.size() == FeatureCount());
+  for (float& x : f) {
+    if (!std::isfinite(x)) x = 0.0f;
+  }
+  return f;
+}
+
+std::vector<std::vector<float>> ExtractFeaturesBatch(
+    const std::vector<std::vector<float>>& windows) {
+  std::vector<std::vector<float>> rows;
+  rows.reserve(windows.size());
+  for (const auto& w : windows) rows.push_back(ExtractFeatures(w));
+  return rows;
+}
+
+void FeatureScaler::Fit(const std::vector<std::vector<float>>& rows) {
+  KDSEL_CHECK(!rows.empty());
+  const size_t d = rows[0].size();
+  mean.assign(d, 0.0f);
+  inv_std.assign(d, 1.0f);
+  std::vector<double> m(d, 0.0), s(d, 0.0);
+  for (const auto& r : rows) {
+    for (size_t j = 0; j < d; ++j) m[j] += r[j];
+  }
+  for (size_t j = 0; j < d; ++j) m[j] /= static_cast<double>(rows.size());
+  for (const auto& r : rows) {
+    for (size_t j = 0; j < d; ++j) {
+      double diff = r[j] - m[j];
+      s[j] += diff * diff;
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    double stddev = std::sqrt(s[j] / static_cast<double>(rows.size()));
+    mean[j] = static_cast<float>(m[j]);
+    inv_std[j] = static_cast<float>(stddev > 1e-9 ? 1.0 / stddev : 0.0);
+  }
+}
+
+std::vector<float> FeatureScaler::Transform(
+    const std::vector<float>& row) const {
+  KDSEL_CHECK(row.size() == mean.size());
+  std::vector<float> out(row.size());
+  for (size_t j = 0; j < row.size(); ++j) {
+    out[j] = (row[j] - mean[j]) * inv_std[j];
+  }
+  return out;
+}
+
+std::vector<std::vector<float>> FeatureScaler::TransformBatch(
+    const std::vector<std::vector<float>>& rows) const {
+  std::vector<std::vector<float>> out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) out.push_back(Transform(r));
+  return out;
+}
+
+}  // namespace kdsel::features

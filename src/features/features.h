@@ -1,0 +1,40 @@
+#ifndef KDSEL_FEATURES_FEATURES_H_
+#define KDSEL_FEATURES_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+namespace kdsel::features {
+
+/// Names of the extracted features, in extraction order.
+const std::vector<std::string>& FeatureNames();
+
+/// Number of features produced by ExtractFeatures.
+size_t FeatureCount();
+
+/// TSFresh-style statistical features of one subsequence (the paper's
+/// feature-based baselines run TSFresh + a classical classifier).
+/// Covers moments, order statistics, autocorrelation structure,
+/// complexity, and run-length statistics — enough signal for the
+/// KNN/SVC/AdaBoost/RandomForest baselines to be competitive.
+std::vector<float> ExtractFeatures(const std::vector<float>& window);
+
+/// Extracts features for many windows: result is [N][FeatureCount()].
+std::vector<std::vector<float>> ExtractFeaturesBatch(
+    const std::vector<std::vector<float>>& windows);
+
+/// Per-column z-normalization parameters learned from training rows so
+/// train/test share one scaling (classical-classifier hygiene).
+struct FeatureScaler {
+  std::vector<float> mean;
+  std::vector<float> inv_std;
+
+  void Fit(const std::vector<std::vector<float>>& rows);
+  std::vector<float> Transform(const std::vector<float>& row) const;
+  std::vector<std::vector<float>> TransformBatch(
+      const std::vector<std::vector<float>>& rows) const;
+};
+
+}  // namespace kdsel::features
+
+#endif  // KDSEL_FEATURES_FEATURES_H_

@@ -1,0 +1,45 @@
+#include "lsh/simhash.h"
+
+#include <bit>
+
+namespace kdsel::lsh {
+
+SimHash::SimHash(size_t dim, size_t num_bits, uint64_t seed)
+    : dim_(dim), num_bits_(num_bits) {
+  KDSEL_CHECK(dim > 0);
+  KDSEL_CHECK(num_bits > 0 && num_bits <= 64);
+  Rng rng(seed);
+  hyperplanes_.resize(num_bits * dim);
+  for (float& v : hyperplanes_) v = static_cast<float>(rng.Normal());
+}
+
+uint64_t SimHash::Signature(const float* x) const {
+  uint64_t sig = 0;
+  for (size_t b = 0; b < num_bits_; ++b) {
+    const float* w = hyperplanes_.data() + b * dim_;
+    double dot = 0.0;
+    for (size_t j = 0; j < dim_; ++j) dot += static_cast<double>(w[j]) * x[j];
+    if (dot >= 0) sig |= (uint64_t{1} << b);
+  }
+  return sig;
+}
+
+uint64_t SimHash::Signature(const std::vector<float>& x) const {
+  KDSEL_CHECK(x.size() == dim_);
+  return Signature(x.data());
+}
+
+int HammingDistance(uint64_t a, uint64_t b) {
+  return std::popcount(a ^ b);
+}
+
+std::unordered_map<uint64_t, std::vector<size_t>> BuildBuckets(
+    const SimHash& hasher, const std::vector<std::vector<float>>& rows) {
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    buckets[hasher.Signature(rows[i])].push_back(i);
+  }
+  return buckets;
+}
+
+}  // namespace kdsel::lsh

@@ -1,0 +1,48 @@
+#ifndef KDSEL_LSH_SIMHASH_H_
+#define KDSEL_LSH_SIMHASH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace kdsel::lsh {
+
+/// Charikar random-hyperplane LSH (SimHash).
+///
+/// Each of `num_bits` random Gaussian hyperplanes contributes one bit:
+/// sign(<w_b, x>). Cosine-similar vectors agree on most bits, so equal
+/// signatures group near-duplicate training samples — exactly what the
+/// paper's PA module needs to find redundant samples cheaply, once,
+/// before training starts (sample values never change).
+class SimHash {
+ public:
+  /// `dim` is the input dimensionality; `num_bits` <= 64 (paper uses 14).
+  SimHash(size_t dim, size_t num_bits, uint64_t seed);
+
+  /// Signature of one vector (length must equal dim()).
+  uint64_t Signature(const float* x) const;
+  uint64_t Signature(const std::vector<float>& x) const;
+
+  size_t dim() const { return dim_; }
+  size_t num_bits() const { return num_bits_; }
+
+ private:
+  size_t dim_;
+  size_t num_bits_;
+  std::vector<float> hyperplanes_;  // [num_bits * dim]
+};
+
+/// Number of differing bits between two signatures.
+int HammingDistance(uint64_t a, uint64_t b);
+
+/// Groups item indices by SimHash signature. Returns a map from
+/// signature to the indices of `rows` hashing to it.
+std::unordered_map<uint64_t, std::vector<size_t>> BuildBuckets(
+    const SimHash& hasher, const std::vector<std::vector<float>>& rows);
+
+}  // namespace kdsel::lsh
+
+#endif  // KDSEL_LSH_SIMHASH_H_

@@ -1,0 +1,46 @@
+#ifndef KDSEL_METRICS_METRICS_H_
+#define KDSEL_METRICS_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kdsel::metrics {
+
+/// One point on a precision-recall curve.
+struct PrPoint {
+  double recall = 0.0;
+  double precision = 0.0;
+  double threshold = 0.0;
+};
+
+/// Computes the precision-recall curve for real-valued `scores` against
+/// binary `labels` (1 = positive). Points are ordered by decreasing
+/// threshold; ties in score are collapsed into a single point (standard
+/// sklearn-style handling).
+StatusOr<std::vector<PrPoint>> PrecisionRecallCurve(
+    const std::vector<float>& scores, const std::vector<uint8_t>& labels);
+
+/// Area under the precision-recall curve via average precision
+/// (AP = sum (R_k - R_{k-1}) * P_k). This is the paper's headline metric.
+/// Returns 0 when there are no positive labels.
+StatusOr<double> AucPr(const std::vector<float>& scores,
+                       const std::vector<uint8_t>& labels);
+
+/// Area under the ROC curve (probability a random positive outranks a
+/// random negative; ties count 1/2). Returns 0.5 when degenerate.
+StatusOr<double> AucRoc(const std::vector<float>& scores,
+                        const std::vector<uint8_t>& labels);
+
+/// Best F1 over all score thresholds.
+StatusOr<double> BestF1(const std::vector<float>& scores,
+                        const std::vector<uint8_t>& labels);
+
+/// Accuracy of hard predictions against hard labels.
+double Accuracy(const std::vector<int>& predicted,
+                const std::vector<int>& expected);
+
+}  // namespace kdsel::metrics
+
+#endif  // KDSEL_METRICS_METRICS_H_

@@ -1,0 +1,243 @@
+#include "metrics/range_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/stringutil.h"
+#include "metrics/metrics.h"
+
+namespace kdsel::metrics {
+
+namespace {
+
+Status ValidateWeighted(const std::vector<float>& scores,
+                        const std::vector<float>& pos_weight) {
+  if (scores.size() != pos_weight.size()) {
+    return Status::InvalidArgument("scores/weights length mismatch");
+  }
+  if (scores.empty()) return Status::InvalidArgument("empty input");
+  for (float s : scores) {
+    if (std::isnan(s)) return Status::InvalidArgument("NaN score");
+  }
+  for (float w : pos_weight) {
+    if (!(w >= 0.0f && w <= 1.0f)) {
+      return Status::InvalidArgument("positive weight outside [0,1]");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<size_t> OrderByScoreDesc(const std::vector<float>& scores) {
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  return order;
+}
+
+}  // namespace
+
+std::vector<float> BufferedLabels(const std::vector<uint8_t>& labels,
+                                  size_t buffer) {
+  const size_t n = labels.size();
+  std::vector<float> soft(n, 0.0f);
+  for (size_t i = 0; i < n; ++i) {
+    if (labels[i]) soft[i] = 1.0f;
+  }
+  if (buffer == 0) return soft;
+
+  // Distance to the nearest anomalous point, in two sweeps.
+  constexpr size_t kFar = static_cast<size_t>(-1);
+  std::vector<size_t> dist(n, kFar);
+  size_t last = kFar;
+  for (size_t i = 0; i < n; ++i) {
+    if (labels[i]) last = i;
+    if (last != kFar) dist[i] = i - last;
+  }
+  last = kFar;
+  for (size_t i = n; i-- > 0;) {
+    if (labels[i]) last = i;
+    if (last != kFar) dist[i] = std::min(dist[i], last - i);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (labels[i] || dist[i] == kFar || dist[i] > buffer) continue;
+    // sqrt ramp: partial credit decaying from the region border.
+    const double frac = static_cast<double>(dist[i]) /
+                        static_cast<double>(buffer + 1);
+    soft[i] = static_cast<float>(std::sqrt(std::max(0.0, 1.0 - frac)));
+  }
+  return soft;
+}
+
+StatusOr<double> WeightedAucRoc(const std::vector<float>& scores,
+                                const std::vector<float>& pos_weight) {
+  KDSEL_RETURN_NOT_OK(ValidateWeighted(scores, pos_weight));
+  double total_pos = 0.0, total_neg = 0.0;
+  for (float w : pos_weight) {
+    total_pos += w;
+    total_neg += 1.0 - w;
+  }
+  if (total_pos <= 0.0 || total_neg <= 0.0) return 0.5;
+
+  // Descending sweep: P(random positive ranked above random negative).
+  auto order = OrderByScoreDesc(scores);
+  double auc_mass = 0.0;     // sum over positives of neg-weight ranked below
+  double neg_above = 0.0;    // cumulative negative weight seen so far
+  size_t i = 0;
+  const size_t n = order.size();
+  while (i < n) {
+    size_t j = i;
+    double tie_pos = 0.0, tie_neg = 0.0;
+    while (j < n && scores[order[j]] == scores[order[i]]) {
+      tie_pos += pos_weight[order[j]];
+      tie_neg += 1.0 - pos_weight[order[j]];
+      ++j;
+    }
+    // Positives in this tie group beat all negatives *below* the group
+    // fully and split the group's own negatives half-half.
+    const double neg_below = total_neg - neg_above - tie_neg;
+    auc_mass += tie_pos * (neg_below + 0.5 * tie_neg);
+    neg_above += tie_neg;
+    i = j;
+  }
+  return auc_mass / (total_pos * total_neg);
+}
+
+StatusOr<double> WeightedAucPr(const std::vector<float>& scores,
+                               const std::vector<float>& pos_weight) {
+  KDSEL_RETURN_NOT_OK(ValidateWeighted(scores, pos_weight));
+  double total_pos = 0.0;
+  for (float w : pos_weight) total_pos += w;
+  if (total_pos <= 0.0) return 0.0;
+
+  auto order = OrderByScoreDesc(scores);
+  double tp = 0.0, fp = 0.0;
+  double ap = 0.0, prev_recall = 0.0;
+  size_t i = 0;
+  const size_t n = order.size();
+  while (i < n) {
+    size_t j = i;
+    while (j < n && scores[order[j]] == scores[order[i]]) {
+      tp += pos_weight[order[j]];
+      fp += 1.0 - pos_weight[order[j]];
+      ++j;
+    }
+    const double recall = tp / total_pos;
+    const double precision = tp / std::max(tp + fp, 1e-12);
+    ap += (recall - prev_recall) * precision;
+    prev_recall = recall;
+    i = j;
+  }
+  return ap;
+}
+
+StatusOr<double> RangeAucRoc(const std::vector<float>& scores,
+                             const std::vector<uint8_t>& labels,
+                             size_t buffer) {
+  if (scores.size() != labels.size()) {
+    return Status::InvalidArgument("scores/labels length mismatch");
+  }
+  return WeightedAucRoc(scores, BufferedLabels(labels, buffer));
+}
+
+StatusOr<double> RangeAucPr(const std::vector<float>& scores,
+                            const std::vector<uint8_t>& labels,
+                            size_t buffer) {
+  if (scores.size() != labels.size()) {
+    return Status::InvalidArgument("scores/labels length mismatch");
+  }
+  return WeightedAucPr(scores, BufferedLabels(labels, buffer));
+}
+
+namespace {
+
+template <typename Fn>
+StatusOr<double> VusImpl(Fn range_auc, size_t max_buffer, size_t step) {
+  if (step == 0) step = std::max<size_t>(1, max_buffer / 4);
+  double total = 0.0;
+  size_t count = 0;
+  for (size_t buffer = 0; buffer <= max_buffer; buffer += step) {
+    KDSEL_ASSIGN_OR_RETURN(double auc, range_auc(buffer));
+    total += auc;
+    ++count;
+  }
+  return total / static_cast<double>(count);
+}
+
+}  // namespace
+
+StatusOr<double> VusRoc(const std::vector<float>& scores,
+                        const std::vector<uint8_t>& labels,
+                        size_t max_buffer, size_t step) {
+  return VusImpl(
+      [&](size_t buffer) { return RangeAucRoc(scores, labels, buffer); },
+      max_buffer, step);
+}
+
+StatusOr<double> VusPr(const std::vector<float>& scores,
+                       const std::vector<uint8_t>& labels, size_t max_buffer,
+                       size_t step) {
+  return VusImpl(
+      [&](size_t buffer) { return RangeAucPr(scores, labels, buffer); },
+      max_buffer, step);
+}
+
+const char* MetricToString(Metric metric) {
+  switch (metric) {
+    case Metric::kAucPr:
+      return "AUC-PR";
+    case Metric::kAucRoc:
+      return "AUC-ROC";
+    case Metric::kBestF1:
+      return "Best-F1";
+    case Metric::kRangeAucPr:
+      return "R-AUC-PR";
+    case Metric::kRangeAucRoc:
+      return "R-AUC-ROC";
+    case Metric::kVusPr:
+      return "VUS-PR";
+    case Metric::kVusRoc:
+      return "VUS-ROC";
+  }
+  return "unknown";
+}
+
+StatusOr<Metric> MetricFromName(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "auc-pr" || lower == "aucpr") return Metric::kAucPr;
+  if (lower == "auc-roc" || lower == "aucroc") return Metric::kAucRoc;
+  if (lower == "best-f1" || lower == "f1") return Metric::kBestF1;
+  if (lower == "r-auc-pr") return Metric::kRangeAucPr;
+  if (lower == "r-auc-roc") return Metric::kRangeAucRoc;
+  if (lower == "vus-pr") return Metric::kVusPr;
+  if (lower == "vus-roc") return Metric::kVusRoc;
+  return Status::NotFound("unknown metric: " + name);
+}
+
+StatusOr<double> EvaluateMetric(Metric metric,
+                                const std::vector<float>& scores,
+                                const std::vector<uint8_t>& labels) {
+  const size_t buffer =
+      std::min<size_t>(32, std::max<size_t>(1, labels.size() / 10));
+  switch (metric) {
+    case Metric::kAucPr:
+      return AucPr(scores, labels);
+    case Metric::kAucRoc:
+      return AucRoc(scores, labels);
+    case Metric::kBestF1:
+      return BestF1(scores, labels);
+    case Metric::kRangeAucPr:
+      return RangeAucPr(scores, labels, buffer);
+    case Metric::kRangeAucRoc:
+      return RangeAucRoc(scores, labels, buffer);
+    case Metric::kVusPr:
+      return VusPr(scores, labels, buffer);
+    case Metric::kVusRoc:
+      return VusRoc(scores, labels, buffer);
+  }
+  return Status::InvalidArgument("unhandled metric");
+}
+
+}  // namespace kdsel::metrics

@@ -1,0 +1,78 @@
+#ifndef KDSEL_METRICS_RANGE_METRICS_H_
+#define KDSEL_METRICS_RANGE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kdsel::metrics {
+
+/// Range-aware TSAD metrics in the style of Paparrizos et al.'s
+/// R-AUC / VUS family: point labels are softened with a buffer ramp
+/// around each anomaly region so that near-misses (detections slightly
+/// before/after the labeled range) receive partial credit, then
+/// label-weighted ROC / PR areas are computed. VUS averages the
+/// range-AUC over buffer lengths, removing the buffer hyper-parameter.
+///
+/// The KDSelector paper evaluates with plain AUC-PR, but defines the
+/// selection target as "any interested metric P" — these metrics plug
+/// into the same pipeline (see core::EvaluateDetectorsOnSeries).
+
+/// Soft labels: 1 inside anomaly regions, sqrt-ramp decay over `buffer`
+/// points on each side, 0 elsewhere. buffer == 0 reproduces the binary
+/// labels.
+std::vector<float> BufferedLabels(const std::vector<uint8_t>& labels,
+                                  size_t buffer);
+
+/// ROC AUC where each point i contributes positive weight w_i and
+/// negative weight 1 - w_i (w in [0,1]). Ties count half. Returns 0.5
+/// when either class has zero total weight.
+StatusOr<double> WeightedAucRoc(const std::vector<float>& scores,
+                                const std::vector<float>& pos_weight);
+
+/// Average precision with the same weighting scheme.
+StatusOr<double> WeightedAucPr(const std::vector<float>& scores,
+                               const std::vector<float>& pos_weight);
+
+/// Range-AUC: WeightedAucRoc/Pr over BufferedLabels(labels, buffer).
+StatusOr<double> RangeAucRoc(const std::vector<float>& scores,
+                             const std::vector<uint8_t>& labels,
+                             size_t buffer);
+StatusOr<double> RangeAucPr(const std::vector<float>& scores,
+                            const std::vector<uint8_t>& labels,
+                            size_t buffer);
+
+/// VUS: mean Range-AUC over buffer lengths {0, step, 2*step, ...,
+/// max_buffer}. step defaults to max_buffer/4 (>=1).
+StatusOr<double> VusRoc(const std::vector<float>& scores,
+                        const std::vector<uint8_t>& labels,
+                        size_t max_buffer, size_t step = 0);
+StatusOr<double> VusPr(const std::vector<float>& scores,
+                       const std::vector<uint8_t>& labels, size_t max_buffer,
+                       size_t step = 0);
+
+/// The metric used to score detectors (Definition 2.1's P).
+enum class Metric {
+  kAucPr,
+  kAucRoc,
+  kBestF1,
+  kRangeAucPr,
+  kRangeAucRoc,
+  kVusPr,
+  kVusRoc,
+};
+
+const char* MetricToString(Metric metric);
+StatusOr<Metric> MetricFromName(const std::string& name);
+
+/// Evaluates `metric` for the given scores/labels. Range metrics use
+/// buffer = min(32, series length / 10); VUS uses the same cap.
+StatusOr<double> EvaluateMetric(Metric metric,
+                                const std::vector<float>& scores,
+                                const std::vector<uint8_t>& labels);
+
+}  // namespace kdsel::metrics
+
+#endif  // KDSEL_METRICS_RANGE_METRICS_H_

@@ -1,0 +1,279 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+namespace kdsel::nn {
+
+LayerNorm::LayerNorm(size_t dim, double eps)
+    : dim_(dim),
+      eps_(eps),
+      gamma_("ln.gamma", Tensor::Full({dim}, 1.0f)),
+      beta_("ln.beta", Tensor({dim})) {}
+
+Tensor LayerNorm::Forward(const Tensor& input, bool /*training*/) {
+  KDSEL_CHECK(input.rank() >= 2 && input.shape().back() == dim_);
+  const size_t rows = input.size() / dim_;
+  Tensor out(input.shape());
+  cached_xhat_ = Tensor(input.shape());
+  cached_inv_std_.assign(rows, 0.0f);
+  for (size_t r = 0; r < rows; ++r) {
+    const float* x = input.raw() + r * dim_;
+    float* xh = cached_xhat_.raw() + r * dim_;
+    float* o = out.raw() + r * dim_;
+    double mean = 0.0;
+    for (size_t j = 0; j < dim_; ++j) mean += x[j];
+    mean /= static_cast<double>(dim_);
+    double var = 0.0;
+    for (size_t j = 0; j < dim_; ++j) {
+      double d = x[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(dim_);
+    const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps_));
+    cached_inv_std_[r] = inv_std;
+    for (size_t j = 0; j < dim_; ++j) {
+      xh[j] = static_cast<float>((x[j] - mean) * inv_std);
+      o[j] = gamma_.value[j] * xh[j] + beta_.value[j];
+    }
+  }
+  return out;
+}
+
+Tensor LayerNorm::Backward(const Tensor& grad_output) {
+  KDSEL_CHECK(SameShape(grad_output, cached_xhat_));
+  const size_t rows = grad_output.size() / dim_;
+  Tensor grad_input(grad_output.shape());
+  const double n = static_cast<double>(dim_);
+  for (size_t r = 0; r < rows; ++r) {
+    const float* gy = grad_output.raw() + r * dim_;
+    const float* xh = cached_xhat_.raw() + r * dim_;
+    float* gx = grad_input.raw() + r * dim_;
+    double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+    for (size_t j = 0; j < dim_; ++j) {
+      double dxhat = static_cast<double>(gy[j]) * gamma_.value[j];
+      sum_dxhat += dxhat;
+      sum_dxhat_xhat += dxhat * xh[j];
+      gamma_.grad[j] += gy[j] * xh[j];
+      beta_.grad[j] += gy[j];
+    }
+    const double inv_std = cached_inv_std_[r];
+    for (size_t j = 0; j < dim_; ++j) {
+      double dxhat = static_cast<double>(gy[j]) * gamma_.value[j];
+      gx[j] = static_cast<float>(
+          inv_std * (dxhat - sum_dxhat / n - xh[j] * sum_dxhat_xhat / n));
+    }
+  }
+  return grad_input;
+}
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(size_t dim, size_t num_heads,
+                                               Rng& rng)
+    : dim_(dim),
+      num_heads_(num_heads),
+      head_dim_(dim / num_heads),
+      wq_("attn.wq", Tensor({dim, dim})),
+      wk_("attn.wk", Tensor({dim, dim})),
+      wv_("attn.wv", Tensor({dim, dim})),
+      wo_("attn.wo", Tensor({dim, dim})) {
+  KDSEL_CHECK(dim % num_heads == 0);
+  InitXavierUniform(wq_.value, dim, dim, rng);
+  InitXavierUniform(wk_.value, dim, dim, rng);
+  InitXavierUniform(wv_.value, dim, dim, rng);
+  InitXavierUniform(wo_.value, dim, dim, rng);
+}
+
+std::vector<Parameter*> MultiHeadSelfAttention::Parameters() {
+  return {&wq_, &wk_, &wv_, &wo_};
+}
+
+Tensor MultiHeadSelfAttention::Forward(const Tensor& input, bool /*training*/) {
+  KDSEL_CHECK(input.rank() == 3 && input.dim(2) == dim_);
+  cached_input_ = input;
+  const size_t B = input.dim(0), T = input.dim(1);
+  Tensor flat = input.Reshaped({B * T, dim_});
+  cached_q_ = MatMulTransposedB(flat, wq_.value).Reshaped({B, T, dim_});
+  cached_k_ = MatMulTransposedB(flat, wk_.value).Reshaped({B, T, dim_});
+  cached_v_ = MatMulTransposedB(flat, wv_.value).Reshaped({B, T, dim_});
+
+  cached_attn_ = Tensor({B, num_heads_, T, T});
+  cached_concat_ = Tensor({B, T, dim_});
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  for (size_t b = 0; b < B; ++b) {
+    for (size_t h = 0; h < num_heads_; ++h) {
+      const size_t off = h * head_dim_;
+      float* attn =
+          cached_attn_.raw() + ((b * num_heads_ + h) * T) * T;
+      // scores[i][j] = scale * q_i . k_j ; then softmax rows.
+      for (size_t i = 0; i < T; ++i) {
+        const float* qi = cached_q_.raw() + (b * T + i) * dim_ + off;
+        float* srow = attn + i * T;
+        float mx = -1e30f;
+        for (size_t j = 0; j < T; ++j) {
+          const float* kj = cached_k_.raw() + (b * T + j) * dim_ + off;
+          float acc = 0.0f;
+          for (size_t d = 0; d < head_dim_; ++d) acc += qi[d] * kj[d];
+          srow[j] = acc * scale;
+          mx = std::max(mx, srow[j]);
+        }
+        double sum = 0.0;
+        for (size_t j = 0; j < T; ++j) {
+          srow[j] = std::exp(srow[j] - mx);
+          sum += srow[j];
+        }
+        const float inv = static_cast<float>(1.0 / sum);
+        for (size_t j = 0; j < T; ++j) srow[j] *= inv;
+      }
+      // concat output rows: out_i = sum_j attn[i][j] * v_j
+      for (size_t i = 0; i < T; ++i) {
+        const float* arow = attn + i * T;
+        float* orow = cached_concat_.raw() + (b * T + i) * dim_ + off;
+        for (size_t j = 0; j < T; ++j) {
+          const float a = arow[j];
+          if (a == 0.0f) continue;
+          const float* vj = cached_v_.raw() + (b * T + j) * dim_ + off;
+          for (size_t d = 0; d < head_dim_; ++d) orow[d] += a * vj[d];
+        }
+      }
+    }
+  }
+  Tensor out = MatMulTransposedB(cached_concat_.Reshaped({B * T, dim_}),
+                                 wo_.value);
+  return out.Reshaped({B, T, dim_});
+}
+
+Tensor MultiHeadSelfAttention::Backward(const Tensor& grad_output) {
+  const size_t B = cached_input_.dim(0), T = cached_input_.dim(1);
+  KDSEL_CHECK(grad_output.rank() == 3 && grad_output.dim(0) == B &&
+              grad_output.dim(1) == T && grad_output.dim(2) == dim_);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  Tensor gy_flat = grad_output.Reshaped({B * T, dim_});
+  Tensor concat_flat = cached_concat_.Reshaped({B * T, dim_});
+  wo_.grad.AddInPlace(MatMulTransposedA(gy_flat, concat_flat));
+  Tensor d_concat =
+      MatMul(gy_flat, wo_.value).Reshaped({B, T, dim_});  // [B,T,D]
+
+  Tensor dq({B, T, dim_}), dk({B, T, dim_}), dv({B, T, dim_});
+  std::vector<float> d_attn(T * T);
+
+  for (size_t b = 0; b < B; ++b) {
+    for (size_t h = 0; h < num_heads_; ++h) {
+      const size_t off = h * head_dim_;
+      const float* attn = cached_attn_.raw() + ((b * num_heads_ + h) * T) * T;
+      // dV and dAttn.
+      std::fill(d_attn.begin(), d_attn.end(), 0.0f);
+      for (size_t i = 0; i < T; ++i) {
+        const float* doi = d_concat.raw() + (b * T + i) * dim_ + off;
+        const float* arow = attn + i * T;
+        float* darow = d_attn.data() + i * T;
+        for (size_t j = 0; j < T; ++j) {
+          const float* vj = cached_v_.raw() + (b * T + j) * dim_ + off;
+          float* dvj = dv.raw() + (b * T + j) * dim_ + off;
+          float acc = 0.0f;
+          for (size_t d = 0; d < head_dim_; ++d) {
+            acc += doi[d] * vj[d];
+            dvj[d] += arow[j] * doi[d];
+          }
+          darow[j] = acc;
+        }
+      }
+      // Softmax backward per row -> dScores, then dQ, dK.
+      for (size_t i = 0; i < T; ++i) {
+        const float* arow = attn + i * T;
+        float* darow = d_attn.data() + i * T;
+        double dot = 0.0;
+        for (size_t j = 0; j < T; ++j) dot += double(darow[j]) * arow[j];
+        for (size_t j = 0; j < T; ++j) {
+          darow[j] = static_cast<float>(arow[j] * (darow[j] - dot)) * scale;
+        }
+        // dQ_i += sum_j dS[i][j] K_j ; dK_j += dS[i][j] Q_i
+        float* dqi = dq.raw() + (b * T + i) * dim_ + off;
+        const float* qi = cached_q_.raw() + (b * T + i) * dim_ + off;
+        for (size_t j = 0; j < T; ++j) {
+          const float ds = darow[j];
+          if (ds == 0.0f) continue;
+          const float* kj = cached_k_.raw() + (b * T + j) * dim_ + off;
+          float* dkj = dk.raw() + (b * T + j) * dim_ + off;
+          for (size_t d = 0; d < head_dim_; ++d) {
+            dqi[d] += ds * kj[d];
+            dkj[d] += ds * qi[d];
+          }
+        }
+      }
+    }
+  }
+
+  Tensor x_flat = cached_input_.Reshaped({B * T, dim_});
+  Tensor dq_flat = dq.Reshaped({B * T, dim_});
+  Tensor dk_flat = dk.Reshaped({B * T, dim_});
+  Tensor dv_flat = dv.Reshaped({B * T, dim_});
+  wq_.grad.AddInPlace(MatMulTransposedA(dq_flat, x_flat));
+  wk_.grad.AddInPlace(MatMulTransposedA(dk_flat, x_flat));
+  wv_.grad.AddInPlace(MatMulTransposedA(dv_flat, x_flat));
+
+  Tensor dx = MatMul(dq_flat, wq_.value);
+  dx.AddInPlace(MatMul(dk_flat, wk_.value));
+  dx.AddInPlace(MatMul(dv_flat, wv_.value));
+  return dx.Reshaped({B, T, dim_});
+}
+
+TransformerEncoderBlock::TransformerEncoderBlock(size_t dim, size_t num_heads,
+                                                 size_t ffn_hidden,
+                                                 double dropout_rate, Rng& rng)
+    : dim_(dim),
+      ln1_(dim),
+      attn_(dim, num_heads, rng),
+      drop1_(dropout_rate, rng),
+      ln2_(dim),
+      ffn1_(dim, ffn_hidden, rng),
+      ffn2_(ffn_hidden, dim, rng),
+      drop2_(dropout_rate, rng) {}
+
+std::vector<Parameter*> TransformerEncoderBlock::Parameters() {
+  std::vector<Parameter*> params;
+  for (Module* m : std::initializer_list<Module*>{&ln1_, &attn_, &ln2_,
+                                                  &ffn1_, &ffn2_}) {
+    for (Parameter* p : m->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+Tensor TransformerEncoderBlock::Forward(const Tensor& input, bool training) {
+  KDSEL_CHECK(input.rank() == 3 && input.dim(2) == dim_);
+  cached_shape_ = input.shape();
+  const size_t B = input.dim(0), T = input.dim(1);
+
+  // Attention sublayer with residual.
+  Tensor a = ln1_.Forward(input, training);
+  a = attn_.Forward(a, training);
+  a = drop1_.Forward(a, training);
+  Tensor x1 = Add(input, a);
+
+  // FFN sublayer (token-wise; flatten to 2-D for Linear) with residual.
+  Tensor f = ln2_.Forward(x1, training);
+  f = ffn1_.Forward(f.Reshaped({B * T, dim_}), training);
+  f = gelu_.Forward(f, training);
+  f = ffn2_.Forward(f, training);
+  f = drop2_.Forward(f.Reshaped({B, T, dim_}), training);
+  return Add(x1, f);
+}
+
+Tensor TransformerEncoderBlock::Backward(const Tensor& grad_output) {
+  const size_t B = cached_shape_[0], T = cached_shape_[1];
+  // FFN path.
+  Tensor gf = drop2_.Backward(grad_output);
+  gf = ffn2_.Backward(gf.Reshaped({B * T, dim_}));
+  gf = gelu_.Backward(gf);
+  gf = ffn1_.Backward(gf);
+  gf = ln2_.Backward(gf.Reshaped({B, T, dim_}));
+  // Residual: gradient w.r.t. x1 flows both through FFN path and directly.
+  Tensor gx1 = Add(grad_output, gf);
+  // Attention path.
+  Tensor ga = drop1_.Backward(gx1);
+  ga = attn_.Backward(ga);
+  ga = ln1_.Backward(ga);
+  return Add(gx1, ga);
+}
+
+}  // namespace kdsel::nn

@@ -1,0 +1,324 @@
+#include "nn/conv.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kdsel::nn {
+
+Conv1d::Conv1d(size_t in_channels, size_t out_channels, size_t kernel_size,
+               Rng& rng, bool use_bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_size_(kernel_size),
+      use_bias_(use_bias),
+      weight_("conv1d.weight",
+              Tensor({out_channels, in_channels, kernel_size})),
+      bias_("conv1d.bias", Tensor({out_channels})) {
+  KDSEL_CHECK(kernel_size >= 1);
+  InitHeNormal(weight_.value, in_channels * kernel_size, rng);
+}
+
+std::vector<Parameter*> Conv1d::Parameters() {
+  if (use_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+Tensor Conv1d::Forward(const Tensor& input, bool /*training*/) {
+  KDSEL_CHECK(input.rank() == 3 && input.dim(1) == in_channels_);
+  cached_input_ = input;
+  const size_t B = input.dim(0), L = input.dim(2);
+  const size_t K = kernel_size_;
+  const ptrdiff_t pad = static_cast<ptrdiff_t>((K - 1) / 2);
+  Tensor out({B, out_channels_, L});
+  const float* x = input.raw();
+  const float* w = weight_.value.raw();
+  float* y = out.raw();
+  for (size_t b = 0; b < B; ++b) {
+    const float* xb = x + b * in_channels_ * L;
+    float* yb = y + b * out_channels_ * L;
+    for (size_t co = 0; co < out_channels_; ++co) {
+      float* yrow = yb + co * L;
+      const float* wco = w + co * in_channels_ * K;
+      for (size_t ci = 0; ci < in_channels_; ++ci) {
+        const float* xrow = xb + ci * L;
+        const float* wk = wco + ci * K;
+        for (size_t k = 0; k < K; ++k) {
+          const float wv = wk[k];
+          if (wv == 0.0f) continue;
+          const ptrdiff_t shift = static_cast<ptrdiff_t>(k) - pad;
+          const size_t t_lo = shift < 0 ? static_cast<size_t>(-shift) : 0;
+          const size_t t_hi =
+              shift > 0 ? L - static_cast<size_t>(shift) : L;
+          for (size_t t = t_lo; t < t_hi; ++t) {
+            yrow[t] += wv * xrow[static_cast<size_t>(
+                                static_cast<ptrdiff_t>(t) + shift)];
+          }
+        }
+      }
+      if (use_bias_) {
+        const float bv = bias_.value[co];
+        for (size_t t = 0; t < L; ++t) yrow[t] += bv;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv1d::Backward(const Tensor& grad_output) {
+  const size_t B = cached_input_.dim(0), L = cached_input_.dim(2);
+  const size_t K = kernel_size_;
+  KDSEL_CHECK(grad_output.rank() == 3 && grad_output.dim(0) == B &&
+              grad_output.dim(1) == out_channels_ && grad_output.dim(2) == L);
+  const ptrdiff_t pad = static_cast<ptrdiff_t>((K - 1) / 2);
+  Tensor grad_input({B, in_channels_, L});
+  const float* x = cached_input_.raw();
+  const float* gy = grad_output.raw();
+  const float* w = weight_.value.raw();
+  float* gw = weight_.grad.raw();
+  float* gx = grad_input.raw();
+
+  for (size_t b = 0; b < B; ++b) {
+    const float* xb = x + b * in_channels_ * L;
+    const float* gyb = gy + b * out_channels_ * L;
+    float* gxb = gx + b * in_channels_ * L;
+    for (size_t co = 0; co < out_channels_; ++co) {
+      const float* gyrow = gyb + co * L;
+      const float* wco = w + co * in_channels_ * K;
+      float* gwco = gw + co * in_channels_ * K;
+      if (use_bias_) {
+        float acc = 0.0f;
+        for (size_t t = 0; t < L; ++t) acc += gyrow[t];
+        bias_.grad[co] += acc;
+      }
+      for (size_t ci = 0; ci < in_channels_; ++ci) {
+        const float* xrow = xb + ci * L;
+        float* gxrow = gxb + ci * L;
+        const float* wk = wco + ci * K;
+        float* gwk = gwco + ci * K;
+        for (size_t k = 0; k < K; ++k) {
+          const ptrdiff_t shift = static_cast<ptrdiff_t>(k) - pad;
+          const size_t t_lo = shift < 0 ? static_cast<size_t>(-shift) : 0;
+          const size_t t_hi = shift > 0 ? L - static_cast<size_t>(shift) : L;
+          float wgrad_acc = 0.0f;
+          const float wv = wk[k];
+          for (size_t t = t_lo; t < t_hi; ++t) {
+            const size_t src =
+                static_cast<size_t>(static_cast<ptrdiff_t>(t) + shift);
+            wgrad_acc += gyrow[t] * xrow[src];
+            gxrow[src] += gyrow[t] * wv;
+          }
+          gwk[k] += wgrad_acc;
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+BatchNorm1d::BatchNorm1d(size_t num_features, double momentum, double eps)
+    : num_features_(num_features),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_("bn.gamma", Tensor::Full({num_features}, 1.0f)),
+      beta_("bn.beta", Tensor({num_features})),
+      running_mean_({num_features}),
+      running_var_(Tensor::Full({num_features}, 1.0f)) {}
+
+Tensor BatchNorm1d::Forward(const Tensor& input, bool training) {
+  KDSEL_CHECK(input.rank() == 2 || input.rank() == 3);
+  const bool has_length = input.rank() == 3;
+  const size_t B = input.dim(0);
+  const size_t C = has_length ? input.dim(1) : input.dim(1);
+  KDSEL_CHECK(C == num_features_);
+  const size_t L = has_length ? input.dim(2) : 1;
+  const size_t n = B * L;
+  cached_shape_ = input.shape();
+
+  std::vector<double> mean(C, 0.0), var(C, 0.0);
+  if (training) {
+    for (size_t b = 0; b < B; ++b) {
+      for (size_t c = 0; c < C; ++c) {
+        const float* row = input.raw() + (b * C + c) * L;
+        double acc = 0.0;
+        for (size_t t = 0; t < L; ++t) acc += row[t];
+        mean[c] += acc;
+      }
+    }
+    for (size_t c = 0; c < C; ++c) mean[c] /= static_cast<double>(n);
+    for (size_t b = 0; b < B; ++b) {
+      for (size_t c = 0; c < C; ++c) {
+        const float* row = input.raw() + (b * C + c) * L;
+        double acc = 0.0;
+        for (size_t t = 0; t < L; ++t) {
+          double d = row[t] - mean[c];
+          acc += d * d;
+        }
+        var[c] += acc;
+      }
+    }
+    for (size_t c = 0; c < C; ++c) var[c] /= static_cast<double>(n);
+    for (size_t c = 0; c < C; ++c) {
+      running_mean_[c] = static_cast<float>(
+          (1 - momentum_) * running_mean_[c] + momentum_ * mean[c]);
+      running_var_[c] = static_cast<float>(
+          (1 - momentum_) * running_var_[c] + momentum_ * var[c]);
+    }
+  } else {
+    for (size_t c = 0; c < C; ++c) {
+      mean[c] = running_mean_[c];
+      var[c] = running_var_[c];
+    }
+  }
+
+  cached_inv_std_.assign(C, 0.0);
+  for (size_t c = 0; c < C; ++c) {
+    cached_inv_std_[c] = 1.0 / std::sqrt(var[c] + eps_);
+  }
+
+  Tensor out(input.shape());
+  cached_xhat_ = Tensor(input.shape());
+  for (size_t b = 0; b < B; ++b) {
+    for (size_t c = 0; c < C; ++c) {
+      const float* row = input.raw() + (b * C + c) * L;
+      float* xh = cached_xhat_.raw() + (b * C + c) * L;
+      float* o = out.raw() + (b * C + c) * L;
+      const float g = gamma_.value[c], bb = beta_.value[c];
+      const double m = mean[c], is = cached_inv_std_[c];
+      for (size_t t = 0; t < L; ++t) {
+        xh[t] = static_cast<float>((row[t] - m) * is);
+        o[t] = g * xh[t] + bb;
+      }
+    }
+  }
+  if (!training) cached_xhat_ = Tensor();  // No backward at inference.
+  return out;
+}
+
+Tensor BatchNorm1d::Backward(const Tensor& grad_output) {
+  KDSEL_CHECK(!cached_xhat_.empty());
+  KDSEL_CHECK(grad_output.shape() == cached_shape_);
+  const bool has_length = cached_shape_.size() == 3;
+  const size_t B = cached_shape_[0];
+  const size_t C = cached_shape_[1];
+  const size_t L = has_length ? cached_shape_[2] : 1;
+  const double n = static_cast<double>(B * L);
+
+  // Standard BN backward:
+  // dxhat = dy * gamma
+  // dx = (1/N) * inv_std * (N*dxhat - sum(dxhat) - xhat * sum(dxhat*xhat))
+  std::vector<double> sum_dy(C, 0.0), sum_dy_xhat(C, 0.0);
+  for (size_t b = 0; b < B; ++b) {
+    for (size_t c = 0; c < C; ++c) {
+      const float* gy = grad_output.raw() + (b * C + c) * L;
+      const float* xh = cached_xhat_.raw() + (b * C + c) * L;
+      double a = 0.0, d = 0.0;
+      for (size_t t = 0; t < L; ++t) {
+        a += gy[t];
+        d += static_cast<double>(gy[t]) * xh[t];
+      }
+      sum_dy[c] += a;
+      sum_dy_xhat[c] += d;
+    }
+  }
+  for (size_t c = 0; c < C; ++c) {
+    beta_.grad[c] += static_cast<float>(sum_dy[c]);
+    gamma_.grad[c] += static_cast<float>(sum_dy_xhat[c]);
+  }
+
+  Tensor grad_input(cached_shape_);
+  for (size_t b = 0; b < B; ++b) {
+    for (size_t c = 0; c < C; ++c) {
+      const float* gy = grad_output.raw() + (b * C + c) * L;
+      const float* xh = cached_xhat_.raw() + (b * C + c) * L;
+      float* gx = grad_input.raw() + (b * C + c) * L;
+      const double g = gamma_.value[c];
+      const double is = cached_inv_std_[c];
+      for (size_t t = 0; t < L; ++t) {
+        double dxhat = gy[t] * g;
+        gx[t] = static_cast<float>(
+            is * (dxhat - sum_dy[c] * g / n - xh[t] * sum_dy_xhat[c] * g / n));
+      }
+    }
+  }
+  return grad_input;
+}
+
+Tensor GlobalAvgPool1d::Forward(const Tensor& input, bool /*training*/) {
+  KDSEL_CHECK(input.rank() == 3);
+  cached_shape_ = input.shape();
+  const size_t B = input.dim(0), C = input.dim(1), L = input.dim(2);
+  Tensor out({B, C});
+  const float inv = 1.0f / static_cast<float>(L);
+  for (size_t b = 0; b < B; ++b) {
+    for (size_t c = 0; c < C; ++c) {
+      const float* row = input.raw() + (b * C + c) * L;
+      float acc = 0.0f;
+      for (size_t t = 0; t < L; ++t) acc += row[t];
+      out[b * C + c] = acc * inv;
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool1d::Backward(const Tensor& grad_output) {
+  const size_t B = cached_shape_[0], C = cached_shape_[1],
+               L = cached_shape_[2];
+  KDSEL_CHECK(grad_output.rank() == 2 && grad_output.dim(0) == B &&
+              grad_output.dim(1) == C);
+  Tensor grad_input(cached_shape_);
+  const float inv = 1.0f / static_cast<float>(L);
+  for (size_t b = 0; b < B; ++b) {
+    for (size_t c = 0; c < C; ++c) {
+      const float g = grad_output[b * C + c] * inv;
+      float* row = grad_input.raw() + (b * C + c) * L;
+      for (size_t t = 0; t < L; ++t) row[t] = g;
+    }
+  }
+  return grad_input;
+}
+
+Tensor MaxPool1dSame::Forward(const Tensor& input, bool /*training*/) {
+  KDSEL_CHECK(input.rank() == 3);
+  cached_input_ = input;
+  const size_t B = input.dim(0), C = input.dim(1), L = input.dim(2);
+  Tensor out(input.shape());
+  argmax_.assign(B * C * L, 0);
+  for (size_t b = 0; b < B; ++b) {
+    for (size_t c = 0; c < C; ++c) {
+      const float* row = input.raw() + (b * C + c) * L;
+      float* orow = out.raw() + (b * C + c) * L;
+      int32_t* arow = argmax_.data() + (b * C + c) * L;
+      for (size_t t = 0; t < L; ++t) {
+        size_t lo = t > 0 ? t - 1 : 0;
+        size_t hi = std::min(L - 1, t + 1);
+        size_t best = lo;
+        for (size_t u = lo + 1; u <= hi; ++u) {
+          if (row[u] > row[best]) best = u;
+        }
+        orow[t] = row[best];
+        arow[t] = static_cast<int32_t>(best);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool1dSame::Backward(const Tensor& grad_output) {
+  KDSEL_CHECK(SameShape(grad_output, cached_input_));
+  const size_t B = cached_input_.dim(0), C = cached_input_.dim(1),
+               L = cached_input_.dim(2);
+  Tensor grad_input(cached_input_.shape());
+  for (size_t b = 0; b < B; ++b) {
+    for (size_t c = 0; c < C; ++c) {
+      const float* gy = grad_output.raw() + (b * C + c) * L;
+      float* gx = grad_input.raw() + (b * C + c) * L;
+      const int32_t* arow = argmax_.data() + (b * C + c) * L;
+      for (size_t t = 0; t < L; ++t) {
+        gx[static_cast<size_t>(arow[t])] += gy[t];
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace kdsel::nn

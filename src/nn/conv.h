@@ -1,0 +1,94 @@
+#ifndef KDSEL_NN_CONV_H_
+#define KDSEL_NN_CONV_H_
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace kdsel::nn {
+
+/// 1-D convolution over [B, C_in, L] -> [B, C_out, L] with stride 1 and
+/// "same" zero padding (pad = (K-1)/2 left, K/2 right for even K).
+class Conv1d : public Module {
+ public:
+  Conv1d(size_t in_channels, size_t out_channels, size_t kernel_size,
+         Rng& rng, bool use_bias = true);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Parameters() override;
+
+  size_t in_channels() const { return in_channels_; }
+  size_t out_channels() const { return out_channels_; }
+  size_t kernel_size() const { return kernel_size_; }
+
+ private:
+  size_t in_channels_;
+  size_t out_channels_;
+  size_t kernel_size_;
+  bool use_bias_;
+  Parameter weight_;  // [C_out, C_in, K]
+  Parameter bias_;    // [C_out]
+  Tensor cached_input_;
+};
+
+/// Batch normalization over the channel dimension. Accepts [B, C, L]
+/// (per-channel stats over B*L) or [B, F] (per-feature stats over B).
+class BatchNorm1d : public Module {
+ public:
+  explicit BatchNorm1d(size_t num_features, double momentum = 0.1,
+                       double eps = 1e-5);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Parameters() override { return {&gamma_, &beta_}; }
+  std::vector<Tensor*> StateTensors() override {
+    return {&running_mean_, &running_var_};
+  }
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+  /// Exposed mutably for serialization (running stats are state, not
+  /// parameters, but must persist with the model).
+  Tensor& mutable_running_mean() { return running_mean_; }
+  Tensor& mutable_running_var() { return running_var_; }
+
+ private:
+  size_t num_features_;
+  double momentum_;
+  double eps_;
+  Parameter gamma_;
+  Parameter beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+  // Forward cache for backward.
+  Tensor cached_xhat_;
+  std::vector<double> cached_inv_std_;
+  std::vector<size_t> cached_shape_;
+};
+
+/// Global average pooling: [B, C, L] -> [B, C].
+class GlobalAvgPool1d : public Module {
+ public:
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  std::vector<size_t> cached_shape_;
+};
+
+/// Max pooling with window 3, stride 1, same padding: [B,C,L] -> [B,C,L].
+/// (Used by the InceptionTime max-pool branch.)
+class MaxPool1dSame : public Module {
+ public:
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor cached_input_;
+  std::vector<int32_t> argmax_;
+};
+
+}  // namespace kdsel::nn
+
+#endif  // KDSEL_NN_CONV_H_

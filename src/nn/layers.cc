@@ -1,0 +1,120 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace kdsel::nn {
+
+Linear::Linear(size_t in_features, size_t out_features, Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_("linear.weight", Tensor({out_features, in_features})),
+      bias_("linear.bias", Tensor({out_features})) {
+  InitHeNormal(weight_.value, in_features, rng);
+}
+
+Tensor Linear::Forward(const Tensor& input, bool /*training*/) {
+  KDSEL_CHECK(input.rank() == 2 && input.dim(1) == in_features_);
+  cached_input_ = input;
+  Tensor out = MatMulTransposedB(input, weight_.value);  // [B, out]
+  const size_t b = out.dim(0);
+  for (size_t i = 0; i < b; ++i) {
+    float* row = out.raw() + i * out_features_;
+    for (size_t j = 0; j < out_features_; ++j) row[j] += bias_.value[j];
+  }
+  return out;
+}
+
+Tensor Linear::Backward(const Tensor& grad_output) {
+  KDSEL_CHECK(grad_output.rank() == 2 &&
+              grad_output.dim(1) == out_features_);
+  // dW = dY^T X ; db = sum rows dY ; dX = dY W
+  Tensor dw = MatMulTransposedA(grad_output, cached_input_);  // [out, in]
+  weight_.grad.AddInPlace(dw);
+  const size_t b = grad_output.dim(0);
+  for (size_t i = 0; i < b; ++i) {
+    const float* row = grad_output.raw() + i * out_features_;
+    for (size_t j = 0; j < out_features_; ++j) bias_.grad[j] += row[j];
+  }
+  return MatMul(grad_output, weight_.value);  // [B, in]
+}
+
+Tensor ReLU::Forward(const Tensor& input, bool /*training*/) {
+  Tensor out = input;
+  for (float& v : out.mutable_data()) v = v > 0 ? v : 0.0f;
+  cached_output_ = out;
+  return out;
+}
+
+Tensor ReLU::Backward(const Tensor& grad_output) {
+  KDSEL_CHECK(SameShape(grad_output, cached_output_));
+  Tensor g = grad_output;
+  const float* y = cached_output_.raw();
+  float* gd = g.raw();
+  for (size_t i = 0; i < g.size(); ++i) {
+    if (y[i] <= 0) gd[i] = 0.0f;
+  }
+  return g;
+}
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+}
+
+Tensor Gelu::Forward(const Tensor& input, bool /*training*/) {
+  cached_input_ = input;
+  Tensor out = input;
+  for (float& v : out.mutable_data()) {
+    float x = v;
+    float t = std::tanh(kGeluC * (x + 0.044715f * x * x * x));
+    v = 0.5f * x * (1.0f + t);
+  }
+  return out;
+}
+
+Tensor Gelu::Backward(const Tensor& grad_output) {
+  KDSEL_CHECK(SameShape(grad_output, cached_input_));
+  Tensor g = grad_output;
+  const float* x = cached_input_.raw();
+  float* gd = g.raw();
+  for (size_t i = 0; i < g.size(); ++i) {
+    float xi = x[i];
+    float u = kGeluC * (xi + 0.044715f * xi * xi * xi);
+    float t = std::tanh(u);
+    float sech2 = 1.0f - t * t;
+    float du = kGeluC * (1.0f + 3.0f * 0.044715f * xi * xi);
+    float dy = 0.5f * (1.0f + t) + 0.5f * xi * sech2 * du;
+    gd[i] *= dy;
+  }
+  return g;
+}
+
+Dropout::Dropout(double rate, Rng& rng) : rate_(rate), rng_(rng.Fork()) {
+  KDSEL_CHECK(rate >= 0.0 && rate < 1.0);
+}
+
+Tensor Dropout::Forward(const Tensor& input, bool training) {
+  last_training_ = training && rate_ > 0.0;
+  if (!last_training_) return input;
+  mask_ = Tensor(input.shape());
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
+  float* m = mask_.raw();
+  for (size_t i = 0; i < mask_.size(); ++i) {
+    m[i] = rng_.Bernoulli(rate_) ? 0.0f : keep_scale;
+  }
+  Tensor out = input;
+  float* o = out.raw();
+  for (size_t i = 0; i < out.size(); ++i) o[i] *= m[i];
+  return out;
+}
+
+Tensor Dropout::Backward(const Tensor& grad_output) {
+  if (!last_training_) return grad_output;
+  KDSEL_CHECK(SameShape(grad_output, mask_));
+  Tensor g = grad_output;
+  const float* m = mask_.raw();
+  float* gd = g.raw();
+  for (size_t i = 0; i < g.size(); ++i) gd[i] *= m[i];
+  return g;
+}
+
+}  // namespace kdsel::nn

@@ -1,0 +1,183 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+namespace kdsel::nn {
+
+namespace {
+
+/// Expands an optional weight vector: empty means all ones.
+float WeightAt(const std::vector<float>& weights, size_t i) {
+  return weights.empty() ? 1.0f : weights[i];
+}
+
+}  // namespace
+
+LossResult SoftmaxCrossEntropyHard(const Tensor& logits,
+                                   const std::vector<int>& labels,
+                                   const std::vector<float>& weights) {
+  KDSEL_CHECK(logits.rank() == 2);
+  const size_t B = logits.dim(0), m = logits.dim(1);
+  KDSEL_CHECK(labels.size() == B);
+  KDSEL_CHECK(weights.empty() || weights.size() == B);
+
+  Tensor probs = SoftmaxRows(logits);
+  LossResult result;
+  result.per_sample.resize(B);
+  result.grad = Tensor({B, m});
+  const float inv_b = 1.0f / static_cast<float>(B);
+  double total = 0.0;
+  for (size_t i = 0; i < B; ++i) {
+    const int y = labels[i];
+    KDSEL_CHECK(y >= 0 && static_cast<size_t>(y) < m);
+    const float* p = probs.raw() + i * m;
+    const float w = WeightAt(weights, i);
+    const float li = -std::log(std::max(p[static_cast<size_t>(y)], 1e-12f));
+    result.per_sample[i] = li;
+    total += static_cast<double>(w) * li;
+    float* g = result.grad.raw() + i * m;
+    for (size_t j = 0; j < m; ++j) {
+      g[j] = w * inv_b * (p[j] - (static_cast<size_t>(y) == j ? 1.0f : 0.0f));
+    }
+  }
+  result.mean_loss = total * inv_b;
+  return result;
+}
+
+LossResult SoftmaxCrossEntropySoft(const Tensor& logits, const Tensor& targets,
+                                   const std::vector<float>& weights) {
+  KDSEL_CHECK(logits.rank() == 2 && SameShape(logits, targets));
+  const size_t B = logits.dim(0), m = logits.dim(1);
+  KDSEL_CHECK(weights.empty() || weights.size() == B);
+
+  Tensor probs = SoftmaxRows(logits);
+  LossResult result;
+  result.per_sample.resize(B);
+  result.grad = Tensor({B, m});
+  const float inv_b = 1.0f / static_cast<float>(B);
+  double total = 0.0;
+  for (size_t i = 0; i < B; ++i) {
+    const float* p = probs.raw() + i * m;
+    const float* t = targets.raw() + i * m;
+    const float w = WeightAt(weights, i);
+    double li = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+      li -= static_cast<double>(t[j]) *
+            std::log(std::max(p[j], 1e-12f));
+    }
+    result.per_sample[i] = static_cast<float>(li);
+    total += w * li;
+    float* g = result.grad.raw() + i * m;
+    for (size_t j = 0; j < m; ++j) {
+      g[j] = w * inv_b * (p[j] - t[j]);
+    }
+  }
+  result.mean_loss = total * inv_b;
+  return result;
+}
+
+InfoNceResult InfoNce(const Tensor& view_a, const Tensor& view_b,
+                      double temperature, const std::vector<float>& weights,
+                      const std::vector<size_t>& group_ids) {
+  KDSEL_CHECK(view_a.rank() == 2 && SameShape(view_a, view_b));
+  KDSEL_CHECK(temperature > 0);
+  const size_t B = view_a.dim(0), H = view_a.dim(1);
+  KDSEL_CHECK(weights.empty() || weights.size() == B);
+  KDSEL_CHECK(group_ids.empty() || group_ids.size() == B);
+
+  // L2-normalize rows, remembering norms and unit vectors.
+  auto normalize = [&](const Tensor& x, Tensor& unit, std::vector<float>& norm) {
+    unit = Tensor({B, H});
+    norm.resize(B);
+    for (size_t i = 0; i < B; ++i) {
+      const float* r = x.raw() + i * H;
+      double ss = 0.0;
+      for (size_t j = 0; j < H; ++j) ss += static_cast<double>(r[j]) * r[j];
+      float n = static_cast<float>(std::sqrt(ss));
+      norm[i] = std::max(n, 1e-8f);
+      float* u = unit.raw() + i * H;
+      for (size_t j = 0; j < H; ++j) u[j] = r[j] / norm[i];
+    }
+  };
+  Tensor an, bn;
+  std::vector<float> a_norm, b_norm;
+  normalize(view_a, an, a_norm);
+  normalize(view_b, bn, b_norm);
+
+  const float inv_temp = static_cast<float>(1.0 / temperature);
+  Tensor sim = MatMulTransposedB(an, bn);  // [B, B]
+  sim.ScaleInPlace(inv_temp);
+
+  // Mask false negatives: off-diagonal pairs from the same group (their
+  // b-views are identical) drop out of both softmax denominators.
+  if (!group_ids.empty()) {
+    constexpr float kMasked = -1e30f;
+    for (size_t i = 0; i < B; ++i) {
+      for (size_t j = 0; j < B; ++j) {
+        if (i != j && group_ids[i] == group_ids[j]) {
+          sim.At(i, j) = kMasked;
+        }
+      }
+    }
+  }
+
+  // Row softmax (a->b direction) and column softmax (b->a direction).
+  Tensor p_row = SoftmaxRows(sim);
+  Tensor p_col = Transpose2D(SoftmaxRows(Transpose2D(sim)));  // col-normalized
+
+  InfoNceResult result;
+  result.per_sample.resize(B);
+  const float inv_b = 1.0f / static_cast<float>(B);
+  double total = 0.0;
+  // dS[i][j] accumulated from both directions.
+  Tensor d_sim({B, B});
+  for (size_t i = 0; i < B; ++i) {
+    const float w = WeightAt(weights, i);
+    const float pr = std::max(p_row.At(i, i), 1e-12f);
+    const float pc = std::max(p_col.At(i, i), 1e-12f);
+    const float li = 0.5f * (-std::log(pr) - std::log(pc));
+    result.per_sample[i] = li;
+    total += static_cast<double>(w) * li;
+  }
+  result.mean_loss = total * inv_b;
+  for (size_t i = 0; i < B; ++i) {
+    for (size_t j = 0; j < B; ++j) {
+      const float wi = WeightAt(weights, i);
+      const float wj = WeightAt(weights, j);
+      const float kron = (i == j) ? 1.0f : 0.0f;
+      // Row direction: sample i's loss differentiates row i.
+      float g = 0.5f * wi * inv_b * (p_row.At(i, j) - kron);
+      // Column direction: sample j's loss differentiates column j.
+      g += 0.5f * wj * inv_b * (p_col.At(i, j) - kron);
+      d_sim.At(i, j) = g;
+    }
+  }
+
+  // Back through sim = (1/temp) * an bn^T.
+  Tensor d_an = MatMul(d_sim, bn);
+  d_an.ScaleInPlace(inv_temp);
+  Tensor d_bn = MatMulTransposedA(d_sim, an);
+  d_bn.ScaleInPlace(inv_temp);
+
+  // Back through row normalization: dx = (du - (du.u) u) / ||x||.
+  auto denormalize = [&](const Tensor& du, const Tensor& unit,
+                         const std::vector<float>& norm) {
+    Tensor dx({B, H});
+    for (size_t i = 0; i < B; ++i) {
+      const float* durow = du.raw() + i * H;
+      const float* u = unit.raw() + i * H;
+      float* d = dx.raw() + i * H;
+      double dot = 0.0;
+      for (size_t j = 0; j < H; ++j) dot += static_cast<double>(durow[j]) * u[j];
+      for (size_t j = 0; j < H; ++j) {
+        d[j] = static_cast<float>((durow[j] - dot * u[j]) / norm[i]);
+      }
+    }
+    return dx;
+  };
+  result.grad_a = denormalize(d_an, an, a_norm);
+  result.grad_b = denormalize(d_bn, bn, b_norm);
+  return result;
+}
+
+}  // namespace kdsel::nn

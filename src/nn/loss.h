@@ -1,0 +1,61 @@
+#ifndef KDSEL_NN_LOSS_H_
+#define KDSEL_NN_LOSS_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace kdsel::nn {
+
+/// Result of a loss evaluation over a batch.
+///
+/// `per_sample` holds each sample's *unweighted* loss (used by the PA
+/// pruning module to maintain loss histories), while `mean_loss` and the
+/// gradients incorporate the per-sample weights: the optimized objective
+/// is (1/B) * sum_i w_i * L_i. Weights are how InfoBatch/PA implement
+/// gradient rescaling of surviving samples.
+struct LossResult {
+  double mean_loss = 0.0;
+  std::vector<float> per_sample;
+  Tensor grad;  ///< d(objective)/d(logits or features), matching the input.
+};
+
+/// Cross-entropy with hard integer labels: L_i = -log softmax(logits_i)[y_i].
+/// `weights` may be empty (all ones) or size B.
+LossResult SoftmaxCrossEntropyHard(const Tensor& logits,
+                                   const std::vector<int>& labels,
+                                   const std::vector<float>& weights);
+
+/// Cross-entropy against soft target distributions (paper's PISL term):
+/// L_i = -sum_j p_ij log softmax(logits_i)_j. `targets` is [B, m] with
+/// rows summing to 1.
+LossResult SoftmaxCrossEntropySoft(const Tensor& logits, const Tensor& targets,
+                                   const std::vector<float>& weights);
+
+/// Result of the InfoNCE contrastive loss between two views.
+struct InfoNceResult {
+  double mean_loss = 0.0;
+  std::vector<float> per_sample;
+  Tensor grad_a;  ///< d/d(view_a), same shape as view_a.
+  Tensor grad_b;  ///< d/d(view_b).
+};
+
+/// Symmetric InfoNCE (paper's MKI term; van den Oord et al.).
+///
+/// Rows of `view_a`/`view_b` are L2-normalized internally; similarities
+/// are scaled by 1/temperature; the positives are the diagonal pairs
+/// (a_i, b_i) and the loss averages the a->b and b->a directions.
+/// Gradients are with respect to the *unnormalized* inputs.
+///
+/// `group_ids` (empty, or size B) marks samples whose second view is
+/// identical (e.g. windows of one series sharing one metadata text).
+/// Same-group off-diagonal pairs are *excluded* from the denominators:
+/// they are false negatives — sample i must not be repelled from a text
+/// that is literally its own.
+InfoNceResult InfoNce(const Tensor& view_a, const Tensor& view_b,
+                      double temperature, const std::vector<float>& weights,
+                      const std::vector<size_t>& group_ids = {});
+
+}  // namespace kdsel::nn
+
+#endif  // KDSEL_NN_LOSS_H_

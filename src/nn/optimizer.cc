@@ -1,0 +1,84 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace kdsel::nn {
+
+Sgd::Sgd(std::vector<Parameter*> params, double lr, double momentum,
+         double weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    Tensor& v = velocity_[i];
+    float* pv = p->value.raw();
+    const float* pg = p->grad.raw();
+    float* vel = v.raw();
+    const float mom = static_cast<float>(momentum_);
+    const float lr = static_cast<float>(lr_);
+    const float wd = static_cast<float>(weight_decay_);
+    for (size_t j = 0; j < p->value.size(); ++j) {
+      vel[j] = mom * vel[j] + pg[j];
+      pv[j] -= lr * (vel[j] + wd * pv[j]);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, double lr, double beta1,
+           double beta2, double eps, double weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const float lr = static_cast<float>(lr_ * std::sqrt(bc2) / bc1);
+  const float b1 = static_cast<float>(beta1_);
+  const float b2 = static_cast<float>(beta2_);
+  const float eps = static_cast<float>(eps_);
+  const float wd = static_cast<float>(weight_decay_);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    float* pv = p->value.raw();
+    const float* pg = p->grad.raw();
+    float* m = m_[i].raw();
+    float* v = v_[i].raw();
+    for (size_t j = 0; j < p->value.size(); ++j) {
+      m[j] = b1 * m[j] + (1 - b1) * pg[j];
+      v[j] = b2 * v[j] + (1 - b2) * pg[j] * pg[j];
+      pv[j] -= lr * m[j] / (std::sqrt(v[j]) + eps) + lr_ * wd * pv[j];
+    }
+  }
+}
+
+double ClipGradNorm(const std::vector<Parameter*>& params, double max_norm) {
+  double total = 0.0;
+  for (Parameter* p : params) total += p->grad.SquaredL2Norm();
+  const double norm = std::sqrt(total);
+  if (norm > max_norm && norm > 0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (Parameter* p : params) p->grad.ScaleInPlace(scale);
+  }
+  return norm;
+}
+
+}  // namespace kdsel::nn

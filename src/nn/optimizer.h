@@ -1,0 +1,81 @@
+#ifndef KDSEL_NN_OPTIMIZER_H_
+#define KDSEL_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace kdsel::nn {
+
+/// Base optimizer over a fixed set of parameters.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears all gradients. Call after each Step.
+  void ZeroGrad() {
+    for (Parameter* p : params_) p->ZeroGrad();
+  }
+
+  const std::vector<Parameter*>& params() const { return params_; }
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+/// SGD with classical momentum and decoupled L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, double lr, double momentum = 0.9,
+      double weight_decay = 0.0);
+
+  void Step() override;
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ private:
+  double lr_;
+  double momentum_;
+  double weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction and decoupled weight decay.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8, double weight_decay = 0.0);
+
+  void Step() override;
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  double weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+/// Scales gradients so their global L2 norm is at most `max_norm`
+/// (the bound B_L/B_F assumed by the paper's Sect. A.1 analysis).
+/// Returns the pre-clip norm.
+double ClipGradNorm(const std::vector<Parameter*>& params, double max_norm);
+
+}  // namespace kdsel::nn
+
+#endif  // KDSEL_NN_OPTIMIZER_H_

@@ -1,0 +1,32 @@
+#ifndef KDSEL_NN_SERIALIZE_H_
+#define KDSEL_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace kdsel::nn {
+
+/// Saves a module's parameters and state tensors (e.g. BN running stats)
+/// to a binary file. The format records tensor count, shapes, and raw
+/// float payloads; loading requires an identically-constructed module.
+Status SaveModule(Module& module, const std::string& path);
+
+/// Restores tensors saved by SaveModule into `module`. Fails if the
+/// number of tensors or any shape differs (i.e. the architecture or
+/// hyperparameters changed between save and load).
+Status LoadModule(Module& module, const std::string& path);
+
+/// Lower-level helpers used by the selector-management layer, which
+/// serializes several modules into one file.
+Status WriteTensors(const std::vector<const Tensor*>& tensors,
+                    const std::string& path);
+Status AppendTensorsToStream(const std::vector<const Tensor*>& tensors,
+                             std::string& out);
+StatusOr<std::vector<Tensor>> ReadTensors(const std::string& path);
+
+}  // namespace kdsel::nn
+
+#endif  // KDSEL_NN_SERIALIZE_H_

@@ -1,0 +1,218 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <thread>
+
+namespace kdsel::nn {
+
+namespace {
+
+size_t ShapeProduct(const std::vector<size_t>& shape) {
+  size_t n = 1;
+  for (size_t d : shape) n *= d;
+  return n;
+}
+
+/// Runs fn(row_begin, row_end) over [0, rows), splitting across threads
+/// when the work is large. Each thread owns disjoint output rows, so the
+/// result is deterministic.
+template <typename Fn>
+void ParallelRows(size_t rows, size_t work_per_row, Fn&& fn) {
+  static const size_t kHardwareThreads =
+      std::max<size_t>(1, std::thread::hardware_concurrency());
+  const size_t total_work = rows * work_per_row;
+  if (kHardwareThreads == 1 || total_work < (1u << 16) || rows < 2) {
+    fn(size_t{0}, rows);
+    return;
+  }
+  size_t n_threads = std::min(kHardwareThreads, rows);
+  std::vector<std::thread> threads;
+  threads.reserve(n_threads);
+  size_t chunk = (rows + n_threads - 1) / n_threads;
+  for (size_t t = 0; t < n_threads; ++t) {
+    size_t begin = t * chunk;
+    size_t end = std::min(rows, begin + chunk);
+    if (begin >= end) break;
+    threads.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<size_t> shape)
+    : shape_(std::move(shape)), data_(ShapeProduct(shape_), 0.0f) {
+  KDSEL_CHECK(!shape_.empty() && shape_.size() <= 4);
+}
+
+Tensor::Tensor(std::vector<size_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  KDSEL_CHECK(!shape_.empty() && shape_.size() <= 4);
+  KDSEL_CHECK(data_.size() == ShapeProduct(shape_));
+}
+
+Tensor Tensor::Full(std::vector<size_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Reshaped(std::vector<size_t> new_shape) const {
+  KDSEL_CHECK(ShapeProduct(new_shape) == size());
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  KDSEL_CHECK(size() == other.size());
+  const float* src = other.raw();
+  float* dst = raw();
+  for (size_t i = 0; i < data_.size(); ++i) dst[i] += src[i];
+}
+
+void Tensor::ScaleInPlace(float factor) {
+  for (float& v : data_) v *= factor;
+}
+
+void Tensor::AxpyInPlace(float a, const Tensor& x) {
+  KDSEL_CHECK(size() == x.size());
+  const float* src = x.raw();
+  float* dst = raw();
+  for (size_t i = 0; i < data_.size(); ++i) dst[i] += a * src[i];
+}
+
+double Tensor::SquaredL2Norm() const {
+  double sum = 0.0;
+  for (float v : data_) sum += static_cast<double>(v) * v;
+  return sum;
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ",";
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+bool SameShape(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape();
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  KDSEL_CHECK(a.rank() == 2 && b.rank() == 2);
+  const size_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
+  KDSEL_CHECK(b.dim(0) == k);
+  Tensor c({n, m});
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  ParallelRows(n, k * m, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = pc + i * m;
+      for (size_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = pb + kk * m;
+        for (size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+  return c;
+}
+
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
+  KDSEL_CHECK(a.rank() == 2 && b.rank() == 2);
+  const size_t n = a.dim(0), k = a.dim(1), m = b.dim(0);
+  KDSEL_CHECK(b.dim(1) == k);
+  Tensor c({n, m});
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  ParallelRows(n, k * m, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = pc + i * m;
+      for (size_t j = 0; j < m; ++j) {
+        const float* brow = pb + j * k;
+        float acc = 0.0f;
+        for (size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        crow[j] = acc;
+      }
+    }
+  });
+  return c;
+}
+
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
+  KDSEL_CHECK(a.rank() == 2 && b.rank() == 2);
+  const size_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
+  KDSEL_CHECK(b.dim(0) == n);
+  Tensor c({k, m});
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  // Parallelize over output rows (k): each output row kk reads column kk
+  // of A, so threads write disjoint rows.
+  ParallelRows(k, n * m, [&](size_t begin, size_t end) {
+    for (size_t kk = begin; kk < end; ++kk) {
+      float* crow = pc + kk * m;
+      for (size_t i = 0; i < n; ++i) {
+        const float av = pa[i * k + kk];
+        if (av == 0.0f) continue;
+        const float* brow = pb + i * m;
+        for (size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+  return c;
+}
+
+Tensor Transpose2D(const Tensor& a) {
+  KDSEL_CHECK(a.rank() == 2);
+  const size_t n = a.dim(0), m = a.dim(1);
+  Tensor t({m, n});
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) t[j * n + i] = a[i * m + j];
+  }
+  return t;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  KDSEL_CHECK(SameShape(a, b));
+  Tensor c = a;
+  c.AddInPlace(b);
+  return c;
+}
+
+Tensor SoftmaxRows(const Tensor& logits) {
+  KDSEL_CHECK(logits.rank() == 2);
+  const size_t n = logits.dim(0), m = logits.dim(1);
+  Tensor out({n, m});
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = logits.raw() + i * m;
+    float* orow = out.raw() + i * m;
+    float mx = row[0];
+    for (size_t j = 1; j < m; ++j) mx = std::max(mx, row[j]);
+    double sum = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      sum += orow[j];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (size_t j = 0; j < m; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+}  // namespace kdsel::nn

@@ -1,0 +1,108 @@
+#ifndef KDSEL_NN_TENSOR_H_
+#define KDSEL_NN_TENSOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace kdsel::nn {
+
+/// A dense row-major float tensor of rank 1-4.
+///
+/// This is the numeric workhorse of the NN library. It is a plain value
+/// type (copyable/movable); operations that allocate return new tensors,
+/// while the *InPlace variants mutate. There is no autograd tape — layers
+/// cache what they need in Forward and implement Backward explicitly,
+/// which keeps the library small and makes gradients easy to unit-test
+/// with finite differences.
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<size_t> shape);
+  Tensor(std::vector<size_t> shape, std::vector<float> data);
+
+  static Tensor Zeros(std::vector<size_t> shape) { return Tensor(std::move(shape)); }
+  static Tensor Full(std::vector<size_t> shape, float value);
+
+  const std::vector<size_t>& shape() const { return shape_; }
+  size_t rank() const { return shape_.size(); }
+  size_t dim(size_t i) const {
+    KDSEL_DCHECK(i < shape_.size());
+    return shape_[i];
+  }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& mutable_data() { return data_; }
+  const float* raw() const { return data_.data(); }
+  float* raw() { return data_.data(); }
+
+  float& operator[](size_t i) { return data_[i]; }
+  float operator[](size_t i) const { return data_[i]; }
+
+  /// 2-D element access (rank must be 2).
+  float& At(size_t i, size_t j) {
+    KDSEL_DCHECK(rank() == 2);
+    return data_[i * shape_[1] + j];
+  }
+  float At(size_t i, size_t j) const {
+    KDSEL_DCHECK(rank() == 2);
+    return data_[i * shape_[1] + j];
+  }
+  /// 3-D element access (rank must be 3).
+  float& At(size_t i, size_t j, size_t k) {
+    KDSEL_DCHECK(rank() == 3);
+    return data_[(i * shape_[1] + j) * shape_[2] + k];
+  }
+  float At(size_t i, size_t j, size_t k) const {
+    KDSEL_DCHECK(rank() == 3);
+    return data_[(i * shape_[1] + j) * shape_[2] + k];
+  }
+
+  /// Returns a tensor with the same data but a new shape of equal size.
+  Tensor Reshaped(std::vector<size_t> new_shape) const;
+
+  void Fill(float value);
+  void AddInPlace(const Tensor& other);       ///< this += other
+  void ScaleInPlace(float factor);            ///< this *= factor
+  void AxpyInPlace(float a, const Tensor& x); ///< this += a * x
+
+  /// Sum of squares of all elements.
+  double SquaredL2Norm() const;
+
+  std::string ShapeString() const;
+
+ private:
+  std::vector<size_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Returns true if shapes match exactly.
+bool SameShape(const Tensor& a, const Tensor& b);
+
+/// C = A * B for 2-D tensors ([n,k] x [k,m] -> [n,m]). Multithreaded over
+/// rows for large problems; deterministic regardless of thread count.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// C = A * B^T ([n,k] x [m,k] -> [n,m]).
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b);
+
+/// C = A^T * B ([n,k] x [n,m] -> [k,m]).
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b);
+
+/// Transpose of a 2-D tensor.
+Tensor Transpose2D(const Tensor& a);
+
+/// Elementwise sum (allocating).
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/// Row-wise softmax of a 2-D tensor.
+Tensor SoftmaxRows(const Tensor& logits);
+
+}  // namespace kdsel::nn
+
+#endif  // KDSEL_NN_TENSOR_H_

@@ -1,0 +1,112 @@
+#ifndef KDSEL_SELECTORS_CLASSICAL_H_
+#define KDSEL_SELECTORS_CLASSICAL_H_
+
+#include <memory>
+#include <vector>
+
+#include "features/features.h"
+#include "selectors/decision_tree.h"
+#include "selectors/selector.h"
+
+namespace kdsel::selectors {
+
+/// K-nearest-neighbours on TSFresh-style features (paper baseline "KNN").
+class KnnSelector : public Selector {
+ public:
+  struct Options {
+    size_t k = 5;
+  };
+
+  explicit KnnSelector(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "KNN"; }
+  Status Fit(const TrainingData& data) override;
+  StatusOr<std::vector<int>> Predict(
+      const std::vector<std::vector<float>>& windows) const override;
+
+ private:
+  Options options_;
+  features::FeatureScaler scaler_;
+  std::vector<std::vector<float>> train_features_;
+  std::vector<int> train_labels_;
+  size_t num_classes_ = 0;
+};
+
+/// Linear support-vector classifier, one-vs-rest hinge loss via SGD on
+/// TSFresh-style features (paper baseline "SVC").
+class SvcSelector : public Selector {
+ public:
+  struct Options {
+    size_t epochs = 40;
+    double learning_rate = 0.05;
+    double reg = 1e-4;
+    uint64_t seed = 37;
+  };
+
+  explicit SvcSelector(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "SVC"; }
+  Status Fit(const TrainingData& data) override;
+  StatusOr<std::vector<int>> Predict(
+      const std::vector<std::vector<float>>& windows) const override;
+
+ private:
+  Options options_;
+  features::FeatureScaler scaler_;
+  std::vector<std::vector<double>> weights_;  ///< [C][D+1] (bias last).
+  size_t num_classes_ = 0;
+};
+
+/// SAMME AdaBoost over depth-2 decision trees on TSFresh-style features
+/// (paper baseline "AdaBoost").
+class AdaBoostSelector : public Selector {
+ public:
+  struct Options {
+    size_t rounds = 40;
+    size_t stump_depth = 2;
+    uint64_t seed = 41;
+  };
+
+  explicit AdaBoostSelector(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "AdaBoost"; }
+  Status Fit(const TrainingData& data) override;
+  StatusOr<std::vector<int>> Predict(
+      const std::vector<std::vector<float>>& windows) const override;
+
+ private:
+  Options options_;
+  features::FeatureScaler scaler_;
+  std::vector<DecisionTree> learners_;
+  std::vector<double> alphas_;
+  size_t num_classes_ = 0;
+};
+
+/// Random forest on TSFresh-style features (paper baseline
+/// "RandomForest"): bootstrap-sampled Gini trees with sqrt-feature
+/// subsampling, majority vote.
+class RandomForestSelector : public Selector {
+ public:
+  struct Options {
+    size_t num_trees = 40;
+    size_t max_depth = 12;
+    uint64_t seed = 43;
+  };
+
+  explicit RandomForestSelector(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "RandomForest"; }
+  Status Fit(const TrainingData& data) override;
+  StatusOr<std::vector<int>> Predict(
+      const std::vector<std::vector<float>>& windows) const override;
+
+ private:
+  Options options_;
+  features::FeatureScaler scaler_;
+  std::vector<DecisionTree> trees_;
+  size_t num_classes_ = 0;
+};
+
+}  // namespace kdsel::selectors
+
+#endif  // KDSEL_SELECTORS_CLASSICAL_H_

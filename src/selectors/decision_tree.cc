@@ -1,0 +1,149 @@
+#include "selectors/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace kdsel::selectors {
+
+Status DecisionTree::Fit(const std::vector<std::vector<float>>& rows,
+                         const std::vector<int>& labels, size_t num_classes,
+                         const std::vector<double>& weights) {
+  if (rows.empty()) return Status::InvalidArgument("no training rows");
+  if (labels.size() != rows.size()) {
+    return Status::InvalidArgument("labels/rows size mismatch");
+  }
+  if (!weights.empty() && weights.size() != rows.size()) {
+    return Status::InvalidArgument("weights/rows size mismatch");
+  }
+  nodes_.clear();
+  std::vector<size_t> idx(rows.size());
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  Rng rng(options_.seed);
+  std::vector<double> w = weights;
+  if (w.empty()) w.assign(rows.size(), 1.0);
+  BuildNode(rows, labels, w, num_classes, idx, 0, idx.size(), 0, rng);
+  return Status::OK();
+}
+
+int DecisionTree::BuildNode(const std::vector<std::vector<float>>& rows,
+                            const std::vector<int>& labels,
+                            const std::vector<double>& weights,
+                            size_t num_classes, std::vector<size_t>& idx,
+                            size_t begin, size_t end, size_t depth, Rng& rng) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  // Weighted class histogram for this node.
+  std::vector<double> hist(num_classes, 0.0);
+  for (size_t i = begin; i < end; ++i) {
+    hist[static_cast<size_t>(labels[idx[i]])] += weights[idx[i]];
+  }
+  const double total =
+      std::accumulate(hist.begin(), hist.end(), 0.0);
+  int majority = 0;
+  for (size_t c = 1; c < num_classes; ++c) {
+    if (hist[c] > hist[static_cast<size_t>(majority)]) {
+      majority = static_cast<int>(c);
+    }
+  }
+  nodes_[static_cast<size_t>(node_id)].label = majority;
+
+  // Stop: depth, size, or purity.
+  const bool pure = hist[static_cast<size_t>(majority)] >= total - 1e-12;
+  if (depth >= options_.max_depth || end - begin < options_.min_samples_split ||
+      pure || total <= 0) {
+    return node_id;
+  }
+
+  const size_t dim = rows[0].size();
+  const size_t n_features =
+      options_.max_features == 0 ? dim : std::min(options_.max_features, dim);
+  auto feature_pool = rng.Sample(dim, n_features);
+
+  // Find best split by Gini gain. For each candidate feature, sort node
+  // samples by value and scan thresholds between distinct values.
+  double best_gini = std::numeric_limits<double>::max();
+  size_t best_feature = 0;
+  float best_threshold = 0.0f;
+  bool found = false;
+
+  std::vector<size_t> local(idx.begin() + static_cast<ptrdiff_t>(begin),
+                            idx.begin() + static_cast<ptrdiff_t>(end));
+  std::vector<double> left_hist(num_classes);
+  for (size_t feature : feature_pool) {
+    std::sort(local.begin(), local.end(), [&](size_t a, size_t b) {
+      return rows[a][feature] < rows[b][feature];
+    });
+    std::fill(left_hist.begin(), left_hist.end(), 0.0);
+    double left_total = 0.0;
+    for (size_t i = 0; i + 1 < local.size(); ++i) {
+      const size_t r = local[i];
+      left_hist[static_cast<size_t>(labels[r])] += weights[r];
+      left_total += weights[r];
+      const float v0 = rows[r][feature];
+      const float v1 = rows[local[i + 1]][feature];
+      if (v1 <= v0) continue;  // Not a valid threshold between duplicates.
+      const double right_total = total - left_total;
+      if (left_total <= 0 || right_total <= 0) continue;
+      double left_gini = 1.0, right_gini = 1.0;
+      for (size_t c = 0; c < num_classes; ++c) {
+        const double pl = left_hist[c] / left_total;
+        const double pr = (hist[c] - left_hist[c]) / right_total;
+        left_gini -= pl * pl;
+        right_gini -= pr * pr;
+      }
+      const double weighted =
+          (left_total * left_gini + right_total * right_gini) / total;
+      if (weighted < best_gini) {
+        best_gini = weighted;
+        best_feature = feature;
+        best_threshold = 0.5f * (v0 + v1);
+        found = true;
+      }
+    }
+  }
+  if (!found) return node_id;
+
+  auto mid_it =
+      std::partition(idx.begin() + static_cast<ptrdiff_t>(begin),
+                     idx.begin() + static_cast<ptrdiff_t>(end), [&](size_t r) {
+                       return rows[r][best_feature] < best_threshold;
+                     });
+  const size_t mid = static_cast<size_t>(mid_it - idx.begin());
+  if (mid == begin || mid == end) return node_id;
+
+  const int left =
+      BuildNode(rows, labels, weights, num_classes, idx, begin, mid,
+                depth + 1, rng);
+  const int right =
+      BuildNode(rows, labels, weights, num_classes, idx, mid, end, depth + 1,
+                rng);
+  Node& node = nodes_[static_cast<size_t>(node_id)];
+  node.left = left;
+  node.right = right;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  return node_id;
+}
+
+int DecisionTree::PredictOne(const std::vector<float>& row) const {
+  KDSEL_CHECK(!nodes_.empty());
+  size_t node = 0;
+  while (nodes_[node].left != -1) {
+    node = row[nodes_[node].feature] < nodes_[node].threshold
+               ? static_cast<size_t>(nodes_[node].left)
+               : static_cast<size_t>(nodes_[node].right);
+  }
+  return nodes_[node].label;
+}
+
+std::vector<int> DecisionTree::Predict(
+    const std::vector<std::vector<float>>& rows) const {
+  std::vector<int> out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) out.push_back(PredictOne(r));
+  return out;
+}
+
+}  // namespace kdsel::selectors

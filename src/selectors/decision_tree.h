@@ -1,0 +1,58 @@
+#ifndef KDSEL_SELECTORS_DECISION_TREE_H_
+#define KDSEL_SELECTORS_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace kdsel::selectors {
+
+/// A CART-style classification tree with Gini impurity, supporting
+/// per-sample weights (needed by AdaBoost) and random feature
+/// subsampling (needed by RandomForest).
+class DecisionTree {
+ public:
+  struct Options {
+    size_t max_depth = 10;
+    size_t min_samples_split = 2;
+    /// Number of features considered per split; 0 = all.
+    size_t max_features = 0;
+    uint64_t seed = 31;
+  };
+
+  explicit DecisionTree(const Options& options) : options_(options) {}
+
+  /// `rows` is [N][D]; `labels` in [0, num_classes); `weights` empty or [N].
+  Status Fit(const std::vector<std::vector<float>>& rows,
+             const std::vector<int>& labels, size_t num_classes,
+             const std::vector<double>& weights);
+
+  int PredictOne(const std::vector<float>& row) const;
+  std::vector<int> Predict(const std::vector<std::vector<float>>& rows) const;
+
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int left = -1;   ///< -1 marks a leaf.
+    int right = -1;
+    size_t feature = 0;
+    float threshold = 0.0f;
+    int label = 0;   ///< Majority (weighted) class at this node.
+  };
+
+  int BuildNode(const std::vector<std::vector<float>>& rows,
+                const std::vector<int>& labels,
+                const std::vector<double>& weights, size_t num_classes,
+                std::vector<size_t>& idx, size_t begin, size_t end,
+                size_t depth, Rng& rng);
+
+  Options options_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace kdsel::selectors
+
+#endif  // KDSEL_SELECTORS_DECISION_TREE_H_

@@ -1,0 +1,138 @@
+#include "selectors/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace kdsel::selectors {
+
+double BandedDtwSquared(const std::vector<float>& a,
+                        const std::vector<float>& b, size_t band,
+                        double bound) {
+  KDSEL_CHECK(a.size() == b.size());
+  const size_t n = a.size();
+  if (n == 0) return 0.0;
+  band = std::max<size_t>(band, 1);
+  constexpr double kInf = std::numeric_limits<double>::max() / 4;
+
+  // Two rolling rows of the DP matrix, restricted to the band.
+  std::vector<double> prev(n, kInf), curr(n, kInf);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t j_lo = i > band ? i - band : 0;
+    const size_t j_hi = std::min(n - 1, i + band);
+    double row_min = kInf;
+    for (size_t j = j_lo; j <= j_hi; ++j) {
+      const double d = (static_cast<double>(a[i]) - b[j]) *
+                       (static_cast<double>(a[i]) - b[j]);
+      double best;
+      if (i == 0 && j == 0) {
+        best = 0.0;
+      } else {
+        best = kInf;
+        if (i > 0) best = std::min(best, prev[j]);                 // insertion
+        if (j > 0) best = std::min(best, curr[j - 1]);             // deletion
+        if (i > 0 && j > 0) best = std::min(best, prev[j - 1]);    // match
+      }
+      curr[j] = best >= kInf ? kInf : best + d;
+      row_min = std::min(row_min, curr[j]);
+    }
+    if (row_min >= bound) return bound;  // early abandon
+    std::swap(prev, curr);
+    std::fill(curr.begin(), curr.end(), kInf);
+  }
+  return std::min(prev[n - 1], bound);
+}
+
+double LbKeoghSquared(const std::vector<float>& query,
+                      const std::vector<float>& candidate, size_t band) {
+  KDSEL_CHECK(query.size() == candidate.size());
+  const size_t n = query.size();
+  band = std::max<size_t>(band, 1);
+  double lb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t lo = i > band ? i - band : 0;
+    const size_t hi = std::min(n - 1, i + band);
+    float upper = candidate[lo], lower = candidate[lo];
+    for (size_t j = lo + 1; j <= hi; ++j) {
+      upper = std::max(upper, candidate[j]);
+      lower = std::min(lower, candidate[j]);
+    }
+    const float q = query[i];
+    if (q > upper) {
+      lb += (static_cast<double>(q) - upper) * (static_cast<double>(q) - upper);
+    } else if (q < lower) {
+      lb += (static_cast<double>(q) - lower) * (static_cast<double>(q) - lower);
+    }
+  }
+  return lb;
+}
+
+Status DtwSelector::Fit(const TrainingData& data) {
+  KDSEL_RETURN_NOT_OK(ValidateTrainingData(data));
+  train_windows_.clear();
+  train_labels_.clear();
+  if (data.size() <= options_.max_train_samples) {
+    train_windows_ = data.windows;
+    train_labels_ = data.labels;
+    return Status::OK();
+  }
+  // Class-stratified subsample: round-robin over classes so minority
+  // classes keep representation.
+  std::vector<std::vector<size_t>> by_class(data.num_classes);
+  for (size_t i = 0; i < data.size(); ++i) {
+    by_class[static_cast<size_t>(data.labels[i])].push_back(i);
+  }
+  Rng rng(options_.seed);
+  for (auto& bucket : by_class) rng.Shuffle(bucket);
+  std::vector<size_t> cursor(data.num_classes, 0);
+  while (train_windows_.size() < options_.max_train_samples) {
+    bool any = false;
+    for (size_t c = 0;
+         c < data.num_classes &&
+         train_windows_.size() < options_.max_train_samples;
+         ++c) {
+      if (cursor[c] < by_class[c].size()) {
+        const size_t idx = by_class[c][cursor[c]++];
+        train_windows_.push_back(data.windows[idx]);
+        train_labels_.push_back(data.labels[idx]);
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<int>> DtwSelector::Predict(
+    const std::vector<std::vector<float>>& windows) const {
+  if (train_windows_.empty()) {
+    return Status::FailedPrecondition("DTW-1NN not fitted");
+  }
+  const size_t L = train_windows_[0].size();
+  const size_t band = std::max<size_t>(
+      1, static_cast<size_t>(options_.band_fraction * double(L)));
+  std::vector<int> out;
+  out.reserve(windows.size());
+  for (const auto& q : windows) {
+    if (q.size() != L) {
+      return Status::InvalidArgument("query window length mismatch");
+    }
+    double best = std::numeric_limits<double>::max();
+    int best_label = train_labels_[0];
+    for (size_t i = 0; i < train_windows_.size(); ++i) {
+      // LB_Keogh prune before the expensive DTW.
+      if (LbKeoghSquared(q, train_windows_[i], band) >= best) continue;
+      const double d = BandedDtwSquared(q, train_windows_[i], band, best);
+      if (d < best) {
+        best = d;
+        best_label = train_labels_[i];
+      }
+    }
+    out.push_back(best_label);
+  }
+  return out;
+}
+
+}  // namespace kdsel::selectors

@@ -1,0 +1,50 @@
+#ifndef KDSEL_SELECTORS_DTW_H_
+#define KDSEL_SELECTORS_DTW_H_
+
+#include <vector>
+
+#include "selectors/selector.h"
+
+namespace kdsel::selectors {
+
+/// Dynamic time warping distance with a Sakoe-Chiba band and early
+/// abandoning: returns min(DTW^2, bound) — computation stops once every
+/// cell in a row exceeds `bound`. `band` limits |i - j|.
+double BandedDtwSquared(const std::vector<float>& a,
+                        const std::vector<float>& b, size_t band,
+                        double bound);
+
+/// The LB_Keogh lower bound on banded-DTW^2 (used to skip full DTW
+/// computations during 1-NN search).
+double LbKeoghSquared(const std::vector<float>& query,
+                      const std::vector<float>& candidate, size_t band);
+
+/// 1-nearest-neighbour selector under banded DTW — the classic strong
+/// TSC baseline. O(n * m * L * band) per query, so the training set is
+/// subsampled to `max_train_samples` (class-stratified) at Fit time.
+class DtwSelector : public Selector {
+ public:
+  struct Options {
+    /// Sakoe-Chiba band as a fraction of the window length.
+    double band_fraction = 0.1;
+    size_t max_train_samples = 400;
+    uint64_t seed = 59;
+  };
+
+  explicit DtwSelector(const Options& options) : options_(options) {}
+  DtwSelector() : DtwSelector(Options{}) {}
+
+  std::string name() const override { return "DTW-1NN"; }
+  Status Fit(const TrainingData& data) override;
+  StatusOr<std::vector<int>> Predict(
+      const std::vector<std::vector<float>>& windows) const override;
+
+ private:
+  Options options_;
+  std::vector<std::vector<float>> train_windows_;
+  std::vector<int> train_labels_;
+};
+
+}  // namespace kdsel::selectors
+
+#endif  // KDSEL_SELECTORS_DTW_H_

@@ -1,0 +1,250 @@
+#include "selectors/more_classical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace kdsel::selectors {
+
+// --------------------------------------------------------------- ED-1NN
+
+Status Ed1nnSelector::Fit(const TrainingData& data) {
+  KDSEL_RETURN_NOT_OK(ValidateTrainingData(data));
+  train_windows_ = data.windows;
+  train_labels_ = data.labels;
+  return Status::OK();
+}
+
+StatusOr<std::vector<int>> Ed1nnSelector::Predict(
+    const std::vector<std::vector<float>>& windows) const {
+  if (train_windows_.empty()) {
+    return Status::FailedPrecondition("ED-1NN not fitted");
+  }
+  std::vector<int> out;
+  out.reserve(windows.size());
+  for (const auto& q : windows) {
+    if (q.size() != train_windows_[0].size()) {
+      return Status::InvalidArgument("query window length mismatch");
+    }
+    double best = std::numeric_limits<double>::max();
+    int best_label = train_labels_[0];
+    for (size_t i = 0; i < train_windows_.size(); ++i) {
+      const auto& t = train_windows_[i];
+      double acc = 0.0;
+      for (size_t j = 0; j < q.size(); ++j) {
+        double d = q[j] - t[j];
+        acc += d * d;
+        if (acc >= best) break;  // early abandon
+      }
+      if (acc < best) {
+        best = acc;
+        best_label = train_labels_[i];
+      }
+    }
+    out.push_back(best_label);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- Logistic
+
+Status LogisticSelector::Fit(const TrainingData& data) {
+  KDSEL_RETURN_NOT_OK(ValidateTrainingData(data));
+  auto raw = features::ExtractFeaturesBatch(data.windows);
+  scaler_.Fit(raw);
+  auto rows = scaler_.TransformBatch(raw);
+  num_classes_ = data.num_classes;
+  const size_t d = rows[0].size();
+  weights_.assign(num_classes_, std::vector<double>(d + 1, 0.0));
+
+  Rng rng(options_.seed);
+  std::vector<size_t> order(rows.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::vector<double> logits(num_classes_);
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    const double lr =
+        options_.learning_rate / (1.0 + 0.05 * static_cast<double>(epoch));
+    for (size_t i : order) {
+      const auto& x = rows[i];
+      double mx = -1e300;
+      for (size_t c = 0; c < num_classes_; ++c) {
+        const auto& w = weights_[c];
+        logits[c] = w[d];
+        for (size_t j = 0; j < d; ++j) logits[c] += w[j] * x[j];
+        mx = std::max(mx, logits[c]);
+      }
+      double sum = 0.0;
+      for (size_t c = 0; c < num_classes_; ++c) {
+        logits[c] = std::exp(logits[c] - mx);
+        sum += logits[c];
+      }
+      for (size_t c = 0; c < num_classes_; ++c) {
+        const double p = logits[c] / sum;
+        const double err =
+            p - (data.labels[i] == static_cast<int>(c) ? 1.0 : 0.0);
+        auto& w = weights_[c];
+        for (size_t j = 0; j < d; ++j) {
+          w[j] -= lr * (err * x[j] + options_.reg * w[j]);
+        }
+        w[d] -= lr * err;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<int>> LogisticSelector::Predict(
+    const std::vector<std::vector<float>>& windows) const {
+  if (weights_.empty()) {
+    return Status::FailedPrecondition("Logistic not fitted");
+  }
+  auto rows = scaler_.TransformBatch(features::ExtractFeaturesBatch(windows));
+  const size_t d = rows.empty() ? 0 : rows[0].size();
+  std::vector<int> out;
+  out.reserve(rows.size());
+  for (const auto& x : rows) {
+    int best = 0;
+    double best_score = -1e300;
+    for (size_t c = 0; c < num_classes_; ++c) {
+      const auto& w = weights_[c];
+      double score = w[d];
+      for (size_t j = 0; j < d; ++j) score += w[j] * x[j];
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(c);
+      }
+    }
+    out.push_back(best);
+  }
+  return out;
+}
+
+// ------------------------------------------------------ NearestCentroid
+
+Status NearestCentroidSelector::Fit(const TrainingData& data) {
+  KDSEL_RETURN_NOT_OK(ValidateTrainingData(data));
+  auto raw = features::ExtractFeaturesBatch(data.windows);
+  scaler_.Fit(raw);
+  auto rows = scaler_.TransformBatch(raw);
+  const size_t d = rows[0].size();
+  centroids_.assign(data.num_classes, std::vector<double>(d, 0.0));
+  seen_class_.assign(data.num_classes, false);
+  std::vector<size_t> counts(data.num_classes, 0);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto c = static_cast<size_t>(data.labels[i]);
+    for (size_t j = 0; j < d; ++j) centroids_[c][j] += rows[i][j];
+    ++counts[c];
+    seen_class_[c] = true;
+  }
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    if (counts[c] == 0) continue;
+    for (double& v : centroids_[c]) v /= static_cast<double>(counts[c]);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<int>> NearestCentroidSelector::Predict(
+    const std::vector<std::vector<float>>& windows) const {
+  if (centroids_.empty()) {
+    return Status::FailedPrecondition("NearestCentroid not fitted");
+  }
+  auto rows = scaler_.TransformBatch(features::ExtractFeaturesBatch(windows));
+  std::vector<int> out;
+  out.reserve(rows.size());
+  for (const auto& x : rows) {
+    int best = -1;
+    double best_d = std::numeric_limits<double>::max();
+    for (size_t c = 0; c < centroids_.size(); ++c) {
+      if (!seen_class_[c]) continue;
+      double acc = 0.0;
+      for (size_t j = 0; j < x.size(); ++j) {
+        double diff = x[j] - centroids_[c][j];
+        acc += diff * diff;
+      }
+      if (acc < best_d) {
+        best_d = acc;
+        best = static_cast<int>(c);
+      }
+    }
+    out.push_back(std::max(best, 0));
+  }
+  return out;
+}
+
+// ----------------------------------------------------------- GaussianNB
+
+Status GaussianNbSelector::Fit(const TrainingData& data) {
+  KDSEL_RETURN_NOT_OK(ValidateTrainingData(data));
+  auto raw = features::ExtractFeaturesBatch(data.windows);
+  scaler_.Fit(raw);
+  auto rows = scaler_.TransformBatch(raw);
+  const size_t d = rows[0].size();
+  const size_t k = data.num_classes;
+  mean_.assign(k, std::vector<double>(d, 0.0));
+  var_.assign(k, std::vector<double>(d, 0.0));
+  log_prior_.assign(k, -1e9);
+  seen_class_.assign(k, false);
+  std::vector<size_t> counts(k, 0);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto c = static_cast<size_t>(data.labels[i]);
+    for (size_t j = 0; j < d; ++j) mean_[c][j] += rows[i][j];
+    ++counts[c];
+  }
+  for (size_t c = 0; c < k; ++c) {
+    if (counts[c] == 0) continue;
+    seen_class_[c] = true;
+    for (double& v : mean_[c]) v /= static_cast<double>(counts[c]);
+    log_prior_[c] = std::log(static_cast<double>(counts[c]) /
+                             static_cast<double>(rows.size()));
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto c = static_cast<size_t>(data.labels[i]);
+    for (size_t j = 0; j < d; ++j) {
+      double diff = rows[i][j] - mean_[c][j];
+      var_[c][j] += diff * diff;
+    }
+  }
+  const double smoothing = 1e-3;
+  for (size_t c = 0; c < k; ++c) {
+    if (counts[c] == 0) continue;
+    for (double& v : var_[c]) {
+      v = v / static_cast<double>(counts[c]) + smoothing;
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<int>> GaussianNbSelector::Predict(
+    const std::vector<std::vector<float>>& windows) const {
+  if (mean_.empty()) {
+    return Status::FailedPrecondition("GaussianNB not fitted");
+  }
+  auto rows = scaler_.TransformBatch(features::ExtractFeaturesBatch(windows));
+  std::vector<int> out;
+  out.reserve(rows.size());
+  for (const auto& x : rows) {
+    int best = 0;
+    double best_ll = -std::numeric_limits<double>::max();
+    for (size_t c = 0; c < mean_.size(); ++c) {
+      if (!seen_class_[c]) continue;
+      double ll = log_prior_[c];
+      for (size_t j = 0; j < x.size(); ++j) {
+        const double diff = x[j] - mean_[c][j];
+        ll -= 0.5 * (std::log(2 * 3.14159265358979 * var_[c][j]) +
+                     diff * diff / var_[c][j]);
+      }
+      if (ll > best_ll) {
+        best_ll = ll;
+        best = static_cast<int>(c);
+      }
+    }
+    out.push_back(best);
+  }
+  return out;
+}
+
+}  // namespace kdsel::selectors

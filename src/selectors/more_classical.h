@@ -1,0 +1,84 @@
+#ifndef KDSEL_SELECTORS_MORE_CLASSICAL_H_
+#define KDSEL_SELECTORS_MORE_CLASSICAL_H_
+
+#include <vector>
+
+#include "features/features.h"
+#include "selectors/selector.h"
+
+namespace kdsel::selectors {
+
+/// 1-nearest-neighbour on raw z-normalized windows (Euclidean) — the
+/// classic ED-1NN time-series-classification baseline.
+class Ed1nnSelector : public Selector {
+ public:
+  std::string name() const override { return "ED-1NN"; }
+  Status Fit(const TrainingData& data) override;
+  StatusOr<std::vector<int>> Predict(
+      const std::vector<std::vector<float>>& windows) const override;
+
+ private:
+  std::vector<std::vector<float>> train_windows_;
+  std::vector<int> train_labels_;
+};
+
+/// Multinomial logistic regression (softmax linear model) on
+/// TSFresh-style features, trained with mini-batch gradient descent.
+class LogisticSelector : public Selector {
+ public:
+  struct Options {
+    size_t epochs = 60;
+    double learning_rate = 0.1;
+    double reg = 1e-4;
+    uint64_t seed = 53;
+  };
+
+  explicit LogisticSelector(const Options& options) : options_(options) {}
+  LogisticSelector() : LogisticSelector(Options{}) {}
+
+  std::string name() const override { return "Logistic"; }
+  Status Fit(const TrainingData& data) override;
+  StatusOr<std::vector<int>> Predict(
+      const std::vector<std::vector<float>>& windows) const override;
+
+ private:
+  Options options_;
+  features::FeatureScaler scaler_;
+  std::vector<std::vector<double>> weights_;  ///< [C][D+1], bias last.
+  size_t num_classes_ = 0;
+};
+
+/// Nearest class centroid on TSFresh-style features.
+class NearestCentroidSelector : public Selector {
+ public:
+  std::string name() const override { return "NearestCentroid"; }
+  Status Fit(const TrainingData& data) override;
+  StatusOr<std::vector<int>> Predict(
+      const std::vector<std::vector<float>>& windows) const override;
+
+ private:
+  features::FeatureScaler scaler_;
+  std::vector<std::vector<double>> centroids_;  ///< [C][D].
+  std::vector<bool> seen_class_;
+};
+
+/// Gaussian naive Bayes on TSFresh-style features (per-class diagonal
+/// Gaussians with variance smoothing).
+class GaussianNbSelector : public Selector {
+ public:
+  std::string name() const override { return "GaussianNB"; }
+  Status Fit(const TrainingData& data) override;
+  StatusOr<std::vector<int>> Predict(
+      const std::vector<std::vector<float>>& windows) const override;
+
+ private:
+  features::FeatureScaler scaler_;
+  std::vector<std::vector<double>> mean_;      ///< [C][D].
+  std::vector<std::vector<double>> var_;       ///< [C][D].
+  std::vector<double> log_prior_;              ///< [C].
+  std::vector<bool> seen_class_;
+};
+
+}  // namespace kdsel::selectors
+
+#endif  // KDSEL_SELECTORS_MORE_CLASSICAL_H_

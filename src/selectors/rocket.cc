@@ -1,0 +1,199 @@
+#include "selectors/rocket.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kdsel::selectors {
+
+namespace {
+
+/// Solves (A + lambda I) X = B for X where A is [d,d] SPD, B is [d,c],
+/// via Cholesky decomposition. Returns false if not positive definite.
+bool CholeskySolve(std::vector<double>& a, std::vector<double>& b, size_t d,
+                   size_t c, double lambda) {
+  for (size_t i = 0; i < d; ++i) a[i * d + i] += lambda;
+  // Cholesky: A = L L^T (in-place, lower triangle).
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a[i * d + j];
+      for (size_t k = 0; k < j; ++k) sum -= a[i * d + k] * a[j * d + k];
+      if (i == j) {
+        if (sum <= 0) return false;
+        a[i * d + i] = std::sqrt(sum);
+      } else {
+        a[i * d + j] = sum / a[j * d + j];
+      }
+    }
+  }
+  // Solve L Y = B, then L^T X = Y (per column).
+  for (size_t col = 0; col < c; ++col) {
+    for (size_t i = 0; i < d; ++i) {
+      double sum = b[i * c + col];
+      for (size_t k = 0; k < i; ++k) sum -= a[i * d + k] * b[k * c + col];
+      b[i * c + col] = sum / a[i * d + i];
+    }
+    for (size_t i = d; i-- > 0;) {
+      double sum = b[i * c + col];
+      for (size_t k = i + 1; k < d; ++k) sum -= a[k * d + i] * b[k * c + col];
+      b[i * c + col] = sum / a[i * d + i];
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void RocketSelector::SampleKernels(size_t input_length, Rng& rng) {
+  kernels_.clear();
+  kernels_.reserve(options_.num_kernels);
+  const size_t klen = options_.kernel_length;
+  for (size_t i = 0; i < options_.num_kernels; ++i) {
+    Kernel k;
+    k.weights.resize(klen);
+    double mean = 0.0;
+    for (float& w : k.weights) {
+      w = static_cast<float>(rng.Normal());
+      mean += w;
+    }
+    mean /= static_cast<double>(klen);
+    for (float& w : k.weights) w = static_cast<float>(w - mean);
+    k.bias = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    // Dilation sampled log-uniformly up to what the window allows.
+    const size_t max_dilation =
+        std::max<size_t>(1, (input_length - 1) / (klen - 1));
+    const double log_max = std::log2(static_cast<double>(max_dilation));
+    k.dilation = static_cast<size_t>(
+        std::pow(2.0, rng.Uniform(0.0, log_max)));
+    k.dilation = std::max<size_t>(1, k.dilation);
+    kernels_.push_back(std::move(k));
+  }
+}
+
+std::vector<float> RocketSelector::Transform(
+    const std::vector<float>& window) const {
+  std::vector<float> features;
+  features.reserve(kernels_.size() * 2);
+  const size_t n = window.size();
+  for (const Kernel& k : kernels_) {
+    const size_t span = (k.weights.size() - 1) * k.dilation;
+    size_t positives = 0, count = 0;
+    float max_v = -1e30f;
+    if (span < n) {
+      for (size_t start = 0; start + span < n; ++start) {
+        float acc = k.bias;
+        for (size_t j = 0; j < k.weights.size(); ++j) {
+          acc += k.weights[j] * window[start + j * k.dilation];
+        }
+        max_v = std::max(max_v, acc);
+        positives += (acc > 0);
+        ++count;
+      }
+    }
+    features.push_back(count > 0 ? static_cast<float>(positives) /
+                                       static_cast<float>(count)
+                                 : 0.0f);
+    features.push_back(count > 0 ? max_v : 0.0f);
+  }
+  return features;
+}
+
+Status RocketSelector::Fit(const TrainingData& data) {
+  KDSEL_RETURN_NOT_OK(ValidateTrainingData(data));
+  num_classes_ = data.num_classes;
+  Rng rng(options_.seed);
+  SampleKernels(data.windows[0].size(), rng);
+
+  // Transform all training windows.
+  std::vector<std::vector<float>> feats;
+  feats.reserve(data.size());
+  for (const auto& w : data.windows) feats.push_back(Transform(w));
+  const size_t f = feats[0].size();
+  const size_t n = feats.size();
+
+  // Standardize features (ridge is scale-sensitive).
+  feat_mean_.assign(f, 0.0f);
+  feat_inv_std_.assign(f, 1.0f);
+  {
+    std::vector<double> mean(f, 0.0), var(f, 0.0);
+    for (const auto& row : feats) {
+      for (size_t j = 0; j < f; ++j) mean[j] += row[j];
+    }
+    for (size_t j = 0; j < f; ++j) mean[j] /= static_cast<double>(n);
+    for (const auto& row : feats) {
+      for (size_t j = 0; j < f; ++j) {
+        double d = row[j] - mean[j];
+        var[j] += d * d;
+      }
+    }
+    for (size_t j = 0; j < f; ++j) {
+      double sd = std::sqrt(var[j] / static_cast<double>(n));
+      feat_mean_[j] = static_cast<float>(mean[j]);
+      feat_inv_std_[j] = static_cast<float>(sd > 1e-9 ? 1.0 / sd : 0.0);
+    }
+    for (auto& row : feats) {
+      for (size_t j = 0; j < f; ++j) {
+        row[j] = (row[j] - feat_mean_[j]) * feat_inv_std_[j];
+      }
+    }
+  }
+
+  // Ridge regression to one-hot targets (+ bias feature).
+  const size_t d = f + 1;
+  const size_t c = num_classes_;
+  std::vector<double> gram(d * d, 0.0);
+  std::vector<double> xty(d * c, 0.0);
+  std::vector<double> x(d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < f; ++j) x[j] = feats[i][j];
+    x[f] = 1.0;
+    for (size_t a = 0; a < d; ++a) {
+      for (size_t b = a; b < d; ++b) gram[a * d + b] += x[a] * x[b];
+    }
+    const size_t y = static_cast<size_t>(data.labels[i]);
+    for (size_t a = 0; a < d; ++a) {
+      xty[a * c + y] += x[a];       // target +1 for true class
+      for (size_t cc = 0; cc < c; ++cc) {
+        xty[a * c + cc] -= x[a] / static_cast<double>(c);  // center targets
+      }
+    }
+  }
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = 0; b < a; ++b) gram[a * d + b] = gram[b * d + a];
+  }
+  if (!CholeskySolve(gram, xty, d, c, options_.ridge_lambda)) {
+    return Status::Internal("ridge system not positive definite");
+  }
+  readout_.assign(c, std::vector<double>(d, 0.0));
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t cc = 0; cc < c; ++cc) readout_[cc][a] = xty[a * c + cc];
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<int>> RocketSelector::Predict(
+    const std::vector<std::vector<float>>& windows) const {
+  if (readout_.empty()) return Status::FailedPrecondition("Rocket not fitted");
+  std::vector<int> out;
+  out.reserve(windows.size());
+  for (const auto& w : windows) {
+    auto feat = Transform(w);
+    for (size_t j = 0; j < feat.size(); ++j) {
+      feat[j] = (feat[j] - feat_mean_[j]) * feat_inv_std_[j];
+    }
+    int best = 0;
+    double best_score = -1e300;
+    for (size_t c = 0; c < num_classes_; ++c) {
+      const auto& r = readout_[c];
+      double score = r.back();
+      for (size_t j = 0; j < feat.size(); ++j) score += r[j] * feat[j];
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(c);
+      }
+    }
+    out.push_back(best);
+  }
+  return out;
+}
+
+}  // namespace kdsel::selectors

@@ -1,0 +1,52 @@
+#ifndef KDSEL_SELECTORS_ROCKET_H_
+#define KDSEL_SELECTORS_ROCKET_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "selectors/selector.h"
+
+namespace kdsel::selectors {
+
+/// Rocket-style kernel selector (paper baseline "Rocket"/MiniRocket):
+/// many random dilated convolution kernels, each contributing a PPV
+/// (proportion of positive values) and a max feature, classified with a
+/// closed-form ridge-regression one-vs-rest readout.
+class RocketSelector : public Selector {
+ public:
+  struct Options {
+    size_t num_kernels = 200;
+    size_t kernel_length = 9;
+    double ridge_lambda = 1.0;
+    uint64_t seed = 47;
+  };
+
+  explicit RocketSelector(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "Rocket"; }
+  Status Fit(const TrainingData& data) override;
+  StatusOr<std::vector<int>> Predict(
+      const std::vector<std::vector<float>>& windows) const override;
+
+ private:
+  struct Kernel {
+    std::vector<float> weights;
+    float bias = 0.0f;
+    size_t dilation = 1;
+  };
+
+  /// Applies all kernels to one window -> 2*num_kernels features.
+  std::vector<float> Transform(const std::vector<float>& window) const;
+
+  void SampleKernels(size_t input_length, Rng& rng);
+
+  Options options_;
+  std::vector<Kernel> kernels_;
+  std::vector<std::vector<double>> readout_;  ///< [C][F+1], bias last.
+  std::vector<float> feat_mean_, feat_inv_std_;
+  size_t num_classes_ = 0;
+};
+
+}  // namespace kdsel::selectors
+
+#endif  // KDSEL_SELECTORS_ROCKET_H_

@@ -1,0 +1,49 @@
+#ifndef KDSEL_SELECTORS_SELECTOR_H_
+#define KDSEL_SELECTORS_SELECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kdsel::selectors {
+
+/// Window-level training set for a selector: fixed-length subsequences
+/// and the index of the best TSAD model for each (the hard label y_i).
+struct TrainingData {
+  std::vector<std::vector<float>> windows;  ///< [N][L], z-normalized.
+  std::vector<int> labels;                  ///< [N], in [0, num_classes).
+  size_t num_classes = 0;
+
+  size_t size() const { return windows.size(); }
+};
+
+/// Interface shared by all selectors (TSC models f in the paper).
+///
+/// A selector classifies a window into one of `num_classes` TSAD-model
+/// ids. Series-level selection (majority voting over a series' windows)
+/// is layered on top by `core::SelectSeriesModel`.
+class Selector {
+ public:
+  virtual ~Selector() = default;
+
+  Selector() = default;
+  Selector(const Selector&) = delete;
+  Selector& operator=(const Selector&) = delete;
+
+  virtual std::string name() const = 0;
+
+  /// Trains on window-level data. Called once.
+  virtual Status Fit(const TrainingData& data) = 0;
+
+  /// Predicts a model id per window.
+  virtual StatusOr<std::vector<int>> Predict(
+      const std::vector<std::vector<float>>& windows) const = 0;
+};
+
+/// Checks invariant conditions common to all Fit implementations.
+Status ValidateTrainingData(const TrainingData& data);
+
+}  // namespace kdsel::selectors
+
+#endif  // KDSEL_SELECTORS_SELECTOR_H_

@@ -1,0 +1,89 @@
+#include "ts/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/stringutil.h"
+
+namespace kdsel::ts {
+
+namespace fs = std::filesystem;
+
+Status SaveDataset(const Dataset& dataset, const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create directory: " + dir);
+
+  CsvTable manifest;
+  manifest.header = {"file", "name", "domain"};
+  for (size_t i = 0; i < dataset.series.size(); ++i) {
+    const TimeSeries& s = dataset.series[i];
+    std::string file = StrFormat("series_%04zu.csv", i);
+    CsvTable t;
+    t.header = {"value", "label"};
+    const bool labeled = s.has_labels();
+    for (size_t j = 0; j < s.length(); ++j) {
+      t.rows.push_back({StrFormat("%.9g", s.value(j)),
+                        labeled ? std::to_string(int(s.labels()[j])) : "0"});
+    }
+    KDSEL_RETURN_NOT_OK(WriteCsv((fs::path(dir) / file).string(), t));
+    manifest.rows.push_back({file, s.name(), dataset.domain_description});
+  }
+  return WriteCsv((fs::path(dir) / "manifest.csv").string(), manifest);
+}
+
+StatusOr<Dataset> LoadDataset(const std::string& dir) {
+  KDSEL_ASSIGN_OR_RETURN(
+      auto manifest, ReadCsv((fs::path(dir) / "manifest.csv").string(), true));
+  Dataset ds;
+  ds.name = fs::path(dir).filename().string();
+  for (const auto& row : manifest.rows) {
+    if (row.size() < 3) return Status::IoError("malformed manifest row");
+    KDSEL_ASSIGN_OR_RETURN(auto t,
+                           ReadCsv((fs::path(dir) / row[0]).string(), true));
+    TimeSeries s;
+    s.set_name(row[1]);
+    ds.domain_description = row[2];
+    std::vector<float> values;
+    std::vector<uint8_t> labels;
+    values.reserve(t.rows.size());
+    labels.reserve(t.rows.size());
+    for (const auto& r : t.rows) {
+      if (r.size() < 2) return Status::IoError("malformed series row");
+      values.push_back(std::strtof(r[0].c_str(), nullptr));
+      labels.push_back(static_cast<uint8_t>(r[1] == "1"));
+    }
+    s.mutable_values() = std::move(values);
+    KDSEL_RETURN_NOT_OK(s.SetLabels(std::move(labels)));
+    ds.series.push_back(std::move(s));
+  }
+  return ds;
+}
+
+TrainTestSplit SplitSeries(const Dataset& dataset, double train_fraction,
+                           uint64_t seed) {
+  TrainTestSplit split;
+  const size_t n = dataset.series.size();
+  if (n == 0) return split;
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  Rng rng(seed);
+  rng.Shuffle(idx);
+  size_t n_train = static_cast<size_t>(
+      std::ceil(train_fraction * static_cast<double>(n)));
+  n_train = std::clamp<size_t>(n_train, 1, n);
+  for (size_t i = 0; i < n; ++i) {
+    const TimeSeries& s = dataset.series[idx[i]];
+    if (i < n_train) {
+      split.train.push_back(s);
+    } else {
+      split.test.push_back(s);
+    }
+  }
+  return split;
+}
+
+}  // namespace kdsel::ts

@@ -1,0 +1,43 @@
+#ifndef KDSEL_TS_DATASET_H_
+#define KDSEL_TS_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ts/time_series.h"
+
+namespace kdsel::ts {
+
+/// A named collection of labeled time series from one source/domain
+/// (mirrors one TSB-UAD subset, e.g. "ECG" or "YAHOO").
+struct Dataset {
+  std::string name;
+  std::string domain_description;  ///< Natural-language domain knowledge.
+  std::vector<TimeSeries> series;
+
+  size_t size() const { return series.size(); }
+};
+
+/// Saves/loads a Dataset as a directory of CSV files (one per series,
+/// columns value,label) plus a manifest. Used by the selector-management
+/// examples; experiments generate data in memory.
+Status SaveDataset(const Dataset& dataset, const std::string& dir);
+StatusOr<Dataset> LoadDataset(const std::string& dir);
+
+/// Deterministic train/test split at series granularity.
+///
+/// `train_fraction` of each dataset's series (rounded up, at least one if
+/// the dataset is non-empty) go to train, the rest to test; mirrors the
+/// benchmark's recommended split where training data combines samples
+/// from all datasets.
+struct TrainTestSplit {
+  std::vector<TimeSeries> train;
+  std::vector<TimeSeries> test;
+};
+TrainTestSplit SplitSeries(const Dataset& dataset, double train_fraction,
+                           uint64_t seed);
+
+}  // namespace kdsel::ts
+
+#endif  // KDSEL_TS_DATASET_H_

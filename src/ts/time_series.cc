@@ -1,0 +1,87 @@
+#include "ts/time_series.h"
+
+#include <cmath>
+
+namespace kdsel::ts {
+
+Status TimeSeries::SetLabels(std::vector<uint8_t> labels) {
+  if (labels.size() != values_.size()) {
+    return Status::InvalidArgument("label length does not match series length");
+  }
+  labels_ = std::move(labels);
+  return Status::OK();
+}
+
+Status TimeSeries::MarkAnomaly(size_t begin, size_t end) {
+  if (begin > end || end > values_.size()) {
+    return Status::OutOfRange("anomaly region outside series");
+  }
+  if (labels_.empty()) labels_.assign(values_.size(), 0);
+  for (size_t i = begin; i < end; ++i) labels_[i] = 1;
+  return Status::OK();
+}
+
+std::vector<AnomalyRegion> TimeSeries::AnomalyRegions() const {
+  std::vector<AnomalyRegion> regions;
+  size_t i = 0;
+  while (i < labels_.size()) {
+    if (labels_[i]) {
+      size_t begin = i;
+      while (i < labels_.size() && labels_[i]) ++i;
+      regions.push_back({begin, i});
+    } else {
+      ++i;
+    }
+  }
+  return regions;
+}
+
+std::string TimeSeries::GetMeta(const std::string& key) const {
+  auto it = metadata_.find(key);
+  return it == metadata_.end() ? std::string() : it->second;
+}
+
+double TimeSeries::Mean() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (float v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double TimeSeries::Stddev() const {
+  if (values_.empty()) return 0.0;
+  double mean = Mean();
+  double ss = 0.0;
+  for (float v : values_) {
+    double d = v - mean;
+    ss += d * d;
+  }
+  return std::sqrt(ss / static_cast<double>(values_.size()));
+}
+
+void ZNormalize(std::vector<float>& values) {
+  if (values.empty()) return;
+  double sum = 0.0;
+  for (float v : values) sum += v;
+  double mean = sum / static_cast<double>(values.size());
+  double ss = 0.0;
+  for (float v : values) {
+    double d = v - mean;
+    ss += d * d;
+  }
+  double stddev = std::sqrt(ss / static_cast<double>(values.size()));
+  const double kEps = 1e-8;
+  if (stddev < kEps) {
+    for (float& v : values) v = static_cast<float>(v - mean);
+    return;
+  }
+  for (float& v : values) v = static_cast<float>((v - mean) / stddev);
+}
+
+TimeSeries ZNormalized(const TimeSeries& in) {
+  TimeSeries out = in;
+  ZNormalize(out.mutable_values());
+  return out;
+}
+
+}  // namespace kdsel::ts

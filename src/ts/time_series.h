@@ -1,0 +1,88 @@
+#ifndef KDSEL_TS_TIME_SERIES_H_
+#define KDSEL_TS_TIME_SERIES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kdsel::ts {
+
+/// A labeled anomaly region [begin, end) within a series.
+struct AnomalyRegion {
+  size_t begin = 0;
+  size_t end = 0;  // exclusive
+
+  size_t length() const { return end - begin; }
+};
+
+/// A univariate time series with optional per-point anomaly labels and
+/// free-form metadata.
+///
+/// This is the unit of work throughout the library: detectors score it,
+/// the windowing code slices it into fixed-length subsequences, and the
+/// selector predicts one TSAD model per series.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  TimeSeries(std::string name, std::vector<float> values)
+      : name_(std::move(name)), values_(std::move(values)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t length() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  const std::vector<float>& values() const { return values_; }
+  std::vector<float>& mutable_values() { return values_; }
+  float value(size_t i) const { return values_[i]; }
+
+  /// Per-point ground-truth labels (1 = anomalous). Empty when unlabeled.
+  const std::vector<uint8_t>& labels() const { return labels_; }
+  bool has_labels() const { return !labels_.empty(); }
+  /// Sets labels; must match the series length.
+  Status SetLabels(std::vector<uint8_t> labels);
+
+  /// Marks [begin, end) anomalous, allocating labels on first use.
+  Status MarkAnomaly(size_t begin, size_t end);
+
+  /// Contiguous runs of label==1, in order.
+  std::vector<AnomalyRegion> AnomalyRegions() const;
+  size_t NumAnomalies() const { return AnomalyRegions().size(); }
+
+  /// Arbitrary string metadata (e.g. "dataset", "domain"). Used by the
+  /// MKI module to build natural-language knowledge descriptions.
+  const std::map<std::string, std::string>& metadata() const {
+    return metadata_;
+  }
+  void SetMeta(const std::string& key, std::string value) {
+    metadata_[key] = std::move(value);
+  }
+  /// Returns the value for `key`, or "" when absent.
+  std::string GetMeta(const std::string& key) const;
+
+  /// Mean of the values (0 for an empty series).
+  double Mean() const;
+  /// Population standard deviation (0 for an empty series).
+  double Stddev() const;
+
+ private:
+  std::string name_;
+  std::vector<float> values_;
+  std::vector<uint8_t> labels_;
+  std::map<std::string, std::string> metadata_;
+};
+
+/// Z-normalizes `values` in place: (x - mean) / std. If the standard
+/// deviation is ~0 the values are centered only.
+void ZNormalize(std::vector<float>& values);
+
+/// Returns a z-normalized copy of `in` (labels/metadata preserved).
+TimeSeries ZNormalized(const TimeSeries& in);
+
+}  // namespace kdsel::ts
+
+#endif  // KDSEL_TS_TIME_SERIES_H_

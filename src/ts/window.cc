@@ -1,0 +1,60 @@
+#include "ts/window.h"
+
+namespace kdsel::ts {
+
+StatusOr<std::vector<Window>> ExtractWindows(const TimeSeries& series,
+                                             size_t series_index,
+                                             const WindowOptions& options) {
+  if (options.length == 0) {
+    return Status::InvalidArgument("window length must be positive");
+  }
+  const size_t L = options.length;
+  const size_t stride = options.stride == 0 ? L : options.stride;
+  const auto& v = series.values();
+  std::vector<Window> windows;
+
+  if (v.empty()) return windows;
+
+  if (v.size() < L) {
+    // Edge-replicate to a full window so short series still participate.
+    Window w;
+    w.series_index = series_index;
+    w.offset = 0;
+    w.values = v;
+    w.values.resize(L, v.back());
+    if (options.z_normalize) ZNormalize(w.values);
+    windows.push_back(std::move(w));
+    return windows;
+  }
+
+  size_t last_start = v.size() - L;
+  for (size_t start = 0;; start += stride) {
+    if (start > last_start) {
+      // Add a final window flush against the end unless already covered.
+      if (!windows.empty() && windows.back().offset == last_start) break;
+      start = last_start;
+    }
+    Window w;
+    w.series_index = series_index;
+    w.offset = start;
+    w.values.assign(v.begin() + static_cast<ptrdiff_t>(start),
+                    v.begin() + static_cast<ptrdiff_t>(start + L));
+    if (options.z_normalize) ZNormalize(w.values);
+    windows.push_back(std::move(w));
+    if (start == last_start) break;
+  }
+  return windows;
+}
+
+StatusOr<std::vector<Window>> ExtractWindows(
+    const std::vector<TimeSeries>& series, const WindowOptions& options) {
+  std::vector<Window> all;
+  for (size_t i = 0; i < series.size(); ++i) {
+    KDSEL_ASSIGN_OR_RETURN(auto windows,
+                           ExtractWindows(series[i], i, options));
+    for (auto& w : windows) all.push_back(std::move(w));
+  }
+  return all;
+}
+
+}  // namespace kdsel::ts

@@ -1,0 +1,42 @@
+#ifndef KDSEL_TS_WINDOW_H_
+#define KDSEL_TS_WINDOW_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ts/time_series.h"
+
+namespace kdsel::ts {
+
+/// Options for sliding-window subsequence extraction.
+struct WindowOptions {
+  size_t length = 64;   ///< Window size L (paper sweeps 16..1024).
+  size_t stride = 0;    ///< 0 means stride == length (non-overlapping).
+  bool z_normalize = true;  ///< Z-normalize each window independently.
+};
+
+/// A fixed-length view extracted from a series. `series_index` refers to
+/// the position of the source series in the caller's collection so that
+/// per-series majority voting can regroup window-level predictions.
+struct Window {
+  std::vector<float> values;
+  size_t series_index = 0;
+  size_t offset = 0;  ///< Start position within the source series.
+};
+
+/// Extracts fixed-length subsequences from `series`.
+///
+/// A series shorter than the window length yields a single window padded
+/// by edge replication (so no series is silently dropped). Otherwise the
+/// final partial window is aligned to end exactly at the series end.
+StatusOr<std::vector<Window>> ExtractWindows(const TimeSeries& series,
+                                             size_t series_index,
+                                             const WindowOptions& options);
+
+/// Convenience: windows from many series concatenated in order.
+StatusOr<std::vector<Window>> ExtractWindows(
+    const std::vector<TimeSeries>& series, const WindowOptions& options);
+
+}  // namespace kdsel::ts
+
+#endif  // KDSEL_TS_WINDOW_H_

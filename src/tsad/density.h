@@ -1,0 +1,49 @@
+#ifndef KDSEL_TSAD_DENSITY_H_
+#define KDSEL_TSAD_DENSITY_H_
+
+#include "tsad/detector.h"
+
+namespace kdsel::tsad {
+
+/// Local Outlier Factor (Breunig et al. 2000) over window embeddings:
+/// the ratio of each window's k-NN reachability density to its
+/// neighbours' densities. Exact O(n^2) neighbour search.
+class LofDetector : public Detector {
+ public:
+  struct Options {
+    size_t window = 16;
+    size_t k = 10;
+  };
+
+  explicit LofDetector(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "LOF"; }
+  StatusOr<std::vector<float>> Score(
+      const ts::TimeSeries& series) const override;
+
+ private:
+  Options options_;
+};
+
+/// Histogram-based outlier score: a value histogram is built over the
+/// series and each point scores the negative log height of its bin.
+class HbosDetector : public Detector {
+ public:
+  struct Options {
+    size_t num_bins = 20;
+    size_t lag_features = 3;  ///< Uses value + this many lags as features.
+  };
+
+  explicit HbosDetector(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "HBOS"; }
+  StatusOr<std::vector<float>> Score(
+      const ts::TimeSeries& series) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace kdsel::tsad
+
+#endif  // KDSEL_TSAD_DENSITY_H_

@@ -1,0 +1,49 @@
+#ifndef KDSEL_TSAD_DETECTOR_H_
+#define KDSEL_TSAD_DETECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ts/time_series.h"
+
+namespace kdsel::tsad {
+
+/// Interface for all TSAD models (the candidate set M of the paper).
+///
+/// A detector assigns every point of a series an anomaly score (higher =
+/// more anomalous). Detectors are unsupervised or self-supervised: they
+/// never see labels, mirroring the TSB-UAD protocol where performance is
+/// computed afterwards from scores + ground truth.
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  Detector() = default;
+  Detector(const Detector&) = delete;
+  Detector& operator=(const Detector&) = delete;
+
+  /// Canonical model name ("IForest", "LOF", ...).
+  virtual std::string name() const = 0;
+
+  /// Per-point anomaly scores; result length == series length.
+  /// Fails on series shorter than the detector's minimum context.
+  virtual StatusOr<std::vector<float>> Score(
+      const ts::TimeSeries& series) const = 0;
+};
+
+/// The canonical 12 TSAD model names in the paper's order.
+const std::vector<std::string>& CanonicalModelNames();
+
+/// Builds the full 12-model candidate set with default settings.
+/// `seed` drives the stochastic detectors (IForest, AE, ...).
+std::vector<std::unique_ptr<Detector>> BuildDefaultModelSet(uint64_t seed);
+
+/// Builds one detector by canonical name.
+StatusOr<std::unique_ptr<Detector>> BuildDetector(const std::string& name,
+                                                  uint64_t seed);
+
+}  // namespace kdsel::tsad
+
+#endif  // KDSEL_TSAD_DETECTOR_H_

@@ -1,0 +1,40 @@
+#ifndef KDSEL_TSAD_ENSEMBLE_H_
+#define KDSEL_TSAD_ENSEMBLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "tsad/detector.h"
+
+namespace kdsel::tsad {
+
+/// The ensembling baseline from the paper's introduction: run every
+/// candidate model and combine their (min-max normalized) scores.
+/// Accurate but requires |M| detector runs per series — the cost that
+/// motivates model selection.
+class EnsembleDetector : public Detector {
+ public:
+  enum class Combine {
+    kMean,    ///< Average of normalized scores.
+    kMax,     ///< Pointwise maximum of normalized scores.
+    kMedian,  ///< Pointwise median of normalized scores.
+  };
+
+  /// Takes ownership of `members`. At least one member required.
+  EnsembleDetector(std::vector<std::unique_ptr<Detector>> members,
+                   Combine combine);
+
+  std::string name() const override;
+  StatusOr<std::vector<float>> Score(
+      const ts::TimeSeries& series) const override;
+
+  size_t size() const { return members_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Detector>> members_;
+  Combine combine_;
+};
+
+}  // namespace kdsel::tsad
+
+#endif  // KDSEL_TSAD_ENSEMBLE_H_

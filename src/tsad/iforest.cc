@@ -1,0 +1,146 @@
+#include "tsad/iforest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tsad/util.h"
+
+namespace kdsel::tsad {
+
+namespace {
+
+/// A node of an isolation tree, stored in a flat vector.
+struct ITreeNode {
+  int left = -1;    ///< -1 marks a leaf.
+  int right = -1;
+  size_t feature = 0;
+  float threshold = 0.0f;
+  size_t size = 0;  ///< Number of training rows reaching this node (leaf).
+};
+
+/// Average unsuccessful-search path length of a BST with n nodes.
+double AveragePathLength(size_t n) {
+  if (n <= 1) return 0.0;
+  double h = std::log(static_cast<double>(n - 1)) + 0.5772156649;
+  return 2.0 * h - 2.0 * static_cast<double>(n - 1) / static_cast<double>(n);
+}
+
+class ITree {
+ public:
+  /// Builds on the rows indexed by `idx` (mutated in place for partitioning).
+  void Build(const std::vector<std::vector<float>>& rows,
+             std::vector<size_t>& idx, size_t max_depth, Rng& rng) {
+    nodes_.clear();
+    BuildNode(rows, idx, 0, idx.size(), 0, max_depth, rng);
+  }
+
+  double PathLength(const std::vector<float>& x) const {
+    size_t node = 0;
+    double depth = 0.0;
+    while (nodes_[node].left != -1) {
+      node = x[nodes_[node].feature] < nodes_[node].threshold
+                 ? static_cast<size_t>(nodes_[node].left)
+                 : static_cast<size_t>(nodes_[node].right);
+      depth += 1.0;
+    }
+    return depth + AveragePathLength(nodes_[node].size);
+  }
+
+ private:
+  int BuildNode(const std::vector<std::vector<float>>& rows,
+                std::vector<size_t>& idx, size_t begin, size_t end,
+                size_t depth, size_t max_depth, Rng& rng) {
+    const int node_id = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+    const size_t n = end - begin;
+    if (n <= 1 || depth >= max_depth) {
+      nodes_[static_cast<size_t>(node_id)].size = n;
+      return node_id;
+    }
+    const size_t dim = rows[idx[begin]].size();
+    // Pick a feature with spread; give up after a few tries (constant data).
+    size_t feature = 0;
+    float lo = 0, hi = 0;
+    bool found = false;
+    for (int attempt = 0; attempt < 8 && !found; ++attempt) {
+      feature = rng.Index(dim);
+      lo = hi = rows[idx[begin]][feature];
+      for (size_t i = begin + 1; i < end; ++i) {
+        lo = std::min(lo, rows[idx[i]][feature]);
+        hi = std::max(hi, rows[idx[i]][feature]);
+      }
+      found = hi > lo;
+    }
+    if (!found) {
+      nodes_[static_cast<size_t>(node_id)].size = n;
+      return node_id;
+    }
+    const float threshold =
+        static_cast<float>(rng.Uniform(lo, hi));
+    auto mid_it = std::partition(
+        idx.begin() + static_cast<ptrdiff_t>(begin),
+        idx.begin() + static_cast<ptrdiff_t>(end),
+        [&](size_t r) { return rows[r][feature] < threshold; });
+    size_t mid = static_cast<size_t>(mid_it - idx.begin());
+    if (mid == begin || mid == end) {
+      // Degenerate split (threshold at boundary); make a leaf.
+      nodes_[static_cast<size_t>(node_id)].size = n;
+      return node_id;
+    }
+    int left = BuildNode(rows, idx, begin, mid, depth + 1, max_depth, rng);
+    int right = BuildNode(rows, idx, mid, end, depth + 1, max_depth, rng);
+    ITreeNode& node = nodes_[static_cast<size_t>(node_id)];
+    node.left = left;
+    node.right = right;
+    node.feature = feature;
+    node.threshold = threshold;
+    return node_id;
+  }
+
+  std::vector<ITreeNode> nodes_;
+};
+
+}  // namespace
+
+IForestDetector::IForestDetector(const Options& options) : options_(options) {
+  KDSEL_CHECK(options_.window >= 1);
+  KDSEL_CHECK(options_.num_trees >= 1);
+}
+
+StatusOr<std::vector<float>> IForestDetector::Score(
+    const ts::TimeSeries& series) const {
+  const size_t w = options_.window;
+  if (series.length() < std::max<size_t>(w, 8)) {
+    return Status::InvalidArgument("series too short for IForest");
+  }
+  // Window = 1 scores raw points; larger windows are z-normalized
+  // subsequences, as in TSB-UAD.
+  auto rows = EmbedWindows(series, w, /*z_normalize=*/w > 1);
+  Rng rng(options_.seed);
+
+  const size_t sample_size = std::min(options_.subsample, rows.size());
+  const size_t max_depth = static_cast<size_t>(
+      std::ceil(std::log2(std::max<double>(2.0, double(sample_size)))));
+  const double c = AveragePathLength(sample_size);
+
+  std::vector<double> avg_path(rows.size(), 0.0);
+  for (size_t t = 0; t < options_.num_trees; ++t) {
+    auto idx = rng.Sample(rows.size(), sample_size);
+    ITree tree;
+    tree.Build(rows, idx, max_depth, rng);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      avg_path[i] += tree.PathLength(rows[i]);
+    }
+  }
+  std::vector<float> window_scores(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    double e = avg_path[i] / static_cast<double>(options_.num_trees);
+    window_scores[i] =
+        static_cast<float>(std::pow(2.0, -e / std::max(c, 1e-9)));
+  }
+  auto scores = WindowToPointScores(window_scores, w, series.length());
+  MinMaxNormalize(scores);
+  return scores;
+}
+
+}  // namespace kdsel::tsad

@@ -1,0 +1,41 @@
+#ifndef KDSEL_TSAD_IFOREST_H_
+#define KDSEL_TSAD_IFOREST_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "tsad/detector.h"
+
+namespace kdsel::tsad {
+
+/// Isolation Forest (Liu et al. 2008) over sliding-window embeddings.
+///
+/// Subsequences that need fewer random axis-aligned splits to isolate
+/// are more anomalous. `IForest` embeds windows of `window` points;
+/// `IForest1` (the paper's point-wise variant) sets window = 1 so each
+/// data point is scored individually.
+class IForestDetector : public Detector {
+ public:
+  struct Options {
+    size_t window = 32;        ///< 1 => IForest1.
+    size_t num_trees = 64;
+    size_t subsample = 256;
+    uint64_t seed = 7;
+  };
+
+  explicit IForestDetector(const Options& options);
+
+  std::string name() const override {
+    return options_.window == 1 ? "IForest1" : "IForest";
+  }
+  StatusOr<std::vector<float>> Score(
+      const ts::TimeSeries& series) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace kdsel::tsad
+
+#endif  // KDSEL_TSAD_IFOREST_H_

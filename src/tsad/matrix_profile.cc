@@ -1,0 +1,75 @@
+#include "tsad/matrix_profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tsad/util.h"
+
+namespace kdsel::tsad {
+
+StatusOr<std::vector<float>> MatrixProfileDetector::Score(
+    const ts::TimeSeries& series) const {
+  const size_t w = options_.window;
+  const size_t n = series.length();
+  if (n < 2 * w) {
+    return Status::InvalidArgument("series too short for MatrixProfile");
+  }
+  const auto& x = series.values();
+  const size_t m = n - w + 1;  // number of subsequences
+
+  // Rolling means and stds via cumulative sums.
+  std::vector<double> mean(m), inv_std(m);
+  {
+    double sum = 0.0, sq = 0.0;
+    for (size_t i = 0; i < w; ++i) {
+      sum += x[i];
+      sq += static_cast<double>(x[i]) * x[i];
+    }
+    for (size_t i = 0;; ++i) {
+      mean[i] = sum / static_cast<double>(w);
+      double var = sq / static_cast<double>(w) - mean[i] * mean[i];
+      inv_std[i] = 1.0 / std::sqrt(std::max(var, 1e-12));
+      if (i + 1 >= m) break;
+      sum += x[i + w] - x[i];
+      sq += static_cast<double>(x[i + w]) * x[i + w] -
+            static_cast<double>(x[i]) * x[i];
+    }
+  }
+
+  std::vector<double> profile(m, std::numeric_limits<double>::max());
+  const size_t excl = std::max<size_t>(
+      1, static_cast<size_t>(options_.exclusion_fraction * double(w)));
+
+  // Diagonal traversal: for each offset d >= excl, slide the dot product
+  // QT(i, i+d) down the diagonal with O(1) updates.
+  for (size_t d = excl; d < m; ++d) {
+    double qt = 0.0;
+    for (size_t t = 0; t < w; ++t) {
+      qt += static_cast<double>(x[t]) * x[t + d];
+    }
+    for (size_t i = 0;; ++i) {
+      const size_t j = i + d;
+      // z-normalized distance^2 = 2w(1 - corr).
+      double corr = (qt - double(w) * mean[i] * mean[j]) *
+                    (inv_std[i] * inv_std[j]) / static_cast<double>(w);
+      corr = std::clamp(corr, -1.0, 1.0);
+      double dist2 = 2.0 * static_cast<double>(w) * (1.0 - corr);
+      profile[i] = std::min(profile[i], dist2);
+      profile[j] = std::min(profile[j], dist2);
+      if (j + 1 >= m) break;
+      qt += static_cast<double>(x[i + w]) * x[j + w] -
+            static_cast<double>(x[i]) * x[j];
+    }
+  }
+
+  std::vector<float> window_scores(m);
+  for (size_t i = 0; i < m; ++i) {
+    window_scores[i] = static_cast<float>(std::sqrt(std::max(profile[i], 0.0)));
+  }
+  auto scores = WindowToPointScores(window_scores, w, n);
+  MinMaxNormalize(scores);
+  return scores;
+}
+
+}  // namespace kdsel::tsad

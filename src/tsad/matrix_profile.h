@@ -1,0 +1,36 @@
+#ifndef KDSEL_TSAD_MATRIX_PROFILE_H_
+#define KDSEL_TSAD_MATRIX_PROFILE_H_
+
+#include "tsad/detector.h"
+
+namespace kdsel::tsad {
+
+/// Matrix Profile discord detector (MP in the paper's model set).
+///
+/// For each subsequence, computes the z-normalized Euclidean distance to
+/// its nearest non-trivial match; subsequences with large 1-NN distance
+/// (discords) are anomalous. Uses the diagonal-traversal exact algorithm
+/// (O(n^2) with O(1) work per cell, STOMP-style running dot products).
+class MatrixProfileDetector : public Detector {
+ public:
+  struct Options {
+    size_t window = 48;
+    /// Trivial-match exclusion zone around each index, as a fraction of
+    /// the window (standard is 1/2).
+    double exclusion_fraction = 0.5;
+  };
+
+  explicit MatrixProfileDetector(const Options& options)
+      : options_(options) {}
+
+  std::string name() const override { return "MP"; }
+  StatusOr<std::vector<float>> Score(
+      const ts::TimeSeries& series) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace kdsel::tsad
+
+#endif  // KDSEL_TSAD_MATRIX_PROFILE_H_

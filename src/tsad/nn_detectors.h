@@ -1,0 +1,61 @@
+#ifndef KDSEL_TSAD_NN_DETECTORS_H_
+#define KDSEL_TSAD_NN_DETECTORS_H_
+
+#include "tsad/detector.h"
+
+namespace kdsel::tsad {
+
+/// Autoencoder detector: an MLP (window -> latent -> window) is trained
+/// on the series' own subsequences with MSE; anomalous subsequences
+/// reconstruct poorly. Self-supervised per series, as in TSB-UAD.
+class AutoencoderDetector : public Detector {
+ public:
+  struct Options {
+    size_t window = 32;
+    size_t latent = 8;
+    size_t hidden = 32;
+    size_t epochs = 30;
+    size_t batch_size = 64;
+    size_t max_train_windows = 512;
+    double learning_rate = 1e-2;
+    uint64_t seed = 17;
+  };
+
+  explicit AutoencoderDetector(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "AE"; }
+  StatusOr<std::vector<float>> Score(
+      const ts::TimeSeries& series) const override;
+
+ private:
+  Options options_;
+};
+
+/// CNN forecasting detector: a small 1-D CNN predicts each value from
+/// the preceding window; prediction error is the anomaly score.
+class CnnDetector : public Detector {
+ public:
+  struct Options {
+    size_t window = 32;
+    size_t channels = 8;
+    size_t kernel = 5;
+    size_t epochs = 20;
+    size_t batch_size = 64;
+    size_t max_train_windows = 512;
+    double learning_rate = 1e-2;
+    uint64_t seed = 19;
+  };
+
+  explicit CnnDetector(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "CNN"; }
+  StatusOr<std::vector<float>> Score(
+      const ts::TimeSeries& series) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace kdsel::tsad
+
+#endif  // KDSEL_TSAD_NN_DETECTORS_H_

@@ -1,0 +1,44 @@
+#include "tsad/norma.h"
+
+#include <cmath>
+#include <limits>
+
+#include "tsad/util.h"
+
+namespace kdsel::tsad {
+
+StatusOr<std::vector<float>> NormaDetector::Score(
+    const ts::TimeSeries& series) const {
+  const size_t w = options_.window;
+  if (series.length() < w * 2) {
+    return Status::InvalidArgument("series too short for NORMA");
+  }
+  auto rows = EmbedWindows(series, w, /*z_normalize=*/true);
+  Rng rng(options_.seed);
+  KDSEL_ASSIGN_OR_RETURN(
+      auto km, KMeans(rows, options_.num_clusters, options_.kmeans_iters, rng));
+
+  // The normal model: centroids weighted by their cluster share. A
+  // subsequence's score is its frequency-weighted average distance to
+  // the normal patterns, so distance to the dominant (most normal)
+  // behaviour dominates the score.
+  const size_t k = km.centroids.size();
+  std::vector<double> weight(k);
+  for (size_t c = 0; c < k; ++c) {
+    weight[c] =
+        static_cast<double>(km.cluster_size[c]) / double(rows.size());
+  }
+  std::vector<float> window_scores(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    double acc = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      acc += weight[c] * std::sqrt(SquaredDistance(rows[i], km.centroids[c]));
+    }
+    window_scores[i] = static_cast<float>(acc);
+  }
+  auto scores = WindowToPointScores(window_scores, w, series.length());
+  MinMaxNormalize(scores);
+  return scores;
+}
+
+}  // namespace kdsel::tsad

@@ -1,0 +1,33 @@
+#ifndef KDSEL_TSAD_NORMA_H_
+#define KDSEL_TSAD_NORMA_H_
+
+#include "tsad/detector.h"
+
+namespace kdsel::tsad {
+
+/// NormA-style detector (Boniol et al.): summarizes the series' normal
+/// behaviour as a weighted set of cluster centroids over z-normalized
+/// subsequences, then scores each subsequence by its weighted distance
+/// to that normal model (larger = more anomalous).
+class NormaDetector : public Detector {
+ public:
+  struct Options {
+    size_t window = 32;
+    size_t num_clusters = 4;
+    size_t kmeans_iters = 25;
+    uint64_t seed = 11;
+  };
+
+  explicit NormaDetector(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "NORMA"; }
+  StatusOr<std::vector<float>> Score(
+      const ts::TimeSeries& series) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace kdsel::tsad
+
+#endif  // KDSEL_TSAD_NORMA_H_

@@ -1,0 +1,82 @@
+#include "tsad/ocsvm.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tsad/util.h"
+
+namespace kdsel::tsad {
+
+StatusOr<std::vector<float>> OcsvmDetector::Score(
+    const ts::TimeSeries& series) const {
+  const size_t w = options_.window;
+  if (series.length() < 2 * w) {
+    return Status::InvalidArgument("series too short for OCSVM");
+  }
+  auto rows = EmbedWindows(series, w, /*z_normalize=*/true);
+  const size_t n = rows.size();
+  const size_t d = options_.num_features;
+  const double gamma =
+      options_.gamma > 0 ? options_.gamma : 1.0 / static_cast<double>(w);
+
+  // Random Fourier features: phi(x) = sqrt(2/D) cos(Omega x + b),
+  // Omega ~ N(0, 2*gamma I), b ~ U[0, 2pi).
+  Rng rng(options_.seed);
+  std::vector<float> omega(d * w);
+  std::vector<float> phase(d);
+  const double omega_std = std::sqrt(2.0 * gamma);
+  for (float& v : omega) v = static_cast<float>(rng.Normal(0.0, omega_std));
+  for (float& v : phase) {
+    v = static_cast<float>(rng.Uniform(0.0, 2.0 * 3.14159265358979));
+  }
+  const float amp = static_cast<float>(std::sqrt(2.0 / double(d)));
+
+  std::vector<std::vector<float>> phi(n, std::vector<float>(d));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      const float* orow = omega.data() + j * w;
+      double acc = phase[j];
+      for (size_t t = 0; t < w; ++t) acc += orow[t] * rows[i][t];
+      phi[i][j] = amp * static_cast<float>(std::cos(acc));
+    }
+  }
+
+  // SGD on the one-class SVM objective. Per-sample gradients are the
+  // full objective's gradient scaled by n (each sample contributes its
+  // 1/n share of the regularizer and rho terms):
+  //   g_w = w - [margin < 0] * phi_i / nu,   g_rho = -1 + [margin < 0]/nu.
+  std::vector<double> weights(d, 0.0);
+  double rho = 0.0;
+  const double inv_nu = 1.0 / options_.nu;
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    // Decaying step size.
+    const double lr =
+        options_.learning_rate / (1.0 + 0.2 * static_cast<double>(epoch));
+    for (size_t i : order) {
+      double margin = -rho;
+      for (size_t j = 0; j < d; ++j) margin += weights[j] * phi[i][j];
+      const bool violated = margin < 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        double grad = weights[j];
+        if (violated) grad -= inv_nu * phi[i][j];
+        weights[j] -= lr * grad;
+      }
+      rho -= lr * (violated ? inv_nu - 1.0 : -1.0);
+    }
+  }
+
+  std::vector<float> window_scores(n);
+  for (size_t i = 0; i < n; ++i) {
+    double margin = -rho;
+    for (size_t j = 0; j < d; ++j) margin += weights[j] * phi[i][j];
+    window_scores[i] = static_cast<float>(-margin);  // more negative = normal
+  }
+  auto scores = WindowToPointScores(window_scores, w, series.length());
+  MinMaxNormalize(scores);
+  return scores;
+}
+
+}  // namespace kdsel::tsad

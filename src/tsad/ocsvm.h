@@ -1,0 +1,39 @@
+#ifndef KDSEL_TSAD_OCSVM_H_
+#define KDSEL_TSAD_OCSVM_H_
+
+#include "tsad/detector.h"
+
+namespace kdsel::tsad {
+
+/// One-class SVM detector over window embeddings.
+///
+/// The RBF kernel is approximated with random Fourier features (Rahimi &
+/// Recht 2007); the linear one-class SVM objective
+///   min_w,rho  1/2 ||w||^2 - rho + 1/(nu*n) sum_i max(0, rho - <w, phi_i>)
+/// is then optimized with SGD. Score = rho - <w, phi(x)> (signed margin
+/// violation, larger = more anomalous).
+class OcsvmDetector : public Detector {
+ public:
+  struct Options {
+    size_t window = 24;
+    size_t num_features = 64;  ///< Random Fourier feature dimension.
+    double nu = 0.1;
+    double gamma = 0.0;        ///< RBF width; 0 => 1/window.
+    size_t epochs = 30;
+    double learning_rate = 0.05;
+    uint64_t seed = 29;
+  };
+
+  explicit OcsvmDetector(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "OCSVM"; }
+  StatusOr<std::vector<float>> Score(
+      const ts::TimeSeries& series) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace kdsel::tsad
+
+#endif  // KDSEL_TSAD_OCSVM_H_

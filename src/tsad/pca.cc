@@ -1,0 +1,100 @@
+#include "tsad/pca.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tsad/util.h"
+
+namespace kdsel::tsad {
+
+StatusOr<std::vector<float>> PcaDetector::Score(
+    const ts::TimeSeries& series) const {
+  const size_t w = options_.window;
+  if (series.length() < 2 * w) {
+    return Status::InvalidArgument("series too short for PCA");
+  }
+  auto rows = EmbedWindows(series, w, /*z_normalize=*/false);
+  const size_t n = rows.size();
+  const size_t k = std::min(options_.num_components, w);
+
+  // Center columns.
+  std::vector<double> col_mean(w, 0.0);
+  for (const auto& r : rows) {
+    for (size_t j = 0; j < w; ++j) col_mean[j] += r[j];
+  }
+  for (double& m : col_mean) m /= static_cast<double>(n);
+  std::vector<std::vector<float>> centered = rows;
+  for (auto& r : centered) {
+    for (size_t j = 0; j < w; ++j) {
+      r[j] = static_cast<float>(r[j] - col_mean[j]);
+    }
+  }
+
+  // Covariance matrix (w x w).
+  std::vector<double> cov(w * w, 0.0);
+  for (const auto& r : centered) {
+    for (size_t a = 0; a < w; ++a) {
+      const double ra = r[a];
+      for (size_t b = a; b < w; ++b) {
+        cov[a * w + b] += ra * r[b];
+      }
+    }
+  }
+  for (size_t a = 0; a < w; ++a) {
+    for (size_t b = a; b < w; ++b) {
+      cov[a * w + b] /= static_cast<double>(n);
+      cov[b * w + a] = cov[a * w + b];
+    }
+  }
+
+  // Top-k eigenvectors via power iteration with Gram-Schmidt deflation.
+  Rng rng(options_.seed);
+  std::vector<std::vector<double>> components;
+  for (size_t c = 0; c < k; ++c) {
+    std::vector<double> v(w);
+    for (double& x : v) x = rng.Normal();
+    for (size_t iter = 0; iter < options_.power_iters; ++iter) {
+      // Orthogonalize against found components.
+      for (const auto& u : components) {
+        double dot = 0.0;
+        for (size_t j = 0; j < w; ++j) dot += v[j] * u[j];
+        for (size_t j = 0; j < w; ++j) v[j] -= dot * u[j];
+      }
+      // v <- cov * v, normalized.
+      std::vector<double> nv(w, 0.0);
+      for (size_t a = 0; a < w; ++a) {
+        double acc = 0.0;
+        const double* row = cov.data() + a * w;
+        for (size_t b = 0; b < w; ++b) acc += row[b] * v[b];
+        nv[a] = acc;
+      }
+      double norm = 0.0;
+      for (double x : nv) norm += x * x;
+      norm = std::sqrt(norm);
+      if (norm < 1e-12) break;
+      for (size_t j = 0; j < w; ++j) v[j] = nv[j] / norm;
+    }
+    components.push_back(std::move(v));
+  }
+
+  // Reconstruction error per window.
+  std::vector<float> window_scores(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& r = centered[i];
+    double energy = 0.0;
+    for (size_t j = 0; j < w; ++j) energy += static_cast<double>(r[j]) * r[j];
+    double captured = 0.0;
+    for (const auto& u : components) {
+      double proj = 0.0;
+      for (size_t j = 0; j < w; ++j) proj += r[j] * u[j];
+      captured += proj * proj;
+    }
+    window_scores[i] =
+        static_cast<float>(std::sqrt(std::max(0.0, energy - captured)));
+  }
+  auto scores = WindowToPointScores(window_scores, w, series.length());
+  MinMaxNormalize(scores);
+  return scores;
+}
+
+}  // namespace kdsel::tsad

@@ -1,0 +1,33 @@
+#ifndef KDSEL_TSAD_PCA_H_
+#define KDSEL_TSAD_PCA_H_
+
+#include "tsad/detector.h"
+
+namespace kdsel::tsad {
+
+/// PCA reconstruction detector: window embeddings are projected onto the
+/// top principal components (found by orthogonal power iteration on the
+/// covariance); points in subsequences with large reconstruction error
+/// lie off the data's dominant hyperplane and score as anomalous.
+class PcaDetector : public Detector {
+ public:
+  struct Options {
+    size_t window = 24;
+    size_t num_components = 4;
+    size_t power_iters = 50;
+    uint64_t seed = 13;
+  };
+
+  explicit PcaDetector(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "PCA"; }
+  StatusOr<std::vector<float>> Score(
+      const ts::TimeSeries& series) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace kdsel::tsad
+
+#endif  // KDSEL_TSAD_PCA_H_

@@ -1,0 +1,59 @@
+#ifndef KDSEL_TSAD_PREDICTORS_H_
+#define KDSEL_TSAD_PREDICTORS_H_
+
+#include "tsad/detector.h"
+
+namespace kdsel::tsad {
+
+/// Polynomial-approximation detector (POLY): fits a least-squares
+/// polynomial of degree `degree` to each length-`window` history and
+/// extrapolates one step; the absolute forecast residual is the score.
+/// Because the time grid is identical for every window, the projection
+/// reduces to a single precomputed coefficient vector, making scoring
+/// O(n * window).
+class PolyDetector : public Detector {
+ public:
+  struct Options {
+    size_t window = 16;
+    size_t degree = 3;
+  };
+
+  explicit PolyDetector(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "POLY"; }
+  StatusOr<std::vector<float>> Score(
+      const ts::TimeSeries& series) const override;
+
+ private:
+  Options options_;
+};
+
+/// LSTM forecasting detector (LSTM-AD): a single-layer LSTM trained with
+/// truncated BPTT to predict the next value from the preceding window;
+/// forecast error is the anomaly score. Trained on a prefix of the
+/// series (predominantly normal), scored everywhere.
+class LstmAdDetector : public Detector {
+ public:
+  struct Options {
+    size_t window = 24;
+    size_t hidden = 12;
+    size_t epochs = 12;
+    size_t max_train_windows = 384;
+    double learning_rate = 2e-2;
+    double train_fraction = 0.6;  ///< Prefix of the series used to train.
+    uint64_t seed = 23;
+  };
+
+  explicit LstmAdDetector(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "LSTM-AD"; }
+  StatusOr<std::vector<float>> Score(
+      const ts::TimeSeries& series) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace kdsel::tsad
+
+#endif  // KDSEL_TSAD_PREDICTORS_H_

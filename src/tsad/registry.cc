@@ -1,0 +1,93 @@
+#include "tsad/detector.h"
+
+#include "tsad/density.h"
+#include "tsad/iforest.h"
+#include "tsad/matrix_profile.h"
+#include "tsad/nn_detectors.h"
+#include "tsad/norma.h"
+#include "tsad/ocsvm.h"
+#include "tsad/pca.h"
+#include "tsad/predictors.h"
+
+namespace kdsel::tsad {
+
+const std::vector<std::string>& CanonicalModelNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "IForest", "IForest1", "LOF",     "HBOS", "MP",   "NORMA",
+      "PCA",     "AE",       "LSTM-AD", "POLY", "CNN",  "OCSVM",
+  };
+  return *names;
+}
+
+StatusOr<std::unique_ptr<Detector>> BuildDetector(const std::string& name,
+                                                  uint64_t seed) {
+  if (name == "IForest") {
+    IForestDetector::Options o;
+    o.seed = seed;
+    return std::unique_ptr<Detector>(new IForestDetector(o));
+  }
+  if (name == "IForest1") {
+    IForestDetector::Options o;
+    o.window = 1;
+    o.seed = seed ^ 0x1;
+    return std::unique_ptr<Detector>(new IForestDetector(o));
+  }
+  if (name == "LOF") {
+    return std::unique_ptr<Detector>(new LofDetector(LofDetector::Options{}));
+  }
+  if (name == "HBOS") {
+    return std::unique_ptr<Detector>(
+        new HbosDetector(HbosDetector::Options{}));
+  }
+  if (name == "MP") {
+    return std::unique_ptr<Detector>(
+        new MatrixProfileDetector(MatrixProfileDetector::Options{}));
+  }
+  if (name == "NORMA") {
+    NormaDetector::Options o;
+    o.seed = seed ^ 0x2;
+    return std::unique_ptr<Detector>(new NormaDetector(o));
+  }
+  if (name == "PCA") {
+    PcaDetector::Options o;
+    o.seed = seed ^ 0x3;
+    return std::unique_ptr<Detector>(new PcaDetector(o));
+  }
+  if (name == "AE") {
+    AutoencoderDetector::Options o;
+    o.seed = seed ^ 0x4;
+    return std::unique_ptr<Detector>(new AutoencoderDetector(o));
+  }
+  if (name == "LSTM-AD") {
+    LstmAdDetector::Options o;
+    o.seed = seed ^ 0x5;
+    return std::unique_ptr<Detector>(new LstmAdDetector(o));
+  }
+  if (name == "POLY") {
+    return std::unique_ptr<Detector>(
+        new PolyDetector(PolyDetector::Options{}));
+  }
+  if (name == "CNN") {
+    CnnDetector::Options o;
+    o.seed = seed ^ 0x6;
+    return std::unique_ptr<Detector>(new CnnDetector(o));
+  }
+  if (name == "OCSVM") {
+    OcsvmDetector::Options o;
+    o.seed = seed ^ 0x7;
+    return std::unique_ptr<Detector>(new OcsvmDetector(o));
+  }
+  return Status::NotFound("unknown TSAD model: " + name);
+}
+
+std::vector<std::unique_ptr<Detector>> BuildDefaultModelSet(uint64_t seed) {
+  std::vector<std::unique_ptr<Detector>> models;
+  for (const std::string& name : CanonicalModelNames()) {
+    auto detector = BuildDetector(name, seed);
+    KDSEL_CHECK(detector.ok());
+    models.push_back(std::move(detector).value());
+  }
+  return models;
+}
+
+}  // namespace kdsel::tsad

@@ -1,0 +1,138 @@
+#include "tsad/util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace kdsel::tsad {
+
+std::vector<std::vector<float>> EmbedWindows(const ts::TimeSeries& series,
+                                             size_t w, bool z_normalize) {
+  std::vector<std::vector<float>> rows;
+  const auto& v = series.values();
+  if (v.size() < w || w == 0) return rows;
+  rows.reserve(v.size() - w + 1);
+  for (size_t i = 0; i + w <= v.size(); ++i) {
+    std::vector<float> row(v.begin() + static_cast<ptrdiff_t>(i),
+                           v.begin() + static_cast<ptrdiff_t>(i + w));
+    if (z_normalize) ts::ZNormalize(row);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<float> WindowToPointScores(const std::vector<float>& window_scores,
+                                       size_t w, size_t series_length) {
+  std::vector<float> point(series_length, 0.0f);
+  std::vector<float> count(series_length, 0.0f);
+  for (size_t i = 0; i < window_scores.size(); ++i) {
+    for (size_t j = i; j < std::min(series_length, i + w); ++j) {
+      point[j] += window_scores[i];
+      count[j] += 1.0f;
+    }
+  }
+  for (size_t j = 0; j < series_length; ++j) {
+    if (count[j] > 0) point[j] /= count[j];
+  }
+  return point;
+}
+
+void MinMaxNormalize(std::vector<float>& scores) {
+  if (scores.empty()) return;
+  auto [lo_it, hi_it] = std::minmax_element(scores.begin(), scores.end());
+  const float lo = *lo_it, hi = *hi_it;
+  if (hi - lo < 1e-12f) {
+    std::fill(scores.begin(), scores.end(), 0.0f);
+    return;
+  }
+  const float inv = 1.0f / (hi - lo);
+  for (float& s : scores) s = (s - lo) * inv;
+}
+
+double SquaredDistance(const std::vector<float>& a,
+                       const std::vector<float>& b) {
+  KDSEL_DCHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+StatusOr<KMeansResult> KMeans(const std::vector<std::vector<float>>& rows,
+                              size_t k, size_t max_iters, Rng& rng) {
+  if (rows.empty()) return Status::InvalidArgument("kmeans: no rows");
+  if (k == 0) return Status::InvalidArgument("kmeans: k must be positive");
+  k = std::min(k, rows.size());
+  const size_t dim = rows[0].size();
+
+  KMeansResult result;
+  // k-means++ seeding.
+  result.centroids.push_back(rows[rng.Index(rows.size())]);
+  std::vector<double> dist2(rows.size(), std::numeric_limits<double>::max());
+  while (result.centroids.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      dist2[i] = std::min(dist2[i],
+                          SquaredDistance(rows[i], result.centroids.back()));
+      total += dist2[i];
+    }
+    if (total <= 0) break;  // All points identical to a centroid.
+    double target = rng.Uniform() * total;
+    size_t chosen = rows.size() - 1;
+    double acc = 0.0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      acc += dist2[i];
+      if (acc >= target) {
+        chosen = i;
+        break;
+      }
+    }
+    result.centroids.push_back(rows[chosen]);
+  }
+  k = result.centroids.size();
+
+  result.assignment.assign(rows.size(), 0);
+  for (size_t iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      int best = 0;
+      double best_d = SquaredDistance(rows[i], result.centroids[0]);
+      for (size_t c = 1; c < k; ++c) {
+        double d = SquaredDistance(rows[i], result.centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<int>(c);
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    // Recompute centroids.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      auto& s = sums[static_cast<size_t>(result.assignment[i])];
+      for (size_t j = 0; j < dim; ++j) s[j] += rows[i][j];
+      ++counts[static_cast<size_t>(result.assignment[i])];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // Keep the old centroid.
+      for (size_t j = 0; j < dim; ++j) {
+        result.centroids[c][j] =
+            static_cast<float>(sums[c][j] / static_cast<double>(counts[c]));
+      }
+    }
+    if (!changed) break;
+  }
+  result.cluster_size.assign(k, 0);
+  for (int a : result.assignment) {
+    ++result.cluster_size[static_cast<size_t>(a)];
+  }
+  return result;
+}
+
+}  // namespace kdsel::tsad

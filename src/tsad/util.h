@@ -1,0 +1,41 @@
+#ifndef KDSEL_TSAD_UTIL_H_
+#define KDSEL_TSAD_UTIL_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ts/time_series.h"
+
+namespace kdsel::tsad {
+
+/// Embeds a series into overlapping subsequences of length `w`, stride 1:
+/// row i = values[i .. i+w). Optionally z-normalizes each row.
+/// Returns an empty vector when the series is shorter than w.
+std::vector<std::vector<float>> EmbedWindows(const ts::TimeSeries& series,
+                                             size_t w, bool z_normalize);
+
+/// Maps per-window scores (window i covers [i, i+w)) back to per-point
+/// scores by averaging the scores of all windows covering each point.
+std::vector<float> WindowToPointScores(const std::vector<float>& window_scores,
+                                       size_t w, size_t series_length);
+
+/// Min-max normalizes scores to [0, 1] in place (no-op when constant).
+void MinMaxNormalize(std::vector<float>& scores);
+
+/// Lloyd's k-means with k-means++ seeding on dense rows.
+struct KMeansResult {
+  std::vector<std::vector<float>> centroids;
+  std::vector<int> assignment;       ///< Cluster id per row.
+  std::vector<size_t> cluster_size;  ///< Rows per cluster.
+};
+StatusOr<KMeansResult> KMeans(const std::vector<std::vector<float>>& rows,
+                              size_t k, size_t max_iters, Rng& rng);
+
+/// Squared Euclidean distance between equal-length vectors.
+double SquaredDistance(const std::vector<float>& a,
+                       const std::vector<float>& b);
+
+}  // namespace kdsel::tsad
+
+#endif  // KDSEL_TSAD_UTIL_H_

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "datagen/anomaly_injector.h"
+#include "datagen/benchmark.h"
+#include "datagen/families.h"
+
+namespace kdsel::datagen {
+namespace {
+
+TEST(FamilyTest, SixteenFamilies) {
+  EXPECT_EQ(AllFamilies().size(), 16u);
+}
+
+TEST(FamilyTest, NamesUniqueAndRoundTrip) {
+  std::set<std::string> names;
+  for (Family f : AllFamilies()) {
+    std::string name = FamilyName(f);
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+    auto parsed = FamilyFromName(name);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, f);
+  }
+}
+
+TEST(FamilyTest, FromNameCaseInsensitive) {
+  auto f = FamilyFromName("ecg");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(*f, Family::kEcg);
+}
+
+TEST(FamilyTest, FromNameUnknown) {
+  EXPECT_FALSE(FamilyFromName("NotADataset").ok());
+}
+
+TEST(FamilyTest, DescriptionsNonEmpty) {
+  for (Family f : AllFamilies()) {
+    EXPECT_GT(std::string(FamilyDescription(f)).size(), 20u);
+  }
+}
+
+/// Parameterized over all 16 families: generated series are valid.
+class FamilyGenerationTest : public ::testing::TestWithParam<Family> {};
+
+TEST_P(FamilyGenerationTest, GeneratesLabeledFiniteSeries) {
+  Rng rng(17);
+  auto series = GenerateSeries(GetParam(), 600, 0, rng);
+  ASSERT_TRUE(series.ok()) << series.status();
+  EXPECT_EQ(series->length(), 600u);
+  ASSERT_TRUE(series->has_labels());
+  EXPECT_EQ(series->labels().size(), 600u);
+  for (float v : series->values()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  EXPECT_EQ(series->GetMeta("dataset"), FamilyName(GetParam()));
+  EXPECT_FALSE(series->GetMeta("domain").empty());
+}
+
+TEST_P(FamilyGenerationTest, DeterministicForSameSeed) {
+  Rng rng1(5), rng2(5);
+  auto a = GenerateSeries(GetParam(), 400, 0, rng1);
+  auto b = GenerateSeries(GetParam(), 400, 0, rng2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->length(); ++i) {
+    EXPECT_FLOAT_EQ(a->value(i), b->value(i));
+  }
+  EXPECT_EQ(a->labels(), b->labels());
+}
+
+TEST_P(FamilyGenerationTest, SignalHasVariation) {
+  Rng rng(23);
+  auto base = GenerateBaseSignal(GetParam(), 500, rng);
+  ASSERT_EQ(base.size(), 500u);
+  float lo = base[0], hi = base[0];
+  for (float v : base) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi - lo, 1e-3f) << "base signal is flat";
+}
+
+TEST_P(FamilyGenerationTest, AnomalyCountWithinPlanBounds) {
+  InjectionPlan plan = FamilyInjectionPlan(GetParam());
+  EXPECT_GE(plan.min_count, 1u);
+  EXPECT_LE(plan.min_count, plan.max_count);
+  EXPECT_FALSE(plan.candidates.empty());
+  Rng rng(31);
+  auto series = GenerateSeries(GetParam(), 800, 0, rng);
+  ASSERT_TRUE(series.ok());
+  // Injection can place fewer anomalies than planned (overlap rejection)
+  // but never more than max_count regions.
+  EXPECT_LE(series->AnomalyRegions().size(), plan.max_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, FamilyGenerationTest, ::testing::ValuesIn(AllFamilies()),
+    [](const ::testing::TestParamInfo<Family>& info) {
+      return std::string(FamilyName(info.param));
+    });
+
+TEST(InjectorTest, MarksInjectedRegions) {
+  Rng rng(3);
+  ts::TimeSeries series("x", std::vector<float>(500, 0.0f));
+  for (size_t i = 0; i < 500; ++i) {
+    series.mutable_values()[i] = static_cast<float>(std::sin(i * 0.1));
+  }
+  InjectionPlan plan;
+  plan.candidates = {{AnomalyType::kSpike, 2, 5, 5.0}};
+  plan.min_count = 2;
+  plan.max_count = 2;
+  auto injected = InjectAnomalies(plan, rng, series);
+  ASSERT_TRUE(injected.ok());
+  EXPECT_EQ(*injected, 2u);
+  EXPECT_EQ(series.AnomalyRegions().size(), 2u);
+}
+
+TEST(InjectorTest, SpikesActuallyDeviate) {
+  Rng rng(3);
+  ts::TimeSeries series("x", std::vector<float>(400, 0.0f));
+  for (size_t i = 0; i < 400; ++i) {
+    series.mutable_values()[i] = static_cast<float>(std::sin(i * 0.2));
+  }
+  InjectionPlan plan;
+  plan.candidates = {{AnomalyType::kSpike, 3, 3, 6.0}};
+  plan.min_count = 1;
+  plan.max_count = 1;
+  ASSERT_TRUE(InjectAnomalies(plan, rng, series).ok());
+  auto regions = series.AnomalyRegions();
+  ASSERT_EQ(regions.size(), 1u);
+  for (size_t i = regions[0].begin; i < regions[0].end; ++i) {
+    EXPECT_GT(std::abs(series.value(i)), 2.0f);
+  }
+}
+
+TEST(InjectorTest, NoneProbabilityYieldsCleanSeries) {
+  InjectionPlan plan;
+  plan.candidates = {{AnomalyType::kSpike, 1, 2, 3.0}};
+  plan.none_probability = 1.0;
+  Rng rng(3);
+  ts::TimeSeries series("x", std::vector<float>(200, 1.0f));
+  auto injected = InjectAnomalies(plan, rng, series);
+  ASSERT_TRUE(injected.ok());
+  EXPECT_EQ(*injected, 0u);
+  EXPECT_TRUE(series.has_labels());
+  EXPECT_EQ(series.AnomalyRegions().size(), 0u);
+}
+
+TEST(InjectorTest, RejectsShortSeries) {
+  InjectionPlan plan;
+  plan.candidates = {{AnomalyType::kSpike, 1, 2, 3.0}};
+  Rng rng(3);
+  ts::TimeSeries series("x", std::vector<float>(8, 1.0f));
+  EXPECT_FALSE(InjectAnomalies(plan, rng, series).ok());
+}
+
+TEST(InjectorTest, RejectsEmptyPlan) {
+  InjectionPlan plan;
+  Rng rng(3);
+  ts::TimeSeries series("x", std::vector<float>(100, 1.0f));
+  EXPECT_FALSE(InjectAnomalies(plan, rng, series).ok());
+}
+
+TEST(InjectorTest, AnomalyTypeNames) {
+  EXPECT_STREQ(AnomalyTypeToString(AnomalyType::kSpike), "spike");
+  EXPECT_STREQ(AnomalyTypeToString(AnomalyType::kSegmentSwap),
+               "segment_swap");
+}
+
+TEST(BenchmarkTest, GeneratesAllDatasets) {
+  BenchmarkOptions opts;
+  opts.series_per_family = 2;
+  opts.min_length = 128;
+  opts.max_length = 160;
+  auto benchmark = GenerateBenchmark(opts);
+  ASSERT_TRUE(benchmark.ok());
+  ASSERT_EQ(benchmark->size(), 16u);
+  for (const auto& ds : *benchmark) {
+    EXPECT_EQ(ds.series.size(), 2u);
+    for (const auto& s : ds.series) {
+      EXPECT_GE(s.length(), 128u);
+      EXPECT_LE(s.length(), 160u);
+    }
+  }
+}
+
+TEST(BenchmarkTest, RejectsBadOptions) {
+  BenchmarkOptions opts;
+  opts.series_per_family = 0;
+  EXPECT_FALSE(GenerateBenchmark(opts).ok());
+  opts.series_per_family = 1;
+  opts.min_length = 200;
+  opts.max_length = 100;
+  EXPECT_FALSE(GenerateBenchmark(opts).ok());
+}
+
+TEST(BenchmarkTest, DeterministicAcrossCalls) {
+  BenchmarkOptions opts;
+  opts.series_per_family = 1;
+  opts.min_length = 128;
+  opts.max_length = 128;
+  auto a = GenerateBenchmark(opts);
+  auto b = GenerateBenchmark(opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t d = 0; d < a->size(); ++d) {
+    ASSERT_EQ((*a)[d].series.size(), (*b)[d].series.size());
+    for (size_t i = 0; i < (*a)[d].series[0].length(); ++i) {
+      EXPECT_FLOAT_EQ((*a)[d].series[0].value(i), (*b)[d].series[0].value(i));
+    }
+  }
+}
+
+TEST(MetadataTextTest, FollowsPaperTemplate) {
+  Rng rng(2);
+  auto series = GenerateSeries(Family::kEcg, 500, 3, rng);
+  ASSERT_TRUE(series.ok());
+  std::string text = BuildMetadataText(*series);
+  EXPECT_NE(text.find("This is a time series from dataset ECG"),
+            std::string::npos);
+  EXPECT_NE(text.find("The length of the series is 500."), std::string::npos);
+  EXPECT_NE(text.find("anomalies in this series."), std::string::npos);
+  if (series->NumAnomalies() > 0) {
+    EXPECT_NE(text.find("The lengths of the anomalies are"),
+              std::string::npos);
+  }
+}
+
+TEST(MetadataTextTest, OmitsLengthSentenceWhenClean) {
+  ts::TimeSeries series("clean", std::vector<float>(100, 1.0f));
+  ASSERT_TRUE(series.SetLabels(std::vector<uint8_t>(100, 0)).ok());
+  series.SetMeta("dataset", "YAHOO");
+  series.SetMeta("domain", "test domain");
+  std::string text = BuildMetadataText(series);
+  EXPECT_NE(text.find("There are 0 anomalies"), std::string::npos);
+  EXPECT_EQ(text.find("The lengths of the anomalies"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kdsel::datagen

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "selectors/dtw.h"
+
+namespace kdsel::selectors {
+namespace {
+
+TEST(DtwDistanceTest, IdenticalSeriesIsZero) {
+  std::vector<float> a{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(BandedDtwSquared(a, a, 2, 1e18), 0.0);
+}
+
+TEST(DtwDistanceTest, MatchesEuclideanWithBandOne) {
+  // Constant offset: warping cannot help, DTW == squared Euclidean on
+  // the diagonal.
+  std::vector<float> a{0, 0, 0, 0};
+  std::vector<float> b{1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(BandedDtwSquared(a, b, 1, 1e18), 4.0);
+}
+
+TEST(DtwDistanceTest, WarpingBeatsEuclideanOnShiftedSignal) {
+  // A one-step time shift of a spike: Euclidean is large, DTW small.
+  std::vector<float> a{0, 0, 5, 0, 0, 0};
+  std::vector<float> b{0, 0, 0, 5, 0, 0};
+  double euclid = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    euclid += (a[i] - b[i]) * (a[i] - b[i]);
+  }
+  double dtw = BandedDtwSquared(a, b, 2, 1e18);
+  EXPECT_LT(dtw, euclid * 0.2);
+}
+
+TEST(DtwDistanceTest, EarlyAbandonReturnsBound) {
+  std::vector<float> a{0, 0, 0, 0};
+  std::vector<float> b{10, 10, 10, 10};
+  EXPECT_DOUBLE_EQ(BandedDtwSquared(a, b, 1, 5.0), 5.0);
+}
+
+TEST(DtwDistanceTest, SymmetricWithinBand) {
+  Rng rng(1);
+  std::vector<float> a(16), b(16);
+  for (size_t i = 0; i < 16; ++i) {
+    a[i] = static_cast<float>(rng.Normal());
+    b[i] = static_cast<float>(rng.Normal());
+  }
+  EXPECT_NEAR(BandedDtwSquared(a, b, 3, 1e18),
+              BandedDtwSquared(b, a, 3, 1e18), 1e-9);
+}
+
+TEST(LbKeoghTest, IsALowerBound) {
+  Rng rng(2);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<float> a(20), b(20);
+    for (size_t i = 0; i < 20; ++i) {
+      a[i] = static_cast<float>(rng.Normal());
+      b[i] = static_cast<float>(rng.Normal());
+    }
+    const size_t band = 3;
+    EXPECT_LE(LbKeoghSquared(a, b, band),
+              BandedDtwSquared(a, b, band, 1e18) + 1e-9);
+  }
+}
+
+TEST(LbKeoghTest, ZeroForEnvelopedQuery) {
+  std::vector<float> candidate{0, 1, 2, 3, 4};
+  std::vector<float> query{0.5f, 1.5f, 2.0f, 2.5f, 3.5f};
+  EXPECT_DOUBLE_EQ(LbKeoghSquared(query, candidate, 2), 0.0);
+}
+
+TEST(DtwSelectorTest, LearnsShapeTaskWithPhaseJitter) {
+  // Two classes distinguished by shape but with random phase — exactly
+  // where DTW beats Euclidean 1-NN.
+  Rng rng(3);
+  TrainingData train;
+  train.num_classes = 2;
+  auto make = [&](int c) {
+    std::vector<float> w(32);
+    const double phase = rng.Uniform(0, 6.28);
+    for (size_t t = 0; t < 32; ++t) {
+      w[t] = static_cast<float>(c == 0 ? std::sin(0.4 * t + phase)
+                                       : std::sin(0.4 * t + phase) *
+                                             (t < 16 ? 1.0 : -1.0));
+    }
+    return w;
+  };
+  for (int i = 0; i < 30; ++i) {
+    for (int c = 0; c < 2; ++c) {
+      train.windows.push_back(make(c));
+      train.labels.push_back(c);
+    }
+  }
+  DtwSelector selector;
+  ASSERT_TRUE(selector.Fit(train).ok());
+  TrainingData test;
+  test.num_classes = 2;
+  for (int i = 0; i < 10; ++i) {
+    for (int c = 0; c < 2; ++c) {
+      test.windows.push_back(make(c));
+      test.labels.push_back(c);
+    }
+  }
+  auto pred = selector.Predict(test.windows);
+  ASSERT_TRUE(pred.ok());
+  size_t hits = 0;
+  for (size_t i = 0; i < pred->size(); ++i) {
+    hits += ((*pred)[i] == test.labels[i]);
+  }
+  EXPECT_GT(static_cast<double>(hits) / pred->size(), 0.8);
+}
+
+TEST(DtwSelectorTest, SubsamplesLargeTrainingSets) {
+  Rng rng(4);
+  TrainingData train;
+  train.num_classes = 3;
+  for (int i = 0; i < 900; ++i) {
+    std::vector<float> w(8);
+    for (float& v : w) v = static_cast<float>(rng.Normal());
+    train.windows.push_back(std::move(w));
+    train.labels.push_back(i % 3);
+  }
+  DtwSelector::Options opts;
+  opts.max_train_samples = 90;
+  DtwSelector selector(opts);
+  ASSERT_TRUE(selector.Fit(train).ok());
+  // Prediction still works and returns valid labels.
+  auto pred = selector.Predict({train.windows[0]});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_GE((*pred)[0], 0);
+  EXPECT_LT((*pred)[0], 3);
+}
+
+TEST(DtwSelectorTest, PredictBeforeFitFails) {
+  DtwSelector selector;
+  EXPECT_FALSE(selector.Predict({{1.0f, 2.0f}}).ok());
+}
+
+}  // namespace
+}  // namespace kdsel::selectors

@@ -1,0 +1,239 @@
+// Edge-case and failure-injection tests across modules: degenerate
+// inputs (constant series, tiny windows), option extremes, and
+// filesystem failures.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "common/csv.h"
+#include "core/selection.h"
+#include "core/soft_label.h"
+#include "core/trainer.h"
+#include "datagen/benchmark.h"
+#include "metrics/metrics.h"
+#include "selectors/rocket.h"
+#include "ts/dataset.h"
+#include "ts/window.h"
+#include "tsad/detector.h"
+
+namespace kdsel {
+namespace {
+
+/// Every detector must handle a constant series gracefully: no crash,
+/// finite scores (or a clean error for genuinely impossible cases).
+class ConstantSeriesTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ConstantSeriesTest, DetectorSurvivesConstantInput) {
+  auto detector = tsad::BuildDetector(GetParam(), 1);
+  ASSERT_TRUE(detector.ok());
+  ts::TimeSeries series("flat", std::vector<float>(400, 3.14f));
+  ASSERT_TRUE(series.SetLabels(std::vector<uint8_t>(400, 0)).ok());
+  auto scores = (*detector)->Score(series);
+  if (!scores.ok()) return;  // A clean error is acceptable.
+  ASSERT_EQ(scores->size(), 400u);
+  for (float s : *scores) {
+    EXPECT_TRUE(std::isfinite(s));
+  }
+}
+
+TEST_P(ConstantSeriesTest, DetectorSurvivesRampInput) {
+  auto detector = tsad::BuildDetector(GetParam(), 1);
+  ASSERT_TRUE(detector.ok());
+  std::vector<float> ramp(400);
+  for (size_t i = 0; i < 400; ++i) ramp[i] = static_cast<float>(i);
+  ts::TimeSeries series("ramp", std::move(ramp));
+  auto scores = (*detector)->Score(series);
+  if (!scores.ok()) return;
+  for (float s : *scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ConstantSeriesTest,
+                         ::testing::ValuesIn(tsad::CanonicalModelNames()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(WindowEdgeTest, StrideLargerThanLength) {
+  ts::TimeSeries series("x", std::vector<float>(100, 1.0f));
+  for (size_t i = 0; i < 100; ++i) {
+    series.mutable_values()[i] = static_cast<float>(i);
+  }
+  ts::WindowOptions opts;
+  opts.length = 10;
+  opts.stride = 40;
+  opts.z_normalize = false;
+  auto windows = ts::ExtractWindows(series, 0, opts);
+  ASSERT_TRUE(windows.ok());
+  // Offsets 0, 40, 80, then the flush-to-end window at 90.
+  ASSERT_EQ(windows->size(), 4u);
+  EXPECT_EQ((*windows)[3].offset, 90u);
+}
+
+TEST(WindowEdgeTest, SeriesExactlyOneWindow) {
+  ts::TimeSeries series("x", std::vector<float>(64, 2.0f));
+  ts::WindowOptions opts;
+  opts.length = 64;
+  auto windows = ts::ExtractWindows(series, 0, opts);
+  ASSERT_TRUE(windows.ok());
+  EXPECT_EQ(windows->size(), 1u);
+}
+
+TEST(MetricsEdgeTest, SingleElementInputs) {
+  auto auc = metrics::AucPr({0.5f}, std::vector<uint8_t>{1});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 1.0);
+  auto roc = metrics::AucRoc({0.5f}, std::vector<uint8_t>{1});
+  ASSERT_TRUE(roc.ok());
+  EXPECT_DOUBLE_EQ(*roc, 0.5);  // degenerate: no negatives
+}
+
+TEST(RocketEdgeTest, TinyWindowsClampDilation) {
+  selectors::RocketSelector rocket(selectors::RocketSelector::Options{});
+  selectors::TrainingData data;
+  data.num_classes = 2;
+  Rng rng(1);
+  for (int i = 0; i < 30; ++i) {
+    std::vector<float> w(12);  // barely larger than the kernel length 9
+    int c = i % 2;
+    for (size_t t = 0; t < w.size(); ++t) {
+      w[t] = static_cast<float>(c ? t : -double(t)) +
+             static_cast<float>(0.1 * rng.Normal());
+    }
+    data.windows.push_back(std::move(w));
+    data.labels.push_back(c);
+  }
+  ASSERT_TRUE(rocket.Fit(data).ok());
+  auto pred = rocket.Predict(data.windows);
+  ASSERT_TRUE(pred.ok());
+  size_t hits = 0;
+  for (size_t i = 0; i < pred->size(); ++i) {
+    hits += ((*pred)[i] == data.labels[i]);
+  }
+  EXPECT_GT(hits, 25u);
+}
+
+TEST(TrainerEdgeTest, BatchLargerThanDataset) {
+  core::SelectorTrainingData data;
+  data.num_classes = 2;
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    std::vector<float> w(16);
+    for (float& v : w) v = static_cast<float>(rng.Normal());
+    w[0] += i % 2 ? 3.0f : -3.0f;
+    data.windows.push_back(std::move(w));
+    data.labels.push_back(i % 2);
+  }
+  core::TrainerOptions opts;
+  opts.backbone = "ConvNet";
+  opts.epochs = 2;
+  opts.batch_size = 512;  // much larger than the 10 samples
+  auto selector = core::TrainSelector(data, opts, nullptr);
+  ASSERT_TRUE(selector.ok()) << selector.status();
+}
+
+TEST(TrainerEdgeTest, MkiSkipsSingletonRemainderBatch) {
+  // 9 samples with batch 8 leaves a 1-sample remainder; with MKI on,
+  // InfoNCE has no negatives there, so the trainer must skip it rather
+  // than divide by zero.
+  core::SelectorTrainingData data;
+  data.num_classes = 2;
+  Rng rng(3);
+  for (int i = 0; i < 9; ++i) {
+    std::vector<float> w(16);
+    for (float& v : w) v = static_cast<float>(rng.Normal());
+    data.windows.push_back(std::move(w));
+    data.labels.push_back(i % 2);
+    data.texts.push_back(i % 2 ? "fast series" : "slow series");
+  }
+  core::TrainerOptions opts;
+  opts.backbone = "ConvNet";
+  opts.epochs = 2;
+  opts.batch_size = 8;
+  opts.use_mki = true;
+  auto selector = core::TrainSelector(data, opts, nullptr);
+  ASSERT_TRUE(selector.ok()) << selector.status();
+}
+
+TEST(SelectionEdgeTest, SeriesShorterThanWindowStillSelects) {
+  core::SelectorTrainingData data;
+  data.num_classes = 2;
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<float> w(32);
+    for (float& v : w) v = static_cast<float>(rng.Normal());
+    data.windows.push_back(std::move(w));
+    data.labels.push_back(i % 2);
+  }
+  core::TrainerOptions opts;
+  opts.backbone = "ConvNet";
+  opts.epochs = 1;
+  auto selector = core::TrainSelector(data, opts, nullptr);
+  ASSERT_TRUE(selector.ok());
+
+  ts::TimeSeries tiny("tiny", std::vector<float>(10, 1.0f));
+  ts::WindowOptions wo;
+  wo.length = 32;
+  auto sel = core::SelectSeriesModel(**selector, tiny, wo, 2);
+  ASSERT_TRUE(sel.ok()) << sel.status();  // edge-replicated single window
+  EXPECT_EQ(sel->num_windows, 1u);
+}
+
+TEST(CsvEdgeTest, WriteToUnwritablePathFails) {
+  CsvTable table;
+  table.rows = {{"1"}};
+  EXPECT_FALSE(WriteCsv("/nonexistent_dir/foo.csv", table).ok());
+}
+
+TEST(DatasetEdgeTest, LoadMissingManifestFails) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "kdsel_empty_ds").string();
+  std::filesystem::create_directories(dir);
+  EXPECT_FALSE(ts::LoadDataset(dir).ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatagenEdgeTest, GenerateSeriesRejectsTooShort) {
+  Rng rng(1);
+  EXPECT_FALSE(
+      datagen::GenerateSeries(datagen::Family::kEcg, 10, 0, rng).ok());
+}
+
+TEST(MetadataEdgeTest, MultipleAnomalyLengthsListed) {
+  ts::TimeSeries series("x", std::vector<float>(200, 1.0f));
+  ASSERT_TRUE(series.MarkAnomaly(10, 20).ok());
+  ASSERT_TRUE(series.MarkAnomaly(50, 55).ok());
+  series.SetMeta("dataset", "NAB");
+  series.SetMeta("domain", "cloud metrics");
+  std::string text = datagen::BuildMetadataText(series);
+  EXPECT_NE(text.find("There are 2 anomalies"), std::string::npos);
+  EXPECT_NE(text.find("10, 5"), std::string::npos);
+}
+
+TEST(SoftLabelEdgeTest, IdenticalPerformancesGiveUniform) {
+  std::vector<std::vector<float>> perf{{0.5f, 0.5f, 0.5f, 0.5f}};
+  auto soft = core::BuildSoftLabels(perf, 0.2);
+  ASSERT_TRUE(soft.ok());
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(soft->At(0, j), 0.25f, 1e-5f);
+  }
+}
+
+TEST(PrunerEdgeTest, AllSameLossesPruneNothingAboveMean) {
+  core::PrunerOptions opts;
+  opts.mode = core::PruningMode::kInfoBatch;
+  opts.anneal_fraction = 0.0;
+  core::Pruner pruner(opts, 100, {});
+  for (size_t i = 0; i < 100; ++i) pruner.RecordLoss(i, 1.0);
+  // avg_loss == mean for every sample => none are "low loss" (strict <).
+  auto plan = pruner.PlanEpoch(1, 100);
+  EXPECT_EQ(plan.kept.size(), 100u);
+}
+
+}  // namespace
+}  // namespace kdsel

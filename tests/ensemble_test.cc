@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/check.h"
+#include "tsad/detector.h"
+#include "tsad/ensemble.h"
+
+namespace kdsel::tsad {
+namespace {
+
+/// A stub detector returning a fixed score vector (or an error).
+class StubDetector : public Detector {
+ public:
+  StubDetector(std::string name, std::vector<float> scores, bool fail = false)
+      : name_(std::move(name)), scores_(std::move(scores)), fail_(fail) {}
+
+  std::string name() const override { return name_; }
+  StatusOr<std::vector<float>> Score(
+      const ts::TimeSeries& series) const override {
+    if (fail_) return Status::InvalidArgument("stub failure");
+    KDSEL_CHECK(series.length() == scores_.size());
+    return scores_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<float> scores_;
+  bool fail_;
+};
+
+ts::TimeSeries FourPointSeries() {
+  return ts::TimeSeries("x", {0.0f, 0.0f, 0.0f, 0.0f});
+}
+
+std::vector<std::unique_ptr<Detector>> TwoStubs() {
+  // After min-max normalization: a -> {0, 1, 0.5, 0}, b -> {1, 0, 0.5, 0}.
+  std::vector<std::unique_ptr<Detector>> members;
+  members.push_back(
+      std::make_unique<StubDetector>("a", std::vector<float>{0, 2, 1, 0}));
+  members.push_back(
+      std::make_unique<StubDetector>("b", std::vector<float>{4, 0, 2, 0}));
+  return members;
+}
+
+TEST(EnsembleTest, MeanCombinesNormalizedScores) {
+  EnsembleDetector ensemble(TwoStubs(), EnsembleDetector::Combine::kMean);
+  EXPECT_EQ(ensemble.name(), "Ensemble-mean");
+  EXPECT_EQ(ensemble.size(), 2u);
+  auto scores = ensemble.Score(FourPointSeries());
+  ASSERT_TRUE(scores.ok());
+  EXPECT_FLOAT_EQ((*scores)[0], 0.5f);
+  EXPECT_FLOAT_EQ((*scores)[1], 0.5f);
+  EXPECT_FLOAT_EQ((*scores)[2], 0.5f);
+  EXPECT_FLOAT_EQ((*scores)[3], 0.0f);
+}
+
+TEST(EnsembleTest, MaxTakesPointwiseMaximum) {
+  EnsembleDetector ensemble(TwoStubs(), EnsembleDetector::Combine::kMax);
+  auto scores = ensemble.Score(FourPointSeries());
+  ASSERT_TRUE(scores.ok());
+  EXPECT_FLOAT_EQ((*scores)[0], 1.0f);
+  EXPECT_FLOAT_EQ((*scores)[1], 1.0f);
+  EXPECT_FLOAT_EQ((*scores)[2], 0.5f);
+  EXPECT_FLOAT_EQ((*scores)[3], 0.0f);
+}
+
+TEST(EnsembleTest, MedianOfThreeMembers) {
+  std::vector<std::unique_ptr<Detector>> members;
+  members.push_back(
+      std::make_unique<StubDetector>("a", std::vector<float>{0, 1, 0, 0}));
+  members.push_back(
+      std::make_unique<StubDetector>("b", std::vector<float>{0, 1, 1, 0}));
+  members.push_back(
+      std::make_unique<StubDetector>("c", std::vector<float>{1, 0, 1, 0}));
+  EnsembleDetector ensemble(std::move(members),
+                            EnsembleDetector::Combine::kMedian);
+  auto scores = ensemble.Score(FourPointSeries());
+  ASSERT_TRUE(scores.ok());
+  EXPECT_FLOAT_EQ((*scores)[0], 0.0f);  // median(0,0,1)
+  EXPECT_FLOAT_EQ((*scores)[1], 1.0f);  // median(1,1,0)
+  EXPECT_FLOAT_EQ((*scores)[2], 1.0f);  // median(0,1,1)
+}
+
+TEST(EnsembleTest, SkipsFailingMembers) {
+  std::vector<std::unique_ptr<Detector>> members;
+  members.push_back(std::make_unique<StubDetector>(
+      "broken", std::vector<float>{}, /*fail=*/true));
+  members.push_back(
+      std::make_unique<StubDetector>("ok", std::vector<float>{0, 2, 1, 0}));
+  EnsembleDetector ensemble(std::move(members),
+                            EnsembleDetector::Combine::kMean);
+  auto scores = ensemble.Score(FourPointSeries());
+  ASSERT_TRUE(scores.ok());
+  EXPECT_FLOAT_EQ((*scores)[1], 1.0f);  // normalized "ok" member alone
+}
+
+TEST(EnsembleTest, AllMembersFailingIsError) {
+  std::vector<std::unique_ptr<Detector>> members;
+  members.push_back(std::make_unique<StubDetector>(
+      "broken", std::vector<float>{}, /*fail=*/true));
+  EnsembleDetector ensemble(std::move(members),
+                            EnsembleDetector::Combine::kMean);
+  EXPECT_FALSE(ensemble.Score(FourPointSeries()).ok());
+}
+
+TEST(EnsembleTest, FullModelSetEnsembleRuns) {
+  EnsembleDetector ensemble(BuildDefaultModelSet(3),
+                            EnsembleDetector::Combine::kMean);
+  std::vector<float> values(300);
+  for (size_t i = 0; i < 300; ++i) {
+    values[i] = static_cast<float>(std::sin(0.2 * double(i)));
+  }
+  values[150] += 5.0f;
+  ts::TimeSeries series("sine", std::move(values));
+  auto scores = ensemble.Score(series);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->size(), 300u);
+  // The injected spike should be among the highest combined scores.
+  float spike = (*scores)[150];
+  size_t above = 0;
+  for (float s : *scores) above += (s > spike);
+  EXPECT_LT(above, 15u);
+}
+
+}  // namespace
+}  // namespace kdsel::tsad

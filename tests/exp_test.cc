@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "exp/env.h"
+#include "exp/tables.h"
+
+namespace kdsel::exp {
+namespace {
+
+/// One tiny shared environment for the whole test binary (building it
+/// runs all 12 detectors on 32 short series, so reuse it).
+class ExpEnvTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ExperimentConfig config;
+    config.series_per_family = 2;
+    config.min_length = 256;
+    config.max_length = 320;
+    config.window_length = 32;
+    config.seed = 7;
+    config.cache_dir =
+        (std::filesystem::temp_directory_path() / "kdsel_exp_cache").string();
+    std::filesystem::remove_all(config.cache_dir);
+    auto created = BenchmarkEnvironment::Create(config);
+    ASSERT_TRUE(created.ok()) << created.status();
+    env_ = created->release();
+  }
+  static void TearDownTestSuite() {
+    std::filesystem::remove_all(env_->config().cache_dir);
+    delete env_;
+    env_ = nullptr;
+  }
+
+  static BenchmarkEnvironment* env_;
+};
+
+BenchmarkEnvironment* ExpEnvTest::env_ = nullptr;
+
+TEST_F(ExpEnvTest, HasTwelveModelsAndFourteenTestDatasets) {
+  EXPECT_EQ(env_->num_models(), 12u);
+  EXPECT_EQ(env_->test_dataset_names().size(), 14u);
+  for (const auto& name : env_->test_dataset_names()) {
+    EXPECT_NE(name, "Dodgers");
+    EXPECT_NE(name, "Occupancy");
+  }
+}
+
+TEST_F(ExpEnvTest, TrainSeriesPooledFromAllDatasets) {
+  // 16 families x 2 series x 0.5 train fraction = 16 training series.
+  EXPECT_EQ(env_->train_series().size(), 16u);
+  EXPECT_EQ(env_->train_performance().size(), 16u);
+  for (const auto& row : env_->train_performance()) {
+    EXPECT_EQ(row.size(), 12u);
+  }
+}
+
+TEST_F(ExpEnvTest, BuildTrainingDataIsConsistent) {
+  auto data = env_->BuildTrainingData();
+  ASSERT_TRUE(data.ok()) << data.status();
+  EXPECT_EQ(data->num_classes, 12u);
+  EXPECT_GT(data->size(), env_->train_series().size());
+  EXPECT_EQ(data->windows[0].size(), 32u);
+}
+
+TEST_F(ExpEnvTest, OracleBeatsEveryFixedModel) {
+  auto oracle = env_->EvaluateFixedModel(-1);
+  ASSERT_TRUE(oracle.ok());
+  for (int model = 0; model < 12; ++model) {
+    auto fixed = env_->EvaluateFixedModel(model);
+    ASSERT_TRUE(fixed.ok());
+    EXPECT_GE((*oracle)["Average"] + 1e-9, (*fixed)["Average"]);
+  }
+  EXPECT_GT((*oracle)["Average"], 0.0);
+}
+
+TEST_F(ExpEnvTest, CacheReloadGivesSameMatrix) {
+  // Second Create with the same config must hit the cache and produce
+  // identical performance rows.
+  auto again = BenchmarkEnvironment::Create(env_->config());
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ((*again)->train_performance().size(),
+            env_->train_performance().size());
+  for (size_t i = 0; i < env_->train_performance().size(); ++i) {
+    for (size_t j = 0; j < 12; ++j) {
+      EXPECT_NEAR((*again)->train_performance()[i][j],
+                  env_->train_performance()[i][j], 1e-5);
+    }
+  }
+}
+
+TEST_F(ExpEnvTest, EvaluateSelectorWithOracleLookalike) {
+  // A trivial "selector" that always predicts model 0 must match
+  // EvaluateFixedModel(0).
+  class ConstantSelector : public selectors::Selector {
+   public:
+    std::string name() const override { return "Constant"; }
+    Status Fit(const selectors::TrainingData&) override {
+      return Status::OK();
+    }
+    StatusOr<std::vector<int>> Predict(
+        const std::vector<std::vector<float>>& windows) const override {
+      return std::vector<int>(windows.size(), 0);
+    }
+  };
+  ConstantSelector constant;
+  auto via_selector = env_->EvaluateSelector(constant);
+  auto via_fixed = env_->EvaluateFixedModel(0);
+  ASSERT_TRUE(via_selector.ok() && via_fixed.ok());
+  for (const auto& [name, value] : *via_fixed) {
+    EXPECT_NEAR(value, (*via_selector)[name], 1e-9) << name;
+  }
+}
+
+TEST(ExperimentConfigTest, CacheKeyReflectsInputs) {
+  ExperimentConfig a, b;
+  EXPECT_EQ(a.CacheKey(), b.CacheKey());
+  b.seed = 99;
+  EXPECT_NE(a.CacheKey(), b.CacheKey());
+  b = a;
+  b.series_per_family = 99;
+  EXPECT_NE(a.CacheKey(), b.CacheKey());
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table table({"Method", "AUC-PR", "Time"});
+  table.AddRow({"Standard", "0.4210", "281.90"});
+  table.AddRow("KDSelector", {0.461, 282.03}, 2);
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("| Method"), std::string::npos);
+  EXPECT_NE(out.find("| Standard"), std::string::npos);
+  EXPECT_NE(out.find("0.46"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TableTest, MissingCellsRenderDash) {
+  Table table({"A", "B", "C"});
+  table.AddRow({"only"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("-"), std::string::npos);
+}
+
+TEST(TableTest, PerDatasetFormatter) {
+  std::map<std::string, double> m1{{"ECG", 0.5}, {"Average", 0.5}};
+  std::map<std::string, double> m2{{"ECG", 0.7}, {"Average", 0.7}};
+  std::string out =
+      FormatPerDatasetTable({"ECG"}, {"Standard", "Ours"}, {m1, m2});
+  EXPECT_NE(out.find("ECG"), std::string::npos);
+  EXPECT_NE(out.find("0.5000"), std::string::npos);
+  EXPECT_NE(out.find("0.7000"), std::string::npos);
+  EXPECT_NE(out.find("Average"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kdsel::exp

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "metrics/metrics.h"
+
+namespace kdsel::metrics {
+namespace {
+
+TEST(AucPrTest, PerfectRankingIsOne) {
+  std::vector<float> scores{0.9f, 0.8f, 0.1f, 0.2f};
+  std::vector<uint8_t> labels{1, 1, 0, 0};
+  auto auc = AucPr(scores, labels);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 1.0);
+}
+
+TEST(AucPrTest, WorstRankingApproachesPrevalenceTail) {
+  std::vector<float> scores{0.1f, 0.2f, 0.9f, 0.8f};
+  std::vector<uint8_t> labels{1, 1, 0, 0};
+  auto auc = AucPr(scores, labels);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_LT(*auc, 0.6);
+}
+
+TEST(AucPrTest, KnownHandComputedValue) {
+  // Descending score order labels: 1, 0, 1, 0.
+  // After rank1: R=1/2, P=1 -> AP += 0.5*1
+  // After rank3: R=1, P=2/3 -> AP += 0.5*(2/3)
+  std::vector<float> scores{0.9f, 0.8f, 0.7f, 0.6f};
+  std::vector<uint8_t> labels{1, 0, 1, 0};
+  auto auc = AucPr(scores, labels);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_NEAR(*auc, 0.5 + 0.5 * (2.0 / 3.0), 1e-9);
+}
+
+TEST(AucPrTest, NoPositivesIsZero) {
+  std::vector<float> scores{0.1f, 0.2f};
+  std::vector<uint8_t> labels{0, 0};
+  auto auc = AucPr(scores, labels);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 0.0);
+}
+
+TEST(AucPrTest, AllPositivesIsOne) {
+  std::vector<float> scores{0.1f, 0.9f};
+  std::vector<uint8_t> labels{1, 1};
+  auto auc = AucPr(scores, labels);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 1.0);
+}
+
+TEST(AucPrTest, TiesCollapse) {
+  // All scores equal: single PR point, P = prevalence, R = 1.
+  std::vector<float> scores{0.5f, 0.5f, 0.5f, 0.5f};
+  std::vector<uint8_t> labels{1, 0, 0, 0};
+  auto auc = AucPr(scores, labels);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_NEAR(*auc, 0.25, 1e-9);
+}
+
+TEST(AucPrTest, RejectsMismatchedLengths) {
+  EXPECT_FALSE(AucPr({0.5f}, {1, 0}).ok());
+  EXPECT_FALSE(AucPr({}, {}).ok());
+}
+
+TEST(AucPrTest, RejectsNan) {
+  EXPECT_FALSE(
+      AucPr({std::nanf(""), 0.5f}, std::vector<uint8_t>{1, 0}).ok());
+}
+
+TEST(AucRocTest, PerfectAndWorst) {
+  std::vector<uint8_t> labels{1, 1, 0, 0};
+  auto perfect = AucRoc({0.9f, 0.8f, 0.2f, 0.1f}, labels);
+  ASSERT_TRUE(perfect.ok());
+  EXPECT_DOUBLE_EQ(*perfect, 1.0);
+  auto worst = AucRoc({0.1f, 0.2f, 0.8f, 0.9f}, labels);
+  ASSERT_TRUE(worst.ok());
+  EXPECT_DOUBLE_EQ(*worst, 0.0);
+}
+
+TEST(AucRocTest, TiesScoreHalf) {
+  std::vector<float> scores{0.5f, 0.5f};
+  std::vector<uint8_t> labels{1, 0};
+  auto auc = AucRoc(scores, labels);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 0.5);
+}
+
+TEST(AucRocTest, DegenerateLabelsGiveHalf) {
+  auto auc = AucRoc({0.1f, 0.9f}, std::vector<uint8_t>{0, 0});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 0.5);
+}
+
+TEST(AucRocTest, RandomScoresNearHalf) {
+  Rng rng(3);
+  const size_t n = 4000;
+  std::vector<float> scores(n);
+  std::vector<uint8_t> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    scores[i] = static_cast<float>(rng.Uniform());
+    labels[i] = rng.Bernoulli(0.3);
+  }
+  auto auc = AucRoc(scores, labels);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_NEAR(*auc, 0.5, 0.03);
+}
+
+TEST(BestF1Test, PerfectSeparationIsOne) {
+  auto f1 = BestF1({0.9f, 0.8f, 0.1f}, std::vector<uint8_t>{1, 1, 0});
+  ASSERT_TRUE(f1.ok());
+  EXPECT_DOUBLE_EQ(*f1, 1.0);
+}
+
+TEST(BestF1Test, KnownValue) {
+  // Best threshold takes the top score only: P=1, R=0.5, F1=2/3.
+  // Taking top-3: P=2/3, R=1, F1=0.8 -> best is 0.8.
+  auto f1 = BestF1({0.9f, 0.5f, 0.6f}, std::vector<uint8_t>{1, 1, 0});
+  ASSERT_TRUE(f1.ok());
+  EXPECT_NEAR(*f1, 0.8, 1e-9);
+}
+
+TEST(PrecisionRecallCurveTest, MonotoneRecall) {
+  Rng rng(1);
+  std::vector<float> scores(200);
+  std::vector<uint8_t> labels(200);
+  for (size_t i = 0; i < 200; ++i) {
+    scores[i] = static_cast<float>(rng.Uniform());
+    labels[i] = rng.Bernoulli(0.2);
+  }
+  auto curve = PrecisionRecallCurve(scores, labels);
+  ASSERT_TRUE(curve.ok());
+  double prev = -1.0;
+  for (const auto& p : *curve) {
+    EXPECT_GE(p.recall, prev);
+    EXPECT_GE(p.precision, 0.0);
+    EXPECT_LE(p.precision, 1.0);
+    prev = p.recall;
+  }
+  EXPECT_NEAR(curve->back().recall, 1.0, 1e-12);
+}
+
+TEST(AccuracyTest, Basics) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2, 3}, {1, 0, 0}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(Accuracy({1}, {1, 2}), 0.0);
+}
+
+/// Property: AUC metrics are invariant under strictly-increasing
+/// monotone transforms of the scores.
+class MonotoneInvarianceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonotoneInvarianceTest, AucInvariantUnderMonotoneTransform) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const size_t n = 300;
+  std::vector<float> scores(n);
+  std::vector<uint8_t> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    scores[i] = static_cast<float>(rng.Uniform(-3, 3));
+    labels[i] = rng.Bernoulli(0.25);
+  }
+  if (std::count(labels.begin(), labels.end(), 1) == 0) labels[0] = 1;
+  std::vector<float> transformed(n);
+  for (size_t i = 0; i < n; ++i) {
+    transformed[i] = std::exp(0.5f * scores[i]) + 2.0f;  // monotone
+  }
+  auto a1 = AucPr(scores, labels);
+  auto a2 = AucPr(transformed, labels);
+  ASSERT_TRUE(a1.ok() && a2.ok());
+  EXPECT_NEAR(*a1, *a2, 1e-6);
+  auto r1 = AucRoc(scores, labels);
+  auto r2 = AucRoc(transformed, labels);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_NEAR(*r1, *r2, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonotoneInvarianceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace kdsel::metrics

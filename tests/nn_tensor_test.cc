@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace kdsel::nn {
+namespace {
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.size(), 6u);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorTest, FullAndFill) {
+  Tensor t = Tensor::Full({4}, 2.5f);
+  for (float v : t.data()) EXPECT_EQ(v, 2.5f);
+  t.Fill(-1.0f);
+  for (float v : t.data()) EXPECT_EQ(v, -1.0f);
+}
+
+TEST(TensorTest, At2DAnd3D) {
+  Tensor t({2, 3});
+  t.At(1, 2) = 7.0f;
+  EXPECT_EQ(t[5], 7.0f);
+  Tensor u({2, 3, 4});
+  u.At(1, 2, 3) = 9.0f;
+  EXPECT_EQ(u[1 * 12 + 2 * 4 + 3], 9.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t({2, 6}, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+  Tensor r = t.Reshaped({3, 4});
+  EXPECT_EQ(r.dim(0), 3u);
+  EXPECT_EQ(r.dim(1), 4u);
+  for (size_t i = 0; i < 12; ++i) EXPECT_EQ(r[i], t[i]);
+}
+
+TEST(TensorTest, InPlaceOps) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  a.AddInPlace(b);
+  EXPECT_EQ(a[0], 11.0f);
+  a.ScaleInPlace(2.0f);
+  EXPECT_EQ(a[2], 66.0f);
+  a.AxpyInPlace(0.5f, b);
+  EXPECT_EQ(a[1], 44.0f + 10.0f);
+}
+
+TEST(TensorTest, SquaredL2Norm) {
+  Tensor t({2}, {3, 4});
+  EXPECT_DOUBLE_EQ(t.SquaredL2Norm(), 25.0);
+}
+
+TEST(TensorTest, ShapeString) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.ShapeString(), "[2,3,4]");
+}
+
+TEST(MatMulTest, KnownProduct) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 154.0f);
+}
+
+TEST(MatMulTest, TransposedVariantsAgree) {
+  Rng rng(1);
+  Tensor a({5, 7}), b({7, 4});
+  for (float& v : a.mutable_data()) v = static_cast<float>(rng.Normal());
+  for (float& v : b.mutable_data()) v = static_cast<float>(rng.Normal());
+  Tensor c = MatMul(a, b);
+  // A * B == A *T (B^T)
+  Tensor bt = Transpose2D(b);
+  Tensor c2 = MatMulTransposedB(a, bt);
+  ASSERT_TRUE(SameShape(c, c2));
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], c2[i], 1e-4f);
+  // A * B == (A^T)^T * B via MatMulTransposedA
+  Tensor at = Transpose2D(a);
+  Tensor c3 = MatMulTransposedA(at, b);
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], c3[i], 1e-4f);
+}
+
+TEST(MatMulTest, LargeMatricesMatchNaive) {
+  // Exercises the multithreaded path (work above the parallel cutoff).
+  Rng rng(2);
+  const size_t n = 64, k = 96, m = 48;
+  Tensor a({n, k}), b({k, m});
+  for (float& v : a.mutable_data()) v = static_cast<float>(rng.Normal());
+  for (float& v : b.mutable_data()) v = static_cast<float>(rng.Normal());
+  Tensor c = MatMul(a, b);
+  for (size_t checks = 0; checks < 50; ++checks) {
+    size_t i = rng.Index(n), j = rng.Index(m);
+    double acc = 0.0;
+    for (size_t kk = 0; kk < k; ++kk) {
+      acc += static_cast<double>(a[i * k + kk]) * b[kk * m + j];
+    }
+    EXPECT_NEAR(c[i * m + j], acc, 1e-3);
+  }
+}
+
+TEST(TransposeTest, RoundTrip) {
+  Rng rng(3);
+  Tensor a({4, 6});
+  for (float& v : a.mutable_data()) v = static_cast<float>(rng.Normal());
+  Tensor back = Transpose2D(Transpose2D(a));
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], back[i]);
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Tensor logits({3, 5});
+  Rng rng(4);
+  for (float& v : logits.mutable_data()) {
+    v = static_cast<float>(rng.Uniform(-10, 10));
+  }
+  Tensor p = SoftmaxRows(logits);
+  for (size_t i = 0; i < 3; ++i) {
+    double sum = 0;
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_GT(p.At(i, j), 0.0f);
+      sum += p.At(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxTest, StableForLargeLogits) {
+  Tensor logits({1, 3}, {1000.0f, 1001.0f, 999.0f});
+  Tensor p = SoftmaxRows(logits);
+  EXPECT_TRUE(std::isfinite(p[0]));
+  EXPECT_GT(p[1], p[0]);
+  EXPECT_GT(p[0], p[2]);
+}
+
+TEST(SoftmaxTest, UniformLogitsUniformOutput) {
+  Tensor logits({1, 4}, {2.0f, 2.0f, 2.0f, 2.0f});
+  Tensor p = SoftmaxRows(logits);
+  for (size_t j = 0; j < 4; ++j) EXPECT_NEAR(p[j], 0.25f, 1e-6f);
+}
+
+TEST(AddTest, ElementwiseSum) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  Tensor c = Add(a, b);
+  EXPECT_EQ(c[0], 6.0f);
+  EXPECT_EQ(c[3], 12.0f);
+}
+
+}  // namespace
+}  // namespace kdsel::nn

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "datagen/families.h"
+
+namespace kdsel::core {
+namespace {
+
+/// A pair of labeled series with obvious spike anomalies.
+std::vector<ts::TimeSeries> MakeLabeledSeries(size_t count, uint64_t seed) {
+  std::vector<ts::TimeSeries> series;
+  Rng rng(seed);
+  for (size_t i = 0; i < count; ++i) {
+    auto family = (i % 2 == 0) ? datagen::Family::kYahoo
+                               : datagen::Family::kEcg;
+    auto s = datagen::GenerateSeries(family, 320, i, rng);
+    KDSEL_CHECK(s.ok());
+    series.push_back(std::move(s).value());
+  }
+  return series;
+}
+
+TEST(PipelineTest, EvaluateDetectorsProducesFullRow) {
+  auto models = tsad::BuildDefaultModelSet(3);
+  auto series = MakeLabeledSeries(1, 1);
+  auto perf = EvaluateDetectorsOnSeries(models, series[0]);
+  ASSERT_TRUE(perf.ok()) << perf.status();
+  ASSERT_EQ(perf->size(), 12u);
+  for (float p : *perf) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+  }
+}
+
+TEST(PipelineTest, EvaluateDetectorsRequiresLabels) {
+  auto models = tsad::BuildDefaultModelSet(3);
+  ts::TimeSeries unlabeled("x", std::vector<float>(300, 1.0f));
+  EXPECT_FALSE(EvaluateDetectorsOnSeries(models, unlabeled).ok());
+}
+
+TEST(PipelineTest, BuildTrainingDataPropagatesLabelsAndTexts) {
+  auto series = MakeLabeledSeries(2, 2);
+  std::vector<std::vector<float>> perf{{0.1f, 0.9f, 0.3f},
+                                       {0.8f, 0.2f, 0.1f}};
+  ts::WindowOptions wo;
+  wo.length = 64;
+  wo.stride = 64;
+  auto data = BuildSelectorTrainingData(series, perf, wo);
+  ASSERT_TRUE(data.ok()) << data.status();
+  EXPECT_EQ(data->num_classes, 3u);
+  EXPECT_GT(data->size(), 2u);
+  ASSERT_EQ(data->labels.size(), data->windows.size());
+  ASSERT_EQ(data->performance.size(), data->windows.size());
+  ASSERT_EQ(data->texts.size(), data->windows.size());
+  // Windows of series 0 carry label 1; series 1 carries label 0.
+  EXPECT_EQ(data->labels.front(), 1);
+  EXPECT_EQ(data->labels.back(), 0);
+  EXPECT_NE(data->texts.front().find("This is a time series from dataset"),
+            std::string::npos);
+}
+
+TEST(PipelineTest, BuildTrainingDataValidatesShapes) {
+  auto series = MakeLabeledSeries(2, 3);
+  ts::WindowOptions wo;
+  wo.length = 64;
+  EXPECT_FALSE(
+      BuildSelectorTrainingData(series, {{0.1f}}, wo).ok());
+  EXPECT_FALSE(BuildSelectorTrainingData({}, {}, wo).ok());
+  std::vector<std::vector<float>> ragged{{0.1f, 0.2f}, {0.3f}};
+  EXPECT_FALSE(BuildSelectorTrainingData(series, ragged, wo).ok());
+}
+
+TEST(PipelineTest, DetectWithSelectionEndToEnd) {
+  auto series = MakeLabeledSeries(6, 4);
+  auto models = tsad::BuildDefaultModelSet(5);
+  std::vector<std::vector<float>> perf;
+  for (const auto& s : series) {
+    auto row = EvaluateDetectorsOnSeries(models, s);
+    ASSERT_TRUE(row.ok());
+    perf.push_back(std::move(row).value());
+  }
+  ts::WindowOptions wo;
+  wo.length = 64;
+  wo.stride = 64;
+  auto data = BuildSelectorTrainingData(series, perf, wo);
+  ASSERT_TRUE(data.ok());
+  TrainerOptions opts;
+  opts.backbone = "ConvNet";
+  opts.epochs = 3;
+  opts.seed = 5;
+  auto selector = TrainSelector(*data, opts, nullptr);
+  ASSERT_TRUE(selector.ok());
+
+  auto result = DetectWithSelection(**selector, models, series[0], wo);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GE(result->selected_model, 0);
+  EXPECT_LT(result->selected_model, 12);
+  EXPECT_EQ(result->model_name,
+            models[static_cast<size_t>(result->selected_model)]->name());
+  EXPECT_EQ(result->anomaly_scores.size(), series[0].length());
+  EXPECT_GE(result->auc_pr, 0.0);
+  EXPECT_LE(result->auc_pr, 1.0);
+}
+
+TEST(SelectorManagerTest, SaveListLoadRemove) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "kdsel_mgr_test").string();
+  std::filesystem::remove_all(dir);
+  SelectorManager manager(dir);
+
+  auto empty = manager.List();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  // Train a tiny selector to manage.
+  SelectorTrainingData data;
+  data.num_classes = 2;
+  Rng rng(1);
+  for (int i = 0; i < 40; ++i) {
+    std::vector<float> w(16);
+    int c = i % 2;
+    for (size_t t = 0; t < 16; ++t) {
+      w[t] = static_cast<float>(c ? std::sin(1.5 * t) : std::sin(0.2 * t)) +
+             static_cast<float>(0.05 * rng.Normal());
+    }
+    data.windows.push_back(std::move(w));
+    data.labels.push_back(c);
+  }
+  TrainerOptions opts;
+  opts.backbone = "ConvNet";
+  opts.epochs = 2;
+  auto selector = TrainSelector(data, opts, nullptr);
+  ASSERT_TRUE(selector.ok());
+
+  ASSERT_TRUE(manager.Save(**selector, "my_selector").ok());
+  auto names = manager.List();
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(names->size(), 1u);
+  EXPECT_EQ((*names)[0], "my_selector");
+
+  auto loaded = manager.Load("my_selector");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  auto p1 = (*selector)->Predict(data.windows);
+  auto p2 = (*loaded)->Predict(data.windows);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_EQ(*p1, *p2);
+
+  EXPECT_TRUE(manager.Remove("my_selector").ok());
+  EXPECT_FALSE(manager.Remove("my_selector").ok());
+  auto after = manager.List();
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->empty());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SelectorManagerTest, RejectsBadNames) {
+  SelectorManager manager("/tmp/kdsel_mgr_badnames");
+  SelectorTrainingData data;
+  data.num_classes = 2;
+  for (int i = 0; i < 8; ++i) {
+    data.windows.push_back(std::vector<float>(16, static_cast<float>(i)));
+    data.labels.push_back(i % 2);
+  }
+  TrainerOptions opts;
+  opts.backbone = "ConvNet";
+  opts.epochs = 1;
+  auto selector = TrainSelector(data, opts, nullptr);
+  ASSERT_TRUE(selector.ok());
+  EXPECT_FALSE(manager.Save(**selector, "").ok());
+  EXPECT_FALSE(manager.Save(**selector, "a/b").ok());
+}
+
+TEST(SelectorManagerTest, LoadMissingFails) {
+  SelectorManager manager("/tmp/kdsel_mgr_missing");
+  EXPECT_FALSE(manager.Load("ghost").ok());
+}
+
+}  // namespace
+}  // namespace kdsel::core

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "metrics/metrics.h"
+#include "metrics/range_metrics.h"
+
+namespace kdsel::metrics {
+namespace {
+
+TEST(BufferedLabelsTest, ZeroBufferReproducesBinary) {
+  std::vector<uint8_t> labels{0, 0, 1, 1, 0};
+  auto soft = BufferedLabels(labels, 0);
+  EXPECT_EQ(soft, (std::vector<float>{0, 0, 1, 1, 0}));
+}
+
+TEST(BufferedLabelsTest, RampDecaysFromRegionBorder) {
+  std::vector<uint8_t> labels(11, 0);
+  labels[5] = 1;
+  auto soft = BufferedLabels(labels, 3);
+  EXPECT_FLOAT_EQ(soft[5], 1.0f);
+  // Monotone decay on both sides, symmetric.
+  EXPECT_GT(soft[4], soft[3]);
+  EXPECT_GT(soft[3], soft[2]);
+  EXPECT_FLOAT_EQ(soft[4], soft[6]);
+  EXPECT_FLOAT_EQ(soft[3], soft[7]);
+  // Beyond the buffer: zero.
+  EXPECT_FLOAT_EQ(soft[1], 0.0f);
+  EXPECT_FLOAT_EQ(soft[0], 0.0f);
+  // sqrt ramp values.
+  EXPECT_NEAR(soft[4], std::sqrt(1.0 - 1.0 / 4.0), 1e-5);
+}
+
+TEST(BufferedLabelsTest, AllClean) {
+  std::vector<uint8_t> labels(8, 0);
+  auto soft = BufferedLabels(labels, 4);
+  for (float v : soft) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(WeightedAucRocTest, BinaryWeightsMatchPlainAuc) {
+  Rng rng(1);
+  const size_t n = 500;
+  std::vector<float> scores(n);
+  std::vector<uint8_t> labels(n);
+  std::vector<float> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    scores[i] = static_cast<float>(rng.Uniform());
+    labels[i] = rng.Bernoulli(0.3);
+    weights[i] = labels[i] ? 1.0f : 0.0f;
+  }
+  auto plain = AucRoc(scores, labels);
+  auto weighted = WeightedAucRoc(scores, weights);
+  ASSERT_TRUE(plain.ok() && weighted.ok());
+  EXPECT_NEAR(*plain, *weighted, 1e-9);
+}
+
+TEST(WeightedAucPrTest, BinaryWeightsMatchPlainAp) {
+  Rng rng(2);
+  const size_t n = 400;
+  std::vector<float> scores(n);
+  std::vector<uint8_t> labels(n);
+  std::vector<float> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    scores[i] = static_cast<float>(rng.Uniform());
+    labels[i] = rng.Bernoulli(0.2);
+    weights[i] = labels[i] ? 1.0f : 0.0f;
+  }
+  auto plain = AucPr(scores, labels);
+  auto weighted = WeightedAucPr(scores, weights);
+  ASSERT_TRUE(plain.ok() && weighted.ok());
+  EXPECT_NEAR(*plain, *weighted, 1e-9);
+}
+
+TEST(WeightedAucRocTest, DegenerateWeightsGiveHalf) {
+  auto all_pos = WeightedAucRoc({0.1f, 0.9f}, {1.0f, 1.0f});
+  ASSERT_TRUE(all_pos.ok());
+  EXPECT_DOUBLE_EQ(*all_pos, 0.5);
+}
+
+TEST(WeightedAucRocTest, RejectsBadWeights) {
+  EXPECT_FALSE(WeightedAucRoc({0.5f}, {1.5f}).ok());
+  EXPECT_FALSE(WeightedAucRoc({0.5f}, {-0.1f}).ok());
+  EXPECT_FALSE(WeightedAucRoc({0.5f}, {0.5f, 0.4f}).ok());
+}
+
+TEST(RangeAucTest, RewardsNearMissMoreThanFarMiss) {
+  // Anomaly at [50, 55); detector A fires at 48 (near), B at 20 (far).
+  const size_t n = 100;
+  std::vector<uint8_t> labels(n, 0);
+  for (size_t i = 50; i < 55; ++i) labels[i] = 1;
+  std::vector<float> near_scores(n, 0.0f), far_scores(n, 0.0f);
+  near_scores[48] = 1.0f;
+  far_scores[20] = 1.0f;
+  auto near_auc = RangeAucPr(near_scores, labels, 8);
+  auto far_auc = RangeAucPr(far_scores, labels, 8);
+  ASSERT_TRUE(near_auc.ok() && far_auc.ok());
+  EXPECT_GT(*near_auc, *far_auc);
+  // Plain AUC-PR cannot tell the two apart.
+  auto plain_near = AucPr(near_scores, labels);
+  auto plain_far = AucPr(far_scores, labels);
+  ASSERT_TRUE(plain_near.ok() && plain_far.ok());
+  EXPECT_NEAR(*plain_near, *plain_far, 1e-9);
+}
+
+TEST(RangeAucTest, PerfectDetectionStaysPerfect) {
+  const size_t n = 60;
+  std::vector<uint8_t> labels(n, 0);
+  for (size_t i = 30; i < 36; ++i) labels[i] = 1;
+  std::vector<float> scores(n, 0.0f);
+  for (size_t i = 30; i < 36; ++i) scores[i] = 1.0f;
+  auto roc = RangeAucRoc(scores, labels, 0);
+  ASSERT_TRUE(roc.ok());
+  EXPECT_DOUBLE_EQ(*roc, 1.0);
+}
+
+TEST(VusTest, AveragesOverBuffers) {
+  Rng rng(3);
+  const size_t n = 200;
+  std::vector<uint8_t> labels(n, 0);
+  for (size_t i = 90; i < 100; ++i) labels[i] = 1;
+  std::vector<float> scores(n);
+  for (size_t i = 0; i < n; ++i) {
+    scores[i] = static_cast<float>(rng.Uniform() * 0.2);
+  }
+  for (size_t i = 85; i < 100; ++i) scores[i] = 0.9f;  // slightly early
+  auto vus = VusPr(scores, labels, 16);
+  auto r0 = RangeAucPr(scores, labels, 0);
+  auto r16 = RangeAucPr(scores, labels, 16);
+  ASSERT_TRUE(vus.ok() && r0.ok() && r16.ok());
+  // VUS lies between the tightest and loosest buffer values.
+  EXPECT_GE(*vus, std::min(*r0, *r16) - 1e-9);
+  EXPECT_LE(*vus, std::max(*r0, *r16) + 1e-9);
+}
+
+TEST(MetricEnumTest, NamesRoundTrip) {
+  for (Metric m : {Metric::kAucPr, Metric::kAucRoc, Metric::kBestF1,
+                   Metric::kRangeAucPr, Metric::kRangeAucRoc, Metric::kVusPr,
+                   Metric::kVusRoc}) {
+    auto parsed = MetricFromName(MetricToString(m));
+    ASSERT_TRUE(parsed.ok()) << MetricToString(m);
+    EXPECT_EQ(*parsed, m);
+  }
+  EXPECT_FALSE(MetricFromName("nope").ok());
+}
+
+TEST(MetricEnumTest, EvaluateMetricDispatches) {
+  // A detection that covers the anomaly block plus its ramp buffer is
+  // near-perfect under every metric.
+  const size_t n = 200;
+  std::vector<uint8_t> labels(n, 0);
+  std::vector<float> scores(n, 0.0f);
+  for (size_t i = 80; i < 100; ++i) labels[i] = 1;
+  for (size_t i = 80; i < 100; ++i) scores[i] = 1.0f;
+  for (Metric m : {Metric::kAucPr, Metric::kAucRoc, Metric::kBestF1,
+                   Metric::kRangeAucPr, Metric::kRangeAucRoc, Metric::kVusPr,
+                   Metric::kVusRoc}) {
+    auto value = EvaluateMetric(m, scores, labels);
+    ASSERT_TRUE(value.ok()) << MetricToString(m);
+    EXPECT_GE(*value, 0.5) << MetricToString(m);
+  }
+}
+
+}  // namespace
+}  // namespace kdsel::metrics

@@ -1,0 +1,212 @@
+// Cross-module regression tests for behaviours that earlier bugs (or
+// likely future refactors) could silently break: checkpoint round-trips
+// per backbone (batch-norm running stats!), batch-norm train/eval
+// consistency, attention's token mixing, and pruner parameter edges.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "common/rng.h"
+#include "core/pruning.h"
+#include "core/trainer.h"
+#include "nn/attention.h"
+#include "nn/conv.h"
+#include "selectors/backbone.h"
+
+namespace kdsel {
+namespace {
+
+core::SelectorTrainingData TinyTask(uint64_t seed, size_t window = 32) {
+  Rng rng(seed);
+  core::SelectorTrainingData data;
+  data.num_classes = 2;
+  for (int i = 0; i < 24; ++i) {
+    std::vector<float> w(window);
+    int c = i % 2;
+    for (size_t t = 0; t < window; ++t) {
+      w[t] = static_cast<float>(std::sin((c ? 1.2 : 0.3) * t) +
+                                0.05 * rng.Normal());
+    }
+    data.windows.push_back(std::move(w));
+    data.labels.push_back(c);
+  }
+  return data;
+}
+
+/// Save/load must round-trip for every backbone, including the ones
+/// with non-trainable state (batch-norm running statistics).
+class CheckpointRoundTripTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CheckpointRoundTripTest, PredictionsSurviveReload) {
+  auto data = TinyTask(7);
+  core::TrainerOptions opts;
+  opts.backbone = GetParam();
+  opts.epochs = 3;
+  opts.seed = 11;
+  auto selector = core::TrainSelector(data, opts, nullptr);
+  ASSERT_TRUE(selector.ok()) << selector.status();
+
+  const std::string prefix =
+      (std::filesystem::temp_directory_path() / ("kdsel_rt_" + GetParam()))
+          .string();
+  ASSERT_TRUE((*selector)->Save(prefix).ok());
+  auto loaded = core::TrainedSelector::Load(prefix);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  auto p1 = (*selector)->Predict(data.windows);
+  auto p2 = (*loaded)->Predict(data.windows);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_EQ(*p1, *p2);
+
+  // Logits must match exactly, not just argmax (catches partially
+  // restored state like missed BN running stats).
+  auto l1 = (*selector)->Logits(data.windows);
+  auto l2 = (*loaded)->Logits(data.windows);
+  ASSERT_TRUE(l1.ok() && l2.ok());
+  for (size_t i = 0; i < l1->size(); ++i) {
+    EXPECT_FLOAT_EQ((*l1)[i], (*l2)[i]) << "logit " << i;
+  }
+  std::filesystem::remove(prefix + ".meta");
+  std::filesystem::remove(prefix + ".weights");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackbones, CheckpointRoundTripTest,
+                         ::testing::ValuesIn(selectors::BackboneNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(BatchNormTest, EvalUsesRunningStats) {
+  Rng rng(1);
+  nn::BatchNorm1d bn(4, /*momentum=*/0.5);
+  nn::Tensor x({256, 4});
+  for (float& v : x.mutable_data()) {
+    v = static_cast<float>(rng.Normal(3.0, 2.0));
+  }
+  // Several training passes move the running stats toward (3, 4).
+  for (int i = 0; i < 20; ++i) (void)bn.Forward(x, /*training=*/true);
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(bn.running_mean()[c], 3.0, 0.8);
+    EXPECT_NEAR(bn.running_var()[c], 4.0, 2.0);
+  }
+  // Eval output for a typical input should be roughly standardized.
+  nn::Tensor y = bn.Forward(x, /*training=*/false);
+  double mean = 0;
+  for (float v : y.data()) mean += v;
+  mean /= static_cast<double>(y.size());
+  EXPECT_NEAR(mean, 0.0, 0.3);
+}
+
+TEST(BatchNormTest, TrainAndEvalAgreeOnLargeBatchAfterConvergence) {
+  Rng rng(2);
+  nn::BatchNorm1d bn(2, /*momentum=*/0.2);
+  nn::Tensor x({64, 2});
+  for (float& v : x.mutable_data()) v = static_cast<float>(rng.Normal());
+  for (int i = 0; i < 60; ++i) (void)bn.Forward(x, true);
+  nn::Tensor train_out = bn.Forward(x, true);
+  nn::Tensor eval_out = bn.Forward(x, false);
+  double max_diff = 0;
+  for (size_t i = 0; i < train_out.size(); ++i) {
+    max_diff = std::max(max_diff,
+                        std::abs(double(train_out[i]) - eval_out[i]));
+  }
+  EXPECT_LT(max_diff, 0.1);  // Running stats converged to batch stats.
+}
+
+TEST(AttentionTest, OutputDependsOnOtherTokens) {
+  Rng rng(3);
+  nn::MultiHeadSelfAttention attn(8, 2, rng);
+  nn::Tensor x({1, 4, 8});
+  for (float& v : x.mutable_data()) v = static_cast<float>(rng.Normal());
+  nn::Tensor y1 = attn.Forward(x, false);
+  // Perturb token 3 only; token 0's output must change (mixing).
+  nn::Tensor x2 = x;
+  for (size_t d = 0; d < 8; ++d) x2.At(0, 3, d) += 1.0f;
+  nn::Tensor y2 = attn.Forward(x2, false);
+  double diff_token0 = 0;
+  for (size_t d = 0; d < 8; ++d) {
+    diff_token0 += std::abs(y1.At(0, 0, d) - y2.At(0, 0, d));
+  }
+  EXPECT_GT(diff_token0, 1e-4);
+}
+
+TEST(PrunerRegressionTest, ZeroPruneRatioKeepsEverything) {
+  core::PrunerOptions opts;
+  opts.mode = core::PruningMode::kInfoBatch;
+  opts.prune_ratio = 0.0;
+  opts.anneal_fraction = 0.0;
+  core::Pruner pruner(opts, 50, {});
+  for (size_t i = 0; i < 50; ++i) pruner.RecordLoss(i, 0.01 * double(i));
+  auto plan = pruner.PlanEpoch(3, 100);
+  EXPECT_EQ(plan.kept.size(), 50u);
+  for (float w : plan.weights) EXPECT_FLOAT_EQ(w, 1.0f);
+}
+
+TEST(PrunerRegressionTest, SingleBinPaStillWorks) {
+  Rng rng(4);
+  std::vector<std::vector<float>> samples(40, std::vector<float>(8));
+  for (auto& s : samples) {
+    for (float& v : s) v = static_cast<float>(rng.Normal());
+  }
+  core::PrunerOptions opts;
+  opts.mode = core::PruningMode::kPa;
+  opts.num_bins = 1;
+  opts.anneal_fraction = 0.0;
+  core::Pruner pruner(opts, 40, samples);
+  for (size_t i = 0; i < 40; ++i) pruner.RecordLoss(i, rng.Uniform());
+  auto plan = pruner.PlanEpoch(2, 100);
+  EXPECT_GT(plan.kept.size(), 0u);
+  EXPECT_LE(plan.kept.size(), 40u);
+}
+
+TEST(PrunerRegressionTest, PaWithHighBitsBehavesLikeInfoBatchOnDistinctData) {
+  // With 64-bit signatures, random samples land in singleton buckets:
+  // PA must then keep every high-loss sample, exactly like InfoBatch.
+  Rng rng(5);
+  std::vector<std::vector<float>> samples(200, std::vector<float>(16));
+  for (auto& s : samples) {
+    for (float& v : s) v = static_cast<float>(rng.Normal());
+  }
+  core::PrunerOptions pa_opts;
+  pa_opts.mode = core::PruningMode::kPa;
+  pa_opts.lsh_bits = 64;
+  pa_opts.anneal_fraction = 0.0;
+  pa_opts.seed = 7;
+  core::Pruner pa(pa_opts, 200, samples);
+  core::PrunerOptions ib_opts = pa_opts;
+  ib_opts.mode = core::PruningMode::kInfoBatch;
+  core::Pruner ib(ib_opts, 200, samples);
+  for (size_t i = 0; i < 200; ++i) {
+    double loss = rng.Uniform();
+    pa.RecordLoss(i, loss);
+    ib.RecordLoss(i, loss);
+  }
+  auto pa_plan = pa.PlanEpoch(1, 1000);
+  auto ib_plan = ib.PlanEpoch(1, 1000);
+  // High-loss sample sets must agree exactly (weight-1 members).
+  std::set<size_t> pa_high, ib_high;
+  for (size_t k = 0; k < pa_plan.kept.size(); ++k) {
+    if (pa_plan.weights[k] == 1.0f) pa_high.insert(pa_plan.kept[k]);
+  }
+  for (size_t k = 0; k < ib_plan.kept.size(); ++k) {
+    if (ib_plan.weights[k] == 1.0f) ib_high.insert(ib_plan.kept[k]);
+  }
+  EXPECT_EQ(pa_high, ib_high);
+}
+
+TEST(TrainerRegressionTest, StatsVisitCountsAreExact) {
+  auto data = TinyTask(9);
+  core::TrainerOptions opts;
+  opts.backbone = "ConvNet";
+  opts.epochs = 4;
+  opts.batch_size = 8;
+  core::TrainStats stats;
+  auto selector = core::TrainSelector(data, opts, &stats);
+  ASSERT_TRUE(selector.ok());
+  EXPECT_EQ(stats.full_dataset_visits, 4u * 24u);
+  EXPECT_EQ(stats.samples_visited, 4u * 24u);  // no pruning
+  EXPECT_EQ(stats.epoch_loss.size(), 4u);
+}
+
+}  // namespace
+}  // namespace kdsel

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "ts/dataset.h"
+#include "ts/time_series.h"
+#include "ts/window.h"
+
+namespace kdsel::ts {
+namespace {
+
+TimeSeries MakeSeries(size_t n) {
+  std::vector<float> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = static_cast<float>(i % 10);
+  return TimeSeries("test", std::move(v));
+}
+
+TEST(TimeSeriesTest, BasicAccessors) {
+  TimeSeries s = MakeSeries(100);
+  EXPECT_EQ(s.length(), 100u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.name(), "test");
+  EXPECT_FALSE(s.has_labels());
+}
+
+TEST(TimeSeriesTest, SetLabelsRejectsWrongLength) {
+  TimeSeries s = MakeSeries(10);
+  EXPECT_FALSE(s.SetLabels(std::vector<uint8_t>(5, 0)).ok());
+  EXPECT_TRUE(s.SetLabels(std::vector<uint8_t>(10, 0)).ok());
+}
+
+TEST(TimeSeriesTest, MarkAnomalyAndRegions) {
+  TimeSeries s = MakeSeries(50);
+  ASSERT_TRUE(s.MarkAnomaly(5, 10).ok());
+  ASSERT_TRUE(s.MarkAnomaly(20, 21).ok());
+  auto regions = s.AnomalyRegions();
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_EQ(regions[0].begin, 5u);
+  EXPECT_EQ(regions[0].end, 10u);
+  EXPECT_EQ(regions[0].length(), 5u);
+  EXPECT_EQ(regions[1].begin, 20u);
+  EXPECT_EQ(regions[1].end, 21u);
+  EXPECT_EQ(s.NumAnomalies(), 2u);
+}
+
+TEST(TimeSeriesTest, AdjacentRegionsMerge) {
+  TimeSeries s = MakeSeries(30);
+  ASSERT_TRUE(s.MarkAnomaly(5, 8).ok());
+  ASSERT_TRUE(s.MarkAnomaly(8, 12).ok());
+  EXPECT_EQ(s.AnomalyRegions().size(), 1u);
+}
+
+TEST(TimeSeriesTest, MarkAnomalyOutOfRange) {
+  TimeSeries s = MakeSeries(10);
+  EXPECT_FALSE(s.MarkAnomaly(5, 20).ok());
+  EXPECT_FALSE(s.MarkAnomaly(8, 5).ok());
+}
+
+TEST(TimeSeriesTest, Metadata) {
+  TimeSeries s = MakeSeries(10);
+  s.SetMeta("dataset", "ECG");
+  EXPECT_EQ(s.GetMeta("dataset"), "ECG");
+  EXPECT_EQ(s.GetMeta("missing"), "");
+}
+
+TEST(TimeSeriesTest, MeanAndStddev) {
+  TimeSeries s("x", {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.5);
+  EXPECT_NEAR(s.Stddev(), std::sqrt(1.25), 1e-9);
+}
+
+TEST(ZNormalizeTest, ProducesZeroMeanUnitVar) {
+  std::vector<float> v{1, 5, 3, 9, 2, 8, 4, 7};
+  ZNormalize(v);
+  double mean = 0, var = 0;
+  for (float x : v) mean += x;
+  mean /= v.size();
+  for (float x : v) var += (x - mean) * (x - mean);
+  var /= v.size();
+  EXPECT_NEAR(mean, 0.0, 1e-5);
+  EXPECT_NEAR(var, 1.0, 1e-4);
+}
+
+TEST(ZNormalizeTest, ConstantSeriesCentersOnly) {
+  std::vector<float> v(16, 3.0f);
+  ZNormalize(v);
+  for (float x : v) EXPECT_NEAR(x, 0.0f, 1e-6);
+}
+
+TEST(WindowTest, NonOverlappingCoversSeries) {
+  TimeSeries s = MakeSeries(256);
+  WindowOptions opts;
+  opts.length = 64;
+  opts.stride = 64;
+  opts.z_normalize = false;
+  auto windows = ExtractWindows(s, 3, opts);
+  ASSERT_TRUE(windows.ok());
+  ASSERT_EQ(windows->size(), 4u);
+  for (const auto& w : *windows) {
+    EXPECT_EQ(w.values.size(), 64u);
+    EXPECT_EQ(w.series_index, 3u);
+  }
+  EXPECT_EQ((*windows)[3].offset, 192u);
+}
+
+TEST(WindowTest, FinalPartialWindowAlignsToEnd) {
+  TimeSeries s = MakeSeries(100);
+  WindowOptions opts;
+  opts.length = 64;
+  opts.stride = 64;
+  auto windows = ExtractWindows(s, 0, opts);
+  ASSERT_TRUE(windows.ok());
+  ASSERT_EQ(windows->size(), 2u);
+  EXPECT_EQ((*windows)[1].offset, 36u);  // 100 - 64
+}
+
+TEST(WindowTest, ShortSeriesPadsByEdgeReplication) {
+  TimeSeries s("short", {1.0f, 2.0f, 3.0f});
+  WindowOptions opts;
+  opts.length = 8;
+  opts.z_normalize = false;
+  auto windows = ExtractWindows(s, 0, opts);
+  ASSERT_TRUE(windows.ok());
+  ASSERT_EQ(windows->size(), 1u);
+  EXPECT_EQ((*windows)[0].values.size(), 8u);
+  EXPECT_FLOAT_EQ((*windows)[0].values[7], 3.0f);
+}
+
+TEST(WindowTest, ZeroLengthRejected) {
+  TimeSeries s = MakeSeries(10);
+  WindowOptions opts;
+  opts.length = 0;
+  EXPECT_FALSE(ExtractWindows(s, 0, opts).ok());
+}
+
+TEST(WindowTest, OverlappingStride) {
+  TimeSeries s = MakeSeries(128);
+  WindowOptions opts;
+  opts.length = 64;
+  opts.stride = 32;
+  auto windows = ExtractWindows(s, 0, opts);
+  ASSERT_TRUE(windows.ok());
+  EXPECT_EQ(windows->size(), 3u);  // offsets 0, 32, 64
+}
+
+TEST(WindowTest, MultiSeriesConcatenation) {
+  std::vector<TimeSeries> multi{MakeSeries(128), MakeSeries(64)};
+  WindowOptions opts;
+  opts.length = 64;
+  auto windows = ExtractWindows(multi, opts);
+  ASSERT_TRUE(windows.ok());
+  ASSERT_EQ(windows->size(), 3u);
+  EXPECT_EQ((*windows)[0].series_index, 0u);
+  EXPECT_EQ((*windows)[2].series_index, 1u);
+}
+
+TEST(WindowTest, ZNormalizedWindows) {
+  TimeSeries s = MakeSeries(64);
+  WindowOptions opts;
+  opts.length = 32;
+  opts.z_normalize = true;
+  auto windows = ExtractWindows(s, 0, opts);
+  ASSERT_TRUE(windows.ok());
+  for (const auto& w : *windows) {
+    double mean = 0;
+    for (float x : w.values) mean += x;
+    EXPECT_NEAR(mean / w.values.size(), 0.0, 1e-5);
+  }
+}
+
+TEST(DatasetTest, SaveLoadRoundTrip) {
+  Dataset ds;
+  ds.name = "roundtrip";
+  ds.domain_description = "a test domain";
+  TimeSeries s = MakeSeries(40);
+  ASSERT_TRUE(s.MarkAnomaly(10, 15).ok());
+  ds.series.push_back(s);
+  ds.series.push_back(MakeSeries(30));
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "kdsel_ds_test").string();
+  ASSERT_TRUE(SaveDataset(ds, dir).ok());
+  auto loaded = LoadDataset(dir);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->series.size(), 2u);
+  EXPECT_EQ(loaded->domain_description, "a test domain");
+  EXPECT_EQ(loaded->series[0].length(), 40u);
+  EXPECT_EQ(loaded->series[0].AnomalyRegions().size(), 1u);
+  for (size_t i = 0; i < 40; ++i) {
+    EXPECT_FLOAT_EQ(loaded->series[0].value(i), ds.series[0].value(i));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetTest, SplitFractionAndDeterminism) {
+  Dataset ds;
+  ds.name = "split";
+  for (int i = 0; i < 10; ++i) ds.series.push_back(MakeSeries(32));
+  auto a = SplitSeries(ds, 0.7, 99);
+  auto b = SplitSeries(ds, 0.7, 99);
+  EXPECT_EQ(a.train.size(), 7u);
+  EXPECT_EQ(a.test.size(), 3u);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train[i].name(), b.train[i].name());
+  }
+}
+
+TEST(DatasetTest, SplitKeepsAtLeastOneTrain) {
+  Dataset ds;
+  ds.series.push_back(MakeSeries(32));
+  auto split = SplitSeries(ds, 0.01, 1);
+  EXPECT_EQ(split.train.size(), 1u);
+  EXPECT_EQ(split.test.size(), 0u);
+}
+
+TEST(DatasetTest, EmptySplit) {
+  Dataset ds;
+  auto split = SplitSeries(ds, 0.5, 1);
+  EXPECT_TRUE(split.train.empty());
+  EXPECT_TRUE(split.test.empty());
+}
+
+}  // namespace
+}  // namespace kdsel::ts

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "common/rng.h"
+#include "datagen/families.h"
+#include "metrics/metrics.h"
+#include "tsad/detector.h"
+#include "tsad/util.h"
+
+namespace kdsel::tsad {
+namespace {
+
+/// A sinusoid with an obvious injected anomaly block (amplitude burst +
+/// spikes) that every detector family should be able to rank above the
+/// normal region.
+ts::TimeSeries EasyAnomalySeries(size_t n = 600) {
+  std::vector<float> v(n);
+  Rng rng(42);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<float>(std::sin(i * 0.2) +
+                              0.05 * rng.Normal());
+  }
+  ts::TimeSeries series("easy", std::move(v));
+  // A loud burst in the middle.
+  for (size_t i = 300; i < 330; ++i) {
+    series.mutable_values()[i] +=
+        static_cast<float>(4.0 + 2.0 * std::sin(i * 1.7));
+  }
+  KDSEL_CHECK(series.MarkAnomaly(300, 330).ok());
+  return series;
+}
+
+TEST(DetectorRegistryTest, TwelveCanonicalModels) {
+  EXPECT_EQ(CanonicalModelNames().size(), 12u);
+  auto models = BuildDefaultModelSet(1);
+  ASSERT_EQ(models.size(), 12u);
+  for (size_t i = 0; i < models.size(); ++i) {
+    EXPECT_EQ(models[i]->name(), CanonicalModelNames()[i]);
+  }
+}
+
+TEST(DetectorRegistryTest, UnknownNameRejected) {
+  EXPECT_FALSE(BuildDetector("NotAModel", 1).ok());
+}
+
+class DetectorTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<Detector> Build() {
+    auto d = BuildDetector(GetParam(), /*seed=*/3);
+    KDSEL_CHECK(d.ok());
+    return std::move(d).value();
+  }
+};
+
+TEST_P(DetectorTest, ScoresHaveSeriesLengthAndAreFinite) {
+  auto detector = Build();
+  ts::TimeSeries series = EasyAnomalySeries();
+  auto scores = detector->Score(series);
+  ASSERT_TRUE(scores.ok()) << scores.status();
+  ASSERT_EQ(scores->size(), series.length());
+  for (float s : *scores) {
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_GE(s, 0.0f);
+    EXPECT_LE(s, 1.0f);
+  }
+}
+
+TEST_P(DetectorTest, RanksObviousAnomalyAboveNormal) {
+  auto detector = Build();
+  ts::TimeSeries series = EasyAnomalySeries();
+  auto scores = detector->Score(series);
+  ASSERT_TRUE(scores.ok());
+  auto auc = metrics::AucRoc(*scores, series.labels());
+  ASSERT_TRUE(auc.ok());
+  EXPECT_GT(*auc, 0.6) << detector->name()
+                       << " failed to rank an obvious anomaly";
+}
+
+TEST_P(DetectorTest, RejectsTooShortSeries) {
+  auto detector = Build();
+  ts::TimeSeries tiny("tiny", {1.0f, 2.0f, 3.0f});
+  ASSERT_TRUE(tiny.SetLabels({0, 0, 1}).ok());
+  EXPECT_FALSE(detector->Score(tiny).ok());
+}
+
+TEST_P(DetectorTest, DeterministicScores) {
+  ts::TimeSeries series = EasyAnomalySeries(400);
+  auto d1 = Build();
+  auto d2 = Build();
+  auto s1 = d1->Score(series);
+  auto s2 = d2->Score(series);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  for (size_t i = 0; i < s1->size(); ++i) {
+    EXPECT_FLOAT_EQ((*s1)[i], (*s2)[i]) << GetParam() << " at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, DetectorTest,
+                         ::testing::ValuesIn(CanonicalModelNames()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(UtilTest, EmbedWindowsShapeAndContent) {
+  ts::TimeSeries s("x", {1, 2, 3, 4, 5});
+  auto rows = EmbedWindows(s, 3, /*z_normalize=*/false);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<float>{1, 2, 3}));
+  EXPECT_EQ(rows[2], (std::vector<float>{3, 4, 5}));
+}
+
+TEST(UtilTest, EmbedWindowsTooShort) {
+  ts::TimeSeries s("x", {1, 2});
+  EXPECT_TRUE(EmbedWindows(s, 3, false).empty());
+}
+
+TEST(UtilTest, WindowToPointAveragesCoverage) {
+  // Two windows of size 2 over 3 points: point 1 covered by both.
+  std::vector<float> window_scores{1.0f, 3.0f};
+  auto point = WindowToPointScores(window_scores, 2, 3);
+  ASSERT_EQ(point.size(), 3u);
+  EXPECT_FLOAT_EQ(point[0], 1.0f);
+  EXPECT_FLOAT_EQ(point[1], 2.0f);
+  EXPECT_FLOAT_EQ(point[2], 3.0f);
+}
+
+TEST(UtilTest, MinMaxNormalize) {
+  std::vector<float> v{2, 4, 6};
+  MinMaxNormalize(v);
+  EXPECT_FLOAT_EQ(v[0], 0.0f);
+  EXPECT_FLOAT_EQ(v[1], 0.5f);
+  EXPECT_FLOAT_EQ(v[2], 1.0f);
+  std::vector<float> constant{5, 5, 5};
+  MinMaxNormalize(constant);
+  for (float x : constant) EXPECT_FLOAT_EQ(x, 0.0f);
+}
+
+TEST(UtilTest, KMeansSeparatesObviousClusters) {
+  Rng rng(5);
+  std::vector<std::vector<float>> rows;
+  for (int i = 0; i < 30; ++i) {
+    rows.push_back({static_cast<float>(rng.Normal(0, 0.1)),
+                    static_cast<float>(rng.Normal(0, 0.1))});
+    rows.push_back({static_cast<float>(rng.Normal(10, 0.1)),
+                    static_cast<float>(rng.Normal(10, 0.1))});
+  }
+  auto km = KMeans(rows, 2, 20, rng);
+  ASSERT_TRUE(km.ok());
+  ASSERT_EQ(km->centroids.size(), 2u);
+  // Each cluster should hold half the points.
+  EXPECT_EQ(km->cluster_size[0], 30u);
+  EXPECT_EQ(km->cluster_size[1], 30u);
+  // Centroids near (0,0) and (10,10) in some order.
+  double c0 = km->centroids[0][0] + km->centroids[0][1];
+  double c1 = km->centroids[1][0] + km->centroids[1][1];
+  EXPECT_NEAR(std::min(c0, c1), 0.0, 0.5);
+  EXPECT_NEAR(std::max(c0, c1), 20.0, 0.5);
+}
+
+TEST(UtilTest, KMeansRejectsEmptyInput) {
+  Rng rng(1);
+  EXPECT_FALSE(KMeans({}, 2, 5, rng).ok());
+}
+
+TEST(UtilTest, KMeansClampsKToRows) {
+  Rng rng(1);
+  std::vector<std::vector<float>> rows{{1.0f}, {2.0f}};
+  auto km = KMeans(rows, 10, 5, rng);
+  ASSERT_TRUE(km.ok());
+  EXPECT_LE(km->centroids.size(), 2u);
+}
+
+/// Cross-family sanity: different dataset families must prefer
+/// different detectors (the premise of model selection). We check that
+/// at least 3 distinct detectors win somewhere across families.
+TEST(ModelHeterogeneityTest, NoSingleDetectorWinsEverywhere) {
+  auto models = BuildDefaultModelSet(7);
+  std::set<int> winners;
+  Rng rng(11);
+  for (datagen::Family family :
+       {datagen::Family::kYahoo, datagen::Family::kEcg,
+        datagen::Family::kMgab, datagen::Family::kNab,
+        datagen::Family::kSensorScope, datagen::Family::kGhl}) {
+    auto series = datagen::GenerateSeries(family, 600, 0, rng);
+    ASSERT_TRUE(series.ok());
+    if (series->NumAnomalies() == 0) continue;
+    double best = -1;
+    int best_model = -1;
+    for (size_t j = 0; j < models.size(); ++j) {
+      auto scores = models[j]->Score(*series);
+      if (!scores.ok()) continue;
+      auto auc = metrics::AucPr(*scores, series->labels());
+      ASSERT_TRUE(auc.ok());
+      if (*auc > best) {
+        best = *auc;
+        best_model = static_cast<int>(j);
+      }
+    }
+    winners.insert(best_model);
+  }
+  EXPECT_GE(winners.size(), 3u)
+      << "detector rankings should differ across families";
+}
+
+}  // namespace
+}  // namespace kdsel::tsad

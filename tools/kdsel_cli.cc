@@ -1,0 +1,363 @@
+// kdsel — command-line interface to the KDSelector system, mirroring
+// the demo paper's three-step pipeline (selector learning, model
+// selection, anomaly detection) plus dataset generation and selector
+// management.
+//
+//   kdsel generate --out data/ --series 6 --seed 42
+//   kdsel label    --data data/ --out perf.csv
+//   kdsel train    --data data/ --perf perf.csv --dir selectors/
+//                  --name mysel --backbone ResNet --pisl --mki --pa
+//   kdsel list     --dir selectors/
+//   kdsel detect   --dir selectors/ --name mysel --data data/
+//                  --dataset YAHOO --index 0
+//
+// Each subcommand prints --help-style usage when required flags are
+// missing.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/stringutil.h"
+#include "core/pipeline.h"
+#include "core/trainer.h"
+#include "datagen/benchmark.h"
+#include "metrics/range_metrics.h"
+#include "ts/dataset.h"
+#include "tsad/detector.h"
+
+namespace {
+
+using namespace kdsel;
+namespace fs = std::filesystem;
+
+/// Minimal flag parser: --key value and boolean --key.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int begin) {
+    for (int i = begin; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (!StartsWith(arg, "--")) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        ok_ = false;
+        continue;
+      }
+      std::string key = arg.substr(2);
+      if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // boolean flag
+      }
+    }
+  }
+
+  bool ok() const { return ok_; }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  uint64_t GetInt(const std::string& key, uint64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// Loads every dataset directory under `root` (each has a manifest.csv).
+StatusOr<std::vector<ts::Dataset>> LoadAllDatasets(const std::string& root) {
+  std::vector<ts::Dataset> datasets;
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    return Status::NotFound("data directory not found: " + root);
+  }
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    if (!entry.is_directory()) continue;
+    if (!fs::exists(entry.path() / "manifest.csv")) continue;
+    KDSEL_ASSIGN_OR_RETURN(auto ds, ts::LoadDataset(entry.path().string()));
+    ds.name = entry.path().filename().string();
+    datasets.push_back(std::move(ds));
+  }
+  if (datasets.empty()) {
+    return Status::NotFound("no datasets (manifest.csv) under " + root);
+  }
+  return datasets;
+}
+
+int CmdGenerate(const Flags& flags) {
+  const std::string out = flags.Get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr,
+                 "usage: kdsel generate --out DIR [--series N] [--min-len N]"
+                 " [--max-len N] [--seed S] [--families A,B,...]\n");
+    return 2;
+  }
+  datagen::BenchmarkOptions opts;
+  opts.series_per_family = flags.GetInt("series", 6);
+  opts.min_length = flags.GetInt("min-len", 512);
+  opts.max_length = flags.GetInt("max-len", 1024);
+  opts.seed = flags.GetInt("seed", 42);
+
+  std::vector<datagen::Family> families;
+  if (flags.Has("families")) {
+    for (const auto& name : Split(flags.Get("families", ""), ',')) {
+      auto family = datagen::FamilyFromName(name);
+      if (!family.ok()) return Fail(family.status());
+      families.push_back(*family);
+    }
+  } else {
+    families = datagen::AllFamilies();
+  }
+
+  for (auto family : families) {
+    auto dataset = datagen::GenerateFamilyDataset(family, opts);
+    if (!dataset.ok()) return Fail(dataset.status());
+    const std::string dir =
+        (fs::path(out) / datagen::FamilyName(family)).string();
+    Status saved = ts::SaveDataset(*dataset, dir);
+    if (!saved.ok()) return Fail(saved);
+    std::printf("wrote %zu series to %s\n", dataset->size(), dir.c_str());
+  }
+  return 0;
+}
+
+int CmdLabel(const Flags& flags) {
+  const std::string data_dir = flags.Get("data", "");
+  const std::string out = flags.Get("out", "");
+  if (data_dir.empty() || out.empty()) {
+    std::fprintf(stderr,
+                 "usage: kdsel label --data DIR --out FILE"
+                 " [--metric AUC-PR] [--seed S]\n");
+    return 2;
+  }
+  auto metric = metrics::MetricFromName(flags.Get("metric", "AUC-PR"));
+  if (!metric.ok()) return Fail(metric.status());
+  auto datasets = LoadAllDatasets(data_dir);
+  if (!datasets.ok()) return Fail(datasets.status());
+  auto models = tsad::BuildDefaultModelSet(flags.GetInt("seed", 42));
+
+  CsvTable table;
+  table.header = {"dataset", "series"};
+  for (const auto& m : models) table.header.push_back(m->name());
+  size_t done = 0, total = 0;
+  for (const auto& ds : *datasets) total += ds.size();
+  for (const auto& ds : *datasets) {
+    for (const auto& series : ds.series) {
+      auto perf = core::EvaluateDetectorsOnSeries(models, series, *metric);
+      if (!perf.ok()) return Fail(perf.status());
+      std::vector<std::string> row{ds.name, series.name()};
+      for (float p : *perf) row.push_back(StrFormat("%.6f", p));
+      table.rows.push_back(std::move(row));
+      std::fprintf(stderr, "\rlabeling: %zu/%zu series", ++done, total);
+    }
+  }
+  std::fprintf(stderr, "\n");
+  Status written = WriteCsv(out, table);
+  if (!written.ok()) return Fail(written);
+  std::printf("wrote %s (%zu rows, metric %s)\n", out.c_str(),
+              table.rows.size(), metrics::MetricToString(*metric));
+  return 0;
+}
+
+int CmdTrain(const Flags& flags) {
+  const std::string data_dir = flags.Get("data", "");
+  const std::string perf_path = flags.Get("perf", "");
+  const std::string sel_dir = flags.Get("dir", "");
+  const std::string name = flags.Get("name", "");
+  if (data_dir.empty() || perf_path.empty() || sel_dir.empty() ||
+      name.empty()) {
+    std::fprintf(
+        stderr,
+        "usage: kdsel train --data DIR --perf FILE --dir SELECTOR_DIR"
+        " --name NAME [--backbone ResNet] [--window 64] [--epochs 12]\n"
+        "             [--pisl] [--mki] [--pa | --infobatch] [--seed S]\n");
+    return 2;
+  }
+  auto datasets = LoadAllDatasets(data_dir);
+  if (!datasets.ok()) return Fail(datasets.status());
+  auto perf_csv = ReadCsv(perf_path, /*has_header=*/true);
+  if (!perf_csv.ok()) return Fail(perf_csv.status());
+
+  std::map<std::string, std::vector<float>> perf_by_series;
+  for (const auto& row : perf_csv->rows) {
+    if (row.size() < 3) continue;
+    std::vector<float> perf;
+    for (size_t j = 2; j < row.size(); ++j) {
+      perf.push_back(std::strtof(row[j].c_str(), nullptr));
+    }
+    perf_by_series[row[1]] = std::move(perf);
+  }
+
+  std::vector<ts::TimeSeries> series;
+  std::vector<std::vector<float>> performance;
+  for (auto& ds : *datasets) {
+    for (auto& s : ds.series) {
+      auto it = perf_by_series.find(s.name());
+      if (it == perf_by_series.end()) continue;
+      s.SetMeta("dataset", ds.name);
+      s.SetMeta("domain", ds.domain_description);
+      series.push_back(s);
+      performance.push_back(it->second);
+    }
+  }
+  if (series.empty()) {
+    return Fail(Status::NotFound(
+        "no series matched between the data directory and the perf file"));
+  }
+  std::printf("training on %zu labeled series\n", series.size());
+
+  ts::WindowOptions window_opts;
+  window_opts.length = flags.GetInt("window", 64);
+  window_opts.stride = window_opts.length;
+  auto data =
+      core::BuildSelectorTrainingData(series, performance, window_opts);
+  if (!data.ok()) return Fail(data.status());
+
+  core::TrainerOptions opts;
+  opts.backbone = flags.Get("backbone", "ResNet");
+  opts.epochs = flags.GetInt("epochs", 12);
+  opts.seed = flags.GetInt("seed", 1);
+  opts.use_pisl = flags.Has("pisl");
+  opts.use_mki = flags.Has("mki");
+  if (flags.Has("pa")) opts.pruning.mode = core::PruningMode::kPa;
+  if (flags.Has("infobatch")) {
+    opts.pruning.mode = core::PruningMode::kInfoBatch;
+  }
+  core::TrainStats stats;
+  auto selector = core::TrainSelector(*data, opts, &stats);
+  if (!selector.ok()) return Fail(selector.status());
+  std::printf("trained %s: %.1fs, %zu/%zu sample visits\n",
+              (*selector)->name().c_str(), stats.train_seconds,
+              stats.samples_visited, stats.full_dataset_visits);
+
+  core::SelectorManager manager(sel_dir);
+  Status saved = manager.Save(**selector, name);
+  if (!saved.ok()) return Fail(saved);
+  std::printf("saved selector '%s' under %s\n", name.c_str(),
+              sel_dir.c_str());
+  return 0;
+}
+
+int CmdList(const Flags& flags) {
+  const std::string sel_dir = flags.Get("dir", "");
+  if (sel_dir.empty()) {
+    std::fprintf(stderr, "usage: kdsel list --dir SELECTOR_DIR\n");
+    return 2;
+  }
+  core::SelectorManager manager(sel_dir);
+  auto names = manager.List();
+  if (!names.ok()) return Fail(names.status());
+  if (names->empty()) {
+    std::printf("(no selectors in %s)\n", sel_dir.c_str());
+    return 0;
+  }
+  for (const auto& name : *names) std::printf("%s\n", name.c_str());
+  return 0;
+}
+
+int CmdDetect(const Flags& flags) {
+  const std::string sel_dir = flags.Get("dir", "");
+  const std::string name = flags.Get("name", "");
+  const std::string data_dir = flags.Get("data", "");
+  const std::string dataset_name = flags.Get("dataset", "");
+  if (sel_dir.empty() || name.empty() || data_dir.empty() ||
+      dataset_name.empty()) {
+    std::fprintf(stderr,
+                 "usage: kdsel detect --dir SELECTOR_DIR --name NAME"
+                 " --data DIR --dataset NAME [--index 0] [--window 64]\n");
+    return 2;
+  }
+  core::SelectorManager manager(sel_dir);
+  auto selector = manager.Load(name);
+  if (!selector.ok()) return Fail(selector.status());
+
+  auto dataset =
+      ts::LoadDataset((fs::path(data_dir) / dataset_name).string());
+  if (!dataset.ok()) return Fail(dataset.status());
+  const size_t index = flags.GetInt("index", 0);
+  if (index >= dataset->size()) {
+    return Fail(Status::OutOfRange(
+        StrFormat("dataset has %zu series, requested index %zu",
+                  dataset->size(), index)));
+  }
+
+  auto models = tsad::BuildDefaultModelSet(flags.GetInt("seed", 42));
+  ts::WindowOptions window_opts;
+  window_opts.length = (*selector)->input_length();
+  window_opts.stride = window_opts.length;
+  auto result = core::DetectWithSelection(**selector, models,
+                                          dataset->series[index],
+                                          window_opts);
+  if (!result.ok()) return Fail(result.status());
+
+  std::printf("series: %s (%zu points)\n",
+              dataset->series[index].name().c_str(),
+              dataset->series[index].length());
+  std::printf("selected model: %s\n", result->model_name.c_str());
+  std::printf("votes:");
+  for (size_t j = 0; j < result->votes.size(); ++j) {
+    if (result->votes[j] > 0) {
+      std::printf(" %s=%d", models[j]->name().c_str(), result->votes[j]);
+    }
+  }
+  std::printf("\n");
+  if (dataset->series[index].has_labels()) {
+    std::printf("detection AUC-PR: %.4f\n", result->auc_pr);
+  }
+  if (flags.Has("scores-out")) {
+    CsvTable table;
+    table.header = {"score"};
+    for (float s : result->anomaly_scores) {
+      table.rows.push_back({StrFormat("%.6f", s)});
+    }
+    Status written = WriteCsv(flags.Get("scores-out", ""), table);
+    if (!written.ok()) return Fail(written);
+    std::printf("anomaly scores written to %s\n",
+                flags.Get("scores-out", "").c_str());
+  }
+  return 0;
+}
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "kdsel — TSAD model selection with KDSelector\n"
+      "subcommands:\n"
+      "  generate   synthesize benchmark datasets to a directory\n"
+      "  label      run the 12-model TSAD set, write the performance CSV\n"
+      "  train      learn a selector (optionally +PISL/+MKI/+PA) and save\n"
+      "  list       list saved selectors\n"
+      "  detect     select a model for a series and run the detection\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  Flags flags(argc, argv, 2);
+  if (!flags.ok()) return 2;
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "label") return CmdLabel(flags);
+  if (cmd == "train") return CmdTrain(flags);
+  if (cmd == "list") return CmdList(flags);
+  if (cmd == "detect") return CmdDetect(flags);
+  PrintUsage();
+  return 2;
+}
