@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mki.dir/bench_ablation_mki.cc.o"
+  "CMakeFiles/bench_ablation_mki.dir/bench_ablation_mki.cc.o.d"
+  "bench_ablation_mki"
+  "bench_ablation_mki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

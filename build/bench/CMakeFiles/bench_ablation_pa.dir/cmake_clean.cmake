@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pa.dir/bench_ablation_pa.cc.o"
+  "CMakeFiles/bench_ablation_pa.dir/bench_ablation_pa.cc.o.d"
+  "bench_ablation_pa"
+  "bench_ablation_pa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

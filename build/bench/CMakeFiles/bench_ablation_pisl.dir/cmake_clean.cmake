@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pisl.dir/bench_ablation_pisl.cc.o"
+  "CMakeFiles/bench_ablation_pisl.dir/bench_ablation_pisl.cc.o.d"
+  "bench_ablation_pisl"
+  "bench_ablation_pisl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pisl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

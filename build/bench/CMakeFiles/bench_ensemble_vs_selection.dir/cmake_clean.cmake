@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ensemble_vs_selection.dir/bench_ensemble_vs_selection.cc.o"
+  "CMakeFiles/bench_ensemble_vs_selection.dir/bench_ensemble_vs_selection.cc.o.d"
+  "bench_ensemble_vs_selection"
+  "bench_ensemble_vs_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ensemble_vs_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_solutions.dir/bench_fig4_solutions.cc.o"
+  "CMakeFiles/bench_fig4_solutions.dir/bench_fig4_solutions.cc.o.d"
+  "bench_fig4_solutions"
+  "bench_fig4_solutions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_solutions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

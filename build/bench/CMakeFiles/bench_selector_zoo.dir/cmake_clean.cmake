@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_selector_zoo.dir/bench_selector_zoo.cc.o"
+  "CMakeFiles/bench_selector_zoo.dir/bench_selector_zoo.cc.o.d"
+  "bench_selector_zoo"
+  "bench_selector_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_selector_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

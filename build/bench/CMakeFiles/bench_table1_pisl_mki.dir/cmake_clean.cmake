@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_pisl_mki.dir/bench_table1_pisl_mki.cc.o"
+  "CMakeFiles/bench_table1_pisl_mki.dir/bench_table1_pisl_mki.cc.o.d"
+  "bench_table1_pisl_mki"
+  "bench_table1_pisl_mki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_pisl_mki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theory_redundancy.dir/bench_theory_redundancy.cc.o"
+  "CMakeFiles/bench_theory_redundancy.dir/bench_theory_redundancy.cc.o.d"
+  "bench_theory_redundancy"
+  "bench_theory_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theory_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

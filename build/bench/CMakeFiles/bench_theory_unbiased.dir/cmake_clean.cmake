@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theory_unbiased.dir/bench_theory_unbiased.cc.o"
+  "CMakeFiles/bench_theory_unbiased.dir/bench_theory_unbiased.cc.o.d"
+  "bench_theory_unbiased"
+  "bench_theory_unbiased.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theory_unbiased.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

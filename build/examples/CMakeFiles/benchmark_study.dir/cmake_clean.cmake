@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_study.dir/benchmark_study.cpp.o"
+  "CMakeFiles/benchmark_study.dir/benchmark_study.cpp.o.d"
+  "benchmark_study"
+  "benchmark_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

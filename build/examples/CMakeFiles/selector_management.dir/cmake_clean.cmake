@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selector_management.dir/selector_management.cpp.o"
+  "CMakeFiles/selector_management.dir/selector_management.cpp.o.d"
+  "selector_management"
+  "selector_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selector_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("ts")
+subdirs("metrics")
+subdirs("datagen")
+subdirs("nn")
+subdirs("text")
+subdirs("lsh")
+subdirs("tsad")
+subdirs("features")
+subdirs("selectors")
+subdirs("core")
+subdirs("exp")

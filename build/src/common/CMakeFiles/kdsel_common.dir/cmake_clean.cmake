@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdsel_common.dir/csv.cc.o"
+  "CMakeFiles/kdsel_common.dir/csv.cc.o.d"
+  "CMakeFiles/kdsel_common.dir/rng.cc.o"
+  "CMakeFiles/kdsel_common.dir/rng.cc.o.d"
+  "CMakeFiles/kdsel_common.dir/status.cc.o"
+  "CMakeFiles/kdsel_common.dir/status.cc.o.d"
+  "CMakeFiles/kdsel_common.dir/stringutil.cc.o"
+  "CMakeFiles/kdsel_common.dir/stringutil.cc.o.d"
+  "libkdsel_common.a"
+  "libkdsel_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdsel_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/mki.cc" "src/core/CMakeFiles/kdsel_core.dir/mki.cc.o" "gcc" "src/core/CMakeFiles/kdsel_core.dir/mki.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/kdsel_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/kdsel_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/pruning.cc" "src/core/CMakeFiles/kdsel_core.dir/pruning.cc.o" "gcc" "src/core/CMakeFiles/kdsel_core.dir/pruning.cc.o.d"
+  "/root/repo/src/core/selection.cc" "src/core/CMakeFiles/kdsel_core.dir/selection.cc.o" "gcc" "src/core/CMakeFiles/kdsel_core.dir/selection.cc.o.d"
+  "/root/repo/src/core/soft_label.cc" "src/core/CMakeFiles/kdsel_core.dir/soft_label.cc.o" "gcc" "src/core/CMakeFiles/kdsel_core.dir/soft_label.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/kdsel_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/kdsel_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/selectors/CMakeFiles/kdsel_selectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsad/CMakeFiles/kdsel_tsad.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/kdsel_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsh/CMakeFiles/kdsel_lsh.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/kdsel_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/kdsel_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/kdsel_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/kdsel_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kdsel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/kdsel_features.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdsel_core.dir/mki.cc.o"
+  "CMakeFiles/kdsel_core.dir/mki.cc.o.d"
+  "CMakeFiles/kdsel_core.dir/pipeline.cc.o"
+  "CMakeFiles/kdsel_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/kdsel_core.dir/pruning.cc.o"
+  "CMakeFiles/kdsel_core.dir/pruning.cc.o.d"
+  "CMakeFiles/kdsel_core.dir/selection.cc.o"
+  "CMakeFiles/kdsel_core.dir/selection.cc.o.d"
+  "CMakeFiles/kdsel_core.dir/soft_label.cc.o"
+  "CMakeFiles/kdsel_core.dir/soft_label.cc.o.d"
+  "CMakeFiles/kdsel_core.dir/trainer.cc.o"
+  "CMakeFiles/kdsel_core.dir/trainer.cc.o.d"
+  "libkdsel_core.a"
+  "libkdsel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdsel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/anomaly_injector.cc" "src/datagen/CMakeFiles/kdsel_datagen.dir/anomaly_injector.cc.o" "gcc" "src/datagen/CMakeFiles/kdsel_datagen.dir/anomaly_injector.cc.o.d"
+  "/root/repo/src/datagen/benchmark.cc" "src/datagen/CMakeFiles/kdsel_datagen.dir/benchmark.cc.o" "gcc" "src/datagen/CMakeFiles/kdsel_datagen.dir/benchmark.cc.o.d"
+  "/root/repo/src/datagen/families.cc" "src/datagen/CMakeFiles/kdsel_datagen.dir/families.cc.o" "gcc" "src/datagen/CMakeFiles/kdsel_datagen.dir/families.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ts/CMakeFiles/kdsel_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kdsel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdsel_datagen.dir/anomaly_injector.cc.o"
+  "CMakeFiles/kdsel_datagen.dir/anomaly_injector.cc.o.d"
+  "CMakeFiles/kdsel_datagen.dir/benchmark.cc.o"
+  "CMakeFiles/kdsel_datagen.dir/benchmark.cc.o.d"
+  "CMakeFiles/kdsel_datagen.dir/families.cc.o"
+  "CMakeFiles/kdsel_datagen.dir/families.cc.o.d"
+  "libkdsel_datagen.a"
+  "libkdsel_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdsel_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdsel_exp.dir/env.cc.o"
+  "CMakeFiles/kdsel_exp.dir/env.cc.o.d"
+  "CMakeFiles/kdsel_exp.dir/tables.cc.o"
+  "CMakeFiles/kdsel_exp.dir/tables.cc.o.d"
+  "libkdsel_exp.a"
+  "libkdsel_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdsel_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

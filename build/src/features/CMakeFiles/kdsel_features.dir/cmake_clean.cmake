@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdsel_features.dir/features.cc.o"
+  "CMakeFiles/kdsel_features.dir/features.cc.o.d"
+  "libkdsel_features.a"
+  "libkdsel_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdsel_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

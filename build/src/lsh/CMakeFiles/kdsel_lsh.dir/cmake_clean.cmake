@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdsel_lsh.dir/simhash.cc.o"
+  "CMakeFiles/kdsel_lsh.dir/simhash.cc.o.d"
+  "libkdsel_lsh.a"
+  "libkdsel_lsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdsel_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

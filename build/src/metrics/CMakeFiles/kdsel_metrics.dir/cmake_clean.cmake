@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdsel_metrics.dir/metrics.cc.o"
+  "CMakeFiles/kdsel_metrics.dir/metrics.cc.o.d"
+  "CMakeFiles/kdsel_metrics.dir/range_metrics.cc.o"
+  "CMakeFiles/kdsel_metrics.dir/range_metrics.cc.o.d"
+  "libkdsel_metrics.a"
+  "libkdsel_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdsel_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

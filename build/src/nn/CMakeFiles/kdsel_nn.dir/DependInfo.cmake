@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/kdsel_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/kdsel_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/conv.cc" "src/nn/CMakeFiles/kdsel_nn.dir/conv.cc.o" "gcc" "src/nn/CMakeFiles/kdsel_nn.dir/conv.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/kdsel_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/kdsel_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/kdsel_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/kdsel_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/kdsel_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/kdsel_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/kdsel_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/kdsel_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/kdsel_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/kdsel_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/kdsel_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/kdsel_nn.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kdsel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdsel_nn.dir/attention.cc.o"
+  "CMakeFiles/kdsel_nn.dir/attention.cc.o.d"
+  "CMakeFiles/kdsel_nn.dir/conv.cc.o"
+  "CMakeFiles/kdsel_nn.dir/conv.cc.o.d"
+  "CMakeFiles/kdsel_nn.dir/layers.cc.o"
+  "CMakeFiles/kdsel_nn.dir/layers.cc.o.d"
+  "CMakeFiles/kdsel_nn.dir/loss.cc.o"
+  "CMakeFiles/kdsel_nn.dir/loss.cc.o.d"
+  "CMakeFiles/kdsel_nn.dir/module.cc.o"
+  "CMakeFiles/kdsel_nn.dir/module.cc.o.d"
+  "CMakeFiles/kdsel_nn.dir/optimizer.cc.o"
+  "CMakeFiles/kdsel_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/kdsel_nn.dir/serialize.cc.o"
+  "CMakeFiles/kdsel_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/kdsel_nn.dir/tensor.cc.o"
+  "CMakeFiles/kdsel_nn.dir/tensor.cc.o.d"
+  "libkdsel_nn.a"
+  "libkdsel_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdsel_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

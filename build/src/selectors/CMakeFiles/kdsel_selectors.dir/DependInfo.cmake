@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/selectors/backbone.cc" "src/selectors/CMakeFiles/kdsel_selectors.dir/backbone.cc.o" "gcc" "src/selectors/CMakeFiles/kdsel_selectors.dir/backbone.cc.o.d"
+  "/root/repo/src/selectors/classical.cc" "src/selectors/CMakeFiles/kdsel_selectors.dir/classical.cc.o" "gcc" "src/selectors/CMakeFiles/kdsel_selectors.dir/classical.cc.o.d"
+  "/root/repo/src/selectors/decision_tree.cc" "src/selectors/CMakeFiles/kdsel_selectors.dir/decision_tree.cc.o" "gcc" "src/selectors/CMakeFiles/kdsel_selectors.dir/decision_tree.cc.o.d"
+  "/root/repo/src/selectors/dtw.cc" "src/selectors/CMakeFiles/kdsel_selectors.dir/dtw.cc.o" "gcc" "src/selectors/CMakeFiles/kdsel_selectors.dir/dtw.cc.o.d"
+  "/root/repo/src/selectors/more_classical.cc" "src/selectors/CMakeFiles/kdsel_selectors.dir/more_classical.cc.o" "gcc" "src/selectors/CMakeFiles/kdsel_selectors.dir/more_classical.cc.o.d"
+  "/root/repo/src/selectors/rocket.cc" "src/selectors/CMakeFiles/kdsel_selectors.dir/rocket.cc.o" "gcc" "src/selectors/CMakeFiles/kdsel_selectors.dir/rocket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/features/CMakeFiles/kdsel_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/kdsel_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kdsel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdsel_selectors.dir/backbone.cc.o"
+  "CMakeFiles/kdsel_selectors.dir/backbone.cc.o.d"
+  "CMakeFiles/kdsel_selectors.dir/classical.cc.o"
+  "CMakeFiles/kdsel_selectors.dir/classical.cc.o.d"
+  "CMakeFiles/kdsel_selectors.dir/decision_tree.cc.o"
+  "CMakeFiles/kdsel_selectors.dir/decision_tree.cc.o.d"
+  "CMakeFiles/kdsel_selectors.dir/dtw.cc.o"
+  "CMakeFiles/kdsel_selectors.dir/dtw.cc.o.d"
+  "CMakeFiles/kdsel_selectors.dir/more_classical.cc.o"
+  "CMakeFiles/kdsel_selectors.dir/more_classical.cc.o.d"
+  "CMakeFiles/kdsel_selectors.dir/rocket.cc.o"
+  "CMakeFiles/kdsel_selectors.dir/rocket.cc.o.d"
+  "libkdsel_selectors.a"
+  "libkdsel_selectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdsel_selectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

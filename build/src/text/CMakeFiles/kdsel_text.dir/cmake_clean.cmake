@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdsel_text.dir/text_encoder.cc.o"
+  "CMakeFiles/kdsel_text.dir/text_encoder.cc.o.d"
+  "libkdsel_text.a"
+  "libkdsel_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdsel_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

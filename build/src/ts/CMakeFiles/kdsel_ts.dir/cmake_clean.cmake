@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdsel_ts.dir/dataset.cc.o"
+  "CMakeFiles/kdsel_ts.dir/dataset.cc.o.d"
+  "CMakeFiles/kdsel_ts.dir/time_series.cc.o"
+  "CMakeFiles/kdsel_ts.dir/time_series.cc.o.d"
+  "CMakeFiles/kdsel_ts.dir/window.cc.o"
+  "CMakeFiles/kdsel_ts.dir/window.cc.o.d"
+  "libkdsel_ts.a"
+  "libkdsel_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdsel_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

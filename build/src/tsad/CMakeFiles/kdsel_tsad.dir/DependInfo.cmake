@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tsad/density.cc" "src/tsad/CMakeFiles/kdsel_tsad.dir/density.cc.o" "gcc" "src/tsad/CMakeFiles/kdsel_tsad.dir/density.cc.o.d"
+  "/root/repo/src/tsad/ensemble.cc" "src/tsad/CMakeFiles/kdsel_tsad.dir/ensemble.cc.o" "gcc" "src/tsad/CMakeFiles/kdsel_tsad.dir/ensemble.cc.o.d"
+  "/root/repo/src/tsad/iforest.cc" "src/tsad/CMakeFiles/kdsel_tsad.dir/iforest.cc.o" "gcc" "src/tsad/CMakeFiles/kdsel_tsad.dir/iforest.cc.o.d"
+  "/root/repo/src/tsad/matrix_profile.cc" "src/tsad/CMakeFiles/kdsel_tsad.dir/matrix_profile.cc.o" "gcc" "src/tsad/CMakeFiles/kdsel_tsad.dir/matrix_profile.cc.o.d"
+  "/root/repo/src/tsad/nn_detectors.cc" "src/tsad/CMakeFiles/kdsel_tsad.dir/nn_detectors.cc.o" "gcc" "src/tsad/CMakeFiles/kdsel_tsad.dir/nn_detectors.cc.o.d"
+  "/root/repo/src/tsad/norma.cc" "src/tsad/CMakeFiles/kdsel_tsad.dir/norma.cc.o" "gcc" "src/tsad/CMakeFiles/kdsel_tsad.dir/norma.cc.o.d"
+  "/root/repo/src/tsad/ocsvm.cc" "src/tsad/CMakeFiles/kdsel_tsad.dir/ocsvm.cc.o" "gcc" "src/tsad/CMakeFiles/kdsel_tsad.dir/ocsvm.cc.o.d"
+  "/root/repo/src/tsad/pca.cc" "src/tsad/CMakeFiles/kdsel_tsad.dir/pca.cc.o" "gcc" "src/tsad/CMakeFiles/kdsel_tsad.dir/pca.cc.o.d"
+  "/root/repo/src/tsad/predictors.cc" "src/tsad/CMakeFiles/kdsel_tsad.dir/predictors.cc.o" "gcc" "src/tsad/CMakeFiles/kdsel_tsad.dir/predictors.cc.o.d"
+  "/root/repo/src/tsad/registry.cc" "src/tsad/CMakeFiles/kdsel_tsad.dir/registry.cc.o" "gcc" "src/tsad/CMakeFiles/kdsel_tsad.dir/registry.cc.o.d"
+  "/root/repo/src/tsad/util.cc" "src/tsad/CMakeFiles/kdsel_tsad.dir/util.cc.o" "gcc" "src/tsad/CMakeFiles/kdsel_tsad.dir/util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ts/CMakeFiles/kdsel_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/kdsel_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kdsel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

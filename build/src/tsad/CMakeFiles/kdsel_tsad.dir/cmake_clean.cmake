@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdsel_tsad.dir/density.cc.o"
+  "CMakeFiles/kdsel_tsad.dir/density.cc.o.d"
+  "CMakeFiles/kdsel_tsad.dir/ensemble.cc.o"
+  "CMakeFiles/kdsel_tsad.dir/ensemble.cc.o.d"
+  "CMakeFiles/kdsel_tsad.dir/iforest.cc.o"
+  "CMakeFiles/kdsel_tsad.dir/iforest.cc.o.d"
+  "CMakeFiles/kdsel_tsad.dir/matrix_profile.cc.o"
+  "CMakeFiles/kdsel_tsad.dir/matrix_profile.cc.o.d"
+  "CMakeFiles/kdsel_tsad.dir/nn_detectors.cc.o"
+  "CMakeFiles/kdsel_tsad.dir/nn_detectors.cc.o.d"
+  "CMakeFiles/kdsel_tsad.dir/norma.cc.o"
+  "CMakeFiles/kdsel_tsad.dir/norma.cc.o.d"
+  "CMakeFiles/kdsel_tsad.dir/ocsvm.cc.o"
+  "CMakeFiles/kdsel_tsad.dir/ocsvm.cc.o.d"
+  "CMakeFiles/kdsel_tsad.dir/pca.cc.o"
+  "CMakeFiles/kdsel_tsad.dir/pca.cc.o.d"
+  "CMakeFiles/kdsel_tsad.dir/predictors.cc.o"
+  "CMakeFiles/kdsel_tsad.dir/predictors.cc.o.d"
+  "CMakeFiles/kdsel_tsad.dir/registry.cc.o"
+  "CMakeFiles/kdsel_tsad.dir/registry.cc.o.d"
+  "CMakeFiles/kdsel_tsad.dir/util.cc.o"
+  "CMakeFiles/kdsel_tsad.dir/util.cc.o.d"
+  "libkdsel_tsad.a"
+  "libkdsel_tsad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdsel_tsad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

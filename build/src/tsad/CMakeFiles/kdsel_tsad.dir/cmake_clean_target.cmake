@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkdsel_tsad.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_pruning_test.cc" "tests/CMakeFiles/core_pruning_test.dir/core_pruning_test.cc.o" "gcc" "tests/CMakeFiles/core_pruning_test.dir/core_pruning_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/kdsel_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kdsel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/selectors/CMakeFiles/kdsel_selectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/kdsel_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsad/CMakeFiles/kdsel_tsad.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/kdsel_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/kdsel_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsh/CMakeFiles/kdsel_lsh.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/kdsel_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/kdsel_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/kdsel_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kdsel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

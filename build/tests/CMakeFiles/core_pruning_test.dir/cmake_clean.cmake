@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_pruning_test.dir/core_pruning_test.cc.o"
+  "CMakeFiles/core_pruning_test.dir/core_pruning_test.cc.o.d"
+  "core_pruning_test"
+  "core_pruning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_pruning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

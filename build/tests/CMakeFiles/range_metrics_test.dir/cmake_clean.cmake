@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_metrics_test.dir/range_metrics_test.cc.o"
+  "CMakeFiles/range_metrics_test.dir/range_metrics_test.cc.o.d"
+  "range_metrics_test"
+  "range_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

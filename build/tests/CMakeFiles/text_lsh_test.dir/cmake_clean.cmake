@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_lsh_test.dir/text_lsh_test.cc.o"
+  "CMakeFiles/text_lsh_test.dir/text_lsh_test.cc.o.d"
+  "text_lsh_test"
+  "text_lsh_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_lsh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsad_test.dir/tsad_test.cc.o"
+  "CMakeFiles/tsad_test.dir/tsad_test.cc.o.d"
+  "tsad_test"
+  "tsad_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdsel.dir/kdsel_cli.cc.o"
+  "CMakeFiles/kdsel.dir/kdsel_cli.cc.o.d"
+  "kdsel"
+  "kdsel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdsel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
