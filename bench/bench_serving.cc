@@ -1,0 +1,243 @@
+// Closed-loop load driver for the in-process serving layer.
+//
+// Trains a small ConvNet selector on synthetic data, registers it in a
+// SelectorRegistry, then replays the same request stream against several
+// server configurations and reports throughput plus tail latency. The
+// headline comparison is a single-thread unbatched baseline (1 worker,
+// max_batch=1, 1 client) against a batched multi-threaded configuration.
+//
+// The workload models a monitoring fleet: many concurrent clients
+// re-scoring a modest set of hot series. Micro-batching wins by (a)
+// amortizing per-forward-pass dispatch and (b) coalescing identical
+// windows across concurrent requests so the selector forward pass runs
+// once per distinct window per batch.
+//
+// Flags:
+//   --requests N     total requests per configuration (default 512)
+//   --pool K         number of distinct hot series (default 16)
+//   --detect         run the selected detector too (default: selection only)
+//   --series-len L   request series length (default 64, datagen minimum)
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "core/trainer.h"
+#include "datagen/families.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+
+namespace kdsel {
+namespace {
+
+constexpr size_t kWindow = 32;
+
+std::unique_ptr<core::TrainedSelector> TrainBenchSelector() {
+  core::SelectorTrainingData data;
+  data.num_classes = 4;
+  Rng rng(7);
+  for (int i = 0; i < 160; ++i) {
+    const int c = i % 4;
+    std::vector<float> w(kWindow);
+    for (size_t t = 0; t < kWindow; ++t) {
+      w[t] = std::sin((0.15 + 0.35 * c) * static_cast<double>(t)) +
+             0.05f * static_cast<float>(rng.Normal());
+    }
+    data.windows.push_back(std::move(w));
+    data.labels.push_back(c);
+  }
+  core::TrainerOptions opts;
+  opts.backbone = "ConvNet";
+  opts.epochs = 2;
+  opts.seed = 7;
+  auto selector = core::TrainSelector(data, opts, nullptr);
+  KDSEL_CHECK(selector.ok());
+  return std::move(selector).value();
+}
+
+std::vector<ts::TimeSeries> MakeRequestPool(size_t count, size_t length) {
+  std::vector<ts::TimeSeries> pool;
+  Rng rng(99);
+  for (size_t i = 0; i < count; ++i) {
+    auto family = static_cast<datagen::Family>(i % 4);
+    auto series = datagen::GenerateSeries(family, length, i, rng);
+    KDSEL_CHECK(series.ok());
+    pool.push_back(std::move(series).value());
+  }
+  return pool;
+}
+
+struct RunConfig {
+  std::string label;
+  size_t workers;
+  size_t max_batch;
+  size_t clients;
+  uint64_t max_delay_us;
+};
+
+struct RunResult {
+  double seconds = 0.0;
+  double throughput = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_batch = 0.0;
+  double coalesce = 1.0;  ///< Extracted rows per forward-pass row.
+  size_t failed = 0;
+};
+
+double PercentileMs(std::vector<double>& latencies_us, double q) {
+  if (latencies_us.empty()) return 0.0;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const size_t idx = std::min(
+      latencies_us.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(latencies_us.size())));
+  return latencies_us[idx] / 1000.0;
+}
+
+RunResult RunConfigOnce(serve::SelectorRegistry& registry,
+                        const RunConfig& config,
+                        const std::vector<ts::TimeSeries>& pool,
+                        size_t total_requests, bool detect) {
+  serve::ServerOptions opts;
+  opts.num_workers = config.workers;
+  opts.max_batch = config.max_batch;
+  opts.max_delay_us = config.max_delay_us;
+  opts.queue_capacity = 4096;
+  serve::InferenceServer server(&registry, opts);
+  auto started = server.Start();
+  KDSEL_CHECK(started.ok());
+
+  std::vector<double> latencies_us;
+  latencies_us.reserve(total_requests);
+  std::mutex latencies_mutex;
+  std::vector<std::thread> clients;
+  std::vector<size_t> failures(config.clients, 0);
+  const size_t per_client = total_requests / config.clients;
+
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t c = 0; c < config.clients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng pick(1000 + c);  // Uniform traffic over the hot-series pool.
+      std::vector<double> local;
+      local.reserve(per_client);
+      for (size_t r = 0; r < per_client; ++r) {
+        serve::SelectRequest request;
+        request.selector = "bench";
+        request.series = pool[pick.Index(pool.size())];
+        request.run_detection = detect;
+        auto response = server.Run(std::move(request));
+        if (!response.ok()) {
+          ++failures[c];
+          continue;
+        }
+        local.push_back(response->timing.total_us);
+      }
+      std::lock_guard<std::mutex> lock(latencies_mutex);
+      latencies_us.insert(latencies_us.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& t : clients) t.join();
+  const auto end = std::chrono::steady_clock::now();
+  server.Stop();
+
+  RunResult result;
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  result.throughput =
+      static_cast<double>(latencies_us.size()) / result.seconds;
+  result.p50_ms = PercentileMs(latencies_us, 0.50);
+  result.p95_ms = PercentileMs(latencies_us, 0.95);
+  result.p99_ms = PercentileMs(latencies_us, 0.99);
+  result.mean_batch = server.stats().MeanBatchSize();
+  if (server.stats().rows_unique() > 0) {
+    result.coalesce = static_cast<double>(server.stats().rows_total()) /
+                      static_cast<double>(server.stats().rows_unique());
+  }
+  for (const size_t f : failures) result.failed += f;
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  size_t total_requests = 512;
+  size_t series_len = 64;  // datagen minimum; two selector windows.
+  size_t pool_size = 16;
+  bool detect = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      total_requests = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--series-len") == 0 && i + 1 < argc) {
+      series_len = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--pool") == 0 && i + 1 < argc) {
+      pool_size = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--detect") == 0) {
+      detect = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_serving [--requests N] [--pool K] "
+                   "[--series-len L] [--detect]\n");
+      return 2;
+    }
+  }
+  if (detect && series_len < 4 * kWindow) {
+    series_len = 8 * kWindow;  // Detectors need more context than one window.
+  }
+
+  serve::SelectorRegistry registry{
+      core::SelectorManager("/tmp/kdsel_bench_serving")};
+  auto bench_ok = registry.Register("bench", TrainBenchSelector());
+  KDSEL_CHECK(bench_ok.ok());
+  const auto pool = MakeRequestPool(pool_size, series_len);
+
+  const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  std::printf("bench_serving: %zu requests/config, pool=%zu, series_len=%zu, "
+              "detect=%d, hardware_concurrency=%zu\n\n",
+              total_requests, pool_size, series_len, detect ? 1 : 0, hw);
+  std::printf("%-28s %8s %9s %8s %8s %8s %9s %7s\n", "config", "req/s",
+              "p50ms", "p95ms", "p99ms", "batch", "coalesce", "failed");
+
+  const std::vector<RunConfig> configs = {
+      {"baseline_1w_b1_1c", 1, 1, 1, 0},
+      {"batched_2w_b16_16c", 2, 16, 16, 2000},
+      {"batched_4w_b32_32c", 4, 32, 32, 2000},
+      {"batched_4w_b64_64c", 4, 64, 64, 4000},
+  };
+
+  double baseline_throughput = 0.0;
+  double best_batched = 0.0;
+  for (const auto& config : configs) {
+    // Warm-up pass primes per-worker selector clones and detector sets.
+    (void)RunConfigOnce(registry, config, pool,
+                        std::min<size_t>(total_requests / 4, 64), detect);
+    const RunResult r =
+        RunConfigOnce(registry, config, pool, total_requests, detect);
+    std::printf("%-28s %8.0f %9.3f %8.3f %8.3f %8.2f %8.2fx %7zu\n",
+                config.label.c_str(), r.throughput, r.p50_ms, r.p95_ms,
+                r.p99_ms, r.mean_batch, r.coalesce, r.failed);
+    if (config.label.rfind("baseline", 0) == 0) {
+      baseline_throughput = r.throughput;
+    } else {
+      best_batched = std::max(best_batched, r.throughput);
+    }
+  }
+
+  if (baseline_throughput > 0.0) {
+    std::printf("\nbest batched vs unbatched single-thread baseline: "
+                "%.2fx\n",
+                best_batched / baseline_throughput);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace kdsel
+
+int main(int argc, char** argv) { return kdsel::Main(argc, argv); }

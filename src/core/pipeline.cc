@@ -73,13 +73,24 @@ StatusOr<DetectionResult> DetectWithSelection(
   KDSEL_ASSIGN_OR_RETURN(
       SeriesSelection sel,
       SelectSeriesModel(selector, series, window_options, models.size()));
+  return RunSelectedDetection(sel, models, series);
+}
+
+StatusOr<DetectionResult> RunSelectedDetection(
+    const SeriesSelection& selection,
+    const std::vector<std::unique_ptr<tsad::Detector>>& models,
+    const ts::TimeSeries& series) {
+  if (selection.model < 0 ||
+      static_cast<size_t>(selection.model) >= models.size()) {
+    return Status::InvalidArgument("selected model id out of range");
+  }
   DetectionResult result;
-  result.selected_model = sel.model;
-  result.votes = std::move(sel.votes);
-  result.model_name = models[static_cast<size_t>(sel.model)]->name();
+  result.selected_model = selection.model;
+  result.votes = selection.votes;
+  result.model_name = models[static_cast<size_t>(selection.model)]->name();
   KDSEL_ASSIGN_OR_RETURN(
       result.anomaly_scores,
-      models[static_cast<size_t>(sel.model)]->Score(series));
+      models[static_cast<size_t>(selection.model)]->Score(series));
   if (series.has_labels()) {
     KDSEL_ASSIGN_OR_RETURN(
         result.auc_pr,

@@ -55,6 +55,15 @@ StatusOr<DetectionResult> DetectWithSelection(
     const std::vector<std::unique_ptr<tsad::Detector>>& models,
     const ts::TimeSeries& series, const ts::WindowOptions& window_options);
 
+/// The detection half of DetectWithSelection: runs the already-selected
+/// model on the series and scores it against ground truth when labels
+/// are present. Split out so the serving layer can batch the selection
+/// step across concurrent requests and run detection per request.
+StatusOr<DetectionResult> RunSelectedDetection(
+    const SeriesSelection& selection,
+    const std::vector<std::unique_ptr<tsad::Detector>>& models,
+    const ts::TimeSeries& series);
+
 /// Saves/loads/lists named TrainedSelectors under a directory (the demo
 /// system's Selector Management module).
 class SelectorManager {

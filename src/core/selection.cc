@@ -4,6 +4,29 @@
 
 namespace kdsel::core {
 
+StatusOr<SeriesSelection> VoteSeriesSelection(
+    const std::vector<int>& predictions, size_t num_classes) {
+  if (num_classes == 0) {
+    return Status::InvalidArgument("num_classes must be positive");
+  }
+  if (predictions.empty()) {
+    return Status::InvalidArgument("no window predictions to vote over");
+  }
+  SeriesSelection out;
+  out.votes.assign(num_classes, 0);
+  out.num_windows = predictions.size();
+  for (int p : predictions) {
+    if (p < 0 || static_cast<size_t>(p) >= num_classes) {
+      return Status::Internal("selector predicted out-of-range model id");
+    }
+    ++out.votes[static_cast<size_t>(p)];
+  }
+  out.model = static_cast<int>(
+      std::max_element(out.votes.begin(), out.votes.end()) -
+      out.votes.begin());
+  return out;
+}
+
 StatusOr<SeriesSelection> SelectSeriesModel(
     const selectors::Selector& selector, const ts::TimeSeries& series,
     const ts::WindowOptions& window_options, size_t num_classes) {
@@ -19,20 +42,7 @@ StatusOr<SeriesSelection> SelectSeriesModel(
   rows.reserve(windows.size());
   for (auto& w : windows) rows.push_back(std::move(w.values));
   KDSEL_ASSIGN_OR_RETURN(auto pred, selector.Predict(rows));
-
-  SeriesSelection out;
-  out.votes.assign(num_classes, 0);
-  out.num_windows = rows.size();
-  for (int p : pred) {
-    if (p < 0 || static_cast<size_t>(p) >= num_classes) {
-      return Status::Internal("selector predicted out-of-range model id");
-    }
-    ++out.votes[static_cast<size_t>(p)];
-  }
-  out.model = static_cast<int>(
-      std::max_element(out.votes.begin(), out.votes.end()) -
-      out.votes.begin());
-  return out;
+  return VoteSeriesSelection(pred, num_classes);
 }
 
 StatusOr<std::vector<SeriesSelection>> SelectSeriesModels(

@@ -1,7 +1,9 @@
 #include "core/trainer.h"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <numeric>
@@ -142,6 +144,37 @@ StatusOr<std::vector<int>> TrainedSelector::Predict(
   return out;
 }
 
+StatusOr<std::unique_ptr<TrainedSelector>> TrainedSelector::Clone() const {
+  Rng rng(0);  // Initialization is overwritten by the weight copy below.
+  KDSEL_ASSIGN_OR_RETURN(
+      auto backbone, selectors::BuildBackbone(backbone_->name(),
+                                              backbone_->input_length(), rng));
+  auto classifier =
+      std::make_unique<nn::Linear>(backbone->feature_dim(), num_classes_, rng);
+
+  auto collect = [](selectors::Backbone& b, nn::Linear& c) {
+    std::vector<nn::Tensor*> tensors;
+    for (nn::Parameter* p : b.Parameters()) tensors.push_back(&p->value);
+    for (nn::Tensor* t : b.StateTensors()) tensors.push_back(t);
+    for (nn::Parameter* p : c.Parameters()) tensors.push_back(&p->value);
+    return tensors;
+  };
+  std::vector<nn::Tensor*> src = collect(*backbone_, *classifier_);
+  std::vector<nn::Tensor*> dst = collect(*backbone, *classifier);
+  if (src.size() != dst.size()) {
+    return Status::Internal("clone rebuilt a different architecture");
+  }
+  for (size_t i = 0; i < src.size(); ++i) {
+    if (src[i]->shape() != dst[i]->shape()) {
+      return Status::Internal("clone tensor shape mismatch");
+    }
+    *dst[i] = *src[i];
+  }
+  return std::make_unique<TrainedSelector>(std::move(backbone),
+                                           std::move(classifier), num_classes_,
+                                           display_name_);
+}
+
 Status TrainedSelector::Save(const std::string& prefix) const {
   std::ofstream meta(prefix + ".meta");
   if (!meta) return Status::IoError("cannot write " + prefix + ".meta");
@@ -165,14 +198,32 @@ StatusOr<std::unique_ptr<TrainedSelector>> TrainedSelector::Load(
   if (!meta) return Status::IoError("cannot read " + prefix + ".meta");
   std::string backbone_name, display_name = "NN-selector";
   size_t input_length = 0, num_classes = 0;
+  // Strict digit parsing: corrupt metadata must surface as a Status, not
+  // as a std::stoul exception escaping the library.
+  auto parse_size = [](const std::string& value, size_t& out) {
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos) {
+      return false;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+    if (errno == ERANGE || end != value.c_str() + value.size()) return false;
+    out = static_cast<size_t>(parsed);
+    return true;
+  };
   std::string line;
   while (std::getline(meta, line)) {
     auto eq = line.find('=');
     if (eq == std::string::npos) continue;
     std::string key = line.substr(0, eq), value = line.substr(eq + 1);
     if (key == "backbone") backbone_name = value;
-    if (key == "input_length") input_length = std::stoul(value);
-    if (key == "num_classes") num_classes = std::stoul(value);
+    if (key == "input_length" && !parse_size(value, input_length)) {
+      return Status::IoError("invalid input_length in selector meta file");
+    }
+    if (key == "num_classes" && !parse_size(value, num_classes)) {
+      return Status::IoError("invalid num_classes in selector meta file");
+    }
     if (key == "display_name") display_name = value;
   }
   if (backbone_name.empty() || input_length == 0 || num_classes == 0) {

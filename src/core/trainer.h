@@ -95,6 +95,12 @@ class TrainedSelector : public selectors::Selector {
   size_t num_classes() const { return num_classes_; }
   size_t input_length() const { return backbone_->input_length(); }
 
+  /// Deep copy: rebuilds the architecture and copies every parameter and
+  /// state tensor. Forward passes cache activations inside the modules,
+  /// so a single TrainedSelector must not run Predict from two threads;
+  /// concurrent servers give each worker its own clone instead.
+  StatusOr<std::unique_ptr<TrainedSelector>> Clone() const;
+
   /// Persists architecture info + weights as `<prefix>.meta` and
   /// `<prefix>.weights`.
   Status Save(const std::string& prefix) const;

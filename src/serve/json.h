@@ -1,0 +1,86 @@
+#ifndef KDSEL_SERVE_JSON_H_
+#define KDSEL_SERVE_JSON_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kdsel::serve {
+
+/// A minimal JSON document model for the serving wire protocol.
+///
+/// The serving layer speaks newline-delimited JSON over stdin/stdout and
+/// the stats layer exports JSON snapshots; both need only a small,
+/// dependency-free subset: objects, arrays, strings, doubles, bools and
+/// null. Numbers are stored as double (adequate for ids, flags and
+/// float payloads on the wire).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  static Json Null() { return Json(); }
+  static Json Bool(bool v);
+  static Json Number(double v);
+  static Json Str(std::string v);
+  static Json Array();
+  static Json Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<Json>& items() const { return items_; }
+  const std::map<std::string, Json>& members() const { return members_; }
+
+  /// Object access: returns the member or nullptr when absent (or when
+  /// this value is not an object).
+  const Json* Find(const std::string& key) const;
+
+  /// Typed object lookups with fallbacks, for tolerant request parsing.
+  double GetNumber(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+
+  /// Mutators (only meaningful for the matching type).
+  void Append(Json v) { items_.push_back(std::move(v)); }
+  void Set(const std::string& key, Json v) { members_[key] = std::move(v); }
+
+  /// Serializes compactly (no insignificant whitespace), suitable for
+  /// one-line NDJSON framing.
+  std::string Dump() const;
+
+  /// Parses a complete JSON document; trailing non-whitespace is an
+  /// error. Depth is bounded to keep hostile inputs from overflowing
+  /// the stack.
+  static StatusOr<Json> Parse(const std::string& text);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::map<std::string, Json> members_;
+};
+
+/// Appends `text` to `out` as a JSON string literal (quotes + escapes).
+void AppendJsonString(std::string& out, const std::string& text);
+
+/// Appends a float array as a compact JSON array literal. Used for
+/// anomaly-score payloads where building a Json tree would be wasteful.
+void AppendJsonFloatArray(std::string& out, const std::vector<float>& values);
+
+}  // namespace kdsel::serve
+
+#endif  // KDSEL_SERVE_JSON_H_

@@ -1,0 +1,280 @@
+#include "serve/protocol.h"
+
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <istream>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <thread>
+
+#include "serve/json.h"
+
+namespace kdsel::serve {
+
+namespace {
+
+std::string FormatIntArray(const std::vector<int>& values) {
+  std::string out = "[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += std::to_string(values[i]);
+  }
+  out.push_back(']');
+  return out;
+}
+
+std::string FormatUs(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", us);
+  return buf;
+}
+
+}  // namespace
+
+StatusOr<WireRequest> ParseRequestLine(const std::string& line) {
+  KDSEL_ASSIGN_OR_RETURN(Json doc, Json::Parse(line));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  WireRequest request;
+  request.id = static_cast<int64_t>(doc.GetNumber("id", -1));
+
+  const std::string op = doc.GetString("op", "select");
+  if (op == "select") {
+    request.op = WireRequest::Op::kSelect;
+  } else if (op == "list") {
+    request.op = WireRequest::Op::kList;
+  } else if (op == "reload") {
+    request.op = WireRequest::Op::kReload;
+  } else if (op == "stats") {
+    request.op = WireRequest::Op::kStats;
+  } else if (op == "quit") {
+    request.op = WireRequest::Op::kQuit;
+  } else {
+    return Status::InvalidArgument("unknown op '" + op + "'");
+  }
+
+  request.selector = doc.GetString("selector", "");
+  request.detect = doc.GetBool("detect", true);
+  request.want_scores = doc.GetBool("scores", false);
+
+  if (request.op == WireRequest::Op::kSelect) {
+    if (request.selector.empty()) {
+      return Status::InvalidArgument("select request needs \"selector\"");
+    }
+    const Json* values = doc.Find("values");
+    if (values == nullptr || !values->is_array() || values->items().empty()) {
+      return Status::InvalidArgument(
+          "select request needs a non-empty \"values\" array");
+    }
+    std::vector<float> floats;
+    floats.reserve(values->items().size());
+    for (const Json& v : values->items()) {
+      if (!v.is_number()) {
+        return Status::InvalidArgument("\"values\" must contain only numbers");
+      }
+      floats.push_back(static_cast<float>(v.as_number()));
+    }
+    request.series =
+        ts::TimeSeries(doc.GetString("name", "wire"), std::move(floats));
+
+    if (const Json* labels = doc.Find("labels"); labels != nullptr) {
+      if (!labels->is_array()) {
+        return Status::InvalidArgument("\"labels\" must be an array");
+      }
+      std::vector<uint8_t> parsed;
+      parsed.reserve(labels->items().size());
+      for (const Json& l : labels->items()) {
+        if (!l.is_number()) {
+          return Status::InvalidArgument("\"labels\" must contain 0/1");
+        }
+        parsed.push_back(l.as_number() != 0.0 ? 1 : 0);
+      }
+      KDSEL_RETURN_NOT_OK(request.series.SetLabels(std::move(parsed)));
+    }
+  }
+  return request;
+}
+
+std::string FormatSelectResponse(int64_t id, const SelectResponse& response,
+                                 bool labeled, bool want_scores) {
+  std::string out = "{\"id\":" + std::to_string(id) + ",\"ok\":true";
+  out += ",\"model\":";
+  AppendJsonString(out, response.result.model_name);
+  out += ",\"model_id\":" + std::to_string(response.result.selected_model);
+  out += ",\"votes\":" + FormatIntArray(response.result.votes);
+  out += ",\"num_windows\":" + std::to_string(response.num_windows);
+  if (labeled && !response.result.anomaly_scores.empty()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6f", response.result.auc_pr);
+    out += ",\"auc_pr\":";
+    out += buf;
+  }
+  out += ",\"queue_us\":" + FormatUs(response.timing.queue_us);
+  out += ",\"select_us\":" + FormatUs(response.timing.select_us);
+  out += ",\"detect_us\":" + FormatUs(response.timing.detect_us);
+  out += ",\"total_us\":" + FormatUs(response.timing.total_us);
+  out += ",\"batch_size\":" + std::to_string(response.timing.batch_size);
+  if (want_scores) {
+    out += ",\"scores\":";
+    AppendJsonFloatArray(out, response.result.anomaly_scores);
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string FormatErrorResponse(int64_t id, const Status& status) {
+  std::string out = "{\"id\":" + std::to_string(id) + ",\"ok\":false,\"error\":";
+  AppendJsonString(out, status.ToString());
+  out.push_back('}');
+  return out;
+}
+
+std::string FormatOkResponse(int64_t id) {
+  return "{\"id\":" + std::to_string(id) + ",\"ok\":true}";
+}
+
+Status RunServeLoop(std::istream& in, std::ostream& out,
+                    InferenceServer& server) {
+  struct PrintItem {
+    int64_t id = -1;
+    bool labeled = false;
+    bool want_scores = false;
+    bool stats = false;
+    std::optional<std::string> ready;
+    std::future<StatusOr<SelectResponse>> future;
+  };
+
+  // Responses are printed by one thread, in submission order, so the
+  // reader keeps submitting while earlier requests are still in flight
+  // (the server processes them concurrently).
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<PrintItem> pending;
+  bool done = false;
+
+  std::thread printer([&] {
+    for (;;) {
+      PrintItem item;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return !pending.empty() || done; });
+        if (pending.empty()) return;
+        item = std::move(pending.front());
+        pending.pop_front();
+      }
+      std::string line;
+      if (item.stats) {
+        // Formatted at print time, after every earlier reply has been
+        // resolved, so the snapshot covers all previously answered
+        // requests in the session.
+        line = "{\"id\":" + std::to_string(item.id) + ",\"ok\":true,\"stats\":" +
+               server.stats().ToJsonString() + "}";
+      } else if (item.ready.has_value()) {
+        line = *item.ready;
+      } else {
+        StatusOr<SelectResponse> response = item.future.get();
+        line = response.ok()
+                   ? FormatSelectResponse(item.id, *response, item.labeled,
+                                          item.want_scores)
+                   : FormatErrorResponse(item.id, response.status());
+      }
+      out << line << '\n' << std::flush;
+    }
+  });
+
+  auto enqueue = [&](PrintItem item) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      pending.push_back(std::move(item));
+    }
+    cv.notify_one();
+  };
+  auto enqueue_ready = [&](std::string line) {
+    PrintItem item;
+    item.ready = std::move(line);
+    enqueue(std::move(item));
+  };
+
+  SelectorRegistry& registry = server.registry();
+  std::string line;
+  bool quit = false;
+  while (!quit && std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    auto parsed = ParseRequestLine(line);
+    if (!parsed.ok()) {
+      enqueue_ready(FormatErrorResponse(-1, parsed.status()));
+      continue;
+    }
+    WireRequest& request = *parsed;
+    switch (request.op) {
+      case WireRequest::Op::kQuit:
+        quit = true;
+        break;
+      case WireRequest::Op::kList: {
+        Json names = Json::Array();
+        for (const auto& name : registry.ResidentNames()) {
+          names.Append(Json::Str(name));
+        }
+        Json disk = Json::Array();
+        if (auto on_disk = registry.DiskNames(); on_disk.ok()) {
+          for (const auto& name : *on_disk) disk.Append(Json::Str(name));
+        }
+        Json reply = Json::Object();
+        reply.Set("id", Json::Number(static_cast<double>(request.id)));
+        reply.Set("ok", Json::Bool(true));
+        reply.Set("resident", names);
+        reply.Set("on_disk", disk);
+        enqueue_ready(reply.Dump());
+        break;
+      }
+      case WireRequest::Op::kReload: {
+        Status status = request.selector.empty()
+                            ? registry.ReloadAll()
+                            : registry.Load(request.selector);
+        if (status.ok()) server.stats().RecordReload();
+        enqueue_ready(status.ok()
+                          ? FormatOkResponse(request.id)
+                          : FormatErrorResponse(request.id, status));
+        break;
+      }
+      case WireRequest::Op::kStats: {
+        PrintItem item;
+        item.id = request.id;
+        item.stats = true;
+        enqueue(std::move(item));
+        break;
+      }
+      case WireRequest::Op::kSelect: {
+        PrintItem item;
+        item.id = request.id;
+        item.labeled = request.series.has_labels();
+        item.want_scores = request.want_scores;
+        SelectRequest submit;
+        submit.selector = request.selector;
+        submit.series = std::move(request.series);
+        submit.run_detection = request.detect;
+        auto future = server.Submit(std::move(submit));
+        if (!future.ok()) {
+          enqueue_ready(FormatErrorResponse(request.id, future.status()));
+          break;
+        }
+        item.future = std::move(future).value();
+        enqueue(std::move(item));
+        break;
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+  }
+  cv.notify_all();
+  printer.join();
+  return Status::OK();
+}
+
+}  // namespace kdsel::serve

@@ -1,0 +1,57 @@
+#ifndef KDSEL_SERVE_PROTOCOL_H_
+#define KDSEL_SERVE_PROTOCOL_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "serve/server.h"
+
+namespace kdsel::serve {
+
+/// One parsed line of the newline-delimited JSON wire protocol.
+///
+/// Requests (one JSON object per line):
+///   {"op":"select","id":1,"selector":"mysel","values":[...],
+///    "labels":[0,1,...],"detect":true,"scores":false,"name":"s1"}
+///   {"op":"list","id":2}            -- resident + on-disk selector names
+///   {"op":"reload","id":3,"selector":"mysel"}  -- omit selector: reload all
+///   {"op":"stats","id":4}           -- request-level metrics snapshot
+///   {"op":"quit"}                   -- drain and exit (EOF works too)
+///
+/// Responses echo the request id:
+///   {"id":1,"ok":true,"model":"IForest","model_id":4,"votes":[...],
+///    "num_windows":8,"auc_pr":0.91,"queue_us":...,"select_us":...,
+///    "detect_us":...,"total_us":...,"batch_size":3,"scores":[...]}
+///   {"id":1,"ok":false,"error":"NotFound: ..."}
+struct WireRequest {
+  enum class Op { kSelect, kList, kReload, kStats, kQuit };
+
+  Op op = Op::kSelect;
+  int64_t id = -1;
+  std::string selector;
+  bool detect = true;        ///< Run the selected detector.
+  bool want_scores = false;  ///< Include per-point scores in the response.
+  ts::TimeSeries series;
+};
+
+/// Parses one request line. Unknown fields are ignored; unknown ops and
+/// malformed JSON are errors.
+StatusOr<WireRequest> ParseRequestLine(const std::string& line);
+
+/// Response formatting (each returns a complete line WITHOUT the '\n').
+std::string FormatSelectResponse(int64_t id, const SelectResponse& response,
+                                 bool labeled, bool want_scores);
+std::string FormatErrorResponse(int64_t id, const Status& status);
+std::string FormatOkResponse(int64_t id);
+
+/// Runs the NDJSON session: reads requests from `in`, submits "select"
+/// ops to `server` (concurrently, responses are written in submission
+/// order), and answers control ops inline. Returns when "quit" or EOF
+/// is seen and every accepted request has been answered. Does NOT stop
+/// the server; the caller owns its lifecycle.
+Status RunServeLoop(std::istream& in, std::ostream& out,
+                    InferenceServer& server);
+
+}  // namespace kdsel::serve
+
+#endif  // KDSEL_SERVE_PROTOCOL_H_

@@ -1,0 +1,85 @@
+#include "serve/registry.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace kdsel::serve {
+
+SelectorRegistry::SelectorRegistry(core::SelectorManager manager)
+    : manager_(std::move(manager)) {}
+
+Status SelectorRegistry::Swap(
+    const std::string& name,
+    std::shared_ptr<const core::TrainedSelector> selector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot& entry = selectors_[name];
+  entry.selector = std::move(selector);
+  entry.version = next_version_++;
+  return Status::OK();
+}
+
+Status SelectorRegistry::Load(const std::string& name) {
+  // Deserialize outside the lock: a slow disk must not stall Get().
+  KDSEL_ASSIGN_OR_RETURN(auto loaded, manager_.Load(name));
+  return Swap(name, std::shared_ptr<const core::TrainedSelector>(
+                        std::move(loaded)));
+}
+
+Status SelectorRegistry::Register(
+    const std::string& name, std::unique_ptr<core::TrainedSelector> selector) {
+  if (name.empty()) return Status::InvalidArgument("empty selector name");
+  if (selector == nullptr) {
+    return Status::InvalidArgument("cannot register a null selector");
+  }
+  return Swap(name, std::shared_ptr<const core::TrainedSelector>(
+                        std::move(selector)));
+}
+
+StatusOr<SelectorRegistry::Snapshot> SelectorRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = selectors_.find(name);
+  if (it == selectors_.end()) {
+    return Status::NotFound("selector not resident: " + name);
+  }
+  return it->second;
+}
+
+StatusOr<SelectorRegistry::Snapshot> SelectorRegistry::GetOrLoad(
+    const std::string& name) {
+  auto snapshot = Get(name);
+  if (snapshot.ok()) return snapshot;
+  KDSEL_RETURN_NOT_OK(Load(name));
+  return Get(name);
+}
+
+Status SelectorRegistry::ReloadAll() {
+  Status first_error = Status::OK();
+  for (const std::string& name : ResidentNames()) {
+    Status s = Load(name);
+    // In-memory-only selectors have no file; leave them as they are.
+    if (!s.ok() && s.code() != StatusCode::kIoError &&
+        s.code() != StatusCode::kNotFound && first_error.ok()) {
+      first_error = s;
+    }
+  }
+  return first_error;
+}
+
+bool SelectorRegistry::Evict(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return selectors_.erase(name) > 0;
+}
+
+std::vector<std::string> SelectorRegistry::ResidentNames() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names.reserve(selectors_.size());
+    for (const auto& [name, snapshot] : selectors_) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace kdsel::serve

@@ -1,0 +1,337 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/selection.h"
+#include "ts/window.h"
+
+namespace kdsel::serve {
+
+namespace {
+
+double ToUs(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(SelectorRegistry* registry,
+                                 ServerOptions options)
+    : registry_(registry), options_(options) {}
+
+InferenceServer::~InferenceServer() { Stop(); }
+
+Status InferenceServer::Start() {
+  if (registry_ == nullptr) {
+    return Status::InvalidArgument("server needs a selector registry");
+  }
+  if (started_) return Status::FailedPrecondition("server already started");
+  if (options_.num_workers == 0 || options_.max_batch == 0 ||
+      options_.queue_capacity == 0) {
+    return Status::InvalidArgument(
+        "num_workers, max_batch and queue_capacity must be positive");
+  }
+  if (options_.max_delay_us < 0) {
+    return Status::InvalidArgument("max_delay_us must be >= 0");
+  }
+  started_ = true;
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    accepting_ = true;
+  }
+  batcher_ = std::thread(&InferenceServer::BatcherLoop, this);
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back(&InferenceServer::WorkerLoop, this);
+  }
+  return Status::OK();
+}
+
+void InferenceServer::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    accepting_ = false;
+  }
+  submit_cv_.notify_all();
+  batcher_.join();  // Exits only after flushing every accepted request.
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+StatusOr<std::future<StatusOr<SelectResponse>>> InferenceServer::Submit(
+    SelectRequest request) {
+  if (request.selector.empty()) {
+    return Status::InvalidArgument("request names no selector");
+  }
+  Pending pending;
+  pending.request = std::move(request);
+  pending.submit_time = Clock::now();
+  std::future<StatusOr<SelectResponse>> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    if (!accepting_) {
+      return Status::FailedPrecondition("server is not accepting requests");
+    }
+    if (submit_queue_.size() >= options_.queue_capacity) {
+      stats_.RecordRejected();
+      return Status::FailedPrecondition(
+          "submission queue full (" +
+          std::to_string(options_.queue_capacity) + " requests)");
+    }
+    submit_queue_.push_back(std::move(pending));
+  }
+  stats_.RecordSubmitted();
+  submit_cv_.notify_all();
+  return future;
+}
+
+StatusOr<SelectResponse> InferenceServer::Run(SelectRequest request) {
+  KDSEL_ASSIGN_OR_RETURN(auto future, Submit(std::move(request)));
+  return future.get();
+}
+
+void InferenceServer::PushBatch(Batch batch) {
+  stats_.RecordBatch(batch.items.size());
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    batch_queue_.push_back(std::move(batch));
+  }
+  batch_cv_.notify_one();
+}
+
+void InferenceServer::BatcherLoop() {
+  struct Group {
+    Batch batch;
+    Clock::time_point oldest;
+  };
+  std::map<std::string, Group> groups;
+  const auto max_delay = std::chrono::microseconds(options_.max_delay_us);
+
+  for (;;) {
+    bool shutting_down;
+    std::deque<Pending> drained;
+    {
+      std::unique_lock<std::mutex> lock(submit_mu_);
+      auto woken = [&] { return !submit_queue_.empty() || !accepting_; };
+      if (groups.empty()) {
+        submit_cv_.wait(lock, woken);
+      } else {
+        // Sleep at most until the oldest pending group must flush.
+        Clock::time_point deadline = groups.begin()->second.oldest + max_delay;
+        for (const auto& [name, group] : groups) {
+          deadline = std::min(deadline, group.oldest + max_delay);
+        }
+        submit_cv_.wait_until(lock, deadline, woken);
+      }
+      drained.swap(submit_queue_);
+      shutting_down = !accepting_;
+    }
+
+    for (Pending& pending : drained) {
+      const std::string name = pending.request.selector;
+      Group& group = groups[name];
+      if (group.batch.items.empty()) {
+        group.batch.selector = name;
+        group.oldest = pending.submit_time;
+      }
+      group.batch.items.push_back(std::move(pending));
+      if (group.batch.items.size() >= options_.max_batch) {
+        Batch full = std::move(group.batch);
+        groups.erase(name);
+        PushBatch(std::move(full));
+      }
+    }
+
+    const Clock::time_point now = Clock::now();
+    for (auto it = groups.begin(); it != groups.end();) {
+      if (shutting_down || now - it->second.oldest >= max_delay) {
+        PushBatch(std::move(it->second.batch));
+        it = groups.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    if (shutting_down) {
+      std::lock_guard<std::mutex> lock(submit_mu_);
+      if (submit_queue_.empty() && groups.empty()) break;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    batcher_done_ = true;
+  }
+  batch_cv_.notify_all();
+}
+
+void InferenceServer::WorkerLoop() {
+  // Worker-private state: no locks on the inference hot path. The model
+  // set is deterministic given the seed, so every worker detects
+  // identically (and identically to the offline pipeline).
+  auto models = tsad::BuildDefaultModelSet(options_.detector_seed);
+  std::map<std::string, CachedSelector> cache;
+
+  for (;;) {
+    Batch batch;
+    {
+      std::unique_lock<std::mutex> lock(batch_mu_);
+      batch_cv_.wait(lock,
+                     [&] { return !batch_queue_.empty() || batcher_done_; });
+      if (batch_queue_.empty()) return;  // batcher_done_ and fully drained.
+      batch = std::move(batch_queue_.front());
+      batch_queue_.pop_front();
+    }
+    ProcessBatch(std::move(batch), cache, models);
+  }
+}
+
+void InferenceServer::FailBatch(Batch& batch, const Status& status) {
+  for (Pending& item : batch.items) {
+    auto& endpoint = stats_.endpoint(item.request.run_detection
+                                         ? ServerStats::Endpoint::kDetect
+                                         : ServerStats::Endpoint::kSelect);
+    endpoint.failed.fetch_add(1, std::memory_order_relaxed);
+    item.promise.set_value(status);
+  }
+}
+
+void InferenceServer::ProcessBatch(
+    Batch batch, std::map<std::string, CachedSelector>& cache,
+    const std::vector<std::unique_ptr<tsad::Detector>>& models) {
+  const Clock::time_point dequeue_time = Clock::now();
+
+  auto snapshot = registry_->GetOrLoad(batch.selector);
+  if (!snapshot.ok()) {
+    FailBatch(batch, snapshot.status());
+    return;
+  }
+  CachedSelector& cached = cache[batch.selector];
+  if (cached.selector == nullptr || cached.version != snapshot->version) {
+    // Hot-reload happened (or first contact): clone the new snapshot.
+    auto clone = snapshot->selector->Clone();
+    if (!clone.ok()) {
+      FailBatch(batch, clone.status());
+      return;
+    }
+    cached.version = snapshot->version;
+    cached.selector = std::move(clone).value();
+  }
+  const core::TrainedSelector& selector = *cached.selector;
+  // Vote over the worker's model-set size, exactly like the offline
+  // DetectWithSelection path (the selector picks among these models).
+  const size_t num_classes = models.size();
+
+  // Identical protocol to the offline pipeline / `kdsel detect`.
+  ts::WindowOptions window_options;
+  window_options.length = selector.input_length();
+  window_options.stride = window_options.length;
+
+  const Clock::time_point select_begin = Clock::now();
+  // Request coalescing: concurrent clients often re-score the same hot
+  // series, so identical windows inside one micro-batch go through the
+  // forward pass once. `row_of[i]` maps the i-th extracted window to its
+  // unique representative.
+  std::vector<std::vector<float>> unique_rows;
+  std::map<std::vector<float>, size_t> row_index;
+  std::vector<size_t> row_of;
+  std::vector<size_t> offsets(batch.items.size() + 1, 0);
+  std::vector<Status> item_status(batch.items.size(), Status::OK());
+  for (size_t i = 0; i < batch.items.size(); ++i) {
+    auto windows =
+        ts::ExtractWindows(batch.items[i].request.series, i, window_options);
+    if (!windows.ok()) {
+      item_status[i] = windows.status();
+    } else if (windows->empty()) {
+      item_status[i] = Status::InvalidArgument("series produced no windows");
+    } else {
+      for (auto& w : *windows) {
+        auto [it, inserted] =
+            row_index.try_emplace(std::move(w.values), unique_rows.size());
+        if (inserted) unique_rows.push_back(it->first);
+        row_of.push_back(it->second);
+      }
+    }
+    offsets[i + 1] = row_of.size();
+  }
+
+  // The micro-batched forward pass: one Predict over the distinct
+  // windows of every request in the batch. Inference is row-independent
+  // (BatchNorm uses running statistics) and deterministic, so the
+  // scattered per-request slices are byte-identical to per-request
+  // Predict calls.
+  std::vector<int> predictions;
+  if (!unique_rows.empty()) {
+    auto predicted = selector.Predict(unique_rows);
+    if (!predicted.ok()) {
+      FailBatch(batch, predicted.status());
+      return;
+    }
+    predictions.reserve(row_of.size());
+    for (const size_t u : row_of) predictions.push_back((*predicted)[u]);
+  }
+  const Clock::time_point select_end = Clock::now();
+  const double select_us = ToUs(select_end - select_begin);
+  stats_.RecordRows(row_of.size(), unique_rows.size());
+
+  for (size_t i = 0; i < batch.items.size(); ++i) {
+    Pending& item = batch.items[i];
+    const bool detect = item.request.run_detection;
+    auto& endpoint = stats_.endpoint(detect ? ServerStats::Endpoint::kDetect
+                                            : ServerStats::Endpoint::kSelect);
+    if (!item_status[i].ok()) {
+      endpoint.failed.fetch_add(1, std::memory_order_relaxed);
+      item.promise.set_value(item_status[i]);
+      continue;
+    }
+    std::vector<int> window_predictions(
+        predictions.begin() + static_cast<std::ptrdiff_t>(offsets[i]),
+        predictions.begin() + static_cast<std::ptrdiff_t>(offsets[i + 1]));
+    auto selection = core::VoteSeriesSelection(window_predictions, num_classes);
+    if (!selection.ok()) {
+      endpoint.failed.fetch_add(1, std::memory_order_relaxed);
+      item.promise.set_value(selection.status());
+      continue;
+    }
+
+    SelectResponse response;
+    response.num_windows = selection->num_windows;
+    const Clock::time_point detect_begin = Clock::now();
+    if (detect) {
+      auto detected =
+          core::RunSelectedDetection(*selection, models, item.request.series);
+      if (!detected.ok()) {
+        endpoint.failed.fetch_add(1, std::memory_order_relaxed);
+        item.promise.set_value(detected.status());
+        continue;
+      }
+      response.result = std::move(detected).value();
+    } else {
+      response.result.selected_model = selection->model;
+      response.result.votes = std::move(selection->votes);
+      if (static_cast<size_t>(selection->model) < models.size()) {
+        response.result.model_name =
+            models[static_cast<size_t>(selection->model)]->name();
+      }
+    }
+    const Clock::time_point done = Clock::now();
+
+    response.timing.queue_us = ToUs(dequeue_time - item.submit_time);
+    response.timing.select_us = select_us;
+    response.timing.detect_us = detect ? ToUs(done - detect_begin) : 0.0;
+    response.timing.total_us = ToUs(done - item.submit_time);
+    response.timing.batch_size = batch.items.size();
+
+    endpoint.queue_wait.Record(response.timing.queue_us);
+    endpoint.selection.Record(response.timing.select_us);
+    if (detect) endpoint.detection.Record(response.timing.detect_us);
+    endpoint.total.Record(response.timing.total_us);
+    endpoint.completed.fetch_add(1, std::memory_order_relaxed);
+    item.promise.set_value(std::move(response));
+  }
+}
+
+}  // namespace kdsel::serve

@@ -1,0 +1,155 @@
+#ifndef KDSEL_SERVE_SERVER_H_
+#define KDSEL_SERVE_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "serve/registry.h"
+#include "serve/stats.h"
+#include "ts/time_series.h"
+#include "tsad/detector.h"
+
+namespace kdsel::serve {
+
+/// Tuning knobs for the inference server.
+struct ServerOptions {
+  size_t num_workers = 4;     ///< Worker threads executing batches.
+  size_t max_batch = 8;       ///< Flush a pending group at this size.
+  int64_t max_delay_us = 1000;  ///< ... or when its oldest request ages out.
+  size_t queue_capacity = 1024;  ///< Bounded submission queue (backpressure).
+  uint64_t detector_seed = 42;   ///< Seed for each worker's TSAD model set.
+};
+
+/// One inference request: select a TSAD model for `series` with the
+/// named selector and (optionally) run the selected detector.
+struct SelectRequest {
+  std::string selector;
+  ts::TimeSeries series;
+  bool run_detection = true;
+};
+
+/// Request-level timing, echoed back so clients and the bench can
+/// attribute latency without scraping server logs.
+struct RequestTiming {
+  double queue_us = 0.0;   ///< Submit -> worker picked up the batch.
+  double select_us = 0.0;  ///< Windowing + (batched) selector forward + vote.
+  double detect_us = 0.0;  ///< Selected-detector scoring; 0 if skipped.
+  double total_us = 0.0;   ///< Submit -> response completed.
+  size_t batch_size = 0;   ///< Number of requests in the serving batch.
+};
+
+struct SelectResponse {
+  core::DetectionResult result;  ///< scores/auc empty when !run_detection.
+  size_t num_windows = 0;
+  RequestTiming timing;
+};
+
+/// A long-lived, concurrent wrapper around the KDSelector pipeline.
+///
+/// Architecture (see src/serve/README.md):
+///
+///   Submit() -> bounded submission queue -> batcher thread ->
+///   per-selector micro-batches -> batch queue -> worker pool
+///
+/// The batcher groups concurrent requests addressed to the same selector
+/// and flushes a group when it reaches `max_batch` or its oldest request
+/// has waited `max_delay_us`. A worker serves a batch by running ONE
+/// selector forward pass over the concatenated windows of every request
+/// in the batch, then voting and (optionally) detecting per request.
+/// Window extraction mirrors the offline protocol (window length =
+/// selector input length, stride = length), so responses are
+/// byte-identical to core::DetectWithSelection.
+///
+/// Each worker keeps a private clone of every selector version it serves
+/// (forward passes mutate module-internal caches) plus its own TSAD
+/// model set, so workers share no mutable state on the hot path.
+class InferenceServer {
+ public:
+  /// The registry must outlive the server.
+  InferenceServer(SelectorRegistry* registry, ServerOptions options);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Spawns the batcher and worker threads. Call once.
+  Status Start();
+
+  /// Stops accepting work, drains every accepted request, and joins all
+  /// threads. Safe to call twice; the destructor calls it.
+  void Stop();
+
+  /// Enqueues a request. Fails fast with FailedPrecondition when the
+  /// submission queue is full (backpressure) or the server is stopped.
+  /// The future resolves when a worker finishes the request.
+  StatusOr<std::future<StatusOr<SelectResponse>>> Submit(SelectRequest request);
+
+  /// Convenience: Submit + wait.
+  StatusOr<SelectResponse> Run(SelectRequest request);
+
+  ServerStats& stats() { return stats_; }
+  const ServerStats& stats() const { return stats_; }
+  const ServerOptions& options() const { return options_; }
+  SelectorRegistry& registry() { return *registry_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    SelectRequest request;
+    std::promise<StatusOr<SelectResponse>> promise;
+    Clock::time_point submit_time;
+  };
+
+  struct Batch {
+    std::string selector;
+    std::vector<Pending> items;
+  };
+
+  /// A worker's private clone of one registry snapshot.
+  struct CachedSelector {
+    uint64_t version = 0;
+    std::unique_ptr<core::TrainedSelector> selector;
+  };
+
+  void BatcherLoop();
+  void WorkerLoop();
+  void ProcessBatch(Batch batch,
+                    std::map<std::string, CachedSelector>& cache,
+                    const std::vector<std::unique_ptr<tsad::Detector>>& models);
+  void FailBatch(Batch& batch, const Status& status);
+  void PushBatch(Batch batch);
+
+  SelectorRegistry* registry_;
+  ServerOptions options_;
+  ServerStats stats_;
+
+  std::mutex submit_mu_;
+  std::condition_variable submit_cv_;
+  std::deque<Pending> submit_queue_;
+  bool accepting_ = false;
+
+  std::mutex batch_mu_;
+  std::condition_variable batch_cv_;
+  std::deque<Batch> batch_queue_;
+  bool batcher_done_ = false;
+
+  std::thread batcher_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace kdsel::serve
+
+#endif  // KDSEL_SERVE_SERVER_H_

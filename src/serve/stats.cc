@@ -1,0 +1,186 @@
+#include "serve/stats.h"
+
+#include <cmath>
+#include <limits>
+
+namespace kdsel::serve {
+
+namespace {
+
+/// fetch_add for atomic<double> (no native RMW before C++20 on all
+/// stdlibs; a CAS loop is portable and uncontended enough for stats).
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current && !target.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current && !target.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram()
+    : min_us_(std::numeric_limits<double>::infinity()) {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+size_t LatencyHistogram::BucketIndex(double us) {
+  if (us < 1.0) return 0;
+  // 4 buckets per octave: index = floor(4 * log2(us)) + 1.
+  const double idx = 4.0 * std::log2(us);
+  const size_t bucket = static_cast<size_t>(idx) + 1;
+  return bucket >= kBuckets ? kBuckets - 1 : bucket;
+}
+
+double LatencyHistogram::BucketLowerBound(size_t index) {
+  if (index == 0) return 0.0;
+  return std::exp2(static_cast<double>(index - 1) / 4.0);
+}
+
+void LatencyHistogram::Record(double us) {
+  if (!(us >= 0.0)) us = 0.0;  // Also catches NaN.
+  buckets_[BucketIndex(us)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_us_, us);
+  AtomicMin(min_us_, us);
+  AtomicMax(max_us_, us);
+}
+
+LatencyHistogram::Summary LatencyHistogram::Summarize() const {
+  std::array<uint64_t, kBuckets> counts;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  Summary s;
+  s.count = total;
+  if (total == 0) return s;
+  s.min_us = min_us_.load(std::memory_order_relaxed);
+  s.max_us = max_us_.load(std::memory_order_relaxed);
+  s.mean_us = sum_us_.load(std::memory_order_relaxed) /
+              static_cast<double>(total);
+
+  auto percentile = [&](double q) {
+    const uint64_t target =
+        static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      seen += counts[i];
+      if (seen >= target && counts[i] > 0) {
+        // Geometric midpoint of the bucket, clamped to observed range.
+        const double lo = BucketLowerBound(i);
+        const double hi = BucketLowerBound(i + 1);
+        const double mid = std::sqrt(std::max(lo, 0.5) * hi);
+        return std::min(std::max(mid, s.min_us), s.max_us);
+      }
+    }
+    return s.max_us;
+  };
+  s.p50_us = percentile(0.50);
+  s.p95_us = percentile(0.95);
+  s.p99_us = percentile(0.99);
+  return s;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_us_.store(0.0, std::memory_order_relaxed);
+  min_us_.store(std::numeric_limits<double>::infinity(),
+                std::memory_order_relaxed);
+  max_us_.store(0.0, std::memory_order_relaxed);
+}
+
+Json LatencyHistogram::ToJson() const {
+  const Summary s = Summarize();
+  Json out = Json::Object();
+  out.Set("count", Json::Number(static_cast<double>(s.count)));
+  out.Set("min_us", Json::Number(s.min_us));
+  out.Set("max_us", Json::Number(s.max_us));
+  out.Set("mean_us", Json::Number(s.mean_us));
+  out.Set("p50_us", Json::Number(s.p50_us));
+  out.Set("p95_us", Json::Number(s.p95_us));
+  out.Set("p99_us", Json::Number(s.p99_us));
+  return out;
+}
+
+Json EndpointStats::ToJson() const {
+  Json out = Json::Object();
+  out.Set("completed", Json::Number(static_cast<double>(completed.load())));
+  out.Set("failed", Json::Number(static_cast<double>(failed.load())));
+  out.Set("queue_wait", queue_wait.ToJson());
+  out.Set("selection", selection.ToJson());
+  out.Set("detection", detection.ToJson());
+  out.Set("total", total.ToJson());
+  return out;
+}
+
+void ServerStats::RecordBatch(size_t size) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_requests_.fetch_add(size, std::memory_order_relaxed);
+  uint64_t current = max_batch_seen_.load(std::memory_order_relaxed);
+  while (size > current && !max_batch_seen_.compare_exchange_weak(
+                               current, size, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t ServerStats::completed() const {
+  uint64_t sum = 0;
+  for (const auto& e : endpoints_) sum += e.completed.load();
+  return sum;
+}
+
+uint64_t ServerStats::failed() const {
+  uint64_t sum = 0;
+  for (const auto& e : endpoints_) sum += e.failed.load();
+  return sum;
+}
+
+double ServerStats::MeanBatchSize() const {
+  const uint64_t batches = batches_.load();
+  if (batches == 0) return 0.0;
+  return static_cast<double>(batched_requests_.load()) /
+         static_cast<double>(batches);
+}
+
+Json ServerStats::ToJson() const {
+  Json out = Json::Object();
+  out.Set("submitted", Json::Number(static_cast<double>(submitted_.load())));
+  out.Set("rejected", Json::Number(static_cast<double>(rejected_.load())));
+  out.Set("completed", Json::Number(static_cast<double>(completed())));
+  out.Set("failed", Json::Number(static_cast<double>(failed())));
+  out.Set("reloads", Json::Number(static_cast<double>(reloads_.load())));
+  Json batching = Json::Object();
+  batching.Set("batches", Json::Number(static_cast<double>(batches_.load())));
+  batching.Set("batched_requests",
+               Json::Number(static_cast<double>(batched_requests_.load())));
+  batching.Set("mean_batch_size", Json::Number(MeanBatchSize()));
+  batching.Set("max_batch_size",
+               Json::Number(static_cast<double>(max_batch_seen_.load())));
+  batching.Set("rows_total",
+               Json::Number(static_cast<double>(rows_total_.load())));
+  batching.Set("rows_unique",
+               Json::Number(static_cast<double>(rows_unique_.load())));
+  out.Set("batching", batching);
+  Json endpoints = Json::Object();
+  endpoints.Set("select", endpoint(Endpoint::kSelect).ToJson());
+  endpoints.Set("detect", endpoint(Endpoint::kDetect).ToJson());
+  out.Set("endpoints", endpoints);
+  return out;
+}
+
+}  // namespace kdsel::serve

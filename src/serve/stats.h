@@ -1,0 +1,128 @@
+#ifndef KDSEL_SERVE_STATS_H_
+#define KDSEL_SERVE_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "serve/json.h"
+
+namespace kdsel::serve {
+
+/// A thread-safe latency histogram over geometric buckets.
+///
+/// Record() is wait-free (one relaxed fetch_add per sample plus a few
+/// CAS loops for min/max), so the serving hot path never contends on a
+/// stats lock. Buckets grow by 2^(1/4) per step, bounding the relative
+/// quantile error at ~19% — plenty for p50/p95/p99 dashboards.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  /// Records one sample, in microseconds. Negative values clamp to 0.
+  void Record(double us);
+
+  struct Summary {
+    uint64_t count = 0;
+    double min_us = 0.0;
+    double max_us = 0.0;
+    double mean_us = 0.0;
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double p99_us = 0.0;
+  };
+
+  /// Consistent-enough snapshot: concurrent Record() calls may or may
+  /// not be included, but the summary never mixes torn per-bucket state.
+  Summary Summarize() const;
+
+  void Reset();
+
+  /// {"count":..,"min_us":..,"max_us":..,"mean_us":..,"p50_us":..,...}
+  Json ToJson() const;
+
+ private:
+  // 2^(1/4) growth, 128 buckets: covers [0, ~4.3e9] us (~72 minutes).
+  static constexpr size_t kBuckets = 128;
+
+  static size_t BucketIndex(double us);
+  static double BucketLowerBound(size_t index);
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_us_{0.0};
+  std::atomic<double> min_us_;
+  std::atomic<double> max_us_{0.0};
+};
+
+/// Counters and latency histograms for one logical endpoint ("select"
+/// for selection-only requests, "detect" for selection+detection).
+struct EndpointStats {
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> failed{0};
+  LatencyHistogram queue_wait;  ///< Submit -> batch dequeue by a worker.
+  LatencyHistogram selection;   ///< Windowing + batched selector forward.
+  LatencyHistogram detection;   ///< Selected-detector scoring (+metric).
+  LatencyHistogram total;       ///< Submit -> response ready.
+
+  Json ToJson() const;
+};
+
+/// Request-level metrics for the whole inference server. All mutators
+/// are thread-safe; ToJson/ToJsonString take a point-in-time snapshot.
+class ServerStats {
+ public:
+  enum class Endpoint { kSelect = 0, kDetect = 1 };
+  static constexpr size_t kNumEndpoints = 2;
+
+  void RecordSubmitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordReload() { reloads_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Records one flushed batch of `size` requests.
+  void RecordBatch(size_t size);
+
+  /// Records window-row coalescing for one served batch: `total` rows
+  /// extracted, `unique` rows actually run through the forward pass.
+  void RecordRows(size_t total, size_t unique) {
+    rows_total_.fetch_add(total, std::memory_order_relaxed);
+    rows_unique_.fetch_add(unique, std::memory_order_relaxed);
+  }
+
+  EndpointStats& endpoint(Endpoint e) {
+    return endpoints_[static_cast<size_t>(e)];
+  }
+  const EndpointStats& endpoint(Endpoint e) const {
+    return endpoints_[static_cast<size_t>(e)];
+  }
+
+  uint64_t submitted() const { return submitted_.load(); }
+  uint64_t rejected() const { return rejected_.load(); }
+  uint64_t completed() const;
+  uint64_t failed() const;
+  uint64_t batches() const { return batches_.load(); }
+  uint64_t rows_total() const { return rows_total_.load(); }
+  uint64_t rows_unique() const { return rows_unique_.load(); }
+
+  /// Mean number of requests per flushed batch (0 when no batches yet).
+  double MeanBatchSize() const;
+
+  Json ToJson() const;
+  std::string ToJsonString() const { return ToJson().Dump(); }
+
+ private:
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> reloads_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batched_requests_{0};
+  std::atomic<uint64_t> max_batch_seen_{0};
+  std::atomic<uint64_t> rows_total_{0};
+  std::atomic<uint64_t> rows_unique_{0};
+  std::array<EndpointStats, kNumEndpoints> endpoints_;
+};
+
+}  // namespace kdsel::serve
+
+#endif  // KDSEL_SERVE_STATS_H_

@@ -1,0 +1,527 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "datagen/families.h"
+#include "serve/json.h"
+#include "serve/protocol.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "serve/stats.h"
+
+namespace kdsel::serve {
+namespace {
+
+/// Trains a small ConvNet selector on separable synthetic windows.
+std::unique_ptr<core::TrainedSelector> TrainTinySelector(
+    size_t num_classes = 2, uint64_t seed = 1) {
+  core::SelectorTrainingData data;
+  data.num_classes = num_classes;
+  Rng rng(seed);
+  for (int i = 0; i < 60; ++i) {
+    const int c = i % static_cast<int>(num_classes);
+    std::vector<float> w(16);
+    for (size_t t = 0; t < 16; ++t) {
+      w[t] = std::sin((0.3 + 0.9 * c) * static_cast<double>(t)) +
+             0.05f * static_cast<float>(rng.Normal());
+    }
+    data.windows.push_back(std::move(w));
+    data.labels.push_back(c);
+  }
+  core::TrainerOptions opts;
+  opts.backbone = "ConvNet";
+  opts.epochs = 2;
+  opts.seed = seed;
+  auto selector = core::TrainSelector(data, opts, nullptr);
+  KDSEL_CHECK(selector.ok());
+  return std::move(selector).value();
+}
+
+std::vector<ts::TimeSeries> MakeLabeledSeries(size_t count, uint64_t seed) {
+  std::vector<ts::TimeSeries> series;
+  Rng rng(seed);
+  for (size_t i = 0; i < count; ++i) {
+    auto family =
+        (i % 2 == 0) ? datagen::Family::kYahoo : datagen::Family::kEcg;
+    auto s = datagen::GenerateSeries(family, 320, i, rng);
+    KDSEL_CHECK(s.ok());
+    series.push_back(std::move(s).value());
+  }
+  return series;
+}
+
+TEST(JsonTest, ParseDumpRoundTrip) {
+  const std::string text =
+      R"({"op":"select","id":7,"values":[1,-2.5,3e2],"nested":{"a":[true,false,null]},"s":"q\"\\\nA"})";
+  auto parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->GetString("op", ""), "select");
+  EXPECT_EQ(parsed->GetNumber("id", -1), 7);
+  const Json* values = parsed->Find("values");
+  ASSERT_NE(values, nullptr);
+  ASSERT_EQ(values->items().size(), 3u);
+  EXPECT_FLOAT_EQ(static_cast<float>(values->items()[1].as_number()), -2.5f);
+  EXPECT_EQ(parsed->GetString("s", ""), "q\"\\\nA");
+
+  auto reparsed = Json::Parse(parsed->Dump());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->Dump(), parsed->Dump());
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  for (const std::string bad :
+       {"", "{", "[1,", "{\"a\":}", "{\"a\":1} x", "nul", "\"unterminated",
+        "{\"a\":1e999}", "[1 2]"}) {
+    EXPECT_FALSE(Json::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(LatencyHistogramTest, PercentilesRoughlyCorrect) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i));
+  auto s = h.Summarize();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_DOUBLE_EQ(s.min_us, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_us, 1000.0);
+  EXPECT_NEAR(s.mean_us, 500.5, 1e-9);
+  // Geometric buckets (2^(1/4) growth) bound relative error at ~19%.
+  EXPECT_GT(s.p50_us, 500.0 * 0.8);
+  EXPECT_LT(s.p50_us, 500.0 * 1.25);
+  EXPECT_GT(s.p95_us, 950.0 * 0.8);
+  EXPECT_LE(s.p99_us, 1000.0);
+  EXPECT_GE(s.p99_us, 990.0 * 0.8);
+
+  h.Reset();
+  EXPECT_EQ(h.Summarize().count, 0u);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordIsConsistent) {
+  LatencyHistogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 2500; ++i) h.Record(100.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto s = h.Summarize();
+  EXPECT_EQ(s.count, 10000u);
+  EXPECT_DOUBLE_EQ(s.min_us, 100.0);
+  EXPECT_DOUBLE_EQ(s.max_us, 100.0);
+}
+
+TEST(SelectorRegistryTest, RegisterGetEvictVersions) {
+  SelectorRegistry registry(core::SelectorManager("/tmp/kdsel_reg_none"));
+  EXPECT_FALSE(registry.Get("missing").ok());
+  EXPECT_FALSE(registry.Register("", TrainTinySelector()).ok());
+  EXPECT_FALSE(registry.Register("x", nullptr).ok());
+
+  ASSERT_TRUE(registry.Register("tiny", TrainTinySelector()).ok());
+  auto first = registry.Get("tiny");
+  ASSERT_TRUE(first.ok());
+  ASSERT_NE(first->selector, nullptr);
+  EXPECT_EQ(first->selector->num_classes(), 2u);
+
+  ASSERT_TRUE(registry.Register("tiny", TrainTinySelector()).ok());
+  auto second = registry.Get("tiny");
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(second->version, first->version);
+
+  EXPECT_EQ(registry.ResidentNames(), std::vector<std::string>{"tiny"});
+  EXPECT_TRUE(registry.Evict("tiny"));
+  EXPECT_FALSE(registry.Evict("tiny"));
+  EXPECT_FALSE(registry.Get("tiny").ok());
+}
+
+TEST(SelectorRegistryTest, LoadsAndHotReloadsFromDisk) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "kdsel_reg_disk").string();
+  std::filesystem::remove_all(dir);
+  core::SelectorManager manager(dir);
+  auto trained = TrainTinySelector();
+  ASSERT_TRUE(manager.Save(*trained, "ondisk").ok());
+
+  SelectorRegistry registry{core::SelectorManager(dir)};
+  // Not resident yet; GetOrLoad pulls it from disk.
+  EXPECT_FALSE(registry.Get("ondisk").ok());
+  auto snapshot = registry.GetOrLoad("ondisk");
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  const uint64_t v1 = snapshot->version;
+
+  ASSERT_TRUE(registry.ReloadAll().ok());
+  auto reloaded = registry.Get("ondisk");
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_GT(reloaded->version, v1);
+  // Old snapshot stays valid after the swap (in-flight requests).
+  auto preds_old = snapshot->selector->Predict({std::vector<float>(16, 0.5f)});
+  auto preds_new = reloaded->selector->Predict({std::vector<float>(16, 0.5f)});
+  ASSERT_TRUE(preds_old.ok() && preds_new.ok());
+  EXPECT_EQ(*preds_old, *preds_new);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TrainedSelectorCloneTest, ClonePredictsIdentically) {
+  auto original = TrainTinySelector();
+  auto clone = original->Clone();
+  ASSERT_TRUE(clone.ok()) << clone.status();
+  std::vector<std::vector<float>> windows;
+  Rng rng(9);
+  for (int i = 0; i < 8; ++i) {
+    std::vector<float> w(16);
+    for (auto& v : w) v = static_cast<float>(rng.Normal());
+    windows.push_back(std::move(w));
+  }
+  auto a = original->Predict(windows);
+  auto b = (*clone)->Predict(windows);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(InferenceServerTest, RejectsBadConfigAndUse) {
+  SelectorRegistry registry(core::SelectorManager("/tmp/kdsel_srv_none"));
+  {
+    InferenceServer server(&registry, ServerOptions{});
+    // Not started: submissions are refused.
+    SelectRequest request;
+    request.selector = "tiny";
+    request.series = ts::TimeSeries("x", std::vector<float>(32, 0.0f));
+    EXPECT_FALSE(server.Submit(std::move(request)).ok());
+  }
+  {
+    ServerOptions bad;
+    bad.num_workers = 0;
+    InferenceServer server(&registry, bad);
+    EXPECT_FALSE(server.Start().ok());
+  }
+  {
+    InferenceServer server(&registry, ServerOptions{});
+    ASSERT_TRUE(server.Start().ok());
+    SelectRequest request;  // Empty selector name.
+    request.series = ts::TimeSeries("x", std::vector<float>(32, 0.0f));
+    EXPECT_FALSE(server.Submit(std::move(request)).ok());
+    // Unknown selector: accepted, resolves to NotFound.
+    SelectRequest unknown;
+    unknown.selector = "ghost";
+    unknown.series = ts::TimeSeries("x", std::vector<float>(32, 0.0f));
+    auto response = server.Run(std::move(unknown));
+    EXPECT_FALSE(response.ok());
+    server.Stop();
+    EXPECT_EQ(server.stats().failed(), 1u);
+  }
+}
+
+TEST(InferenceServerTest, MatchesSequentialPipelineByteForByte) {
+  SelectorRegistry registry(core::SelectorManager("/tmp/kdsel_srv_none"));
+  auto trained = TrainTinySelector();
+  auto reference_selector = trained->Clone();
+  ASSERT_TRUE(reference_selector.ok());
+  ASSERT_TRUE(registry.Register("tiny", std::move(trained)).ok());
+
+  ServerOptions opts;
+  opts.num_workers = 4;
+  opts.max_batch = 8;
+  opts.max_delay_us = 500;
+  opts.detector_seed = 42;
+  InferenceServer server(&registry, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  const auto series = MakeLabeledSeries(6, 11);
+  // Sequential reference: the exact offline pipeline on the same models.
+  auto models = tsad::BuildDefaultModelSet(opts.detector_seed);
+  ts::WindowOptions wo;
+  wo.length = (*reference_selector)->input_length();
+  wo.stride = wo.length;
+  std::vector<core::DetectionResult> reference;
+  for (const auto& s : series) {
+    auto r = core::DetectWithSelection(**reference_selector, models, s, wo);
+    ASSERT_TRUE(r.ok()) << r.status();
+    reference.push_back(std::move(r).value());
+  }
+
+  // 64 concurrent requests from 8 client threads.
+  constexpr size_t kClients = 8;
+  constexpr size_t kPerClient = 8;
+  std::vector<std::thread> clients;
+  std::atomic<int> mismatches{0}, failures{0};
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t r = 0; r < kPerClient; ++r) {
+        const size_t idx = (c * kPerClient + r) % series.size();
+        SelectRequest request;
+        request.selector = "tiny";
+        request.series = series[idx];
+        auto response = server.Run(std::move(request));
+        if (!response.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const core::DetectionResult& expected = reference[idx];
+        if (response->result.selected_model != expected.selected_model ||
+            response->result.votes != expected.votes ||
+            response->result.model_name != expected.model_name ||
+            response->result.anomaly_scores != expected.anomaly_scores ||
+            response->result.auc_pr != expected.auc_pr) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.Stop();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(server.stats().submitted(), kClients * kPerClient);
+  EXPECT_EQ(server.stats().completed(), kClients * kPerClient);
+  EXPECT_EQ(server.stats().failed(), 0u);
+  EXPECT_GE(server.stats().batches(), 1u);
+  auto detect_summary =
+      server.stats().endpoint(ServerStats::Endpoint::kDetect).total.Summarize();
+  EXPECT_EQ(detect_summary.count, kClients * kPerClient);
+  EXPECT_GT(detect_summary.p99_us, 0.0);
+}
+
+TEST(InferenceServerTest, HotReloadDuringInFlightRequestsIsRaceFree) {
+  SelectorRegistry registry(core::SelectorManager("/tmp/kdsel_srv_none"));
+  auto trained = TrainTinySelector();
+  auto reference_selector = trained->Clone();
+  ASSERT_TRUE(reference_selector.ok());
+  ASSERT_TRUE(registry.Register("tiny", std::move(trained)).ok());
+
+  ServerOptions opts;
+  opts.num_workers = 4;
+  opts.max_batch = 4;
+  opts.max_delay_us = 200;
+  InferenceServer server(&registry, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  const auto series = MakeLabeledSeries(4, 21);
+  std::vector<std::vector<int>> reference_votes;
+  {
+    auto models = tsad::BuildDefaultModelSet(opts.detector_seed);
+    ts::WindowOptions wo;
+    wo.length = (*reference_selector)->input_length();
+    wo.stride = wo.length;
+    for (const auto& s : series) {
+      auto sel = core::SelectSeriesModel(**reference_selector, s, wo,
+                                         models.size());
+      ASSERT_TRUE(sel.ok());
+      reference_votes.push_back(sel->votes);
+    }
+  }
+
+  std::atomic<bool> stop_reloading{false};
+  // Reloader: keeps swapping in new snapshots (same weights, so results
+  // must stay stable) while clients hammer the server.
+  std::thread reloader([&] {
+    while (!stop_reloading.load()) {
+      auto snapshot = registry.Get("tiny");
+      ASSERT_TRUE(snapshot.ok());
+      auto clone = snapshot->selector->Clone();
+      ASSERT_TRUE(clone.ok());
+      ASSERT_TRUE(registry.Register("tiny", std::move(clone).value()).ok());
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  });
+
+  constexpr size_t kClients = 8;
+  constexpr size_t kPerClient = 8;
+  std::atomic<int> mismatches{0}, failures{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t r = 0; r < kPerClient; ++r) {
+        const size_t idx = (c + r) % series.size();
+        SelectRequest request;
+        request.selector = "tiny";
+        request.series = series[idx];
+        request.run_detection = false;  // Selection-only: exercises batching.
+        auto response = server.Run(std::move(request));
+        if (!response.ok()) {
+          failures.fetch_add(1);
+        } else if (response->result.votes != reference_votes[idx]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  stop_reloading.store(true);
+  reloader.join();
+  server.Stop();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(server.stats().completed(), kClients * kPerClient);
+}
+
+TEST(InferenceServerTest, MicroBatchesGroupConcurrentRequests) {
+  SelectorRegistry registry(core::SelectorManager("/tmp/kdsel_srv_none"));
+  ASSERT_TRUE(registry.Register("tiny", TrainTinySelector()).ok());
+
+  ServerOptions opts;
+  opts.num_workers = 2;
+  opts.max_batch = 4;
+  opts.max_delay_us = 200000;  // Generous: flush happens via max_batch.
+  InferenceServer server(&registry, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  ts::TimeSeries series("s", std::vector<float>(64, 0.0f));
+  for (size_t i = 0; i < series.length(); ++i) {
+    series.mutable_values()[i] = std::sin(0.4 * static_cast<double>(i));
+  }
+  std::vector<std::future<StatusOr<SelectResponse>>> futures;
+  for (int i = 0; i < 4; ++i) {
+    SelectRequest request;
+    request.selector = "tiny";
+    request.series = series;
+    request.run_detection = false;
+    auto submitted = server.Submit(std::move(request));
+    ASSERT_TRUE(submitted.ok()) << submitted.status();
+    futures.push_back(std::move(submitted).value());
+  }
+  for (auto& f : futures) {
+    auto response = f.get();
+    ASSERT_TRUE(response.ok()) << response.status();
+    // All four submissions landed before the (200 ms) delay flush, so
+    // they must have been served as one batch of max_batch = 4.
+    EXPECT_EQ(response->timing.batch_size, 4u);
+    EXPECT_EQ(response->num_windows, 4u);  // 64-point series, window 16.
+    EXPECT_FALSE(response->result.model_name.empty());
+    EXPECT_TRUE(response->result.anomaly_scores.empty());
+  }
+  server.Stop();
+  EXPECT_DOUBLE_EQ(server.stats().MeanBatchSize(), 4.0);
+
+  // Stats JSON snapshot is parseable and carries the counters.
+  auto stats_json = Json::Parse(server.stats().ToJsonString());
+  ASSERT_TRUE(stats_json.ok()) << stats_json.status();
+  EXPECT_EQ(stats_json->GetNumber("completed", -1), 4.0);
+  const Json* endpoints = stats_json->Find("endpoints");
+  ASSERT_NE(endpoints, nullptr);
+  const Json* select_ep = endpoints->Find("select");
+  ASSERT_NE(select_ep, nullptr);
+  EXPECT_EQ(select_ep->GetNumber("completed", -1), 4.0);
+}
+
+TEST(ProtocolTest, ParseRequestLineValidatesInput) {
+  auto ok = ParseRequestLine(
+      R"({"op":"select","id":3,"selector":"s","values":[1,2,3],"labels":[0,0,1],"detect":false,"scores":true})");
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(ok->op, WireRequest::Op::kSelect);
+  EXPECT_EQ(ok->id, 3);
+  EXPECT_EQ(ok->selector, "s");
+  EXPECT_FALSE(ok->detect);
+  EXPECT_TRUE(ok->want_scores);
+  EXPECT_EQ(ok->series.length(), 3u);
+  EXPECT_TRUE(ok->series.has_labels());
+
+  EXPECT_FALSE(ParseRequestLine("not json").ok());
+  EXPECT_FALSE(ParseRequestLine(R"({"op":"explode"})").ok());
+  EXPECT_FALSE(ParseRequestLine(R"({"op":"select","selector":"s"})").ok());
+  EXPECT_FALSE(
+      ParseRequestLine(R"({"op":"select","values":[1,2]})").ok());
+  EXPECT_FALSE(ParseRequestLine(
+                   R"({"op":"select","selector":"s","values":[1,"x"]})")
+                   .ok());
+  // Labels/values length mismatch is rejected by TimeSeries::SetLabels.
+  EXPECT_FALSE(
+      ParseRequestLine(
+          R"({"op":"select","selector":"s","values":[1,2],"labels":[1]})")
+          .ok());
+}
+
+TEST(ProtocolTest, NdjsonSessionEndToEnd) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "kdsel_proto_dir").string();
+  std::filesystem::remove_all(dir);
+  core::SelectorManager manager(dir);
+  auto trained = TrainTinySelector();
+  ASSERT_TRUE(manager.Save(*trained, "tiny").ok());
+
+  SelectorRegistry registry{core::SelectorManager(dir)};
+  ServerOptions opts;
+  opts.num_workers = 2;
+  opts.max_batch = 4;
+  opts.max_delay_us = 500;
+  InferenceServer server(&registry, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::string values = "[";
+  for (int i = 0; i < 64; ++i) {
+    if (i) values += ",";
+    values += std::to_string(i);
+  }
+  values += "]";
+
+  std::istringstream in(
+      R"({"op":"list","id":1})"
+      "\n"
+      R"({"op":"select","id":2,"selector":"tiny","values":)" +
+      values +
+      R"(,"detect":false})"
+      "\n"
+      R"({"op":"reload","id":3,"selector":"tiny"})"
+      "\n"
+      R"({"op":"reload","id":4,"selector":"ghost"})"
+      "\n"
+      "this is not json\n"
+      R"({"op":"stats","id":5})"
+      "\n"
+      R"({"op":"quit"})"
+      "\n");
+  std::ostringstream out;
+  ASSERT_TRUE(RunServeLoop(in, out, server).ok());
+  server.Stop();
+
+  std::vector<std::string> lines;
+  std::istringstream reread(out.str());
+  for (std::string line; std::getline(reread, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 6u);
+
+  auto list_reply = Json::Parse(lines[0]);
+  ASSERT_TRUE(list_reply.ok());
+  EXPECT_EQ(list_reply->GetNumber("id", -1), 1.0);
+  EXPECT_TRUE(list_reply->GetBool("ok", false));
+  const Json* on_disk = list_reply->Find("on_disk");
+  ASSERT_NE(on_disk, nullptr);
+  ASSERT_EQ(on_disk->items().size(), 1u);
+  EXPECT_EQ(on_disk->items()[0].as_string(), "tiny");
+
+  auto select_reply = Json::Parse(lines[1]);
+  ASSERT_TRUE(select_reply.ok());
+  EXPECT_EQ(select_reply->GetNumber("id", -1), 2.0);
+  EXPECT_TRUE(select_reply->GetBool("ok", false));
+  EXPECT_EQ(select_reply->GetNumber("num_windows", -1), 4.0);
+  EXPECT_GE(select_reply->GetNumber("batch_size", -1), 1.0);
+
+  auto reload_reply = Json::Parse(lines[2]);
+  ASSERT_TRUE(reload_reply.ok());
+  EXPECT_TRUE(reload_reply->GetBool("ok", false));
+
+  auto ghost_reply = Json::Parse(lines[3]);
+  ASSERT_TRUE(ghost_reply.ok());
+  EXPECT_FALSE(ghost_reply->GetBool("ok", true));
+
+  auto bad_reply = Json::Parse(lines[4]);
+  ASSERT_TRUE(bad_reply.ok());
+  EXPECT_FALSE(bad_reply->GetBool("ok", true));
+
+  auto stats_reply = Json::Parse(lines[5]);
+  ASSERT_TRUE(stats_reply.ok());
+  const Json* stats = stats_reply->Find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->GetNumber("completed", -1), 1.0);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace kdsel::serve

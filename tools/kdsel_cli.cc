@@ -14,9 +14,12 @@
 // Each subcommand prints --help-style usage when required flags are
 // missing.
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
@@ -27,6 +30,9 @@
 #include "core/trainer.h"
 #include "datagen/benchmark.h"
 #include "metrics/range_metrics.h"
+#include "serve/protocol.h"
+#include "serve/registry.h"
+#include "serve/server.h"
 #include "ts/dataset.h"
 #include "tsad/detector.h"
 
@@ -61,10 +67,23 @@ class Flags {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : it->second;
   }
+  /// Parses --key as a non-negative integer. Rejects garbage (empty
+  /// value, trailing junk, negatives, overflow) with a usage error
+  /// rather than silently proceeding with strtoull's 0.
   uint64_t GetInt(const std::string& key, uint64_t fallback) const {
     auto it = values_.find(key);
-    return it == values_.end() ? fallback
-                               : std::strtoull(it->second.c_str(), nullptr, 10);
+    if (it == values_.end()) return fallback;
+    const std::string& text = it->second;
+    errno = 0;
+    char* end = nullptr;
+    const uint64_t value = std::strtoull(text.c_str(), &end, 10);
+    if (text.empty() || end != text.c_str() + text.size() ||
+        errno == ERANGE || text[0] == '-') {
+      std::fprintf(stderr, "invalid integer for --%s: '%s'\n", key.c_str(),
+                   text.c_str());
+      std::exit(2);
+    }
+    return value;
   }
 
  private:
@@ -331,6 +350,53 @@ int CmdDetect(const Flags& flags) {
   return 0;
 }
 
+int CmdServe(const Flags& flags) {
+  const std::string sel_dir = flags.Get("dir", "");
+  if (sel_dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: kdsel serve --dir SELECTOR_DIR [--workers 4]"
+                 " [--max-batch 8] [--max-delay-us 1000]\n"
+                 "             [--queue 1024] [--seed 42] [--preload]\n"
+                 "speaks newline-delimited JSON on stdin/stdout;"
+                 " see README section 'kdsel serve'\n");
+    return 2;
+  }
+  auto registry = std::make_unique<serve::SelectorRegistry>(
+      core::SelectorManager(sel_dir));
+  if (flags.Has("preload")) {
+    auto names = registry->DiskNames();
+    if (!names.ok()) return Fail(names.status());
+    for (const auto& name : *names) {
+      Status loaded = registry->Load(name);
+      if (!loaded.ok()) return Fail(loaded);
+      std::fprintf(stderr, "preloaded selector '%s'\n", name.c_str());
+    }
+  }
+
+  serve::ServerOptions opts;
+  opts.num_workers = flags.GetInt("workers", 4);
+  opts.max_batch = flags.GetInt("max-batch", 8);
+  opts.max_delay_us = static_cast<int64_t>(flags.GetInt("max-delay-us", 1000));
+  opts.queue_capacity = flags.GetInt("queue", 1024);
+  opts.detector_seed = flags.GetInt("seed", 42);
+
+  serve::InferenceServer server(registry.get(), opts);
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+  std::fprintf(stderr,
+               "kdsel serve: %zu workers, max_batch %zu, max_delay %lld us,"
+               " queue %zu — reading NDJSON from stdin\n",
+               opts.num_workers, opts.max_batch,
+               static_cast<long long>(opts.max_delay_us), opts.queue_capacity);
+
+  Status session = serve::RunServeLoop(std::cin, std::cout, server);
+  server.Stop();
+  std::fprintf(stderr, "kdsel serve: final stats %s\n",
+               server.stats().ToJsonString().c_str());
+  if (!session.ok()) return Fail(session);
+  return 0;
+}
+
 void PrintUsage() {
   std::fprintf(
       stderr,
@@ -340,7 +406,8 @@ void PrintUsage() {
       "  label      run the 12-model TSAD set, write the performance CSV\n"
       "  train      learn a selector (optionally +PISL/+MKI/+PA) and save\n"
       "  list       list saved selectors\n"
-      "  detect     select a model for a series and run the detection\n");
+      "  detect     select a model for a series and run the detection\n"
+      "  serve      long-lived inference server (NDJSON on stdin/stdout)\n");
 }
 
 }  // namespace
@@ -358,6 +425,7 @@ int main(int argc, char** argv) {
   if (cmd == "train") return CmdTrain(flags);
   if (cmd == "list") return CmdList(flags);
   if (cmd == "detect") return CmdDetect(flags);
+  if (cmd == "serve") return CmdServe(flags);
   PrintUsage();
   return 2;
 }
