@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/stringutil.h"
 #include "core/pipeline.h"
 #include "core/trainer.h"
 #include "datagen/families.h"
@@ -171,13 +172,21 @@ int Main(int argc, char** argv) {
   size_t series_len = 64;  // datagen minimum; two selector windows.
   size_t pool_size = 16;
   bool detect = false;
+  const auto parse_flag = [](const char* flag, const char* text) {
+    auto value = ParseSize(text);
+    if (!value.ok()) {
+      std::fprintf(stderr, "invalid integer for %s: '%s'\n", flag, text);
+      std::exit(2);
+    }
+    return *value;
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
-      total_requests = static_cast<size_t>(std::atoll(argv[++i]));
+      total_requests = parse_flag("--requests", argv[++i]);
     } else if (std::strcmp(argv[i], "--series-len") == 0 && i + 1 < argc) {
-      series_len = static_cast<size_t>(std::atoll(argv[++i]));
+      series_len = parse_flag("--series-len", argv[++i]);
     } else if (std::strcmp(argv[i], "--pool") == 0 && i + 1 < argc) {
-      pool_size = static_cast<size_t>(std::atoll(argv[++i]));
+      pool_size = parse_flag("--pool", argv[++i]);
     } else if (std::strcmp(argv[i], "--detect") == 0) {
       detect = true;
     } else {

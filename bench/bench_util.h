@@ -111,7 +111,11 @@ inline SolutionResult TrainAndEvaluateAvg(const exp::BenchmarkEnvironment& env,
 /// shrinks to a single seed for quick runs.
 inline std::vector<uint64_t> BenchSeeds() {
   const char* env = std::getenv("KDSEL_BENCH_SEEDS");
-  size_t n = env ? std::strtoul(env, nullptr, 10) : 3;
+  size_t n = 3;
+  if (env != nullptr) {
+    auto parsed = ParseSize(env);
+    if (parsed.ok()) n = *parsed;
+  }
   if (n == 0) n = 1;
   std::vector<uint64_t> seeds;
   for (size_t i = 0; i < n; ++i) seeds.push_back(i + 1);

@@ -32,7 +32,12 @@ const char* StatusCodeToString(StatusCode code);
 /// Status is cheap to copy in the success case (no allocation) and carries
 /// a code plus message otherwise. Use the factory functions
 /// (`Status::InvalidArgument(...)` etc.) to construct errors.
-class Status {
+///
+/// The class-level [[nodiscard]] makes every function returning Status
+/// by value warn (and, under -Werror, fail the build) when the caller
+/// drops the result; silently ignored errors were the most common bug
+/// class before this was enforced.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -84,7 +89,7 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 /// Status. Accessing the value of a non-OK StatusOr aborts, so callers
 /// must check `ok()` first (or use ASSIGN_OR_* style macros below).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from a value (implicit by design, mirrors absl::StatusOr).
   StatusOr(T value) : value_(std::move(value)) {}

@@ -1,9 +1,12 @@
 #ifndef KDSEL_COMMON_STRINGUTIL_H_
 #define KDSEL_COMMON_STRINGUTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/status.h"
 
 namespace kdsel {
 
@@ -26,6 +29,26 @@ bool StartsWith(std::string_view s, std::string_view prefix);
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/// Strict base-10 unsigned parse: the whole string must be digits, with
+/// no sign, whitespace, or overflow. This is the one sanctioned integer
+/// parser outside tests — std::stoul throws, atoi silently wraps, and
+/// both have bitten metadata/flag parsing before (kdsel-lint rule
+/// `raw-parse` points callers here).
+StatusOr<uint64_t> ParseUint64(std::string_view s);
+
+/// ParseUint64 narrowed to size_t; kOutOfRange if it does not fit.
+StatusOr<size_t> ParseSize(std::string_view s);
+
+/// Strict float parse: the whole string must form one finite number
+/// (strtod grammar, locale-independent for the inputs we write). The
+/// strto*-with-nullptr-end idiom this replaces silently read garbage
+/// as 0.0 — corrupt CSV cells must surface as a Status instead.
+StatusOr<double> ParseDouble(std::string_view s);
+
+/// ParseDouble narrowed to float; kOutOfRange when the value does not
+/// fit in a finite float.
+StatusOr<float> ParseFloat(std::string_view s);
 
 }  // namespace kdsel
 

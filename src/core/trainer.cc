@@ -201,15 +201,9 @@ StatusOr<std::unique_ptr<TrainedSelector>> TrainedSelector::Load(
   // Strict digit parsing: corrupt metadata must surface as a Status, not
   // as a std::stoul exception escaping the library.
   auto parse_size = [](const std::string& value, size_t& out) {
-    if (value.empty() ||
-        value.find_first_not_of("0123456789") != std::string::npos) {
-      return false;
-    }
-    errno = 0;
-    char* end = nullptr;
-    const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
-    if (errno == ERANGE || end != value.c_str() + value.size()) return false;
-    out = static_cast<size_t>(parsed);
+    auto parsed = ParseSize(value);
+    if (!parsed.ok()) return false;
+    out = *parsed;
     return true;
   };
   std::string line;

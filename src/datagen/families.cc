@@ -334,12 +334,12 @@ const FamilyInfo& InfoFor(Family family) {
 }  // namespace
 
 const std::vector<Family>& AllFamilies() {
-  static const std::vector<Family>* families = [] {
-    auto* f = new std::vector<Family>();
-    for (const auto& info : kFamilyInfo) f->push_back(info.family);
+  static const std::vector<Family> families = [] {
+    std::vector<Family> f;
+    for (const auto& info : kFamilyInfo) f.push_back(info.family);
     return f;
   }();
-  return *families;
+  return families;
 }
 
 const char* FamilyName(Family family) { return InfoFor(family).name; }

@@ -42,6 +42,8 @@ ts::WindowOptions BenchmarkEnvironment::window_options() const {
 
 StatusOr<std::unique_ptr<BenchmarkEnvironment>> BenchmarkEnvironment::Create(
     const ExperimentConfig& config) {
+  // Private constructor (factory-only type): make_unique cannot reach it.
+  // kdsel-lint: allow(naked-new)
   std::unique_ptr<BenchmarkEnvironment> env(new BenchmarkEnvironment());
   KDSEL_RETURN_NOT_OK(env->Build(config));
   return env;
@@ -129,7 +131,11 @@ StatusOr<bool> BenchmarkEnvironment::LoadCache(
     if (row.size() != m + 1) return Status::IoError("bad cache row width");
     std::vector<float> perf(m);
     for (size_t j = 0; j < m; ++j) {
-      perf[j] = std::strtof(row[j + 1].c_str(), nullptr);
+      auto value = ParseFloat(row[j + 1]);
+      if (!value.ok()) {
+        return Status::IoError("bad cache cell: " + value.status().message());
+      }
+      perf[j] = *value;
     }
     by_name[row[0]] = std::move(perf);
   }

@@ -73,12 +73,12 @@ double Autocorr(const std::vector<float>& v, double mean, double var,
 }  // namespace
 
 const std::vector<std::string>& FeatureNames() {
-  static const std::vector<std::string>* names = [] {
-    auto* n = new std::vector<std::string>();
-    for (const char* name : kFeatureNames) n->push_back(name);
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> n;
+    for (const char* name : kFeatureNames) n.push_back(name);
     return n;
   }();
-  return *names;
+  return names;
 }
 
 size_t FeatureCount() { return FeatureNames().size(); }

@@ -318,7 +318,7 @@ nn::Tensor TransformerBackbone::Forward(const nn::Tensor& input,
 
 nn::Tensor TransformerBackbone::Backward(const nn::Tensor& grad_output) {
   const size_t B = cached_batch_[0];
-  const size_t T = num_patches_, P = options_.patch_size, D = options_.dim;
+  const size_t T = num_patches_, D = options_.dim;
   KDSEL_CHECK(grad_output.rank() == 2 && grad_output.dim(0) == B &&
               grad_output.dim(1) == D);
   // Un-pool.
@@ -348,25 +348,34 @@ nn::Tensor TransformerBackbone::Backward(const nn::Tensor& grad_output) {
 // --------------------------------------------------------------- Factory
 
 const std::vector<std::string>& BackboneNames() {
-  static const std::vector<std::string>* names = new std::vector<std::string>{
-      "ConvNet", "ResNet", "InceptionTime", "Transformer"};
-  return *names;
+  static const std::vector<std::string> names{"ConvNet", "ResNet",
+                                              "InceptionTime", "Transformer"};
+  return names;
 }
+
+namespace {
+
+/// make_unique with the base-typed return BuildBackbone needs (a raw
+/// unique_ptr<Derived> would take two user-defined conversions to reach
+/// StatusOr<unique_ptr<Backbone>>).
+template <typename T, typename... Args>
+std::unique_ptr<Backbone> MakeBackbone(Args&&... args) {
+  return std::make_unique<T>(std::forward<Args>(args)...);
+}
+
+}  // namespace
 
 StatusOr<std::unique_ptr<Backbone>> BuildBackbone(const std::string& name,
                                                   size_t input_length,
                                                   Rng& rng) {
   if (name == "ConvNet") {
-    return std::unique_ptr<Backbone>(
-        new ConvNetBackbone(input_length, 16, rng));
+    return MakeBackbone<ConvNetBackbone>(input_length, 16, rng);
   }
   if (name == "ResNet") {
-    return std::unique_ptr<Backbone>(
-        new ResNetBackbone(input_length, 16, rng));
+    return MakeBackbone<ResNetBackbone>(input_length, 16, rng);
   }
   if (name == "InceptionTime") {
-    return std::unique_ptr<Backbone>(
-        new InceptionTimeBackbone(input_length, 8, rng));
+    return MakeBackbone<InceptionTimeBackbone>(input_length, 8, rng);
   }
   if (name == "Transformer") {
     TransformerBackbone::Options o;
@@ -379,8 +388,7 @@ StatusOr<std::unique_ptr<Backbone>> BuildBackbone(const std::string& name,
         }
       }
     }
-    return std::unique_ptr<Backbone>(
-        new TransformerBackbone(input_length, o, rng));
+    return MakeBackbone<TransformerBackbone>(input_length, o, rng);
   }
   return Status::NotFound("unknown backbone: " + name);
 }

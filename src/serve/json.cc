@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/stringutil.h"
+
 namespace kdsel::serve {
 
 namespace {
@@ -182,12 +184,9 @@ class Parser {
     }
     if (pos_ == begin) return Error("invalid value");
     const std::string token = text_.substr(begin, pos_ - begin);
-    char* end = nullptr;
-    double v = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size() || !std::isfinite(v)) {
-      return Error("invalid number '" + token + "'");
-    }
-    return Json::Number(v);
+    auto v = ParseDouble(token);
+    if (!v.ok()) return Error("invalid number '" + token + "'");
+    return Json::Number(*v);
   }
 
   const std::string& text_;

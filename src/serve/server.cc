@@ -23,6 +23,7 @@ InferenceServer::InferenceServer(SelectorRegistry* registry,
 InferenceServer::~InferenceServer() { Stop(); }
 
 Status InferenceServer::Start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
   if (registry_ == nullptr) {
     return Status::InvalidArgument("server needs a selector registry");
   }
@@ -49,6 +50,7 @@ Status InferenceServer::Start() {
 }
 
 void InferenceServer::Stop() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
   if (!started_ || stopped_) return;
   stopped_ = true;
   {

@@ -86,7 +86,9 @@ class InferenceServer {
   Status Start();
 
   /// Stops accepting work, drains every accepted request, and joins all
-  /// threads. Safe to call twice; the destructor calls it.
+  /// threads. Idempotent and safe to call from multiple threads
+  /// concurrently (the destructor calls it too); exactly one caller
+  /// performs the shutdown, the rest return immediately.
   void Stop();
 
   /// Enqueues a request. Fails fast with FailedPrecondition when the
@@ -146,6 +148,11 @@ class InferenceServer {
 
   std::thread batcher_;
   std::vector<std::thread> workers_;
+
+  // Serializes Start/Stop; started_/stopped_ are only touched under it.
+  // Without this, a Stop() racing the destructor's Stop() could both
+  // pass the started-and-not-stopped check and double-join the threads.
+  std::mutex lifecycle_mu_;
   bool started_ = false;
   bool stopped_ = false;
 };

@@ -53,7 +53,12 @@ StatusOr<Dataset> LoadDataset(const std::string& dir) {
     labels.reserve(t.rows.size());
     for (const auto& r : t.rows) {
       if (r.size() < 2) return Status::IoError("malformed series row");
-      values.push_back(std::strtof(r[0].c_str(), nullptr));
+      auto value = ParseFloat(r[0]);
+      if (!value.ok()) {
+        return Status::IoError("malformed series value: " +
+                               value.status().message());
+      }
+      values.push_back(*value);
       labels.push_back(static_cast<uint8_t>(r[1] == "1"));
     }
     s.mutable_values() = std::move(values);

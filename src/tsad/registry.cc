@@ -1,5 +1,8 @@
 #include "tsad/detector.h"
 
+#include <memory>
+#include <utility>
+
 #include "tsad/density.h"
 #include "tsad/iforest.h"
 #include "tsad/matrix_profile.h"
@@ -12,70 +15,79 @@
 namespace kdsel::tsad {
 
 const std::vector<std::string>& CanonicalModelNames() {
-  static const std::vector<std::string>* names = new std::vector<std::string>{
+  static const std::vector<std::string> names{
       "IForest", "IForest1", "LOF",     "HBOS", "MP",   "NORMA",
       "PCA",     "AE",       "LSTM-AD", "POLY", "CNN",  "OCSVM",
   };
-  return *names;
+  return names;
 }
+
+namespace {
+
+/// make_unique with the base-typed return BuildDetector needs (a raw
+/// unique_ptr<Derived> would take two user-defined conversions to reach
+/// StatusOr<unique_ptr<Detector>>).
+template <typename T, typename... Args>
+std::unique_ptr<Detector> MakeDetector(Args&&... args) {
+  return std::make_unique<T>(std::forward<Args>(args)...);
+}
+
+}  // namespace
 
 StatusOr<std::unique_ptr<Detector>> BuildDetector(const std::string& name,
                                                   uint64_t seed) {
   if (name == "IForest") {
     IForestDetector::Options o;
     o.seed = seed;
-    return std::unique_ptr<Detector>(new IForestDetector(o));
+    return MakeDetector<IForestDetector>(o);
   }
   if (name == "IForest1") {
     IForestDetector::Options o;
     o.window = 1;
     o.seed = seed ^ 0x1;
-    return std::unique_ptr<Detector>(new IForestDetector(o));
+    return MakeDetector<IForestDetector>(o);
   }
   if (name == "LOF") {
-    return std::unique_ptr<Detector>(new LofDetector(LofDetector::Options{}));
+    return MakeDetector<LofDetector>(LofDetector::Options{});
   }
   if (name == "HBOS") {
-    return std::unique_ptr<Detector>(
-        new HbosDetector(HbosDetector::Options{}));
+    return MakeDetector<HbosDetector>(HbosDetector::Options{});
   }
   if (name == "MP") {
-    return std::unique_ptr<Detector>(
-        new MatrixProfileDetector(MatrixProfileDetector::Options{}));
+    return MakeDetector<MatrixProfileDetector>(MatrixProfileDetector::Options{});
   }
   if (name == "NORMA") {
     NormaDetector::Options o;
     o.seed = seed ^ 0x2;
-    return std::unique_ptr<Detector>(new NormaDetector(o));
+    return MakeDetector<NormaDetector>(o);
   }
   if (name == "PCA") {
     PcaDetector::Options o;
     o.seed = seed ^ 0x3;
-    return std::unique_ptr<Detector>(new PcaDetector(o));
+    return MakeDetector<PcaDetector>(o);
   }
   if (name == "AE") {
     AutoencoderDetector::Options o;
     o.seed = seed ^ 0x4;
-    return std::unique_ptr<Detector>(new AutoencoderDetector(o));
+    return MakeDetector<AutoencoderDetector>(o);
   }
   if (name == "LSTM-AD") {
     LstmAdDetector::Options o;
     o.seed = seed ^ 0x5;
-    return std::unique_ptr<Detector>(new LstmAdDetector(o));
+    return MakeDetector<LstmAdDetector>(o);
   }
   if (name == "POLY") {
-    return std::unique_ptr<Detector>(
-        new PolyDetector(PolyDetector::Options{}));
+    return MakeDetector<PolyDetector>(PolyDetector::Options{});
   }
   if (name == "CNN") {
     CnnDetector::Options o;
     o.seed = seed ^ 0x6;
-    return std::unique_ptr<Detector>(new CnnDetector(o));
+    return MakeDetector<CnnDetector>(o);
   }
   if (name == "OCSVM") {
     OcsvmDetector::Options o;
     o.seed = seed ^ 0x7;
-    return std::unique_ptr<Detector>(new OcsvmDetector(o));
+    return MakeDetector<OcsvmDetector>(o);
   }
   return Status::NotFound("unknown TSAD model: " + name);
 }

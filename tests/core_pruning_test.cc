@@ -11,16 +11,6 @@
 namespace kdsel::core {
 namespace {
 
-std::vector<std::vector<float>> RandomSamples(size_t n, size_t dim,
-                                              uint64_t seed) {
-  Rng rng(seed);
-  std::vector<std::vector<float>> rows(n, std::vector<float>(dim));
-  for (auto& r : rows) {
-    for (float& v : r) v = static_cast<float>(rng.Normal());
-  }
-  return rows;
-}
-
 TEST(SoftLabelTest, RowsAreDistributions) {
   std::vector<std::vector<float>> perf{{0.9f, 0.1f, 0.5f},
                                        {0.2f, 0.8f, 0.3f}};

@@ -1,0 +1,45 @@
+// Lint fixture: idiomatic code that must produce zero diagnostics —
+// including the look-alikes that trip naive scanners (rule names inside
+// strings and comments, value_or, checked .value(), consumed Status).
+// NOT compiled.
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace kdsel::fixture_clean {
+
+Status Tidy(const std::string& input);
+
+Status Caller() {
+  // Prose mentioning rand() and new Foo() must not fire: comments are
+  // stripped before scanning.
+  KDSEL_RETURN_NOT_OK(Tidy("checked"));
+  Status status = Tidy("assigned");
+  if (!status.ok()) return status;
+
+  const std::string text = "calling rand() via new Foo() and std::stoi()";
+  auto owned = std::make_unique<std::string>(text);
+
+  StatusOr<int> maybe = 7;
+  KDSEL_CHECK(maybe.ok());
+  const int value = maybe.value();
+
+  StatusOr<int> other = value;
+  const int fallback = other.ok() ? other.value() : 0;
+  (void)fallback;
+  (void)owned;
+
+  // A lock that does NOT span a Score call: released by scope before
+  // any scoring happens.
+  std::mutex mu;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+  }
+  return Status::OK();
+}
+
+}  // namespace kdsel::fixture_clean

@@ -1,0 +1,38 @@
+// Lint fixture: the same violation shapes as violations.cc, each
+// silenced with the documented `// kdsel-lint: allow(rule)` syntax —
+// same-line markers, a preceding-comment-line marker, and a multi-rule
+// marker. Must scan clean. NOT compiled.
+
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace kdsel::fixture_suppressed {
+
+Status QuietWork(const std::string& input);
+
+struct QuietDetector {
+  float Score(int x);
+};
+
+void Suppressed(QuietDetector* detector) {
+  QuietWork("hello");  // kdsel-lint: allow(discarded-status)
+
+  StatusOr<int> maybe = 42;
+  // kdsel-lint: allow(unchecked-value)
+  int x = maybe.value();
+
+  // One marker covering two rules on the same line.
+  auto* leaked = new std::string(std::to_string(rand()));  // kdsel-lint: allow(naked-new, nonreproducible-random)
+
+  const long parsed = std::stol("123");  // kdsel-lint: allow(raw-parse)
+
+  std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  // kdsel-lint: allow(lock-across-score)
+  detector->Score(x + static_cast<int>(parsed) +
+                  static_cast<int>(leaked->size()));
+}
+
+}  // namespace kdsel::fixture_suppressed

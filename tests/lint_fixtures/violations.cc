@@ -1,0 +1,37 @@
+// Lint fixture: exactly one violation of every kdsel_lint rule, at line
+// numbers lint_test asserts on. NOT compiled — scanned only.
+//
+// Keep line numbers stable: lint_test pins them.
+
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace kdsel::fixture {
+
+Status DoWork(const std::string& input);
+
+struct Detector {
+  float Score(int x);
+};
+
+void Violations(Detector* detector) {
+  DoWork("hello");  // line 20: discarded-status
+
+  StatusOr<int> maybe = 42;
+  int x = maybe.value();  // line 23: unchecked-value
+
+  auto* leaked = new std::string("oops");  // line 25: naked-new
+
+  const long parsed = std::stol("123");  // line 27: raw-parse
+
+  const int noise = rand();  // line 29: nonreproducible-random
+
+  std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  detector->Score(noise + x + static_cast<int>(parsed) +
+                  static_cast<int>(leaked->size()));  // line 33 via line 34
+}
+
+}  // namespace kdsel::fixture

@@ -1,0 +1,184 @@
+// End-to-end tests for tools/kdsel_lint. The binary is run as a
+// subprocess (paths injected by CMake via KDSEL_LINT_BIN /
+// KDSEL_SOURCE_DIR) against the fixture sources in tests/lint_fixtures/
+// and against the real tree in --self-check mode.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#ifndef KDSEL_LINT_BIN
+#error "KDSEL_LINT_BIN must be defined by the build"
+#endif
+#ifndef KDSEL_SOURCE_DIR
+#error "KDSEL_SOURCE_DIR must be defined by the build"
+#endif
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string stdout_text;
+};
+
+// Runs the lint binary with `args`, capturing stdout (diagnostics go to
+// stdout; the summary line goes to stderr and is not captured).
+RunResult RunLint(const std::string& args) {
+  RunResult result;
+  const std::string command = std::string(KDSEL_LINT_BIN) + " " + args;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.stdout_text.append(buffer.data(), n);
+  }
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+std::string FixturePath(const std::string& name) {
+  return std::string(KDSEL_SOURCE_DIR) + "/tests/lint_fixtures/" + name;
+}
+
+std::string RootArgs(const std::string& extra) {
+  std::string args = "--root ";
+  args += KDSEL_SOURCE_DIR;
+  args += " ";
+  args += extra;
+  return args;
+}
+
+TEST(LintTest, ViolationsFixtureProducesExactDiagnostics) {
+  const RunResult result = RunLint(RootArgs(FixturePath("violations.cc")));
+  EXPECT_EQ(result.exit_code, 1);
+
+  const std::vector<std::string> lines = SplitLines(result.stdout_text);
+  ASSERT_EQ(lines.size(), 6u) << result.stdout_text;
+
+  const std::string prefix = "tests/lint_fixtures/violations.cc:";
+  const std::vector<std::string> expected = {
+      prefix +
+          "20: discarded-status: result of Status-returning call 'DoWork' is "
+          "discarded; check it, propagate it with KDSEL_RETURN_NOT_OK, or "
+          "assert on it",
+      prefix +
+          "23: unchecked-value: .value() without a nearby ok()/has_value() "
+          "check aborts on error; check first or propagate with "
+          "KDSEL_ASSIGN_OR_RETURN",
+      prefix +
+          "25: naked-new: raw 'new' allocation; use "
+          "std::make_unique/std::make_shared or a container",
+      prefix +
+          "27: raw-parse: 'stol' outside common/: it throws or silently "
+          "wraps; use kdsel::ParseUint64 (stringutil.h)",
+      prefix +
+          "29: nonreproducible-random: unseeded/wall-clock randomness breaks "
+          "bit-for-bit reproducibility; use kdsel::Rng with an explicit seed",
+      prefix +
+          "33: lock-across-score: detector Score() runs while a mutex guard "
+          "is live; scoring is slow and must happen off-lock (clone or "
+          "snapshot instead)",
+  };
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(lines[i], expected[i]) << "diagnostic " << i;
+  }
+}
+
+TEST(LintTest, SuppressedFixtureIsClean) {
+  const RunResult result = RunLint(RootArgs(FixturePath("suppressed.cc")));
+  EXPECT_EQ(result.exit_code, 0) << result.stdout_text;
+  EXPECT_TRUE(result.stdout_text.empty()) << result.stdout_text;
+}
+
+TEST(LintTest, CleanFixtureIsClean) {
+  const RunResult result = RunLint(RootArgs(FixturePath("clean.cc")));
+  EXPECT_EQ(result.exit_code, 0) << result.stdout_text;
+  EXPECT_TRUE(result.stdout_text.empty()) << result.stdout_text;
+}
+
+// The combined fixture directory scan sees all three files at once, so
+// cross-file symbol collection (Status function names) must not bleed
+// findings between fixtures.
+TEST(LintTest, FixtureDirectoryScanMatchesPerFileResults) {
+  const RunResult result =
+      RunLint(RootArgs(std::string(KDSEL_SOURCE_DIR) + "/tests/lint_fixtures"));
+  EXPECT_EQ(result.exit_code, 1);
+  const std::vector<std::string> lines = SplitLines(result.stdout_text);
+  EXPECT_EQ(lines.size(), 6u) << result.stdout_text;
+  for (const std::string& line : lines) {
+    EXPECT_NE(line.find("violations.cc"), std::string::npos) << line;
+  }
+}
+
+// The real tree must stay clean: --self-check exits non-zero on any
+// finding and refuses suppressions outside tests/.
+TEST(LintTest, RealTreeSelfCheckIsClean) {
+  const RunResult result = RunLint(RootArgs("--self-check"));
+  EXPECT_EQ(result.exit_code, 0) << result.stdout_text;
+  EXPECT_TRUE(result.stdout_text.empty()) << result.stdout_text;
+}
+
+// A seeded violation in a temp file under --root must be reported in the
+// documented file:line: rule: message format with a non-zero exit.
+TEST(LintTest, SeededViolationIsReported) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/kdsel_lint_seeded.cc";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    out << "void Seeded() {\n";
+    out << "  int* p = new int(7);\n";
+    out << "  *p = rand();\n";
+    out << "}\n";
+  }
+  const RunResult result = RunLint("--root " + dir + " " + path);
+  std::remove(path.c_str());
+  EXPECT_EQ(result.exit_code, 1);
+  const std::vector<std::string> lines = SplitLines(result.stdout_text);
+  ASSERT_EQ(lines.size(), 2u) << result.stdout_text;
+  EXPECT_NE(lines[0].find("kdsel_lint_seeded.cc:2: naked-new:"),
+            std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[1].find("kdsel_lint_seeded.cc:3: nonreproducible-random:"),
+            std::string::npos)
+      << lines[1];
+}
+
+TEST(LintTest, ListRulesNamesEveryRule) {
+  const RunResult result = RunLint("--list-rules");
+  EXPECT_EQ(result.exit_code, 0);
+  for (const char* rule :
+       {"discarded-status", "unchecked-value", "naked-new", "raw-parse",
+        "nonreproducible-random", "lock-across-score"}) {
+    EXPECT_NE(result.stdout_text.find(rule), std::string::npos) << rule;
+  }
+}
+
+TEST(LintTest, UnknownPathExitsWithUsageError) {
+  const RunResult result =
+      RunLint(RootArgs(std::string(KDSEL_SOURCE_DIR) + "/no/such/file.cc"));
+  EXPECT_EQ(result.exit_code, 2);
+}
+
+}  // namespace

@@ -199,7 +199,9 @@ TEST(DropoutTest, ScalesSurvivorsDuringTraining) {
   for (float v : y.data()) {
     sum += v;
     zeros += (v == 0.0f);
-    if (v != 0.0f) EXPECT_FLOAT_EQ(v, 2.0f);  // 1/(1-0.5)
+    if (v != 0.0f) {
+      EXPECT_FLOAT_EQ(v, 2.0f);  // 1/(1-0.5)
+    }
   }
   // Inverted dropout keeps E[output] = input.
   EXPECT_NEAR(sum / static_cast<double>(y.size()), 1.0, 0.1);

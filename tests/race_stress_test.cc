@@ -1,0 +1,254 @@
+// Race-stress tests for the serving layer, built to run under
+// ThreadSanitizer (-DKDSEL_SANITIZE=thread). Each test hammers one
+// cross-thread seam hard enough that TSan sees every pairing at least
+// once, while staying small enough for CI:
+//
+//   * SelectorRegistry: Register (hot reload) vs Get/GetOrLoad vs Evict
+//     vs ResidentNames from many threads at once.
+//   * ServerStats: ToJsonString/Summarize export racing live Record*
+//     calls on the inference path.
+//   * InferenceServer lifecycle: concurrent Stop() calls (client thread
+//     vs destructor path) with requests still in flight.
+//
+// Iteration counts are deliberately modest: under TSan every memory
+// access is instrumented (~5-15x slowdown), and a data race is caught
+// on the first racy pairing, not the thousandth.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "serve/json.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "serve/stats.h"
+
+namespace kdsel::serve {
+namespace {
+
+/// Trains a small ConvNet selector on separable synthetic windows
+/// (same recipe as serve_test, kept tiny so TSan runs stay fast).
+std::unique_ptr<core::TrainedSelector> TrainTinySelector(uint64_t seed = 1) {
+  core::SelectorTrainingData data;
+  data.num_classes = 2;
+  Rng rng(seed);
+  for (int i = 0; i < 60; ++i) {
+    const int c = i % 2;
+    std::vector<float> w(16);
+    for (size_t t = 0; t < 16; ++t) {
+      w[t] = std::sin((0.3 + 0.9 * c) * static_cast<double>(t)) +
+             0.05f * static_cast<float>(rng.Normal());
+    }
+    data.windows.push_back(std::move(w));
+    data.labels.push_back(c);
+  }
+  core::TrainerOptions opts;
+  opts.backbone = "ConvNet";
+  opts.epochs = 2;
+  opts.seed = seed;
+  auto selector = core::TrainSelector(data, opts, nullptr);
+  KDSEL_CHECK(selector.ok());
+  return std::move(selector).value();
+}
+
+ts::TimeSeries MakeSineSeries(size_t length, double frequency) {
+  std::vector<float> values(length);
+  for (size_t i = 0; i < length; ++i) {
+    values[i] =
+        static_cast<float>(std::sin(frequency * static_cast<double>(i)));
+  }
+  return ts::TimeSeries("stress", std::move(values));
+}
+
+// Register / Get / GetOrLoad / Evict / ResidentNames all racing on one
+// registry. Correctness bar: no TSan report, snapshots stay usable
+// (non-null selector, monotone versions per name), and the registry
+// survives eviction racing a re-register.
+TEST(RaceStressTest, RegistryReloadEvictAndReadRace) {
+  SelectorRegistry registry(core::SelectorManager("/tmp/kdsel_race_none"));
+  auto seedling = TrainTinySelector();
+  ASSERT_TRUE(registry.Register("hot", seedling->Clone().value()).ok());
+  ASSERT_TRUE(registry.Register("cold", seedling->Clone().value()).ok());
+
+  constexpr int kIterations = 40;
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+
+  // Two reloaders: keep re-registering fresh clones of "hot".
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIterations; ++i) {
+        auto clone = seedling->Clone();
+        if (!clone.ok() ||
+            !registry.Register("hot", std::move(clone).value()).ok()) {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Evictor: bounces "cold" in and out of residency.
+  threads.emplace_back([&] {
+    for (int i = 0; i < kIterations; ++i) {
+      registry.Evict("cold");
+      auto clone = seedling->Clone();
+      if (!clone.ok() ||
+          !registry.Register("cold", std::move(clone).value()).ok()) {
+        errors.fetch_add(1);
+      }
+    }
+  });
+  // Readers: snapshots must always be intact, versions monotone.
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      uint64_t last_version = 0;
+      for (int i = 0; i < kIterations * 2; ++i) {
+        auto snapshot = registry.Get("hot");
+        if (!snapshot.ok() || snapshot->selector == nullptr ||
+            snapshot->version < last_version) {
+          errors.fetch_add(1);
+          continue;
+        }
+        last_version = snapshot->version;
+        if (snapshot->selector->num_classes() != 2) errors.fetch_add(1);
+        registry.ResidentNames();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(errors.load(), 0);
+  // "cold" finished each evictor iteration re-registered.
+  EXPECT_TRUE(registry.Get("cold").ok());
+}
+
+// Clients submit inference while one thread hot-reloads the selector and
+// another continuously exports ServerStats as JSON. This is the exact
+// production pairing: metrics scrapes must never tear or race against
+// Record* calls on the hot path.
+TEST(RaceStressTest, StatsExportRacesInferenceAndReload) {
+  SelectorRegistry registry(core::SelectorManager("/tmp/kdsel_race_none"));
+  auto trained = TrainTinySelector();
+  ASSERT_TRUE(registry.Register("tiny", std::move(trained)).ok());
+
+  ServerOptions opts;
+  opts.num_workers = 3;
+  opts.max_batch = 4;
+  opts.max_delay_us = 200;
+  InferenceServer server(&registry, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  const ts::TimeSeries series = MakeSineSeries(64, 0.4);
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+
+  // Stats scraper: full JSON export plus the scalar accessors.
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      auto parsed = Json::Parse(server.stats().ToJsonString());
+      if (!parsed.ok()) failures.fetch_add(1);
+      server.stats().MeanBatchSize();
+      server.stats().completed();
+      server.stats()
+          .endpoint(ServerStats::Endpoint::kSelect)
+          .total.Summarize();
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+  // Reloader: swaps in identical weights, so responses stay stable.
+  std::thread reloader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      auto snapshot = registry.Get("tiny");
+      if (!snapshot.ok()) {
+        failures.fetch_add(1);
+        break;
+      }
+      auto clone = snapshot->selector->Clone();
+      if (!clone.ok() ||
+          !registry.Register("tiny", std::move(clone).value()).ok()) {
+        failures.fetch_add(1);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  });
+
+  constexpr size_t kClients = 4;
+  constexpr size_t kPerClient = 10;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (size_t r = 0; r < kPerClient; ++r) {
+        SelectRequest request;
+        request.selector = "tiny";
+        request.series = series;
+        request.run_detection = false;
+        auto response = server.Run(std::move(request));
+        if (!response.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  done.store(true, std::memory_order_release);
+  scraper.join();
+  reloader.join();
+  server.Stop();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.stats().completed(), kClients * kPerClient);
+  EXPECT_EQ(server.stats().failed(), 0u);
+}
+
+// Stop() must be idempotent under concurrency: a client thread stopping
+// the server races the destructor's Stop(). Before Stop() took the
+// lifecycle lock, both callers could pass the started-and-not-stopped
+// check and double-join the worker threads.
+TEST(RaceStressTest, ConcurrentStopIsIdempotent) {
+  SelectorRegistry registry(core::SelectorManager("/tmp/kdsel_race_none"));
+  ASSERT_TRUE(registry.Register("tiny", TrainTinySelector()).ok());
+
+  for (int round = 0; round < 3; ++round) {
+    ServerOptions opts;
+    opts.num_workers = 2;
+    opts.max_batch = 2;
+    opts.max_delay_us = 100;
+    InferenceServer server(&registry, opts);
+    ASSERT_TRUE(server.Start().ok());
+
+    const ts::TimeSeries series = MakeSineSeries(48, 0.3);
+    std::vector<std::future<StatusOr<SelectResponse>>> futures;
+    for (int i = 0; i < 6; ++i) {
+      SelectRequest request;
+      request.selector = "tiny";
+      request.series = series;
+      request.run_detection = false;
+      auto submitted = server.Submit(std::move(request));
+      ASSERT_TRUE(submitted.ok()) << submitted.status();
+      futures.push_back(std::move(submitted).value());
+    }
+
+    std::vector<std::thread> stoppers;
+    for (int t = 0; t < 3; ++t) {
+      stoppers.emplace_back([&server] { server.Stop(); });
+    }
+    for (auto& stopper : stoppers) stopper.join();
+
+    // Stop drains: every accepted request still resolves successfully.
+    for (auto& future : futures) {
+      auto response = future.get();
+      EXPECT_TRUE(response.ok()) << response.status();
+    }
+    // Double-stop from the same thread stays a no-op; the destructor
+    // stops again when `server` leaves scope.
+    server.Stop();
+  }
+}
+
+}  // namespace
+}  // namespace kdsel::serve

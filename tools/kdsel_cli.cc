@@ -73,17 +73,13 @@ class Flags {
   uint64_t GetInt(const std::string& key, uint64_t fallback) const {
     auto it = values_.find(key);
     if (it == values_.end()) return fallback;
-    const std::string& text = it->second;
-    errno = 0;
-    char* end = nullptr;
-    const uint64_t value = std::strtoull(text.c_str(), &end, 10);
-    if (text.empty() || end != text.c_str() + text.size() ||
-        errno == ERANGE || text[0] == '-') {
+    auto value = ParseUint64(it->second);
+    if (!value.ok()) {
       std::fprintf(stderr, "invalid integer for --%s: '%s'\n", key.c_str(),
-                   text.c_str());
+                   it->second.c_str());
       std::exit(2);
     }
-    return value;
+    return *value;
   }
 
  private:
@@ -215,7 +211,12 @@ int CmdTrain(const Flags& flags) {
     if (row.size() < 3) continue;
     std::vector<float> perf;
     for (size_t j = 2; j < row.size(); ++j) {
-      perf.push_back(std::strtof(row[j].c_str(), nullptr));
+      auto value = ParseFloat(row[j]);
+      if (!value.ok()) {
+        return Fail(Status::IoError("bad performance cell: " +
+                                    value.status().message()));
+      }
+      perf.push_back(*value);
     }
     perf_by_series[row[1]] = std::move(perf);
   }

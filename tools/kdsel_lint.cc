@@ -1,0 +1,661 @@
+// kdsel_lint: a dependency-free static checker for repo-specific rules.
+//
+// The compiler already enforces `[[nodiscard]]` on Status/StatusOr; this
+// tool catches the classes of bugs the type system cannot see:
+//
+//   discarded-status        bare-statement call of a Status/StatusOr
+//                           returning function (belt-and-braces next to
+//                           the [[nodiscard]] compiler enforcement; also
+//                           fires in code the compiler never builds,
+//                           e.g. dead #ifdef branches)
+//   unchecked-value         .value() on a StatusOr/optional with no
+//                           ok()/has_value()/CHECK/ASSERT nearby
+//   naked-new               raw `new` / malloc-family allocation instead
+//                           of make_unique/make_shared/containers
+//   raw-parse               std::sto*/ato*/strto* outside src/common/
+//                           (use kdsel::ParseUint64 and friends, which
+//                           return Status instead of throwing/UB)
+//   nonreproducible-random  rand()/srand()/random_device/time(nullptr):
+//                           all randomness must flow through kdsel::Rng
+//                           with an explicit seed, or results stop being
+//                           reproducible bit-for-bit
+//   lock-across-score       a std::lock_guard/unique_lock/scoped_lock is
+//                           live across a detector `Score(...)` call;
+//                           scoring can take milliseconds and must never
+//                           run under a lock on the serving path
+//
+// Diagnostics print as `file:line: rule: message`, one per line, sorted.
+// Exit code: 0 clean, 1 violations found, 2 usage/IO error.
+//
+// Suppressions: append `// kdsel-lint: allow(rule)` (comma-separated for
+// several rules) to the offending line, or place the comment alone on
+// the line directly above it. In --self-check mode, suppressing
+// discarded-status outside tests/ is itself a finding: production code
+// must never silence a dropped Status.
+//
+// Scanning: by default walks src/, tools/, bench/ and tests/ under
+// --root (default: cwd), skipping tests/lint_fixtures/. Explicit file or
+// directory arguments override the default set and are scanned verbatim
+// (this is how lint_test points the tool at the fixtures).
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Diagnostic {
+  std::string file;  // As reported: relative to root when possible.
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Diagnostic& other) const {
+    if (file != other.file) return file < other.file;
+    if (line != other.line) return line < other.line;
+    return rule < other.rule;
+  }
+};
+
+struct RuleInfo {
+  const char* name;
+  const char* summary;
+};
+
+constexpr RuleInfo kRules[] = {
+    {"discarded-status", "result of a Status/StatusOr call is discarded"},
+    {"unchecked-value", ".value() without a nearby ok()/has_value() check"},
+    {"naked-new", "raw new/malloc-family allocation"},
+    {"raw-parse", "std::sto*/ato*/strto* outside src/common/"},
+    {"nonreproducible-random", "unseeded randomness or wall-clock seeding"},
+    {"lock-across-score", "mutex held across a detector Score() call"},
+};
+
+bool IsKnownRule(const std::string& name) {
+  for (const RuleInfo& rule : kRules) {
+    if (name == rule.name) return true;
+  }
+  return false;
+}
+
+/// One source file, pre-processed for scanning.
+struct SourceFile {
+  std::string display_path;  // Path as printed in diagnostics.
+  fs::path path;
+  std::vector<std::string> raw;       // Original lines (1-based via index+1).
+  std::vector<std::string> stripped;  // Comments/literals blanked out.
+  // line number -> rules suppressed on that line.
+  std::map<size_t, std::set<std::string>> suppressions;
+  bool in_common = false;  // Under src/common/ (exempt from raw-parse).
+};
+
+/// Replaces the contents of comments and string/char literals with
+/// spaces so rule regexes never fire on prose or embedded test data.
+/// Line structure (and therefore line numbers) is preserved.
+std::string StripCommentsAndLiterals(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // Delimiter of an active raw string, e.g. `)"`.
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   text[i - 1])) &&
+                               text[i - 1] != '_'))) {
+          // Raw string literal R"delim( ... )delim".
+          size_t paren = text.find('(', i + 2);
+          if (paren == std::string::npos) {
+            out += c;
+            break;
+          }
+          raw_delim = ")" + text.substr(i + 2, paren - i - 2) + "\"";
+          state = State::kRawString;
+          for (size_t j = i; j <= paren; ++j) out += ' ';
+          i = paren;
+        } else if (c == '"') {
+          state = State::kString;
+          out += '"';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += '\'';
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          out += '"';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out += '\'';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kRawString:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t j = 0; j < raw_delim.size(); ++j) out += ' ';
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) lines.push_back(std::move(current));
+  return lines;
+}
+
+/// Parses `// kdsel-lint: allow(rule-a, rule-b)` markers. A marker
+/// suppresses matching rules on its own line; when the marker's line
+/// carries no code, it also covers the next line.
+void CollectSuppressions(SourceFile& file) {
+  static const std::regex kAllow(R"(kdsel-lint:\s*allow\(([^)]*)\))");
+  for (size_t i = 0; i < file.raw.size(); ++i) {
+    std::smatch match;
+    if (!std::regex_search(file.raw[i], match, kAllow)) continue;
+    // Unknown names are dropped: a typo'd allow() fails to suppress, so
+    // the original diagnostic still fires and the typo is self-evident.
+    std::set<std::string> rules;
+    std::stringstream list(match[1].str());
+    for (std::string rule; std::getline(list, rule, ',');) {
+      const size_t begin = rule.find_first_not_of(" \t");
+      if (begin == std::string::npos) continue;
+      const size_t end = rule.find_last_not_of(" \t");
+      std::string name = rule.substr(begin, end - begin + 1);
+      if (IsKnownRule(name)) rules.insert(std::move(name));
+    }
+    if (rules.empty()) continue;
+    const size_t line = i + 1;
+    file.suppressions[line].insert(rules.begin(), rules.end());
+    const std::string& code = file.stripped[i];
+    const bool comment_only =
+        code.find_first_not_of(" \t") == std::string::npos;
+    if (comment_only && i + 1 < file.raw.size()) {
+      file.suppressions[line + 1].insert(rules.begin(), rules.end());
+    }
+  }
+}
+
+bool Suppressed(const SourceFile& file, size_t line, const std::string& rule) {
+  auto it = file.suppressions.find(line);
+  return it != file.suppressions.end() && it->second.count(rule) > 0;
+}
+
+class Linter {
+ public:
+  void AddFile(SourceFile file) { files_.push_back(std::move(file)); }
+
+  std::vector<Diagnostic> Run() {
+    CollectStatusFunctions();
+    std::vector<Diagnostic> diagnostics;
+    for (const SourceFile& file : files_) {
+      CheckDiscardedStatus(file, diagnostics);
+      CheckUncheckedValue(file, diagnostics);
+      CheckNakedNew(file, diagnostics);
+      CheckRawParse(file, diagnostics);
+      CheckNonreproducibleRandom(file, diagnostics);
+      CheckLockAcrossScore(file, diagnostics);
+    }
+    std::sort(diagnostics.begin(), diagnostics.end());
+    return diagnostics;
+  }
+
+  size_t file_count() const { return files_.size(); }
+
+ private:
+  /// Pass 1: names of functions declared to return Status or StatusOr,
+  /// harvested from every scanned file. Qualified definitions
+  /// (`Status Foo::Bar(...)`) contribute their last component. A name
+  /// that is ALSO declared somewhere with a non-Status return type
+  /// (e.g. `void Fit` on Scaler vs `Status Fit` on selectors) is
+  /// dropped: a line scanner cannot resolve the receiver's type, and
+  /// the compiler's [[nodiscard]] enforcement already covers whichever
+  /// overload actually returns Status.
+  void CollectStatusFunctions() {
+    static const std::regex kDecl(
+        R"(\bStatus(?:Or\s*<[^;={}]*>)?\s+(?:[A-Za-z_]\w*\s*::\s*)*([A-Za-z_]\w*)\s*\()");
+    static const std::regex kOtherDecl(
+        R"(\b(?:void|bool|int|unsigned|long|float|double|char|auto|size_t|int64_t|uint64_t|int32_t|uint32_t)\s+(?:[A-Za-z_]\w*\s*::\s*)*([A-Za-z_]\w*)\s*\()");
+    std::set<std::string> ambiguous;
+    for (const SourceFile& file : files_) {
+      for (const std::string& line : file.stripped) {
+        for (auto it = std::sregex_iterator(line.begin(), line.end(), kDecl);
+             it != std::sregex_iterator(); ++it) {
+          status_functions_.insert((*it)[1].str());
+        }
+        for (auto it =
+                 std::sregex_iterator(line.begin(), line.end(), kOtherDecl);
+             it != std::sregex_iterator(); ++it) {
+          ambiguous.insert((*it)[1].str());
+        }
+      }
+    }
+    for (const std::string& name : ambiguous) status_functions_.erase(name);
+  }
+
+  void CheckDiscardedStatus(const SourceFile& file,
+                            std::vector<Diagnostic>& out) {
+    // A call statement: optional `obj.` / `obj->` / `ns::` prefix chain,
+    // then a known Status-returning name, immediately called.
+    static const std::regex kCall(
+        R"(^\s*(?:[A-Za-z_]\w*\s*(?:\.|->|::)\s*)*([A-Za-z_]\w*)\s*\()");
+    for (size_t i = 0; i < file.stripped.size(); ++i) {
+      const std::string& line = file.stripped[i];
+      std::smatch match;
+      if (!std::regex_search(line, match, kCall)) continue;
+      const std::string name = match[1].str();
+      if (status_functions_.count(name) == 0) continue;
+      // Only statement starts: the previous code line must have ended a
+      // statement or opened a block, otherwise this is a continuation
+      // (argument list, condition, initializer...).
+      if (!AtStatementStart(file, i)) continue;
+      // The value is consumed when the line returns it, assigns it,
+      // feeds a macro (KDSEL_RETURN_NOT_OK, EXPECT_*, ...) or is itself
+      // a declaration (`Status Foo(` matches the call regex too).
+      if (line.find("return") != std::string::npos) continue;
+      if (line.find('=') != std::string::npos) continue;
+      const size_t call_at = static_cast<size_t>(match.position(0)) +
+                             match[0].str().find_first_not_of(" \t");
+      if (HasConsumerBefore(line, call_at)) continue;
+      if (LooksLikeDeclaration(line, name)) continue;
+      const size_t line_no = i + 1;
+      if (Suppressed(file, line_no, "discarded-status")) continue;
+      std::string message = "result of Status-returning call '";
+      message += name;
+      message +=
+          "' is discarded; check it, propagate it with "
+          "KDSEL_RETURN_NOT_OK, or assert on it";
+      out.push_back({file.display_path, line_no, "discarded-status",
+                     std::move(message)});
+    }
+  }
+
+  bool AtStatementStart(const SourceFile& file, size_t index) const {
+    for (size_t back = index; back-- > 0;) {
+      const std::string& prev = file.stripped[back];
+      const size_t last = prev.find_last_not_of(" \t");
+      if (last == std::string::npos) continue;  // Blank (or comment) line.
+      const char c = prev[last];
+      return c == ';' || c == '{' || c == '}' || c == ':';
+    }
+    return true;  // First code line of the file.
+  }
+
+  static bool HasConsumerBefore(const std::string& line, size_t call_at) {
+    static const char* kConsumers[] = {
+        "KDSEL_RETURN_NOT_OK", "KDSEL_ASSIGN_OR_RETURN", "KDSEL_CHECK",
+        "KDSEL_DCHECK",        "ASSERT_",                "EXPECT_",
+        "(void)",              "static_cast<void>",
+    };
+    const std::string head = line.substr(0, call_at + 1);
+    for (const char* consumer : kConsumers) {
+      if (head.find(consumer) != std::string::npos) return true;
+    }
+    return false;
+  }
+
+  static bool LooksLikeDeclaration(const std::string& line,
+                                   const std::string& name) {
+    // `Status Load(` / `StatusOr<T> Load(`: a type name directly before
+    // the identifier means declaration, not call.
+    const std::regex decl(R"(\bStatus(?:Or\s*<[^;={}]*>)?\s+(?:[A-Za-z_]\w*\s*::\s*)*)" +
+                          name + R"(\s*\()");
+    return std::regex_search(line, decl);
+  }
+
+  void CheckUncheckedValue(const SourceFile& file,
+                           std::vector<Diagnostic>& out) const {
+    static const std::regex kValue(R"((\.|->)\s*value\s*\(\s*\))");
+    static const std::regex kEvidence(
+        R"(\bok\s*\(|has_value|KDSEL_CHECK|KDSEL_DCHECK|ASSERT_|EXPECT_|KDSEL_RETURN_NOT_OK|value_or)");
+    constexpr size_t kLookback = 8;
+    for (size_t i = 0; i < file.stripped.size(); ++i) {
+      if (!std::regex_search(file.stripped[i], kValue)) continue;
+      bool checked = false;
+      const size_t first = i >= kLookback ? i - kLookback : 0;
+      for (size_t j = first; j <= i && !checked; ++j) {
+        checked = std::regex_search(file.stripped[j], kEvidence);
+      }
+      if (checked) continue;
+      const size_t line_no = i + 1;
+      if (Suppressed(file, line_no, "unchecked-value")) continue;
+      out.push_back({file.display_path, line_no, "unchecked-value",
+                     ".value() without a nearby ok()/has_value() check "
+                     "aborts on error; check first or propagate with "
+                     "KDSEL_ASSIGN_OR_RETURN"});
+    }
+  }
+
+  void CheckNakedNew(const SourceFile& file,
+                     std::vector<Diagnostic>& out) const {
+    static const std::regex kNew(R"(\bnew\s+[A-Za-z_(:<])");
+    static const std::regex kAlloc(
+        R"(\b(malloc|calloc|realloc|strdup|free)\s*\()");
+    for (size_t i = 0; i < file.stripped.size(); ++i) {
+      const std::string& line = file.stripped[i];
+      std::smatch match;
+      const bool hit_new = std::regex_search(line, kNew);
+      const bool hit_alloc = std::regex_search(line, match, kAlloc);
+      if (!hit_new && !hit_alloc) continue;
+      const size_t line_no = i + 1;
+      if (Suppressed(file, line_no, "naked-new")) continue;
+      std::string message = hit_new ? "raw 'new'" : "'";
+      if (!hit_new) {
+        message += match[1].str();
+        message += "'";
+      }
+      message +=
+          " allocation; use std::make_unique/std::make_shared or a "
+          "container";
+      out.push_back(
+          {file.display_path, line_no, "naked-new", std::move(message)});
+    }
+  }
+
+  void CheckRawParse(const SourceFile& file,
+                     std::vector<Diagnostic>& out) const {
+    if (file.in_common) return;  // common/ hosts the blessed wrappers.
+    static const std::regex kParse(
+        R"(\b(?:std\s*::\s*)?(stoi|stol|stoll|stoul|stoull|stof|stod|stold|atoi|atol|atoll|atof|strtol|strtoll|strtoul|strtoull|strtof|strtod)\s*\()");
+    for (size_t i = 0; i < file.stripped.size(); ++i) {
+      std::smatch match;
+      if (!std::regex_search(file.stripped[i], match, kParse)) continue;
+      const size_t line_no = i + 1;
+      if (Suppressed(file, line_no, "raw-parse")) continue;
+      std::string message = "'";
+      message += match[1].str();
+      message +=
+          "' outside common/: it throws or silently wraps; use "
+          "kdsel::ParseUint64 (stringutil.h)";
+      out.push_back(
+          {file.display_path, line_no, "raw-parse", std::move(message)});
+    }
+  }
+
+  void CheckNonreproducibleRandom(const SourceFile& file,
+                                  std::vector<Diagnostic>& out) const {
+    static const std::regex kRandom(
+        R"(\b(rand|srand)\s*\(|\brandom_device\b|\btime\s*\(\s*(nullptr|NULL|0)\s*\))");
+    for (size_t i = 0; i < file.stripped.size(); ++i) {
+      if (!std::regex_search(file.stripped[i], kRandom)) continue;
+      const size_t line_no = i + 1;
+      if (Suppressed(file, line_no, "nonreproducible-random")) continue;
+      out.push_back({file.display_path, line_no, "nonreproducible-random",
+                     "unseeded/wall-clock randomness breaks bit-for-bit "
+                     "reproducibility; use kdsel::Rng with an explicit "
+                     "seed"});
+    }
+  }
+
+  void CheckLockAcrossScore(const SourceFile& file,
+                            std::vector<Diagnostic>& out) const {
+    static const std::regex kLock(
+        R"(\b(?:std\s*::\s*)?(lock_guard|unique_lock|scoped_lock)\s*[<(])");
+    static const std::regex kScore(R"((\.|->)\s*Score\s*\()");
+    // Lock lifetimes follow scopes: a guard declared at depth D dies
+    // when the brace depth drops below D.
+    int depth = 0;
+    std::vector<int> lock_depths;
+    for (size_t i = 0; i < file.stripped.size(); ++i) {
+      const std::string& line = file.stripped[i];
+      if (std::regex_search(line, kLock)) {
+        // The guard lives until the block it was declared in (current
+        // depth) closes, i.e. until depth drops below this value.
+        lock_depths.push_back(depth);
+      }
+      if (!lock_depths.empty() && std::regex_search(line, kScore)) {
+        const size_t line_no = i + 1;
+        if (!Suppressed(file, line_no, "lock-across-score")) {
+          out.push_back({file.display_path, line_no, "lock-across-score",
+                         "detector Score() runs while a mutex guard is "
+                         "live; scoring is slow and must happen off-lock "
+                         "(clone or snapshot instead)"});
+        }
+      }
+      for (const char c : line) {
+        if (c == '{') {
+          ++depth;
+        } else if (c == '}') {
+          --depth;
+          while (!lock_depths.empty() && lock_depths.back() > depth) {
+            lock_depths.pop_back();
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<SourceFile> files_;
+  std::set<std::string> status_functions_;
+};
+
+bool HasSourceExtension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp";
+}
+
+/// Reads and pre-processes one file; returns false on IO error.
+bool LoadFile(const fs::path& path, const fs::path& root, SourceFile& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  out.path = path;
+  std::error_code ec;
+  const fs::path rel = fs::relative(path, root, ec);
+  out.display_path =
+      (ec || rel.empty()) ? path.string() : rel.generic_string();
+  out.raw = SplitLines(text);
+  out.stripped = SplitLines(StripCommentsAndLiterals(text));
+  out.stripped.resize(out.raw.size());
+  out.in_common =
+      out.display_path.find("src/common/") != std::string::npos ||
+      out.display_path.find("src\\common\\") != std::string::npos;
+  CollectSuppressions(out);
+  return true;
+}
+
+void CollectFromDirectory(const fs::path& dir, const fs::path& root,
+                          bool skip_fixtures, std::vector<fs::path>& out) {
+  std::error_code ec;
+  fs::recursive_directory_iterator it(dir, ec), end;
+  for (; !ec && it != end; it.increment(ec)) {
+    if (it->is_directory()) {
+      const std::string name = it->path().filename().string();
+      if ((skip_fixtures && name == "lint_fixtures") || name == ".git" ||
+          name.rfind("build", 0) == 0) {
+        it.disable_recursion_pending();
+      }
+      continue;
+    }
+    if (it->is_regular_file() && HasSourceExtension(it->path())) {
+      out.push_back(it->path());
+    }
+  }
+  (void)root;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: kdsel_lint [--root DIR] [--self-check] [--list-rules] "
+      "[paths...]\n"
+      "  Scans src/ tools/ bench/ tests/ under --root (default: cwd),\n"
+      "  or exactly the given files/directories. Prints\n"
+      "  `file:line: rule: message` diagnostics; exit 1 when any fire.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  bool self_check = false;
+  std::vector<fs::path> explicit_paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) return Usage();
+      root = argv[++i];
+    } else if (arg == "--self-check") {
+      self_check = true;
+    } else if (arg == "--list-rules") {
+      for (const RuleInfo& rule : kRules) {
+        std::printf("%s: %s\n", rule.name, rule.summary);
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      explicit_paths.emplace_back(arg);
+    }
+  }
+
+  std::error_code ec;
+  root = fs::absolute(root, ec);
+  std::vector<fs::path> files;
+  if (explicit_paths.empty()) {
+    for (const char* sub : {"src", "tools", "bench", "tests"}) {
+      const fs::path dir = root / sub;
+      if (fs::is_directory(dir, ec)) {
+        CollectFromDirectory(dir, root, /*skip_fixtures=*/true, files);
+      }
+    }
+    if (files.empty()) {
+      std::fprintf(stderr,
+                   "kdsel-lint: no sources under %s (wrong --root?)\n",
+                   root.string().c_str());
+      return 2;
+    }
+  } else {
+    for (const fs::path& p : explicit_paths) {
+      if (fs::is_directory(p, ec)) {
+        CollectFromDirectory(p, root, /*skip_fixtures=*/false, files);
+      } else if (fs::is_regular_file(p, ec)) {
+        files.push_back(p);
+      } else {
+        std::fprintf(stderr, "kdsel-lint: no such file: %s\n",
+                     p.string().c_str());
+        return 2;
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  Linter linter;
+  std::vector<Diagnostic> extra;
+  for (const fs::path& path : files) {
+    SourceFile file;
+    if (!LoadFile(path, root, file)) {
+      std::fprintf(stderr, "kdsel-lint: cannot read %s\n",
+                   path.string().c_str());
+      return 2;
+    }
+    // Self-check policy: silencing a dropped Status is only acceptable
+    // in test code. Report the marker line itself (the suppression map
+    // also carries next-line entries for comment-only markers).
+    if (self_check && file.display_path.rfind("tests/", 0) != 0) {
+      for (const auto& [line, rules] : file.suppressions) {
+        if (rules.count("discarded-status") > 0 && line <= file.raw.size() &&
+            file.raw[line - 1].find("kdsel-lint:") != std::string::npos) {
+          extra.push_back({file.display_path, line, "discarded-status",
+                           "suppressing discarded-status outside tests/ is "
+                           "forbidden; handle or propagate the Status"});
+        }
+      }
+    }
+    linter.AddFile(std::move(file));
+  }
+
+  std::vector<Diagnostic> diagnostics = linter.Run();
+  diagnostics.insert(diagnostics.end(), extra.begin(), extra.end());
+  std::sort(diagnostics.begin(), diagnostics.end());
+  for (const Diagnostic& d : diagnostics) {
+    std::printf("%s:%zu: %s: %s\n", d.file.c_str(), d.line, d.rule.c_str(),
+                d.message.c_str());
+  }
+  if (self_check || diagnostics.empty()) {
+    std::fprintf(stderr, "kdsel-lint: %zu files scanned, %zu finding%s\n",
+                 linter.file_count(), diagnostics.size(),
+                 diagnostics.size() == 1 ? "" : "s");
+  }
+  return diagnostics.empty() ? 0 : 1;
+}
