@@ -1,8 +1,10 @@
 // MKI negative-control ablation: does the InfoNCE term extract real
 // knowledge from the metadata, or does it merely regularize? We train
 // identical selectors with (a) correct metadata texts, (b) texts
-// shuffled across samples (knowledge destroyed, loss term kept), and
-// (c) one constant text for all samples (no discriminative content).
+// shuffled across series (knowledge destroyed, loss term kept), and
+// (c) one constant text for all series (no discriminative content).
+// Texts are stored once per series (windows reference them through
+// text_index), so the controls rewrite the per-series rows in place.
 // If MKI works as the paper claims, (a) > (b), (c).
 
 #include <cstdio>
@@ -54,13 +56,13 @@ int main() {
   // (a) Correct texts, as built by the pipeline.
   auto correct = evaluate_with_texts(data->texts, "correct texts");
 
-  // (b) Shuffled: same text multiset, randomly reassigned to samples.
+  // (b) Shuffled: same text multiset, randomly reassigned to series.
   std::vector<std::string> shuffled = data->texts;
   Rng rng(99);
   rng.Shuffle(shuffled);
   auto scrambled = evaluate_with_texts(std::move(shuffled), "shuffled texts");
 
-  // (c) Constant text: no per-sample information at all.
+  // (c) Constant text: no per-series information at all.
   std::vector<std::string> constant(
       data->texts.size(),
       "This is a time series from a dataset. It may contain anomalies.");
@@ -71,7 +73,7 @@ int main() {
   exp::Table table({"Metadata", "AUC-PR"});
   table.AddRow({"correct (paper template)",
                 StrFormat("%.4f", correct.auc.at("Average"))});
-  table.AddRow({"shuffled across samples",
+  table.AddRow({"shuffled across series",
                 StrFormat("%.4f", scrambled.auc.at("Average"))});
   table.AddRow({"constant (uninformative)",
                 StrFormat("%.4f", uninformative.auc.at("Average"))});

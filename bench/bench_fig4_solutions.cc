@@ -122,5 +122,6 @@ int main() {
       "real TSB-UAD data (family identity is cleanly encoded in summary\n"
       "statistics), so their relative position is higher than in the\n"
       "paper; see EXPERIMENTS.md.\n");
+  bench::WriteSolutionReport("fig4_solutions", results);
   return 0;
 }

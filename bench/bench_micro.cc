@@ -1,12 +1,26 @@
 // Micro-benchmarks (google-benchmark) for the performance-critical
 // primitives: tensor algebra, conv layers, every TSAD detector, LSH
 // hashing, text encoding, and feature extraction.
+//
+// `bench_micro --report` bypasses google-benchmark and instead times
+// the parallel hot paths (detector matrix build, Conv1d forward /
+// backward, MatMul) at 1, 2 and 4 threads, writing the measurements
+// and speedups to BENCH_micro.json (see bench/bench_report.h).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <limits>
 
+#include "bench/bench_report.h"
+#include "common/parallel.h"
 #include "common/rng.h"
+#include "core/pipeline.h"
 #include "datagen/families.h"
 #include "features/features.h"
 #include "lsh/simhash.h"
@@ -117,6 +131,123 @@ void BM_GenerateSeries(benchmark::State& state) {
 }
 BENCHMARK(BM_GenerateSeries);
 
+// --- `--report` mode: machine-readable parallel-path measurements ---
+
+// Best-of-`reps` wall time of `iters` calls to `fn`, per call. Best-of
+// (not mean) suppresses scheduler noise on shared CI runners.
+double TimePerCall(size_t reps, size_t iters, const std::function<void()>& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < iters; ++i) fn();
+    const double per_call =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count() /
+        static_cast<double>(iters);
+    best = std::min(best, per_call);
+  }
+  return best;
+}
+
+int RunReportMode() {
+  // Shared inputs, built once so every thread count times identical work.
+  Rng rng(21);
+  const size_t n = 192;
+  nn::Tensor ma({n, n}), mb({n, n});
+  for (float& v : ma.mutable_data()) v = static_cast<float>(rng.Normal());
+  for (float& v : mb.mutable_data()) v = static_cast<float>(rng.Normal());
+
+  nn::Conv1d conv(16, 16, 5, rng);
+  nn::Tensor cx({32, 16, 64}), cg({32, 16, 64});
+  for (float& v : cx.mutable_data()) v = static_cast<float>(rng.Normal());
+  for (float& v : cg.mutable_data()) v = static_cast<float>(rng.Normal());
+
+  const auto models = tsad::BuildDefaultModelSet(11);
+  std::vector<ts::TimeSeries> series;
+  for (size_t i = 0; i < 6; ++i) {
+    auto s = datagen::GenerateSeries(datagen::Family::kYahoo, 512, i, rng);
+    KDSEL_CHECK(s.ok());
+    series.push_back(std::move(s).value());
+  }
+  std::vector<const ts::TimeSeries*> series_ptrs;
+  for (const auto& s : series) series_ptrs.push_back(&s);
+
+  bench::BenchReport report("micro");
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+    ThreadPool::ResetGlobalForTesting(threads);
+    std::fprintf(stderr, "[bench_micro] measuring at %zu threads\n", threads);
+
+    {
+      bench::BenchEntry e;
+      e.name = "detector_matrix";
+      e.threads = threads;
+      e.items = static_cast<double>(series.size() * models.size());
+      e.items_unit = "pairs";
+      e.wall_seconds = TimePerCall(2, 1, [&] {
+        auto matrix = core::EvaluatePerformanceMatrix(models, series_ptrs);
+        KDSEL_CHECK(matrix.ok());
+      });
+      report.Add(std::move(e));
+    }
+    {
+      bench::BenchEntry e;
+      e.name = "conv1d_forward";
+      e.threads = threads;
+      e.items = 32.0;
+      e.items_unit = "batch rows";
+      e.wall_seconds =
+          TimePerCall(3, 20, [&] { (void)conv.Forward(cx, true); });
+      report.Add(std::move(e));
+    }
+    {
+      bench::BenchEntry e;
+      e.name = "conv1d_backward";
+      e.threads = threads;
+      e.items = 32.0;
+      e.items_unit = "batch rows";
+      (void)conv.Forward(cx, true);
+      e.wall_seconds = TimePerCall(3, 10, [&] { (void)conv.Backward(cg); });
+      report.Add(std::move(e));
+    }
+    {
+      bench::BenchEntry e;
+      e.name = "matmul_192";
+      e.threads = threads;
+      e.items = static_cast<double>(n * n * n);
+      e.items_unit = "multiply-adds";
+      e.wall_seconds = TimePerCall(3, 10, [&] {
+        benchmark::DoNotOptimize(nn::MatMul(ma, mb));
+      });
+      report.Add(std::move(e));
+    }
+  }
+  ThreadPool::ResetGlobalForTesting(0);  // back to the KDSEL_THREADS size
+
+  report.ComputeSpeedups();
+  auto path = report.Write();
+  if (!path.ok()) {
+    std::fprintf(stderr, "[bench_micro] report write failed: %s\n",
+                 path.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[bench_micro] wrote %s\n", path->c_str());
+  for (const auto& e : report.entries()) {
+    std::fprintf(stderr,
+                 "[bench_micro] %-16s %zu threads  %10.6fs  speedup %.2fx\n",
+                 e.name.c_str(), e.threads, e.wall_seconds, e.speedup_vs_1t);
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--report") == 0) return RunReportMode();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

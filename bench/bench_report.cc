@@ -1,0 +1,75 @@
+#include "bench/bench_report.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
+namespace kdsel::bench {
+
+void BenchReport::Add(BenchEntry entry) {
+  entries_.push_back(std::move(entry));
+}
+
+void BenchReport::ComputeSpeedups() {
+  std::map<std::string, double> baseline;
+  for (const BenchEntry& e : entries_) {
+    if (e.threads == 1 && e.wall_seconds > 0.0) {
+      baseline.emplace(e.name, e.wall_seconds);
+    }
+  }
+  for (BenchEntry& e : entries_) {
+    const auto it = baseline.find(e.name);
+    if (it != baseline.end() && e.wall_seconds > 0.0) {
+      e.speedup_vs_1t = it->second / e.wall_seconds;
+    }
+  }
+}
+
+serve::Json BenchReport::ToJson() const {
+  serve::Json root = serve::Json::Object();
+  root.Set("bench", serve::Json::Str(name_));
+  serve::Json rows = serve::Json::Array();
+  for (const BenchEntry& e : entries_) {
+    serve::Json row = serve::Json::Object();
+    row.Set("name", serve::Json::Str(e.name));
+    row.Set("threads", serve::Json::Number(static_cast<double>(e.threads)));
+    row.Set("wall_seconds", serve::Json::Number(e.wall_seconds));
+    row.Set("speedup_vs_1t", serve::Json::Number(e.speedup_vs_1t));
+    if (e.items > 0.0) {
+      row.Set("items", serve::Json::Number(e.items));
+      row.Set("items_unit", serve::Json::Str(e.items_unit));
+      if (e.wall_seconds > 0.0) {
+        row.Set("items_per_second",
+                serve::Json::Number(e.items / e.wall_seconds));
+      }
+    }
+    if (!e.metrics.empty()) {
+      serve::Json metrics = serve::Json::Object();
+      for (const auto& [key, value] : e.metrics) {
+        metrics.Set(key, serve::Json::Number(value));
+      }
+      row.Set("metrics", std::move(metrics));
+    }
+    rows.Append(std::move(row));
+  }
+  root.Set("entries", std::move(rows));
+  return root;
+}
+
+StatusOr<std::string> BenchReport::Write() const {
+  const char* dir = std::getenv("KDSEL_BENCH_REPORT_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0') ? dir : ".";
+  path += "/BENCH_" + name_ + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    return Status::IoError("cannot open bench report file: " + path);
+  }
+  out << ToJson().Dump() << "\n";
+  out.flush();
+  if (!out.good()) {
+    return Status::IoError("failed writing bench report file: " + path);
+  }
+  return path;
+}
+
+}  // namespace kdsel::bench

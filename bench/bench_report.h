@@ -1,0 +1,63 @@
+#ifndef KDSEL_BENCH_BENCH_REPORT_H_
+#define KDSEL_BENCH_BENCH_REPORT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/json.h"
+
+namespace kdsel::bench {
+
+/// One timed measurement inside a benchmark report: a named workload run
+/// at a specific thread count.
+struct BenchEntry {
+  std::string name;           ///< Workload id, e.g. "conv1d_forward".
+  size_t threads = 1;         ///< Thread count the measured run used.
+  double wall_seconds = 0.0;  ///< Wall time of the measured section.
+  double items = 0.0;         ///< Work units processed (0 = unknown).
+  std::string items_unit;     ///< E.g. "windows", "pairs", "samples".
+  /// Extra named metrics (per-dataset AUC-PR, failure counts, ...).
+  std::map<std::string, double> metrics;
+  /// wall(1 thread) / wall(this run). Filled by ComputeSpeedups for
+  /// workloads that were also measured at threads == 1; 0 otherwise.
+  double speedup_vs_1t = 0.0;
+};
+
+/// Machine-readable benchmark output: collects BenchEntry rows and
+/// writes them as BENCH_<name>.json so paper tables and perf numbers
+/// can be diffed by scripts instead of scraped from stderr logs.
+///
+/// The JSON layout is stable:
+///   {"bench": "<name>",
+///    "entries": [{"name": ..., "threads": N, "wall_seconds": ...,
+///                 "items": ..., "items_unit": ..., "items_per_second":
+///                 ..., "speedup_vs_1t": ..., "metrics": {...}}, ...]}
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<BenchEntry>& entries() const { return entries_; }
+
+  void Add(BenchEntry entry);
+
+  /// For every entry whose workload name also has a threads == 1
+  /// measurement, fills speedup_vs_1t = wall(1 thread) / wall(entry).
+  void ComputeSpeedups();
+
+  serve::Json ToJson() const;
+
+  /// Writes BENCH_<name>.json into $KDSEL_BENCH_REPORT_DIR (falling
+  /// back to the current directory) and returns the path written.
+  StatusOr<std::string> Write() const;
+
+ private:
+  std::string name_;
+  std::vector<BenchEntry> entries_;
+};
+
+}  // namespace kdsel::bench
+
+#endif  // KDSEL_BENCH_BENCH_REPORT_H_

@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stringutil.h"
 #include "core/pipeline.h"
@@ -121,7 +122,9 @@ RunResult RunConfigOnce(serve::SelectorRegistry& registry,
   std::vector<double> latencies_us;
   latencies_us.reserve(total_requests);
   std::mutex latencies_mutex;
-  std::vector<std::thread> clients;
+  // Client simulation wants independent uncoordinated threads, not
+  // the deterministic shared pool.
+  std::vector<std::thread> clients;  // kdsel-lint: allow(raw-thread)
   std::vector<size_t> failures(config.clients, 0);
   const size_t per_client = total_requests / config.clients;
 
@@ -206,7 +209,7 @@ int Main(int argc, char** argv) {
   KDSEL_CHECK(bench_ok.ok());
   const auto pool = MakeRequestPool(pool_size, series_len);
 
-  const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  const size_t hw = kdsel::ParallelThreads();
   std::printf("bench_serving: %zu requests/config, pool=%zu, series_len=%zu, "
               "detect=%d, hardware_concurrency=%zu\n\n",
               total_requests, pool_size, series_len, detect ? 1 : 0, hw);

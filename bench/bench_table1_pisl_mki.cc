@@ -72,5 +72,6 @@ int main() {
       "time within +-1%% of standard. Expected shape: both knowledge\n"
       "modules improve the average, their combination is best, and the\n"
       "overhead of PISL/MKI is negligible.\n");
+  bench::WriteSolutionReport("table1_pisl_mki", results);
   return 0;
 }

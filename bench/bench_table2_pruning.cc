@@ -86,5 +86,6 @@ int main() {
       "saved 0%% / 39.1%% / 58.3%%. Expected shape: PA prunes strictly\n"
       "more sample visits than InfoBatch with a similarly small AUC-PR\n"
       "drop (redundant high-loss samples are additionally pruned).\n");
+  bench::WriteSolutionReport("table2_pruning", results);
   return 0;
 }

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_report.h"
+#include "common/parallel.h"
 #include "common/stringutil.h"
 #include "core/trainer.h"
 #include "exp/env.h"
@@ -120,6 +122,40 @@ inline std::vector<uint64_t> BenchSeeds() {
   std::vector<uint64_t> seeds;
   for (size_t i = 0; i < n; ++i) seeds.push_back(i + 1);
   return seeds;
+}
+
+/// Converts a SolutionResult into a BenchEntry row: training wall time,
+/// samples visited, and per-dataset AUC-PR as metrics.
+inline BenchEntry SolutionEntry(const SolutionResult& r) {
+  BenchEntry e;
+  e.name = r.name;
+  e.threads = ParallelThreads();
+  e.wall_seconds = r.train_seconds;
+  e.items = static_cast<double>(r.samples_visited);
+  e.items_unit = "samples";
+  for (const auto& [dataset, auc] : r.auc) {
+    e.metrics["auc_pr/" + dataset] = auc;
+  }
+  e.metrics["full_dataset_visits"] = static_cast<double>(r.full_visits);
+  return e;
+}
+
+/// Writes BENCH_<bench_name>.json from a table bench's solution
+/// results, logging the output path (or failure) to stderr. Report
+/// failures are non-fatal: the human-readable tables on stdout remain
+/// the primary output.
+inline void WriteSolutionReport(const std::string& bench_name,
+                                const std::vector<SolutionResult>& results) {
+  BenchReport report(bench_name);
+  for (const SolutionResult& r : results) report.Add(SolutionEntry(r));
+  report.ComputeSpeedups();
+  auto path = report.Write();
+  if (path.ok()) {
+    std::fprintf(stderr, "[bench] wrote %s\n", path->c_str());
+  } else {
+    std::fprintf(stderr, "[bench] report write failed: %s\n",
+                 path.status().ToString().c_str());
+  }
 }
 
 }  // namespace kdsel::bench

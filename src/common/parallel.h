@@ -1,0 +1,90 @@
+#ifndef KDSEL_COMMON_PARALLEL_H_
+#define KDSEL_COMMON_PARALLEL_H_
+
+/// Shared thread-pool subsystem. Every hot loop in the repo (NN kernels,
+/// the detector performance matrix, feature/text batch encoding, SimHash
+/// signatures) funnels through ParallelFor() below instead of spawning
+/// threads per call. The kdsel_lint `raw-thread` rule enforces this:
+/// `std::thread`/`std::async` may only appear under src/common/ and
+/// src/serve/ (the serving layer owns long-lived worker threads with a
+/// different lifecycle).
+///
+/// Determinism contract: the chunk partition handed to `fn` depends ONLY
+/// on (n, grain) — never on the worker count or scheduling — and the
+/// serial fallback executes the exact same per-chunk calls. Work that
+/// writes disjoint slots is therefore bitwise-identical at any
+/// KDSEL_THREADS setting; reductions stay deterministic by accumulating
+/// into per-chunk scratch and reducing serially in ascending chunk order
+/// (see Conv1d::Backward for the pattern).
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace kdsel {
+
+/// A fixed pool of N-1 worker threads; the calling thread participates
+/// in every For() as the Nth executor. Construction spawns the workers,
+/// destruction drains queued jobs and joins. Most code should use the
+/// free functions below, which share one process-global pool.
+class ThreadPool {
+ public:
+  /// `threads` is the total degree of parallelism (workers + caller);
+  /// values < 1 are clamped to 1 (no worker threads, fully inline).
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total degree of parallelism (worker threads + calling thread).
+  size_t threads() const { return threads_; }
+
+  /// Invokes fn(begin, end) over the static chunk partition of [0, n)
+  /// with chunks of size `grain` (last chunk may be short). Blocks until
+  /// every chunk finished. If any fn invocation throws, the first
+  /// exception (in completion order) is rethrown on the caller after all
+  /// in-flight chunks drain; chunks not yet started are skipped.
+  ///
+  /// Nested calls — For() from inside a running chunk — execute their
+  /// chunks inline on the current thread, in ascending order, so nesting
+  /// can never deadlock and stays deterministic.
+  void For(size_t n, size_t grain,
+           const std::function<void(size_t, size_t)>& fn);
+
+  /// The process-global pool, created on first use with ThreadsFromEnv().
+  static ThreadPool& Global();
+
+  /// Test hook: tears down the global pool and rebuilds it with
+  /// `threads` executors (0 = re-read KDSEL_THREADS / hardware). Must not
+  /// race with concurrent Global()/ParallelFor use; tests call it only
+  /// from a quiescent main thread.
+  static void ResetGlobalForTesting(size_t threads);
+
+  /// Degree of parallelism requested by the environment: KDSEL_THREADS
+  /// parsed with the strict kdsel::ParseSize (invalid values warn on
+  /// stderr and fall back), 0/unset = std::thread::hardware_concurrency.
+  static size_t ThreadsFromEnv();
+
+ private:
+  struct Job;
+  void WorkerLoop();
+  static void RunChunks(Job& job);
+
+  size_t threads_;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Number of chunks ParallelFor uses for (n, grain): ceil(n / max(grain,1)).
+size_t ParallelChunkCount(size_t n, size_t grain);
+
+/// Degree of parallelism of the global pool.
+size_t ParallelThreads();
+
+/// ThreadPool::Global().For(n, grain, fn).
+void ParallelFor(size_t n, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+}  // namespace kdsel
+
+#endif  // KDSEL_COMMON_PARALLEL_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 
+#include "common/parallel.h"
 #include "datagen/benchmark.h"
 #include "metrics/metrics.h"
 
@@ -10,30 +11,92 @@ namespace kdsel::core {
 
 namespace fs = std::filesystem;
 
-StatusOr<std::vector<float>> EvaluateDetectorsOnSeries(
+namespace {
+
+/// Outcome of one (series, detector) pair. Each parallel task owns
+/// exactly one slot, so the matrix build needs no locks — in particular
+/// none held across Detector::Score (the lock-across-score lint rule).
+struct PairResult {
+  float value = 0.0f;
+  StatusCode code = StatusCode::kOk;
+  bool score_failed = false;  ///< Error came from Score(), not the metric.
+  std::string message;
+};
+
+}  // namespace
+
+StatusOr<std::vector<std::vector<float>>> EvaluatePerformanceMatrix(
     const std::vector<std::unique_ptr<tsad::Detector>>& models,
-    const ts::TimeSeries& series, metrics::Metric metric) {
-  if (!series.has_labels()) {
-    return Status::InvalidArgument(
-        "label generation requires ground-truth anomaly labels");
+    const std::vector<const ts::TimeSeries*>& series, metrics::Metric metric,
+    std::vector<size_t>* failure_counts) {
+  const size_t num_series = series.size();
+  const size_t num_models = models.size();
+  for (const ts::TimeSeries* s : series) {
+    if (s == nullptr) return Status::InvalidArgument("null series pointer");
+    if (!s->has_labels()) {
+      return Status::InvalidArgument(
+          "label generation requires ground-truth anomaly labels");
+    }
   }
-  std::vector<float> performance;
-  performance.reserve(models.size());
-  for (const auto& model : models) {
-    auto scores = model->Score(series);
-    if (!scores.ok()) {
-      // A detector that cannot handle this series (e.g. too short)
-      // contributes the worst possible performance instead of failing
-      // the whole pipeline.
-      performance.push_back(0.0f);
+  if (failure_counts != nullptr) failure_counts->assign(num_models, 0);
+
+  // Detector::Score is const and every pair touches a distinct slot, so
+  // the fan-out is race-free and the matrix is order-independent.
+  std::vector<PairResult> slots(num_series * num_models);
+  ParallelFor(slots.size(), 1, [&](size_t begin, size_t end) {
+    for (size_t pair = begin; pair < end; ++pair) {
+      const size_t si = pair / num_models;
+      const size_t mi = pair % num_models;
+      PairResult& slot = slots[pair];
+      auto scores = models[mi]->Score(*series[si]);
+      if (!scores.ok()) {
+        slot.code = scores.status().code();
+        slot.score_failed = true;
+        slot.message = scores.status().message();
+        continue;
+      }
+      auto value = metrics::EvaluateMetric(metric, *scores, series[si]->labels());
+      if (!value.ok()) {
+        slot.code = value.status().code();
+        slot.message = value.status().message();
+        continue;
+      }
+      slot.value = static_cast<float>(*value);
+    }
+  });
+
+  // Deterministic serial pass: classify failures in pair order. Only an
+  // InvalidArgument from Score() (detector cannot handle the series,
+  // e.g. too short) maps to worst-case performance; anything else is a
+  // genuine fault and fails the build.
+  std::vector<std::vector<float>> matrix(num_series,
+                                         std::vector<float>(num_models, 0.0f));
+  for (size_t pair = 0; pair < slots.size(); ++pair) {
+    const PairResult& slot = slots[pair];
+    const size_t si = pair / num_models;
+    const size_t mi = pair % num_models;
+    if (slot.code == StatusCode::kOk) {
+      matrix[si][mi] = slot.value;
       continue;
     }
-    KDSEL_ASSIGN_OR_RETURN(
-        double value,
-        metrics::EvaluateMetric(metric, *scores, series.labels()));
-    performance.push_back(static_cast<float>(value));
+    if (slot.score_failed && slot.code == StatusCode::kInvalidArgument) {
+      if (failure_counts != nullptr) ++(*failure_counts)[mi];
+      continue;  // Worst-case 0.0 already in place.
+    }
+    return Status(slot.code, models[mi]->name() + " on series '" +
+                                 series[si]->name() + "': " + slot.message);
   }
-  return performance;
+  return matrix;
+}
+
+StatusOr<std::vector<float>> EvaluateDetectorsOnSeries(
+    const std::vector<std::unique_ptr<tsad::Detector>>& models,
+    const ts::TimeSeries& series, metrics::Metric metric,
+    std::vector<size_t>* failure_counts) {
+  KDSEL_ASSIGN_OR_RETURN(
+      auto matrix,
+      EvaluatePerformanceMatrix(models, {&series}, metric, failure_counts));
+  return std::move(matrix[0]);
 }
 
 StatusOr<SelectorTrainingData> BuildSelectorTrainingData(
@@ -46,6 +109,9 @@ StatusOr<SelectorTrainingData> BuildSelectorTrainingData(
   if (series.empty()) return Status::InvalidArgument("no series");
   SelectorTrainingData data;
   data.num_classes = performance[0].size();
+  // One performance row / metadata text per series, shared by all of its
+  // windows through the index vectors — windows used to copy both, which
+  // blew memory up by the window count.
   for (size_t s = 0; s < series.size(); ++s) {
     if (performance[s].size() != data.num_classes) {
       return Status::InvalidArgument("ragged performance matrix");
@@ -53,14 +119,17 @@ StatusOr<SelectorTrainingData> BuildSelectorTrainingData(
     const int best = static_cast<int>(
         std::max_element(performance[s].begin(), performance[s].end()) -
         performance[s].begin());
-    const std::string text = datagen::BuildMetadataText(series[s]);
     KDSEL_ASSIGN_OR_RETURN(auto windows,
                            ts::ExtractWindows(series[s], s, window_options));
+    if (windows.empty()) continue;
+    const size_t row = data.performance.size();
+    data.performance.push_back(performance[s]);
+    data.texts.push_back(datagen::BuildMetadataText(series[s]));
     for (auto& w : windows) {
       data.windows.push_back(std::move(w.values));
       data.labels.push_back(best);
-      data.performance.push_back(performance[s]);
-      data.texts.push_back(text);
+      data.performance_index.push_back(row);
+      data.text_index.push_back(row);
     }
   }
   return data;

@@ -22,18 +22,41 @@ struct LabeledSeries {
   std::vector<std::vector<float>> windows;
 };
 
+/// Evaluates every detector on every series, fanning the (series,
+/// detector) pairs across the shared thread pool; each pair writes a
+/// disjoint slot so the matrix is identical at any KDSEL_THREADS
+/// setting. Returns one performance row per series (row s = metric of
+/// each model on *series[s]).
+///
+/// Failure semantics: a detector returning InvalidArgument for a series
+/// (e.g. too short for its window) contributes the worst-case 0.0 and
+/// bumps that detector's slot in `failure_counts` (sized to
+/// models.size() when non-null). Any other error — IoError, Internal —
+/// is a real fault and propagates, failing the whole build.
+StatusOr<std::vector<std::vector<float>>> EvaluatePerformanceMatrix(
+    const std::vector<std::unique_ptr<tsad::Detector>>& models,
+    const std::vector<const ts::TimeSeries*>& series,
+    metrics::Metric metric = metrics::Metric::kAucPr,
+    std::vector<size_t>* failure_counts = nullptr);
+
 /// Runs every detector in `models` on `series` and scores it with the
 /// chosen metric (Definition 2.1's P; defaults to the paper's AUC-PR)
 /// against the series' ground-truth labels — the benchmark's
-/// label-generation step. Requires a labeled series.
+/// label-generation step. Requires a labeled series. Single-series
+/// wrapper around EvaluatePerformanceMatrix with the same failure
+/// semantics.
 StatusOr<std::vector<float>> EvaluateDetectorsOnSeries(
     const std::vector<std::unique_ptr<tsad::Detector>>& models,
     const ts::TimeSeries& series,
-    metrics::Metric metric = metrics::Metric::kAucPr);
+    metrics::Metric metric = metrics::Metric::kAucPr,
+    std::vector<size_t>* failure_counts = nullptr);
 
 /// Builds window-level selector training data from labeled historical
 /// series: every window of a series inherits the series' best model
 /// (hard label), performance vector (PISL) and metadata text (MKI).
+/// Performance rows and metadata texts are stored once per series and
+/// referenced per window through `performance_index`/`text_index` —
+/// windows of the same series share the row instead of copying it.
 StatusOr<SelectorTrainingData> BuildSelectorTrainingData(
     const std::vector<ts::TimeSeries>& series,
     const std::vector<std::vector<float>>& performance,

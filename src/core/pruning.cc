@@ -4,6 +4,7 @@
 #include <map>
 #include <numeric>
 
+#include "common/parallel.h"
 #include "lsh/simhash.h"
 
 namespace kdsel::core {
@@ -34,9 +35,12 @@ Pruner::Pruner(const PrunerOptions& options, size_t num_samples,
     lsh::SimHash hasher(samples[0].size(), options_.lsh_bits,
                         options_.seed ^ 0xabcdef12345ull);
     signatures_.resize(num_samples);
-    for (size_t i = 0; i < num_samples; ++i) {
-      signatures_[i] = hasher.Signature(samples[i]);
-    }
+    // Signature is a pure dot-product hash; each sample owns one slot.
+    ParallelFor(num_samples, 32, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        signatures_[i] = hasher.Signature(samples[i]);
+      }
+    });
   }
 }
 

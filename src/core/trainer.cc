@@ -61,9 +61,21 @@ Status ValidateSelectorTrainingData(const SelectorTrainingData& data,
     }
   }
   if (options.use_pisl) {
-    if (data.performance.size() != data.windows.size()) {
-      return Status::InvalidArgument(
-          "PISL requires a performance row per sample");
+    if (data.performance_index.empty()) {
+      if (data.performance.size() != data.windows.size()) {
+        return Status::InvalidArgument(
+            "PISL requires a performance row per sample");
+      }
+    } else {
+      if (data.performance_index.size() != data.windows.size()) {
+        return Status::InvalidArgument(
+            "performance_index must map every sample");
+      }
+      for (size_t row : data.performance_index) {
+        if (row >= data.performance.size()) {
+          return Status::InvalidArgument("performance_index out of range");
+        }
+      }
     }
     for (const auto& p : data.performance) {
       if (p.size() != data.num_classes) {
@@ -72,8 +84,21 @@ Status ValidateSelectorTrainingData(const SelectorTrainingData& data,
       }
     }
   }
-  if (options.use_mki && data.texts.size() != data.windows.size()) {
-    return Status::InvalidArgument("MKI requires a text per sample");
+  if (options.use_mki) {
+    if (data.text_index.empty()) {
+      if (data.texts.size() != data.windows.size()) {
+        return Status::InvalidArgument("MKI requires a text per sample");
+      }
+    } else {
+      if (data.text_index.size() != data.windows.size()) {
+        return Status::InvalidArgument("text_index must map every sample");
+      }
+      for (size_t row : data.text_index) {
+        if (row >= data.texts.size()) {
+          return Status::InvalidArgument("text_index out of range");
+        }
+      }
+    }
   }
   if (options.epochs == 0 || options.batch_size == 0) {
     return Status::InvalidArgument("epochs/batch_size must be positive");
@@ -283,7 +308,8 @@ StatusOr<std::unique_ptr<TrainedSelector>> TrainSelector(
     std::vector<std::string> unique_texts;
     std::map<std::string, size_t> text_ids;
     text_index.reserve(n);
-    for (const std::string& t : data.texts) {
+    for (size_t i = 0; i < n; ++i) {
+      const std::string& t = data.texts[data.TextRow(i)];
       auto [it, inserted] = text_ids.try_emplace(t, unique_texts.size());
       if (inserted) unique_texts.push_back(t);
       text_index.push_back(it->second);
@@ -355,7 +381,13 @@ StatusOr<std::unique_ptr<TrainedSelector>> TrainSelector(
       std::vector<float> per_sample = hard.per_sample;
       double batch_loss = hard.mean_loss;
       if (alpha > 0) {
-        nn::Tensor soft_batch = GatherRows(soft_labels, idx);
+        // Soft labels live one row per performance entry; resolve each
+        // sample's (possibly shared) row before gathering.
+        std::vector<size_t> soft_rows(idx.size());
+        for (size_t i = 0; i < idx.size(); ++i) {
+          soft_rows[i] = data.PerformanceRow(idx[i]);
+        }
+        nn::Tensor soft_batch = GatherRows(soft_labels, soft_rows);
         nn::LossResult soft =
             nn::SoftmaxCrossEntropySoft(logits, soft_batch, weights);
         // (1 - alpha) * L_CE + alpha * L_PISL.

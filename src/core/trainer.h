@@ -16,17 +16,34 @@ namespace kdsel::core {
 
 /// Training set for an NN selector, carrying the knowledge sources the
 /// KDSelector modules consume beyond windows + hard labels:
-/// `performance` (per-sample detector scores) feeds PISL and `texts`
+/// `performance` (detector scores) feeds PISL and `texts`
 /// (natural-language metadata) feeds MKI. Both are optional; the
 /// trainer degrades to the standard framework without them.
+///
+/// Two layouts are supported. Per-sample (legacy): `performance`/`texts`
+/// hold one entry per window and the index vectors stay empty. Shared
+/// (what BuildSelectorTrainingData emits): one entry per *series*, with
+/// `performance_index`/`text_index` mapping each window to its series'
+/// row — all windows of a series share storage instead of copying it.
 struct SelectorTrainingData {
   std::vector<std::vector<float>> windows;        ///< [N][L].
   std::vector<int> labels;                        ///< [N] hard labels.
-  std::vector<std::vector<float>> performance;    ///< [N][m] or empty.
-  std::vector<std::string> texts;                 ///< [N] or empty.
+  std::vector<std::vector<float>> performance;    ///< [N][m], [P][m] or empty.
+  std::vector<size_t> performance_index;  ///< [N] row per window, or empty.
+  std::vector<std::string> texts;                 ///< [N], [P] or empty.
+  std::vector<size_t> text_index;         ///< [N] text per window, or empty.
   size_t num_classes = 0;
 
   size_t size() const { return windows.size(); }
+
+  /// Performance row feeding sample i (resolves the optional indirection).
+  size_t PerformanceRow(size_t i) const {
+    return performance_index.empty() ? i : performance_index[i];
+  }
+  /// Text entry feeding sample i.
+  size_t TextRow(size_t i) const {
+    return text_index.empty() ? i : text_index[i];
+  }
 };
 
 /// All knobs of the KDSelector learning framework. The three paper

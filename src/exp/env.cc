@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "common/csv.h"
+#include "common/parallel.h"
 #include "common/stringutil.h"
 
 namespace kdsel::exp {
@@ -99,23 +100,31 @@ Status BenchmarkEnvironment::Build(const ExperimentConfig& config) {
 Status BenchmarkEnvironment::ComputePerformance(
     const std::vector<ts::Dataset>& datasets,
     std::map<std::string, std::vector<float>>& by_name) {
-  size_t total = 0;
-  for (const auto& ds : datasets) total += ds.series.size();
-  size_t done = 0;
+  // Flatten every series and fan the whole (series, detector) grid
+  // across the shared thread pool in one matrix build.
+  std::vector<const ts::TimeSeries*> series;
   for (const auto& ds : datasets) {
-    for (const auto& s : ds.series) {
-      KDSEL_ASSIGN_OR_RETURN(auto perf,
-                             core::EvaluateDetectorsOnSeries(models_, s));
-      by_name[s.name()] = std::move(perf);
-      ++done;
-      if (done % 16 == 0 || done == total) {
-        std::fprintf(stderr,
-                     "[env] detector performance matrix: %zu/%zu series\r",
-                     done, total);
-      }
-    }
+    for (const auto& s : ds.series) series.push_back(&s);
   }
-  std::fprintf(stderr, "\n");
+  std::fprintf(stderr,
+               "[env] detector performance matrix: %zu series x %zu "
+               "detectors on %zu threads...\n",
+               series.size(), models_.size(), ParallelThreads());
+  KDSEL_ASSIGN_OR_RETURN(auto matrix,
+                         core::EvaluatePerformanceMatrix(
+                             models_, series, metrics::Metric::kAucPr,
+                             &detector_failures_));
+  for (size_t i = 0; i < series.size(); ++i) {
+    by_name[series[i]->name()] = std::move(matrix[i]);
+  }
+  size_t failures = 0;
+  for (size_t f : detector_failures_) failures += f;
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "[env] %zu (series, detector) pairs hit InvalidArgument and "
+                 "scored worst-case 0.0\n",
+                 failures);
+  }
   return Status::OK();
 }
 

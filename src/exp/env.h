@@ -94,6 +94,14 @@ class BenchmarkEnvironment {
   /// per-series oracle when `model` < 0.
   StatusOr<std::map<std::string, double>> EvaluateFixedModel(int model) const;
 
+  /// Per-detector count of (series, detector) pairs that scored
+  /// worst-case 0.0 because the detector returned InvalidArgument during
+  /// the matrix build. Empty when the matrix was loaded from cache (the
+  /// cache stores only the values).
+  const std::vector<size_t>& detector_failures() const {
+    return detector_failures_;
+  }
+
  private:
   BenchmarkEnvironment() = default;
 
@@ -111,6 +119,7 @@ class BenchmarkEnvironment {
   std::vector<std::string> test_dataset_names_;
   std::map<std::string, std::vector<ts::TimeSeries>> test_series_;
   std::map<std::string, std::vector<std::vector<float>>> test_performance_;
+  std::vector<size_t> detector_failures_;
 };
 
 }  // namespace kdsel::exp

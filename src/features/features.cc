@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace kdsel::features {
 
@@ -284,9 +285,10 @@ std::vector<float> ExtractFeatures(const std::vector<float>& v) {
 
 std::vector<std::vector<float>> ExtractFeaturesBatch(
     const std::vector<std::vector<float>>& windows) {
-  std::vector<std::vector<float>> rows;
-  rows.reserve(windows.size());
-  for (const auto& w : windows) rows.push_back(ExtractFeatures(w));
+  std::vector<std::vector<float>> rows(windows.size());
+  ParallelFor(windows.size(), 8, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) rows[i] = ExtractFeatures(windows[i]);
+  });
   return rows;
 }
 
@@ -325,9 +327,10 @@ std::vector<float> FeatureScaler::Transform(
 
 std::vector<std::vector<float>> FeatureScaler::TransformBatch(
     const std::vector<std::vector<float>>& rows) const {
-  std::vector<std::vector<float>> out;
-  out.reserve(rows.size());
-  for (const auto& r : rows) out.push_back(Transform(r));
+  std::vector<std::vector<float>> out(rows.size());
+  ParallelFor(rows.size(), 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) out[i] = Transform(rows[i]);
+  });
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "common/parallel.h"
+
 namespace kdsel::lsh {
 
 SimHash::SimHash(size_t dim, size_t num_bits, uint64_t seed)
@@ -35,9 +37,17 @@ int HammingDistance(uint64_t a, uint64_t b) {
 
 std::unordered_map<uint64_t, std::vector<size_t>> BuildBuckets(
     const SimHash& hasher, const std::vector<std::vector<float>>& rows) {
+  // Signatures in parallel (disjoint slots), bucket inserts serial in
+  // ascending row order so bucket contents stay deterministic.
+  std::vector<uint64_t> signatures(rows.size());
+  ParallelFor(rows.size(), 32, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      signatures[i] = hasher.Signature(rows[i]);
+    }
+  });
   std::unordered_map<uint64_t, std::vector<size_t>> buckets;
   for (size_t i = 0; i < rows.size(); ++i) {
-    buckets[hasher.Signature(rows[i])].push_back(i);
+    buckets[signatures[i]].push_back(i);
   }
   return buckets;
 }

@@ -2,8 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "common/parallel.h"
 
 namespace kdsel::nn {
+
+namespace {
+
+// Backward shards gradient accumulation over batch chunks. The shard
+// count depends only on the batch size (never on the thread count), and
+// the shards are reduced serially in ascending order, so gradients are
+// bitwise-identical at any KDSEL_THREADS setting.
+constexpr size_t kMaxGradShards = 16;
+
+size_t BatchGrain(size_t batch) {
+  return std::max<size_t>(1, (batch + kMaxGradShards - 1) / kMaxGradShards);
+}
+
+}  // namespace
 
 Conv1d::Conv1d(size_t in_channels, size_t out_channels, size_t kernel_size,
                Rng& rng, bool use_bias)
@@ -33,7 +50,10 @@ Tensor Conv1d::Forward(const Tensor& input, bool /*training*/) {
   const float* x = input.raw();
   const float* w = weight_.value.raw();
   float* y = out.raw();
-  for (size_t b = 0; b < B; ++b) {
+  // Each batch item writes a disjoint slice of `out`, so batch-parallel
+  // execution is race-free and bitwise-deterministic.
+  ParallelFor(B, 1, [&](size_t b_begin, size_t b_end) {
+  for (size_t b = b_begin; b < b_end; ++b) {
     const float* xb = x + b * in_channels_ * L;
     float* yb = y + b * out_channels_ * L;
     for (size_t co = 0; co < out_channels_; ++co) {
@@ -61,6 +81,7 @@ Tensor Conv1d::Forward(const Tensor& input, bool /*training*/) {
       }
     }
   }
+  });
   return out;
 }
 
@@ -74,10 +95,23 @@ Tensor Conv1d::Backward(const Tensor& grad_output) {
   const float* x = cached_input_.raw();
   const float* gy = grad_output.raw();
   const float* w = weight_.value.raw();
-  float* gw = weight_.grad.raw();
   float* gx = grad_input.raw();
 
-  for (size_t b = 0; b < B; ++b) {
+  // grad_input slices are disjoint per batch item, but weight/bias
+  // gradients reduce across the batch: each batch chunk accumulates into
+  // its own scratch shard, reduced serially below in ascending shard
+  // order so the result is independent of the thread count.
+  const size_t wsize = out_channels_ * in_channels_ * K;
+  const size_t grain = BatchGrain(B);
+  const size_t shards = ParallelChunkCount(B, grain);
+  std::vector<float> gw_scratch(shards * wsize, 0.0f);
+  std::vector<float> gb_scratch(use_bias_ ? shards * out_channels_ : 0, 0.0f);
+
+  ParallelFor(B, grain, [&](size_t b_begin, size_t b_end) {
+  const size_t shard = b_begin / grain;
+  float* gw = gw_scratch.data() + shard * wsize;
+  float* gb = use_bias_ ? gb_scratch.data() + shard * out_channels_ : nullptr;
+  for (size_t b = b_begin; b < b_end; ++b) {
     const float* xb = x + b * in_channels_ * L;
     const float* gyb = gy + b * out_channels_ * L;
     float* gxb = gx + b * in_channels_ * L;
@@ -88,7 +122,7 @@ Tensor Conv1d::Backward(const Tensor& grad_output) {
       if (use_bias_) {
         float acc = 0.0f;
         for (size_t t = 0; t < L; ++t) acc += gyrow[t];
-        bias_.grad[co] += acc;
+        gb[co] += acc;
       }
       for (size_t ci = 0; ci < in_channels_; ++ci) {
         const float* xrow = xb + ci * L;
@@ -110,6 +144,17 @@ Tensor Conv1d::Backward(const Tensor& grad_output) {
           gwk[k] += wgrad_acc;
         }
       }
+    }
+  }
+  });
+
+  float* gw_out = weight_.grad.raw();
+  for (size_t shard = 0; shard < shards; ++shard) {
+    const float* gw = gw_scratch.data() + shard * wsize;
+    for (size_t i = 0; i < wsize; ++i) gw_out[i] += gw[i];
+    if (use_bias_) {
+      const float* gb = gb_scratch.data() + shard * out_channels_;
+      for (size_t co = 0; co < out_channels_; ++co) bias_.grad[co] += gb[co];
     }
   }
   return grad_input;

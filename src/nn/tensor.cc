@@ -4,7 +4,8 @@
 #include <cmath>
 #include <numeric>
 #include <sstream>
-#include <thread>
+
+#include "common/parallel.h"
 
 namespace kdsel::nn {
 
@@ -16,29 +17,22 @@ size_t ShapeProduct(const std::vector<size_t>& shape) {
   return n;
 }
 
-/// Runs fn(row_begin, row_end) over [0, rows), splitting across threads
-/// when the work is large. Each thread owns disjoint output rows, so the
-/// result is deterministic.
-template <typename Fn>
-void ParallelRows(size_t rows, size_t work_per_row, Fn&& fn) {
-  static const size_t kHardwareThreads =
-      std::max<size_t>(1, std::thread::hardware_concurrency());
-  const size_t total_work = rows * work_per_row;
-  if (kHardwareThreads == 1 || total_work < (1u << 16) || rows < 2) {
-    fn(size_t{0}, rows);
-    return;
-  }
-  size_t n_threads = std::min(kHardwareThreads, rows);
-  std::vector<std::thread> threads;
-  threads.reserve(n_threads);
-  size_t chunk = (rows + n_threads - 1) / n_threads;
-  for (size_t t = 0; t < n_threads; ++t) {
-    size_t begin = t * chunk;
-    size_t end = std::min(rows, begin + chunk);
-    if (begin >= end) break;
-    threads.emplace_back([&fn, begin, end] { fn(begin, end); });
-  }
-  for (auto& th : threads) th.join();
+// Column tile for the cache-blocked matmul kernels: a B panel of
+// kColTile columns stays resident in L1/L2 while a block of output rows
+// streams over it. Must not affect results — each c[i][j] still
+// accumulates over kk in ascending order.
+constexpr size_t kColTile = 128;
+
+/// Row-chunk size so ParallelFor chunks carry ~32K multiply-adds each:
+/// small matmuls collapse to one chunk (inline, no pool round-trip),
+/// large ones split row-wise. Depends only on the shapes, keeping the
+/// chunk partition — and therefore results — independent of thread
+/// count.
+size_t RowGrain(size_t rows, size_t work_per_row) {
+  constexpr size_t kTargetWorkPerChunk = size_t{1} << 15;
+  if (work_per_row == 0) return std::max<size_t>(1, rows);
+  const size_t grain = kTargetWorkPerChunk / work_per_row;
+  return std::max<size_t>(1, std::min(grain == 0 ? 1 : grain, rows));
 }
 
 }  // namespace
@@ -116,15 +110,18 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* pa = a.raw();
   const float* pb = b.raw();
   float* pc = c.raw();
-  ParallelRows(n, k * m, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      const float* arow = pa + i * k;
-      float* crow = pc + i * m;
-      for (size_t kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        if (av == 0.0f) continue;
-        const float* brow = pb + kk * m;
-        for (size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+  ParallelFor(n, RowGrain(n, k * m), [&](size_t begin, size_t end) {
+    for (size_t jb = 0; jb < m; jb += kColTile) {
+      const size_t jend = std::min(m, jb + kColTile);
+      for (size_t i = begin; i < end; ++i) {
+        const float* arow = pa + i * k;
+        float* crow = pc + i * m;
+        for (size_t kk = 0; kk < k; ++kk) {
+          const float av = arow[kk];
+          if (av == 0.0f) continue;
+          const float* brow = pb + kk * m;
+          for (size_t j = jb; j < jend; ++j) crow[j] += av * brow[j];
+        }
       }
     }
   });
@@ -139,15 +136,18 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
   const float* pa = a.raw();
   const float* pb = b.raw();
   float* pc = c.raw();
-  ParallelRows(n, k * m, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      const float* arow = pa + i * k;
-      float* crow = pc + i * m;
-      for (size_t j = 0; j < m; ++j) {
-        const float* brow = pb + j * k;
-        float acc = 0.0f;
-        for (size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-        crow[j] = acc;
+  ParallelFor(n, RowGrain(n, k * m), [&](size_t begin, size_t end) {
+    for (size_t jb = 0; jb < m; jb += kColTile) {
+      const size_t jend = std::min(m, jb + kColTile);
+      for (size_t i = begin; i < end; ++i) {
+        const float* arow = pa + i * k;
+        float* crow = pc + i * m;
+        for (size_t j = jb; j < jend; ++j) {
+          const float* brow = pb + j * k;
+          float acc = 0.0f;
+          for (size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+          crow[j] = acc;
+        }
       }
     }
   });
@@ -163,15 +163,18 @@ Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
   const float* pb = b.raw();
   float* pc = c.raw();
   // Parallelize over output rows (k): each output row kk reads column kk
-  // of A, so threads write disjoint rows.
-  ParallelRows(k, n * m, [&](size_t begin, size_t end) {
-    for (size_t kk = begin; kk < end; ++kk) {
-      float* crow = pc + kk * m;
-      for (size_t i = 0; i < n; ++i) {
-        const float av = pa[i * k + kk];
-        if (av == 0.0f) continue;
-        const float* brow = pb + i * m;
-        for (size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+  // of A, so chunks write disjoint rows.
+  ParallelFor(k, RowGrain(k, n * m), [&](size_t begin, size_t end) {
+    for (size_t jb = 0; jb < m; jb += kColTile) {
+      const size_t jend = std::min(m, jb + kColTile);
+      for (size_t kk = begin; kk < end; ++kk) {
+        float* crow = pc + kk * m;
+        for (size_t i = 0; i < n; ++i) {
+          const float av = pa[i * k + kk];
+          if (av == 0.0f) continue;
+          const float* brow = pb + i * m;
+          for (size_t j = jb; j < jend; ++j) crow[j] += av * brow[j];
+        }
       }
     }
   });

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace kdsel::text {
@@ -101,10 +102,13 @@ std::vector<float> HashedTextEncoder::Encode(const std::string& text) const {
 nn::Tensor HashedTextEncoder::EncodeBatch(
     const std::vector<std::string>& texts) const {
   nn::Tensor out({texts.size(), options_.output_dim});
-  for (size_t i = 0; i < texts.size(); ++i) {
-    auto vec = Encode(texts[i]);
-    std::copy(vec.begin(), vec.end(), out.raw() + i * options_.output_dim);
-  }
+  // Each text fills a disjoint tensor row; Encode is const and pure.
+  ParallelFor(texts.size(), 4, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      auto vec = Encode(texts[i]);
+      std::copy(vec.begin(), vec.end(), out.raw() + i * options_.output_dim);
+    }
+  });
   return out;
 }
 

@@ -1,0 +1,135 @@
+// Bitwise-determinism guarantees of the shared thread pool: selector
+// training with every KDSelector module enabled (PISL + MKI + PA) and
+// the detector performance matrix must produce identical results at
+// KDSEL_THREADS=1 and KDSEL_THREADS=8. The pool's static chunking plus
+// fixed-order gradient reduction make this exact, not approximate.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "core/trainer.h"
+#include "datagen/families.h"
+#include "tsad/detector.h"
+
+namespace kdsel {
+namespace {
+
+core::SelectorTrainingData MakeTrainingData() {
+  core::SelectorTrainingData data;
+  data.num_classes = 3;
+  Rng rng(11);
+  // Shared layout: one performance row / text per "series", four windows
+  // each — the same shape BuildSelectorTrainingData emits.
+  const size_t kSeries = 15, kWindowsPer = 4, kLen = 32;
+  for (size_t s = 0; s < kSeries; ++s) {
+    const int label = static_cast<int>(s % data.num_classes);
+    std::vector<float> perf(data.num_classes, 0.2f);
+    perf[static_cast<size_t>(label)] = 0.9f;
+    data.performance.push_back(std::move(perf));
+    data.texts.push_back("This is a time series from dataset D" +
+                         std::to_string(s % 5));
+    for (size_t w = 0; w < kWindowsPer; ++w) {
+      std::vector<float> window(kLen);
+      for (size_t t = 0; t < kLen; ++t) {
+        window[t] = static_cast<float>(
+            std::sin(0.3 * static_cast<double>(t) * (1.0 + label)) +
+            0.1 * rng.Normal());
+      }
+      data.windows.push_back(std::move(window));
+      data.labels.push_back(label);
+      data.performance_index.push_back(s);
+      data.text_index.push_back(s);
+    }
+  }
+  return data;
+}
+
+struct TrainOutcome {
+  std::vector<uint32_t> weight_bits;
+  std::vector<double> epoch_loss;
+};
+
+TrainOutcome TrainOnce(const core::SelectorTrainingData& data) {
+  core::TrainerOptions opts;
+  opts.backbone = "ConvNet";
+  opts.epochs = 3;
+  opts.batch_size = 16;
+  opts.seed = 4;
+  opts.use_pisl = true;
+  opts.use_mki = true;
+  opts.pruning.mode = core::PruningMode::kPa;
+  core::TrainStats stats;
+  auto selector = core::TrainSelector(data, opts, &stats);
+  KDSEL_CHECK(selector.ok());
+
+  TrainOutcome outcome;
+  outcome.epoch_loss = stats.epoch_loss;
+  auto append = [&outcome](const nn::Tensor& t) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      uint32_t bits = 0;
+      const float v = t[i];
+      std::memcpy(&bits, &v, sizeof(bits));
+      outcome.weight_bits.push_back(bits);
+    }
+  };
+  for (nn::Parameter* p : (*selector)->backbone().Parameters()) {
+    append(p->value);
+  }
+  for (nn::Parameter* p : (*selector)->classifier().Parameters()) {
+    append(p->value);
+  }
+  return outcome;
+}
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ThreadPool::ResetGlobalForTesting(0); }
+};
+
+TEST_F(DeterminismTest, TrainingIsBitwiseIdenticalAcrossThreadCounts) {
+  const core::SelectorTrainingData data = MakeTrainingData();
+
+  ThreadPool::ResetGlobalForTesting(1);
+  const TrainOutcome serial = TrainOnce(data);
+  ThreadPool::ResetGlobalForTesting(8);
+  const TrainOutcome parallel = TrainOnce(data);
+
+  ASSERT_FALSE(serial.weight_bits.empty());
+  ASSERT_EQ(serial.weight_bits.size(), parallel.weight_bits.size());
+  EXPECT_EQ(serial.weight_bits, parallel.weight_bits);
+  ASSERT_EQ(serial.epoch_loss.size(), parallel.epoch_loss.size());
+  for (size_t e = 0; e < serial.epoch_loss.size(); ++e) {
+    EXPECT_EQ(serial.epoch_loss[e], parallel.epoch_loss[e]) << "epoch " << e;
+  }
+}
+
+TEST_F(DeterminismTest, PerformanceMatrixIsIdenticalAcrossThreadCounts) {
+  auto models = tsad::BuildDefaultModelSet(3);
+  std::vector<ts::TimeSeries> series;
+  Rng rng(21);
+  for (size_t i = 0; i < 3; ++i) {
+    auto s = datagen::GenerateSeries(datagen::Family::kYahoo, 320, i, rng);
+    ASSERT_TRUE(s.ok());
+    series.push_back(std::move(s).value());
+  }
+  std::vector<const ts::TimeSeries*> ptrs;
+  for (const auto& s : series) ptrs.push_back(&s);
+
+  ThreadPool::ResetGlobalForTesting(1);
+  auto serial = core::EvaluatePerformanceMatrix(models, ptrs);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  ThreadPool::ResetGlobalForTesting(8);
+  auto parallel = core::EvaluatePerformanceMatrix(models, ptrs);
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  EXPECT_EQ(*serial, *parallel);
+}
+
+}  // namespace
+}  // namespace kdsel

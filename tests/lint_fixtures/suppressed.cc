@@ -33,6 +33,9 @@ void Suppressed(QuietDetector* detector) {
   // kdsel-lint: allow(lock-across-score)
   detector->Score(x + static_cast<int>(parsed) +
                   static_cast<int>(leaked->size()));
+
+  std::thread worker([] {});  // kdsel-lint: allow(raw-thread)
+  worker.join();
 }
 
 }  // namespace kdsel::fixture_suppressed

@@ -32,6 +32,9 @@ void Violations(Detector* detector) {
   std::lock_guard<std::mutex> lock(mu);
   detector->Score(noise + x + static_cast<int>(parsed) +
                   static_cast<int>(leaked->size()));  // line 33 via line 34
+
+  std::thread worker([] {});  // line 36: raw-thread
+  worker.join();
 }
 
 }  // namespace kdsel::fixture

@@ -74,7 +74,7 @@ TEST(LintTest, ViolationsFixtureProducesExactDiagnostics) {
   EXPECT_EQ(result.exit_code, 1);
 
   const std::vector<std::string> lines = SplitLines(result.stdout_text);
-  ASSERT_EQ(lines.size(), 6u) << result.stdout_text;
+  ASSERT_EQ(lines.size(), 7u) << result.stdout_text;
 
   const std::string prefix = "tests/lint_fixtures/violations.cc:";
   const std::vector<std::string> expected = {
@@ -99,6 +99,10 @@ TEST(LintTest, ViolationsFixtureProducesExactDiagnostics) {
           "33: lock-across-score: detector Score() runs while a mutex guard "
           "is live; scoring is slow and must happen off-lock (clone or "
           "snapshot instead)",
+      prefix +
+          "36: raw-thread: 'std::thread' outside src/common/ and src/serve/ "
+          "bypasses the shared pool; use kdsel::ParallelFor or ThreadPool "
+          "(common/parallel.h)",
   };
   for (size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(lines[i], expected[i]) << "diagnostic " << i;
@@ -125,7 +129,7 @@ TEST(LintTest, FixtureDirectoryScanMatchesPerFileResults) {
       RunLint(RootArgs(std::string(KDSEL_SOURCE_DIR) + "/tests/lint_fixtures"));
   EXPECT_EQ(result.exit_code, 1);
   const std::vector<std::string> lines = SplitLines(result.stdout_text);
-  EXPECT_EQ(lines.size(), 6u) << result.stdout_text;
+  EXPECT_EQ(lines.size(), 7u) << result.stdout_text;
   for (const std::string& line : lines) {
     EXPECT_NE(line.find("violations.cc"), std::string::npos) << line;
   }
@@ -170,7 +174,7 @@ TEST(LintTest, ListRulesNamesEveryRule) {
   EXPECT_EQ(result.exit_code, 0);
   for (const char* rule :
        {"discarded-status", "unchecked-value", "naked-new", "raw-parse",
-        "nonreproducible-random", "lock-across-score"}) {
+        "nonreproducible-random", "lock-across-score", "raw-thread"}) {
     EXPECT_NE(result.stdout_text.find(rule), std::string::npos) << rule;
   }
 }

@@ -1,0 +1,174 @@
+// Tests for the shared thread-pool subsystem (common/parallel): the
+// deterministic chunk-partition contract, nested-call safety, exception
+// propagation, shutdown, and concurrent callers. Runs under the TSan CI
+// job alongside race_stress_test.
+
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace kdsel {
+namespace {
+
+// The global pool is process-wide state; restore the environment-derived
+// size after each test so suites sharing the binary stay independent.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ThreadPool::ResetGlobalForTesting(0); }
+};
+
+std::vector<std::pair<size_t, size_t>> CollectChunks(ThreadPool& pool,
+                                                     size_t n, size_t grain) {
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> chunks;
+  pool.For(n, grain, [&](size_t begin, size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(begin, end);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  return chunks;
+}
+
+TEST_F(ParallelTest, ChunkPartitionDependsOnlyOnSizeAndGrain) {
+  ThreadPool serial(1);
+  ThreadPool wide(8);
+  for (auto [n, grain] : std::vector<std::pair<size_t, size_t>>{
+           {0, 1}, {1, 1}, {7, 3}, {100, 1}, {100, 7}, {100, 1000}}) {
+    const auto a = CollectChunks(serial, n, grain);
+    const auto b = CollectChunks(wide, n, grain);
+    EXPECT_EQ(a, b) << "n=" << n << " grain=" << grain;
+    ASSERT_EQ(a.size(), ParallelChunkCount(n, grain));
+    // Chunks tile [0, n) exactly.
+    size_t expected_begin = 0;
+    for (const auto& [begin, end] : a) {
+      EXPECT_EQ(begin, expected_begin);
+      EXPECT_GT(end, begin);
+      expected_begin = end;
+    }
+    if (n > 0) {
+      EXPECT_EQ(a.back().second, n);
+    }
+  }
+}
+
+TEST_F(ParallelTest, DisjointWritesMatchSerialReference) {
+  const size_t n = 10000;
+  std::vector<int> expected(n);
+  for (size_t i = 0; i < n; ++i) expected[i] = static_cast<int>(i * 3 + 1);
+
+  ThreadPool pool(4);
+  std::vector<int> got(n, 0);
+  pool.For(n, 16, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) got[i] = static_cast<int>(i * 3 + 1);
+  });
+  EXPECT_EQ(got, expected);
+}
+
+TEST_F(ParallelTest, NestedCallsRunInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  const size_t outer = 16, inner = 32;
+  std::vector<std::atomic<int>> cells(outer * inner);
+  pool.For(outer, 1, [&](size_t o_begin, size_t o_end) {
+    for (size_t o = o_begin; o < o_end; ++o) {
+      pool.For(inner, 4, [&](size_t i_begin, size_t i_end) {
+        for (size_t i = i_begin; i < i_end; ++i) {
+          cells[o * inner + i].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+  });
+  for (const auto& cell : cells) EXPECT_EQ(cell.load(), 1);
+}
+
+TEST_F(ParallelTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.For(100, 1,
+                        [&](size_t begin, size_t) {
+                          if (begin == 42) {
+                            throw std::runtime_error("chunk 42 failed");
+                          }
+                        }),
+               std::runtime_error);
+  // The pool survives a failed job and keeps executing new ones.
+  std::atomic<size_t> count{0};
+  pool.For(100, 1, [&](size_t begin, size_t end) {
+    count.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 100u);
+}
+
+TEST_F(ParallelTest, ExceptionOnInlinePathPropagates) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.For(10, 2, [](size_t, size_t) { throw std::logic_error("boom"); }),
+      std::logic_error);
+}
+
+TEST_F(ParallelTest, RepeatedConstructionAndShutdown) {
+  for (size_t round = 0; round < 20; ++round) {
+    ThreadPool pool(1 + round % 5);
+    std::atomic<size_t> sum{0};
+    pool.For(64, 8, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        sum.fetch_add(i, std::memory_order_relaxed);
+      }
+    });
+    EXPECT_EQ(sum.load(), 64u * 63u / 2);
+    // Destructor joins all workers; leaking one would crash or hang.
+  }
+}
+
+TEST_F(ParallelTest, ConcurrentCallersShareThePool) {
+  ThreadPool pool(4);
+  constexpr size_t kCallers = 4;
+  constexpr size_t kN = 5000;
+  std::vector<size_t> sums(kCallers, 0);
+  {
+    std::vector<std::thread> callers;  // kdsel-lint: allow(raw-thread)
+    for (size_t c = 0; c < kCallers; ++c) {
+      // kdsel-lint: allow(raw-thread)
+      callers.emplace_back(std::thread([&pool, &sums, c] {
+        std::atomic<size_t> sum{0};
+        pool.For(kN, 64, [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            sum.fetch_add(i, std::memory_order_relaxed);
+          }
+        });
+        sums[c] = sum.load();
+      }));
+    }
+    for (auto& t : callers) t.join();
+  }
+  for (size_t c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(sums[c], kN * (kN - 1) / 2) << "caller " << c;
+  }
+}
+
+TEST_F(ParallelTest, ResetGlobalForTestingResizesThePool) {
+  ThreadPool::ResetGlobalForTesting(3);
+  EXPECT_EQ(ParallelThreads(), 3u);
+  std::atomic<size_t> count{0};
+  ParallelFor(10, 1, [&](size_t begin, size_t end) {
+    count.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 10u);
+  ThreadPool::ResetGlobalForTesting(1);
+  EXPECT_EQ(ParallelThreads(), 1u);
+}
+
+TEST_F(ParallelTest, ZeroIterationsIsANoOp) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.For(0, 1, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+}  // namespace
+}  // namespace kdsel

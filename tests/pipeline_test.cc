@@ -10,6 +10,25 @@
 namespace kdsel::core {
 namespace {
 
+/// Fake detector returning a fixed error (or constant scores) to pin the
+/// matrix build's failure semantics.
+class FakeDetector : public tsad::Detector {
+ public:
+  FakeDetector(std::string name, Status error)
+      : name_(std::move(name)), error_(std::move(error)) {}
+
+  std::string name() const override { return name_; }
+  StatusOr<std::vector<float>> Score(
+      const ts::TimeSeries& series) const override {
+    if (!error_.ok()) return error_;
+    return std::vector<float>(series.length(), 0.5f);
+  }
+
+ private:
+  std::string name_;
+  Status error_;
+};
+
 /// A pair of labeled series with obvious spike anomalies.
 std::vector<ts::TimeSeries> MakeLabeledSeries(size_t count, uint64_t seed) {
   std::vector<ts::TimeSeries> series;
@@ -42,6 +61,53 @@ TEST(PipelineTest, EvaluateDetectorsRequiresLabels) {
   EXPECT_FALSE(EvaluateDetectorsOnSeries(models, unlabeled).ok());
 }
 
+TEST(PipelineTest, InvalidArgumentScoresWorstCaseAndIsCounted) {
+  std::vector<std::unique_ptr<tsad::Detector>> models;
+  models.push_back(std::make_unique<FakeDetector>("ok", Status::OK()));
+  models.push_back(std::make_unique<FakeDetector>(
+      "picky", Status::InvalidArgument("series too short")));
+  auto series = MakeLabeledSeries(1, 7);
+  std::vector<size_t> failures;
+  auto perf = EvaluateDetectorsOnSeries(models, series[0],
+                                        metrics::Metric::kAucPr, &failures);
+  ASSERT_TRUE(perf.ok()) << perf.status();
+  ASSERT_EQ(perf->size(), 2u);
+  EXPECT_EQ((*perf)[1], 0.0f);  // Worst case for the picky detector.
+  ASSERT_EQ(failures.size(), 2u);
+  EXPECT_EQ(failures[0], 0u);
+  EXPECT_EQ(failures[1], 1u);
+}
+
+TEST(PipelineTest, IoAndInternalErrorsPropagate) {
+  auto series = MakeLabeledSeries(1, 8);
+  for (Status error : {Status::IoError("model file corrupt"),
+                       Status::Internal("detector bug")}) {
+    std::vector<std::unique_ptr<tsad::Detector>> models;
+    models.push_back(std::make_unique<FakeDetector>("ok", Status::OK()));
+    models.push_back(std::make_unique<FakeDetector>("broken", error));
+    auto perf = EvaluateDetectorsOnSeries(models, series[0]);
+    ASSERT_FALSE(perf.ok());
+    EXPECT_EQ(perf.status().code(), error.code());
+    EXPECT_NE(perf.status().message().find("broken"), std::string::npos)
+        << perf.status();
+  }
+}
+
+TEST(PipelineTest, PerformanceMatrixMatchesPerSeriesRows) {
+  auto models = tsad::BuildDefaultModelSet(3);
+  auto series = MakeLabeledSeries(4, 9);
+  std::vector<const ts::TimeSeries*> ptrs;
+  for (const auto& s : series) ptrs.push_back(&s);
+  auto matrix = EvaluatePerformanceMatrix(models, ptrs);
+  ASSERT_TRUE(matrix.ok()) << matrix.status();
+  ASSERT_EQ(matrix->size(), series.size());
+  for (size_t i = 0; i < series.size(); ++i) {
+    auto row = EvaluateDetectorsOnSeries(models, series[i]);
+    ASSERT_TRUE(row.ok());
+    EXPECT_EQ((*matrix)[i], *row) << "series " << i;
+  }
+}
+
 TEST(PipelineTest, BuildTrainingDataPropagatesLabelsAndTexts) {
   auto series = MakeLabeledSeries(2, 2);
   std::vector<std::vector<float>> perf{{0.1f, 0.9f, 0.3f},
@@ -54,8 +120,20 @@ TEST(PipelineTest, BuildTrainingDataPropagatesLabelsAndTexts) {
   EXPECT_EQ(data->num_classes, 3u);
   EXPECT_GT(data->size(), 2u);
   ASSERT_EQ(data->labels.size(), data->windows.size());
-  ASSERT_EQ(data->performance.size(), data->windows.size());
-  ASSERT_EQ(data->texts.size(), data->windows.size());
+  // Shared layout: one performance row / text per series, referenced by
+  // every window of the series through the index vectors.
+  ASSERT_EQ(data->performance.size(), 2u);
+  ASSERT_EQ(data->texts.size(), 2u);
+  ASSERT_EQ(data->performance_index.size(), data->windows.size());
+  ASSERT_EQ(data->text_index.size(), data->windows.size());
+  EXPECT_EQ(data->performance_index.front(), 0u);
+  EXPECT_EQ(data->performance_index.back(), 1u);
+  for (size_t i = 0; i < data->size(); ++i) {
+    EXPECT_EQ(data->PerformanceRow(i), data->performance_index[i]);
+    EXPECT_EQ(data->TextRow(i), data->text_index[i]);
+  }
+  EXPECT_EQ(data->performance[0], perf[0]);
+  EXPECT_EQ(data->performance[1], perf[1]);
   // Windows of series 0 carry label 1; series 1 carries label 0.
   EXPECT_EQ(data->labels.front(), 1);
   EXPECT_EQ(data->labels.back(), 0);

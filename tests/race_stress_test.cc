@@ -80,7 +80,9 @@ TEST(RaceStressTest, RegistryReloadEvictAndReadRace) {
 
   constexpr int kIterations = 40;
   std::atomic<int> errors{0};
-  std::vector<std::thread> threads;
+  // Raw threads on purpose: the stress tests need uncoordinated
+  // concurrency the shared pool deliberately does not provide.
+  std::vector<std::thread> threads;  // kdsel-lint: allow(raw-thread)
 
   // Two reloaders: keep re-registering fresh clones of "hot".
   for (int t = 0; t < 2; ++t) {
@@ -149,7 +151,7 @@ TEST(RaceStressTest, StatsExportRacesInferenceAndReload) {
   std::atomic<int> failures{0};
 
   // Stats scraper: full JSON export plus the scalar accessors.
-  std::thread scraper([&] {
+  std::thread scraper([&] {  // kdsel-lint: allow(raw-thread)
     while (!done.load(std::memory_order_acquire)) {
       auto parsed = Json::Parse(server.stats().ToJsonString());
       if (!parsed.ok()) failures.fetch_add(1);
@@ -162,7 +164,7 @@ TEST(RaceStressTest, StatsExportRacesInferenceAndReload) {
     }
   });
   // Reloader: swaps in identical weights, so responses stay stable.
-  std::thread reloader([&] {
+  std::thread reloader([&] {  // kdsel-lint: allow(raw-thread)
     while (!done.load(std::memory_order_acquire)) {
       auto snapshot = registry.Get("tiny");
       if (!snapshot.ok()) {
@@ -181,7 +183,7 @@ TEST(RaceStressTest, StatsExportRacesInferenceAndReload) {
 
   constexpr size_t kClients = 4;
   constexpr size_t kPerClient = 10;
-  std::vector<std::thread> clients;
+  std::vector<std::thread> clients;  // kdsel-lint: allow(raw-thread)
   for (size_t c = 0; c < kClients; ++c) {
     clients.emplace_back([&] {
       for (size_t r = 0; r < kPerClient; ++r) {
@@ -233,7 +235,7 @@ TEST(RaceStressTest, ConcurrentStopIsIdempotent) {
       futures.push_back(std::move(submitted).value());
     }
 
-    std::vector<std::thread> stoppers;
+    std::vector<std::thread> stoppers;  // kdsel-lint: allow(raw-thread)
     for (int t = 0; t < 3; ++t) {
       stoppers.emplace_back([&server] { server.Stop(); });
     }

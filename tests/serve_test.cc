@@ -105,7 +105,9 @@ TEST(LatencyHistogramTest, PercentilesRoughlyCorrect) {
 
 TEST(LatencyHistogramTest, ConcurrentRecordIsConsistent) {
   LatencyHistogram h;
-  std::vector<std::thread> threads;
+  // Raw threads on purpose: these tests exercise the serving layer
+  // under genuinely concurrent clients, outside the shared pool.
+  std::vector<std::thread> threads;  // kdsel-lint: allow(raw-thread)
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&h] {
       for (int i = 0; i < 2500; ++i) h.Record(100.0);
@@ -249,7 +251,7 @@ TEST(InferenceServerTest, MatchesSequentialPipelineByteForByte) {
   // 64 concurrent requests from 8 client threads.
   constexpr size_t kClients = 8;
   constexpr size_t kPerClient = 8;
-  std::vector<std::thread> clients;
+  std::vector<std::thread> clients;  // kdsel-lint: allow(raw-thread)
   std::atomic<int> mismatches{0}, failures{0};
   for (size_t c = 0; c < kClients; ++c) {
     clients.emplace_back([&, c] {
@@ -321,7 +323,7 @@ TEST(InferenceServerTest, HotReloadDuringInFlightRequestsIsRaceFree) {
   std::atomic<bool> stop_reloading{false};
   // Reloader: keeps swapping in new snapshots (same weights, so results
   // must stay stable) while clients hammer the server.
-  std::thread reloader([&] {
+  std::thread reloader([&] {  // kdsel-lint: allow(raw-thread)
     while (!stop_reloading.load()) {
       auto snapshot = registry.Get("tiny");
       ASSERT_TRUE(snapshot.ok());
@@ -335,7 +337,7 @@ TEST(InferenceServerTest, HotReloadDuringInFlightRequestsIsRaceFree) {
   constexpr size_t kClients = 8;
   constexpr size_t kPerClient = 8;
   std::atomic<int> mismatches{0}, failures{0};
-  std::vector<std::thread> clients;
+  std::vector<std::thread> clients;  // kdsel-lint: allow(raw-thread)
   for (size_t c = 0; c < kClients; ++c) {
     clients.emplace_back([&, c] {
       for (size_t r = 0; r < kPerClient; ++r) {

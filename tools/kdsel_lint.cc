@@ -23,6 +23,11 @@
 //                           live across a detector `Score(...)` call;
 //                           scoring can take milliseconds and must never
 //                           run under a lock on the serving path
+//   raw-thread              std::thread/std::async outside src/common/
+//                           (home of the shared pool) and src/serve/
+//                           (long-lived serving workers); hot loops must
+//                           go through kdsel::ParallelFor so thread
+//                           counts and determinism stay centralized
 //
 // Diagnostics print as `file:line: rule: message`, one per line, sorted.
 // Exit code: 0 clean, 1 violations found, 2 usage/IO error.
@@ -78,6 +83,7 @@ constexpr RuleInfo kRules[] = {
     {"raw-parse", "std::sto*/ato*/strto* outside src/common/"},
     {"nonreproducible-random", "unseeded randomness or wall-clock seeding"},
     {"lock-across-score", "mutex held across a detector Score() call"},
+    {"raw-thread", "std::thread/std::async outside src/common/ and src/serve/"},
 };
 
 bool IsKnownRule(const std::string& name) {
@@ -96,6 +102,9 @@ struct SourceFile {
   // line number -> rules suppressed on that line.
   std::map<size_t, std::set<std::string>> suppressions;
   bool in_common = false;  // Under src/common/ (exempt from raw-parse).
+  // Under src/common/ or src/serve/ (exempt from raw-thread: the pool
+  // itself and the serving layer's long-lived workers live there).
+  bool in_thread_zone = false;
 };
 
 /// Replaces the contents of comments and string/char literals with
@@ -269,6 +278,7 @@ class Linter {
       CheckRawParse(file, diagnostics);
       CheckNonreproducibleRandom(file, diagnostics);
       CheckLockAcrossScore(file, diagnostics);
+      CheckRawThread(file, diagnostics);
     }
     std::sort(diagnostics.begin(), diagnostics.end());
     return diagnostics;
@@ -499,6 +509,27 @@ class Linter {
     }
   }
 
+  void CheckRawThread(const SourceFile& file,
+                      std::vector<Diagnostic>& out) const {
+    if (file.in_thread_zone) return;
+    // `std::this_thread` never matches: the alternation is anchored
+    // right after `std::`.
+    static const std::regex kThread(R"(\bstd\s*::\s*(thread|jthread|async)\b)");
+    for (size_t i = 0; i < file.stripped.size(); ++i) {
+      std::smatch match;
+      if (!std::regex_search(file.stripped[i], match, kThread)) continue;
+      const size_t line_no = i + 1;
+      if (Suppressed(file, line_no, "raw-thread")) continue;
+      std::string message = "'std::";
+      message += match[1].str();
+      message +=
+          "' outside src/common/ and src/serve/ bypasses the shared "
+          "pool; use kdsel::ParallelFor or ThreadPool (common/parallel.h)";
+      out.push_back(
+          {file.display_path, line_no, "raw-thread", std::move(message)});
+    }
+  }
+
   std::vector<SourceFile> files_;
   std::set<std::string> status_functions_;
 };
@@ -526,6 +557,10 @@ bool LoadFile(const fs::path& path, const fs::path& root, SourceFile& out) {
   out.in_common =
       out.display_path.find("src/common/") != std::string::npos ||
       out.display_path.find("src\\common\\") != std::string::npos;
+  out.in_thread_zone =
+      out.in_common ||
+      out.display_path.find("src/serve/") != std::string::npos ||
+      out.display_path.find("src\\serve\\") != std::string::npos;
   CollectSuppressions(out);
   return true;
 }
