@@ -6,6 +6,11 @@
 // the parallel hot paths (detector matrix build, Conv1d forward /
 // backward, MatMul) at 1, 2 and 4 threads, writing the measurements
 // and speedups to BENCH_micro.json (see bench/bench_report.h).
+//
+// `bench_micro --report-kernels` times every compiled SIMD kernel
+// variant (scalar, generic, avx2 where supported) on a 256^3 MatMul and
+// a Conv1d forward at 1, 2 and 4 threads, writing BENCH_kernels.json
+// with per-entry `speedup_vs_scalar` metrics.
 
 #include <benchmark/benchmark.h>
 
@@ -25,6 +30,7 @@
 #include "features/features.h"
 #include "lsh/simhash.h"
 #include "nn/conv.h"
+#include "nn/kernels/kernels.h"
 #include "nn/tensor.h"
 #include "text/text_encoder.h"
 #include "tsad/detector.h"
@@ -239,10 +245,91 @@ int RunReportMode() {
   return 0;
 }
 
+int RunKernelsReportMode() {
+  // Identical inputs for every variant and thread count: the comparison
+  // is pure kernel code, not data.
+  Rng rng(22);
+  const size_t n = 256;
+  nn::Tensor ma({n, n}), mb({n, n});
+  for (float& v : ma.mutable_data()) v = static_cast<float>(rng.Normal());
+  for (float& v : mb.mutable_data()) v = static_cast<float>(rng.Normal());
+
+  nn::Conv1d conv(16, 16, 5, rng);
+  nn::Tensor cx({32, 16, 64});
+  for (float& v : cx.mutable_data()) v = static_cast<float>(rng.Normal());
+
+  bench::BenchReport report("kernels");
+  // Wall time of the scalar baseline, keyed "workload:threads" — scalar
+  // is always SupportedVariants().front(), so baselines land first.
+  std::map<std::string, double> scalar_wall;
+  for (nn::kernels::Variant variant : nn::kernels::SupportedVariants()) {
+    nn::kernels::ResetDispatchForTesting(variant);
+    const std::string tag = nn::kernels::VariantName(variant);
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+      ThreadPool::ResetGlobalForTesting(threads);
+      std::fprintf(stderr, "[bench_micro] kernels: %s at %zu threads\n",
+                   tag.c_str(), threads);
+      {
+        bench::BenchEntry e;
+        e.name = "matmul_256:" + tag;
+        e.threads = threads;
+        e.items = static_cast<double>(n * n * n);
+        e.items_unit = "multiply-adds";
+        e.wall_seconds = TimePerCall(3, 5, [&] {
+          benchmark::DoNotOptimize(nn::MatMul(ma, mb));
+        });
+        const std::string key = "matmul:" + std::to_string(threads);
+        if (variant == nn::kernels::Variant::kScalar) {
+          scalar_wall[key] = e.wall_seconds;
+        }
+        e.metrics["speedup_vs_scalar"] = scalar_wall[key] / e.wall_seconds;
+        report.Add(std::move(e));
+      }
+      {
+        bench::BenchEntry e;
+        e.name = "conv1d_forward:" + tag;
+        e.threads = threads;
+        e.items = 32.0;
+        e.items_unit = "batch rows";
+        e.wall_seconds =
+            TimePerCall(3, 20, [&] { (void)conv.Forward(cx, true); });
+        const std::string key = "conv:" + std::to_string(threads);
+        if (variant == nn::kernels::Variant::kScalar) {
+          scalar_wall[key] = e.wall_seconds;
+        }
+        e.metrics["speedup_vs_scalar"] = scalar_wall[key] / e.wall_seconds;
+        report.Add(std::move(e));
+      }
+    }
+  }
+  ThreadPool::ResetGlobalForTesting(0);
+  nn::kernels::ResetDispatchForTesting();
+
+  report.ComputeSpeedups();
+  auto path = report.Write();
+  if (!path.ok()) {
+    std::fprintf(stderr, "[bench_micro] report write failed: %s\n",
+                 path.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[bench_micro] wrote %s\n", path->c_str());
+  for (const auto& e : report.entries()) {
+    std::fprintf(stderr,
+                 "[bench_micro] %-24s %zu threads  %10.6fs  "
+                 "vs-scalar %.2fx  vs-1t %.2fx\n",
+                 e.name.c_str(), e.threads, e.wall_seconds,
+                 e.metrics.at("speedup_vs_scalar"), e.speedup_vs_1t);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--report-kernels") == 0) {
+      return RunKernelsReportMode();
+    }
     if (std::strcmp(argv[i], "--report") == 0) return RunReportMode();
   }
   benchmark::Initialize(&argc, argv);

@@ -1,0 +1,14 @@
+#include "common/cpu.h"
+
+namespace kdsel {
+
+bool CpuSupportsAvx2Fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports caches the CPUID result after the first call.
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+}  // namespace kdsel

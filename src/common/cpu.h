@@ -1,0 +1,13 @@
+#ifndef KDSEL_COMMON_CPU_H_
+#define KDSEL_COMMON_CPU_H_
+
+namespace kdsel {
+
+/// True when the CPU this process runs on supports AVX2 and FMA
+/// (queried once via CPUID; always false on non-x86 builds). Used by
+/// nn::kernels::Dispatch() to pick the widest safe kernel variant.
+bool CpuSupportsAvx2Fma();
+
+}  // namespace kdsel
+
+#endif  // KDSEL_COMMON_CPU_H_

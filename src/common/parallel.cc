@@ -31,7 +31,7 @@ constexpr size_t kMaxThreads = 256;
 /// One For() invocation: a shared chunk counter workers and the caller
 /// race on, plus completion bookkeeping for the caller's wait.
 struct ThreadPool::Job {
-  const std::function<void(size_t, size_t)>* fn = nullptr;
+  const ChunkCallback* fn = nullptr;
   size_t n = 0;
   size_t grain = 1;
   size_t chunks = 0;
@@ -123,8 +123,7 @@ void ThreadPool::RunChunks(Job& job) {
   }
 }
 
-void ThreadPool::For(size_t n, size_t grain,
-                     const std::function<void(size_t, size_t)>& fn) {
+void ThreadPool::For(size_t n, size_t grain, ChunkCallback fn) {
   if (n == 0) return;
   if (grain < 1) grain = 1;
   const size_t chunks = ParallelChunkCount(n, grain);
@@ -225,8 +224,7 @@ void ThreadPool::ResetGlobalForTesting(size_t threads) {
 
 size_t ParallelThreads() { return ThreadPool::Global().threads(); }
 
-void ParallelFor(size_t n, size_t grain,
-                 const std::function<void(size_t, size_t)>& fn) {
+void ParallelFor(size_t n, size_t grain, ChunkCallback fn) {
   ThreadPool::Global().For(n, grain, fn);
 }
 

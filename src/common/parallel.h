@@ -18,10 +18,38 @@
 /// (see Conv1d::Backward for the pattern).
 
 #include <cstddef>
-#include <functional>
 #include <memory>
+#include <type_traits>
 
 namespace kdsel {
+
+/// Non-owning reference to a `void(size_t begin, size_t end)` callable —
+/// two words, no heap. For()/ParallelFor() block until every chunk has
+/// run, so borrowing the caller's callable is safe, and replacing
+/// std::function here keeps large-capture lambdas (the norm in the
+/// tensor kernels) from heap-allocating on every hot-loop dispatch;
+/// steady-state training must perform zero allocations (train_alloc_test).
+class ChunkCallback {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, ChunkCallback>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design.
+  ChunkCallback(F&& f)
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        invoke_([](void* obj, size_t begin, size_t end) {
+          (*static_cast<std::remove_reference_t<F>*>(obj))(begin, end);
+        }) {}
+
+  void operator()(size_t begin, size_t end) const {
+    invoke_(obj_, begin, end);
+  }
+
+ private:
+  void* obj_;
+  void (*invoke_)(void*, size_t, size_t);
+};
 
 /// A fixed pool of N-1 worker threads; the calling thread participates
 /// in every For() as the Nth executor. Construction spawns the workers,
@@ -48,8 +76,7 @@ class ThreadPool {
   /// Nested calls — For() from inside a running chunk — execute their
   /// chunks inline on the current thread, in ascending order, so nesting
   /// can never deadlock and stays deterministic.
-  void For(size_t n, size_t grain,
-           const std::function<void(size_t, size_t)>& fn);
+  void For(size_t n, size_t grain, ChunkCallback fn);
 
   /// The process-global pool, created on first use with ThreadsFromEnv().
   static ThreadPool& Global();
@@ -82,8 +109,7 @@ size_t ParallelChunkCount(size_t n, size_t grain);
 size_t ParallelThreads();
 
 /// ThreadPool::Global().For(n, grain, fn).
-void ParallelFor(size_t n, size_t grain,
-                 const std::function<void(size_t, size_t)>& fn);
+void ParallelFor(size_t n, size_t grain, ChunkCallback fn);
 
 }  // namespace kdsel
 

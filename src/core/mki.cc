@@ -26,26 +26,34 @@ MkiHead::Result MkiHead::ComputeLoss(const nn::Tensor& z_t,
                                      const nn::Tensor& z_k,
                                      const std::vector<float>& weights,
                                      const std::vector<size_t>& group_ids) {
+  Result result;
+  ComputeLoss(z_t, z_k, weights, group_ids, &result);
+  return result;
+}
+
+void MkiHead::ComputeLoss(const nn::Tensor& z_t, const nn::Tensor& z_k,
+                          const std::vector<float>& weights,
+                          const std::vector<size_t>& group_ids,
+                          Result* result) {
   KDSEL_CHECK(z_t.rank() == 2 && z_t.dim(1) == options_.ts_feature_dim);
   KDSEL_CHECK(z_k.rank() == 2 && z_k.dim(1) == options_.text_feature_dim);
   KDSEL_CHECK(z_t.dim(0) == z_k.dim(0));
 
   nn::Tensor proj_t = h_t_.Forward(z_t, /*training=*/true);
   nn::Tensor proj_k = h_k_.Forward(z_k, /*training=*/true);
-  nn::InfoNceResult nce = nn::InfoNce(proj_t, proj_k, options_.temperature,
-                                      weights, group_ids);
+  nn::InfoNce(proj_t, proj_k, options_.temperature, weights, group_ids,
+              &nce_scratch_);
 
   // Scale by lambda and backpropagate through both projections. The
   // text encoder itself is frozen, so grad wrt z_k stops at h_k.
   const float lambda = static_cast<float>(options_.lambda);
-  nce.grad_a.ScaleInPlace(lambda);
-  nce.grad_b.ScaleInPlace(lambda);
-  Result result;
-  result.grad_z_t = h_t_.Backward(nce.grad_a);
-  (void)h_k_.Backward(nce.grad_b);
-  result.loss = options_.lambda * nce.mean_loss;
-  result.per_sample = std::move(nce.per_sample);
-  return result;
+  nce_scratch_.grad_a.ScaleInPlace(lambda);
+  nce_scratch_.grad_b.ScaleInPlace(lambda);
+  result->grad_z_t = h_t_.Backward(nce_scratch_.grad_a);
+  (void)h_k_.Backward(nce_scratch_.grad_b);
+  result->loss = options_.lambda * nce_scratch_.mean_loss;
+  result->per_sample.assign(nce_scratch_.per_sample.begin(),
+                            nce_scratch_.per_sample.end());
 }
 
 }  // namespace kdsel::core

@@ -50,6 +50,13 @@ class MkiHead {
   Result ComputeLoss(const nn::Tensor& z_t, const nn::Tensor& z_k,
                      const std::vector<float>& weights,
                      const std::vector<size_t>& group_ids = {});
+  /// Out-param form: reuses `result`'s buffers (and an internal InfoNCE
+  /// scratch) so the trainer's batch loop stays allocation-free at
+  /// steady state. `group_ids` is required here to keep the overload
+  /// set unambiguous.
+  void ComputeLoss(const nn::Tensor& z_t, const nn::Tensor& z_k,
+                   const std::vector<float>& weights,
+                   const std::vector<size_t>& group_ids, Result* result);
 
   std::vector<nn::Parameter*> Parameters();
 
@@ -59,6 +66,7 @@ class MkiHead {
   Options options_;
   nn::Sequential h_t_;
   nn::Sequential h_k_;
+  nn::InfoNceResult nce_scratch_;
 };
 
 }  // namespace kdsel::core

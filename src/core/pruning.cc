@@ -66,23 +66,33 @@ double Pruner::MeanLoss() const {
 }
 
 EpochPlan Pruner::PlanEpoch(size_t epoch, size_t total_epochs) {
+  EpochPlan plan;
+  PlanEpoch(epoch, total_epochs, &plan);
+  return plan;
+}
+
+void Pruner::PlanEpoch(size_t epoch, size_t total_epochs, EpochPlan* plan) {
   const bool anneal =
       total_epochs > 0 &&
       static_cast<double>(epoch) >=
           (1.0 - options_.anneal_fraction) * static_cast<double>(total_epochs);
   const bool first_epoch = epoch == 0;
   if (options_.mode == PruningMode::kNone || anneal || first_epoch) {
-    EpochPlan plan;
-    plan.kept.resize(num_samples_);
-    std::iota(plan.kept.begin(), plan.kept.end(), size_t{0});
-    plan.weights.assign(num_samples_, 1.0f);
-    return plan;
+    plan->kept.resize(num_samples_);
+    std::iota(plan->kept.begin(), plan->kept.end(), size_t{0});
+    plan->weights.assign(num_samples_, 1.0f);
+    return;
   }
-  return options_.mode == PruningMode::kInfoBatch ? PlanInfoBatch() : PlanPa();
+  plan->kept.clear();
+  plan->weights.clear();
+  if (options_.mode == PruningMode::kInfoBatch) {
+    PlanInfoBatch(plan);
+  } else {
+    PlanPa(plan);
+  }
 }
 
-EpochPlan Pruner::PlanInfoBatch() {
-  EpochPlan plan;
+void Pruner::PlanInfoBatch(EpochPlan* plan) {
   const double mean = MeanLoss();
   const double r = options_.prune_ratio;
   const float rescale = static_cast<float>(1.0 / (1.0 - r));
@@ -90,18 +100,16 @@ EpochPlan Pruner::PlanInfoBatch() {
     const bool low = seen_[i] && avg_loss_[i] < mean;
     if (low) {
       if (rng_.Bernoulli(r)) continue;  // pruned this epoch
-      plan.kept.push_back(i);
-      plan.weights.push_back(rescale);
+      plan->kept.push_back(i);
+      plan->weights.push_back(rescale);
     } else {
-      plan.kept.push_back(i);
-      plan.weights.push_back(1.0f);
+      plan->kept.push_back(i);
+      plan->weights.push_back(1.0f);
     }
   }
-  return plan;
 }
 
-EpochPlan Pruner::PlanPa() {
-  EpochPlan plan;
+void Pruner::PlanPa(EpochPlan* plan) {
   const double mean = MeanLoss();
   const double r = options_.prune_ratio;
   const float rescale = static_cast<float>(1.0 / (1.0 - r));
@@ -112,14 +120,14 @@ EpochPlan Pruner::PlanPa() {
     const bool low = seen_[i] && avg_loss_[i] < mean;
     if (low) {
       if (rng_.Bernoulli(r)) continue;
-      plan.kept.push_back(i);
-      plan.weights.push_back(rescale);
+      plan->kept.push_back(i);
+      plan->weights.push_back(rescale);
     } else {
       high.push_back(i);
     }
   }
 
-  if (high.empty()) return plan;
+  if (high.empty()) return;
 
   // Equi-depth binning of high-loss samples by current average loss:
   // sort by loss, then cut into `num_bins` equal-count bins.
@@ -144,17 +152,16 @@ EpochPlan Pruner::PlanPa() {
   for (auto& [key, members] : buckets) {
     if (members.size() <= 1) {
       // Singleton buckets carry non-redundant information: keep as-is.
-      plan.kept.push_back(members[0]);
-      plan.weights.push_back(1.0f);
+      plan->kept.push_back(members[0]);
+      plan->weights.push_back(1.0f);
       continue;
     }
     for (size_t i : members) {
       if (rng_.Bernoulli(r)) continue;
-      plan.kept.push_back(i);
-      plan.weights.push_back(rescale);
+      plan->kept.push_back(i);
+      plan->weights.push_back(rescale);
     }
   }
-  return plan;
 }
 
 }  // namespace kdsel::core

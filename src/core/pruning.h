@@ -57,6 +57,9 @@ class Pruner {
 
   /// Chooses the samples for `epoch` (0-based) of `total_epochs`.
   EpochPlan PlanEpoch(size_t epoch, size_t total_epochs);
+  /// Out-param form: reuses `plan`'s vector capacity so the trainer's
+  /// epoch loop stays allocation-free at steady state.
+  void PlanEpoch(size_t epoch, size_t total_epochs, EpochPlan* plan);
 
   /// Updates the running average loss of `sample` with an observation.
   void RecordLoss(size_t sample, double loss);
@@ -71,8 +74,8 @@ class Pruner {
   const PrunerOptions& options() const { return options_; }
 
  private:
-  EpochPlan PlanInfoBatch();
-  EpochPlan PlanPa();
+  void PlanInfoBatch(EpochPlan* plan);
+  void PlanPa(EpochPlan* plan);
 
   PrunerOptions options_;
   size_t num_samples_;

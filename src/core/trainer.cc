@@ -18,28 +18,28 @@ namespace kdsel::core {
 
 namespace {
 
-/// Gathers window rows into a [batch, L] tensor.
-nn::Tensor GatherWindows(const std::vector<std::vector<float>>& windows,
-                         const std::vector<size_t>& idx) {
+/// Gathers window rows into a preallocated [batch, L] tensor, reusing
+/// `out`'s buffer so the batch loop stays allocation-free.
+void GatherWindows(const std::vector<std::vector<float>>& windows,
+                   const std::vector<size_t>& idx, nn::Tensor* out) {
   KDSEL_CHECK(!idx.empty());
   const size_t dim = windows[idx[0]].size();
-  nn::Tensor out({idx.size(), dim});
+  out->Resize({idx.size(), dim});
   for (size_t i = 0; i < idx.size(); ++i) {
     std::copy(windows[idx[i]].begin(), windows[idx[i]].end(),
-              out.raw() + i * dim);
+              out->raw() + i * dim);
   }
-  return out;
 }
 
-/// Gathers rows of a 2-D tensor.
-nn::Tensor GatherRows(const nn::Tensor& src, const std::vector<size_t>& idx) {
+/// Gathers rows of a 2-D tensor into a preallocated tensor.
+void GatherRows(const nn::Tensor& src, const std::vector<size_t>& idx,
+                nn::Tensor* out) {
   const size_t dim = src.dim(1);
-  nn::Tensor out({idx.size(), dim});
+  out->Resize({idx.size(), dim});
   for (size_t i = 0; i < idx.size(); ++i) {
     std::copy(src.raw() + idx[i] * dim, src.raw() + (idx[i] + 1) * dim,
-              out.raw() + i * dim);
+              out->raw() + i * dim);
   }
-  return out;
 }
 
 Status ValidateSelectorTrainingData(const SelectorTrainingData& data,
@@ -133,13 +133,16 @@ StatusOr<nn::Tensor> TrainedSelector::Encode(
   }
   nn::Tensor features({windows.size(), backbone_->feature_dim()});
   const size_t kBatch = 256;
-  std::vector<size_t> idx;
+  nn::Tensor x;
   for (size_t off = 0; off < windows.size(); off += kBatch) {
-    idx.clear();
-    for (size_t i = off; i < std::min(windows.size(), off + kBatch); ++i) {
-      idx.push_back(i);
+    // Batches are consecutive windows: copy the rows directly instead of
+    // materializing an index vector of consecutive integers.
+    const size_t bs = std::min(windows.size(), off + kBatch) - off;
+    x.Resize({bs, L});
+    for (size_t i = 0; i < bs; ++i) {
+      std::copy(windows[off + i].begin(), windows[off + i].end(),
+                x.raw() + i * L);
     }
-    nn::Tensor x = GatherWindows(windows, idx);
     nn::Tensor z = backbone_->Forward(x, /*training=*/false);
     std::copy(z.raw(), z.raw() + z.size(),
               features.raw() + off * backbone_->feature_dim());
@@ -341,12 +344,28 @@ StatusOr<std::unique_ptr<TrainedSelector>> TrainSelector(
     stats->samples_visited = 0;
     stats->full_dataset_visits = options.epochs * n;
     stats->epoch_loss.clear();
+    stats->epoch_loss.reserve(options.epochs);
   }
 
+  // Per-batch state hoisted out of the loops: vectors keep their
+  // capacity and tensors their pooled buffers across batches, so after
+  // the first epoch warms everything up the hot loop performs no heap
+  // allocations (asserted by train_alloc_test).
+  EpochPlan plan;
+  std::vector<size_t> perm;
+  std::vector<size_t> idx;
+  std::vector<float> weights;
+  std::vector<int> batch_labels;
+  std::vector<size_t> soft_rows;
+  std::vector<size_t> text_rows;
+  nn::Tensor x, soft_batch, z_k;
+  nn::LossResult hard, soft;
+  MkiHead::Result mki_out;
+
   for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
-    EpochPlan plan = pruner.PlanEpoch(epoch, options.epochs);
+    pruner.PlanEpoch(epoch, options.epochs, &plan);
     // Shuffle kept samples and their weights together.
-    std::vector<size_t> perm(plan.kept.size());
+    perm.resize(plan.kept.size());
     std::iota(perm.begin(), perm.end(), size_t{0});
     rng.Shuffle(perm);
 
@@ -354,10 +373,8 @@ StatusOr<std::unique_ptr<TrainedSelector>> TrainSelector(
     size_t epoch_batches = 0;
     for (size_t off = 0; off < perm.size(); off += options.batch_size) {
       const size_t end = std::min(perm.size(), off + options.batch_size);
-      std::vector<size_t> idx;
-      std::vector<float> weights;
-      idx.reserve(end - off);
-      weights.reserve(end - off);
+      idx.clear();
+      weights.clear();
       for (size_t i = off; i < end; ++i) {
         idx.push_back(plan.kept[perm[i]]);
         weights.push_back(plan.weights[perm[i]]);
@@ -367,29 +384,29 @@ StatusOr<std::unique_ptr<TrainedSelector>> TrainSelector(
       // batch in that degenerate case.
       if (idx.size() < 2 && options.use_mki) continue;
 
-      nn::Tensor x = GatherWindows(data.windows, idx);
+      GatherWindows(data.windows, idx, &x);
       nn::Tensor z = backbone->Forward(x, /*training=*/true);
       nn::Tensor logits = classifier->Forward(z, /*training=*/true);
 
-      std::vector<int> batch_labels(idx.size());
+      batch_labels.resize(idx.size());
       for (size_t i = 0; i < idx.size(); ++i) {
         batch_labels[i] = data.labels[idx[i]];
       }
-      nn::LossResult hard =
-          nn::SoftmaxCrossEntropyHard(logits, batch_labels, weights);
-      nn::Tensor grad_logits = hard.grad;
-      std::vector<float> per_sample = hard.per_sample;
+      nn::SoftmaxCrossEntropyHard(logits, batch_labels, weights, &hard);
+      // The blended gradient and per-sample losses are built in place on
+      // the hard-CE result; it is not needed in pristine form afterward.
+      nn::Tensor& grad_logits = hard.grad;
+      std::vector<float>& per_sample = hard.per_sample;
       double batch_loss = hard.mean_loss;
       if (alpha > 0) {
         // Soft labels live one row per performance entry; resolve each
         // sample's (possibly shared) row before gathering.
-        std::vector<size_t> soft_rows(idx.size());
+        soft_rows.resize(idx.size());
         for (size_t i = 0; i < idx.size(); ++i) {
           soft_rows[i] = data.PerformanceRow(idx[i]);
         }
-        nn::Tensor soft_batch = GatherRows(soft_labels, soft_rows);
-        nn::LossResult soft =
-            nn::SoftmaxCrossEntropySoft(logits, soft_batch, weights);
+        GatherRows(soft_labels, soft_rows, &soft_batch);
+        nn::SoftmaxCrossEntropySoft(logits, soft_batch, weights, &soft);
         // (1 - alpha) * L_CE + alpha * L_PISL.
         grad_logits.ScaleInPlace(static_cast<float>(1.0 - alpha));
         grad_logits.AxpyInPlace(static_cast<float>(alpha), soft.grad);
@@ -402,15 +419,14 @@ StatusOr<std::unique_ptr<TrainedSelector>> TrainSelector(
 
       nn::Tensor grad_z = classifier->Backward(grad_logits);
       if (mki) {
-        std::vector<size_t> text_rows(idx.size());
+        text_rows.resize(idx.size());
         for (size_t i = 0; i < idx.size(); ++i) {
           text_rows[i] = text_index[idx[i]];
         }
-        nn::Tensor z_k = GatherRows(text_embeddings, text_rows);
+        GatherRows(text_embeddings, text_rows, &z_k);
         // Text row ids double as group ids: windows sharing a metadata
         // text must not serve as each other's InfoNCE negatives.
-        MkiHead::Result mki_out =
-            mki->ComputeLoss(z, z_k, weights, text_rows);
+        mki->ComputeLoss(z, z_k, weights, text_rows, &mki_out);
         grad_z.AddInPlace(mki_out.grad_z_t);
         batch_loss += mki_out.loss;
         for (size_t i = 0; i < per_sample.size(); ++i) {
@@ -440,6 +456,7 @@ StatusOr<std::unique_ptr<TrainedSelector>> TrainSelector(
                    epoch + 1, options.epochs, plan.kept.size(),
                    epoch_batches ? epoch_loss / double(epoch_batches) : 0.0);
     }
+    if (options.on_epoch_end) options.on_epoch_end(epoch);
   }
 
   if (stats) {

@@ -1,6 +1,7 @@
 #ifndef KDSEL_CORE_TRAINER_H_
 #define KDSEL_CORE_TRAINER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -74,6 +75,11 @@ struct TrainerOptions {
 
   uint64_t seed = 1;
   bool verbose = false;
+
+  /// Test/diagnostic hook invoked after each completed epoch (0-based).
+  /// The allocation-regression test uses it to snapshot heap counters at
+  /// epoch boundaries; leave empty in production use.
+  std::function<void(size_t)> on_epoch_end;
 };
 
 /// Statistics of one training run, used by the benches to report the

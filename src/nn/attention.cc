@@ -1,6 +1,10 @@
 #include "nn/attention.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "nn/kernels/kernels.h"
+#include "nn/workspace.h"
 
 namespace kdsel::nn {
 
@@ -13,8 +17,9 @@ LayerNorm::LayerNorm(size_t dim, double eps)
 Tensor LayerNorm::Forward(const Tensor& input, bool /*training*/) {
   KDSEL_CHECK(input.rank() >= 2 && input.shape().back() == dim_);
   const size_t rows = input.size() / dim_;
-  Tensor out(input.shape());
-  cached_xhat_ = Tensor(input.shape());
+  Tensor out;
+  out.Resize(input.shape());  // Every element written below.
+  cached_xhat_.Resize(input.shape());
   cached_inv_std_.assign(rows, 0.0f);
   for (size_t r = 0; r < rows; ++r) {
     const float* x = input.raw() + r * dim_;
@@ -42,7 +47,8 @@ Tensor LayerNorm::Forward(const Tensor& input, bool /*training*/) {
 Tensor LayerNorm::Backward(const Tensor& grad_output) {
   KDSEL_CHECK(SameShape(grad_output, cached_xhat_));
   const size_t rows = grad_output.size() / dim_;
-  Tensor grad_input(grad_output.shape());
+  Tensor grad_input;
+  grad_input.Resize(grad_output.shape());  // Every element written below.
   const double n = static_cast<double>(dim_);
   for (size_t r = 0; r < rows; ++r) {
     const float* gy = grad_output.raw() + r * dim_;
@@ -95,8 +101,9 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& input, bool /*training*/) {
   cached_k_ = MatMulTransposedB(flat, wk_.value).Reshaped({B, T, dim_});
   cached_v_ = MatMulTransposedB(flat, wv_.value).Reshaped({B, T, dim_});
 
-  cached_attn_ = Tensor({B, num_heads_, T, T});
-  cached_concat_ = Tensor({B, T, dim_});
+  const kernels::Ops& ops = kernels::Dispatch();
+  cached_attn_.Resize({B, num_heads_, T, T});  // Every row softmaxed below.
+  cached_concat_ = Tensor({B, T, dim_});       // Accumulated into: zero-init.
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
 
   for (size_t b = 0; b < B; ++b) {
@@ -108,31 +115,19 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& input, bool /*training*/) {
       for (size_t i = 0; i < T; ++i) {
         const float* qi = cached_q_.raw() + (b * T + i) * dim_ + off;
         float* srow = attn + i * T;
-        float mx = -1e30f;
         for (size_t j = 0; j < T; ++j) {
           const float* kj = cached_k_.raw() + (b * T + j) * dim_ + off;
-          float acc = 0.0f;
-          for (size_t d = 0; d < head_dim_; ++d) acc += qi[d] * kj[d];
-          srow[j] = acc * scale;
-          mx = std::max(mx, srow[j]);
+          srow[j] = ops.dot(qi, kj, head_dim_) * scale;
         }
-        double sum = 0.0;
-        for (size_t j = 0; j < T; ++j) {
-          srow[j] = std::exp(srow[j] - mx);
-          sum += srow[j];
-        }
-        const float inv = static_cast<float>(1.0 / sum);
-        for (size_t j = 0; j < T; ++j) srow[j] *= inv;
+        ops.softmax_row(srow, srow, T);
       }
       // concat output rows: out_i = sum_j attn[i][j] * v_j
       for (size_t i = 0; i < T; ++i) {
         const float* arow = attn + i * T;
         float* orow = cached_concat_.raw() + (b * T + i) * dim_ + off;
         for (size_t j = 0; j < T; ++j) {
-          const float a = arow[j];
-          if (a == 0.0f) continue;
           const float* vj = cached_v_.raw() + (b * T + j) * dim_ + off;
-          for (size_t d = 0; d < head_dim_; ++d) orow[d] += a * vj[d];
+          ops.axpy(orow, arow[j], vj, head_dim_);
         }
       }
     }
@@ -148,6 +143,7 @@ Tensor MultiHeadSelfAttention::Backward(const Tensor& grad_output) {
               grad_output.dim(1) == T && grad_output.dim(2) == dim_);
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
 
+  const kernels::Ops& ops = kernels::Dispatch();
   Tensor gy_flat = grad_output.Reshaped({B * T, dim_});
   Tensor concat_flat = cached_concat_.Reshaped({B * T, dim_});
   wo_.grad.AddInPlace(MatMulTransposedA(gy_flat, concat_flat));
@@ -155,14 +151,13 @@ Tensor MultiHeadSelfAttention::Backward(const Tensor& grad_output) {
       MatMul(gy_flat, wo_.value).Reshaped({B, T, dim_});  // [B,T,D]
 
   Tensor dq({B, T, dim_}), dk({B, T, dim_}), dv({B, T, dim_});
-  std::vector<float> d_attn(T * T);
+  ScratchBuffer d_attn(T * T);  // Fully rewritten per (b, h) below.
 
   for (size_t b = 0; b < B; ++b) {
     for (size_t h = 0; h < num_heads_; ++h) {
       const size_t off = h * head_dim_;
       const float* attn = cached_attn_.raw() + ((b * num_heads_ + h) * T) * T;
       // dV and dAttn.
-      std::fill(d_attn.begin(), d_attn.end(), 0.0f);
       for (size_t i = 0; i < T; ++i) {
         const float* doi = d_concat.raw() + (b * T + i) * dim_ + off;
         const float* arow = attn + i * T;
@@ -170,12 +165,8 @@ Tensor MultiHeadSelfAttention::Backward(const Tensor& grad_output) {
         for (size_t j = 0; j < T; ++j) {
           const float* vj = cached_v_.raw() + (b * T + j) * dim_ + off;
           float* dvj = dv.raw() + (b * T + j) * dim_ + off;
-          float acc = 0.0f;
-          for (size_t d = 0; d < head_dim_; ++d) {
-            acc += doi[d] * vj[d];
-            dvj[d] += arow[j] * doi[d];
-          }
-          darow[j] = acc;
+          darow[j] = ops.dot(doi, vj, head_dim_);
+          ops.axpy(dvj, arow[j], doi, head_dim_);
         }
       }
       // Softmax backward per row -> dScores, then dQ, dK.
@@ -192,13 +183,10 @@ Tensor MultiHeadSelfAttention::Backward(const Tensor& grad_output) {
         const float* qi = cached_q_.raw() + (b * T + i) * dim_ + off;
         for (size_t j = 0; j < T; ++j) {
           const float ds = darow[j];
-          if (ds == 0.0f) continue;
           const float* kj = cached_k_.raw() + (b * T + j) * dim_ + off;
           float* dkj = dk.raw() + (b * T + j) * dim_ + off;
-          for (size_t d = 0; d < head_dim_; ++d) {
-            dqi[d] += ds * kj[d];
-            dkj[d] += ds * qi[d];
-          }
+          ops.axpy(dqi, ds, kj, head_dim_);
+          ops.axpy(dkj, ds, qi, head_dim_);
         }
       }
     }

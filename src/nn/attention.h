@@ -71,7 +71,7 @@ class TransformerEncoderBlock : public Module {
   Gelu gelu_;
   Linear ffn2_;
   Dropout drop2_;
-  std::vector<size_t> cached_shape_;
+  Shape cached_shape_;
 };
 
 }  // namespace kdsel::nn

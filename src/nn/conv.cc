@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "nn/kernels/kernels.h"
+#include "nn/workspace.h"
 
 namespace kdsel::nn {
 
@@ -47,11 +49,13 @@ Tensor Conv1d::Forward(const Tensor& input, bool /*training*/) {
   const size_t K = kernel_size_;
   const ptrdiff_t pad = static_cast<ptrdiff_t>((K - 1) / 2);
   Tensor out({B, out_channels_, L});
+  const kernels::Ops& ops = kernels::Dispatch();
   const float* x = input.raw();
   const float* w = weight_.value.raw();
   float* y = out.raw();
   // Each batch item writes a disjoint slice of `out`, so batch-parallel
-  // execution is race-free and bitwise-deterministic.
+  // execution is race-free and bitwise-deterministic. Each kernel tap is
+  // an axpy over the valid [t_lo, t_hi) range of the shifted input row.
   ParallelFor(B, 1, [&](size_t b_begin, size_t b_end) {
   for (size_t b = b_begin; b < b_end; ++b) {
     const float* xb = x + b * in_channels_ * L;
@@ -63,22 +67,17 @@ Tensor Conv1d::Forward(const Tensor& input, bool /*training*/) {
         const float* xrow = xb + ci * L;
         const float* wk = wco + ci * K;
         for (size_t k = 0; k < K; ++k) {
-          const float wv = wk[k];
-          if (wv == 0.0f) continue;
           const ptrdiff_t shift = static_cast<ptrdiff_t>(k) - pad;
           const size_t t_lo = shift < 0 ? static_cast<size_t>(-shift) : 0;
           const size_t t_hi =
               shift > 0 ? L - static_cast<size_t>(shift) : L;
-          for (size_t t = t_lo; t < t_hi; ++t) {
-            yrow[t] += wv * xrow[static_cast<size_t>(
-                                static_cast<ptrdiff_t>(t) + shift)];
-          }
+          ops.axpy(yrow + t_lo, wk[k],
+                   xrow + static_cast<size_t>(static_cast<ptrdiff_t>(t_lo) +
+                                              shift),
+                   t_hi - t_lo);
         }
       }
-      if (use_bias_) {
-        const float bv = bias_.value[co];
-        for (size_t t = 0; t < L; ++t) yrow[t] += bv;
-      }
+      if (use_bias_) ops.add_scalar(yrow, bias_.value[co], L);
     }
   }
   });
@@ -101,11 +100,14 @@ Tensor Conv1d::Backward(const Tensor& grad_output) {
   // gradients reduce across the batch: each batch chunk accumulates into
   // its own scratch shard, reduced serially below in ascending shard
   // order so the result is independent of the thread count.
+  const kernels::Ops& ops = kernels::Dispatch();
   const size_t wsize = out_channels_ * in_channels_ * K;
   const size_t grain = BatchGrain(B);
   const size_t shards = ParallelChunkCount(B, grain);
-  std::vector<float> gw_scratch(shards * wsize, 0.0f);
-  std::vector<float> gb_scratch(use_bias_ ? shards * out_channels_ : 0, 0.0f);
+  ScratchBuffer gw_scratch(shards * wsize);
+  gw_scratch.Zero();
+  ScratchBuffer gb_scratch(use_bias_ ? shards * out_channels_ : 0);
+  gb_scratch.Zero();
 
   ParallelFor(B, grain, [&](size_t b_begin, size_t b_end) {
   const size_t shard = b_begin / grain;
@@ -119,11 +121,7 @@ Tensor Conv1d::Backward(const Tensor& grad_output) {
       const float* gyrow = gyb + co * L;
       const float* wco = w + co * in_channels_ * K;
       float* gwco = gw + co * in_channels_ * K;
-      if (use_bias_) {
-        float acc = 0.0f;
-        for (size_t t = 0; t < L; ++t) acc += gyrow[t];
-        gb[co] += acc;
-      }
+      if (use_bias_) gb[co] += ops.sum(gyrow, L);
       for (size_t ci = 0; ci < in_channels_; ++ci) {
         const float* xrow = xb + ci * L;
         float* gxrow = gxb + ci * L;
@@ -133,15 +131,12 @@ Tensor Conv1d::Backward(const Tensor& grad_output) {
           const ptrdiff_t shift = static_cast<ptrdiff_t>(k) - pad;
           const size_t t_lo = shift < 0 ? static_cast<size_t>(-shift) : 0;
           const size_t t_hi = shift > 0 ? L - static_cast<size_t>(shift) : L;
-          float wgrad_acc = 0.0f;
-          const float wv = wk[k];
-          for (size_t t = t_lo; t < t_hi; ++t) {
-            const size_t src =
-                static_cast<size_t>(static_cast<ptrdiff_t>(t) + shift);
-            wgrad_acc += gyrow[t] * xrow[src];
-            gxrow[src] += gyrow[t] * wv;
-          }
-          gwk[k] += wgrad_acc;
+          const size_t src_lo =
+              static_cast<size_t>(static_cast<ptrdiff_t>(t_lo) + shift);
+          // Fused tap: accumulates the weight gradient and scatters the
+          // input gradient in one pass over the valid range.
+          gwk[k] += ops.conv_grad_tap(gyrow + t_lo, xrow + src_lo, wk[k],
+                                      gxrow + src_lo, t_hi - t_lo);
         }
       }
     }
@@ -150,11 +145,10 @@ Tensor Conv1d::Backward(const Tensor& grad_output) {
 
   float* gw_out = weight_.grad.raw();
   for (size_t shard = 0; shard < shards; ++shard) {
-    const float* gw = gw_scratch.data() + shard * wsize;
-    for (size_t i = 0; i < wsize; ++i) gw_out[i] += gw[i];
+    ops.add(gw_out, gw_scratch.data() + shard * wsize, wsize);
     if (use_bias_) {
-      const float* gb = gb_scratch.data() + shard * out_channels_;
-      for (size_t co = 0; co < out_channels_; ++co) bias_.grad[co] += gb[co];
+      ops.add(bias_.grad.raw(), gb_scratch.data() + shard * out_channels_,
+              out_channels_);
     }
   }
   return grad_input;
@@ -179,7 +173,10 @@ Tensor BatchNorm1d::Forward(const Tensor& input, bool training) {
   const size_t n = B * L;
   cached_shape_ = input.shape();
 
-  std::vector<double> mean(C, 0.0), var(C, 0.0);
+  mean_scratch_.assign(C, 0.0);
+  var_scratch_.assign(C, 0.0);
+  std::vector<double>& mean = mean_scratch_;
+  std::vector<double>& var = var_scratch_;
   if (training) {
     for (size_t b = 0; b < B; ++b) {
       for (size_t c = 0; c < C; ++c) {
@@ -220,8 +217,9 @@ Tensor BatchNorm1d::Forward(const Tensor& input, bool training) {
     cached_inv_std_[c] = 1.0 / std::sqrt(var[c] + eps_);
   }
 
-  Tensor out(input.shape());
-  cached_xhat_ = Tensor(input.shape());
+  Tensor out;
+  out.Resize(input.shape());  // Every element written below.
+  cached_xhat_.Resize(input.shape());
   for (size_t b = 0; b < B; ++b) {
     for (size_t c = 0; c < C; ++c) {
       const float* row = input.raw() + (b * C + c) * L;
@@ -251,7 +249,10 @@ Tensor BatchNorm1d::Backward(const Tensor& grad_output) {
   // Standard BN backward:
   // dxhat = dy * gamma
   // dx = (1/N) * inv_std * (N*dxhat - sum(dxhat) - xhat * sum(dxhat*xhat))
-  std::vector<double> sum_dy(C, 0.0), sum_dy_xhat(C, 0.0);
+  sum_dy_scratch_.assign(C, 0.0);
+  sum_dy_xhat_scratch_.assign(C, 0.0);
+  std::vector<double>& sum_dy = sum_dy_scratch_;
+  std::vector<double>& sum_dy_xhat = sum_dy_xhat_scratch_;
   for (size_t b = 0; b < B; ++b) {
     for (size_t c = 0; c < C; ++c) {
       const float* gy = grad_output.raw() + (b * C + c) * L;
@@ -270,7 +271,8 @@ Tensor BatchNorm1d::Backward(const Tensor& grad_output) {
     gamma_.grad[c] += static_cast<float>(sum_dy_xhat[c]);
   }
 
-  Tensor grad_input(cached_shape_);
+  Tensor grad_input;
+  grad_input.Resize(cached_shape_);  // Every element written below.
   for (size_t b = 0; b < B; ++b) {
     for (size_t c = 0; c < C; ++c) {
       const float* gy = grad_output.raw() + (b * C + c) * L;

@@ -64,7 +64,11 @@ class BatchNorm1d : public Module {
   // Forward cache for backward.
   Tensor cached_xhat_;
   std::vector<double> cached_inv_std_;
-  std::vector<size_t> cached_shape_;
+  Shape cached_shape_;
+  // Reused per-call stat scratch (capacity persists across batches so
+  // steady-state training stays allocation-free).
+  std::vector<double> mean_scratch_, var_scratch_;
+  std::vector<double> sum_dy_scratch_, sum_dy_xhat_scratch_;
 };
 
 /// Global average pooling: [B, C, L] -> [B, C].
@@ -74,7 +78,7 @@ class GlobalAvgPool1d : public Module {
   Tensor Backward(const Tensor& grad_output) override;
 
  private:
-  std::vector<size_t> cached_shape_;
+  Shape cached_shape_;
 };
 
 /// Max pooling with window 3, stride 1, same padding: [B,C,L] -> [B,C,L].

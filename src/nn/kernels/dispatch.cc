@@ -1,0 +1,114 @@
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/check.h"
+#include "common/cpu.h"
+#include "nn/kernels/kernels.h"
+
+namespace kdsel::nn::kernels {
+namespace {
+
+// Active table. nullptr until first Dispatch(); resolution is
+// idempotent, so the benign first-use race is harmless.
+std::atomic<const Ops*> g_active{nullptr};
+
+const Ops* Resolve() {
+  const Variant best = BestSupportedVariant();
+  const char* env = std::getenv("KDSEL_SIMD");
+  if (env == nullptr || *env == '\0') return &GetOps(best);
+  auto parsed = ParseVariantName(env);
+  if (!parsed.ok()) {
+    std::fprintf(stderr,
+                 "[kernels] ignoring invalid KDSEL_SIMD=%s (%s); using %s\n",
+                 env, parsed.status().message().c_str(), VariantName(best));
+    return &GetOps(best);
+  }
+  if (!VariantSupported(*parsed)) {
+    std::fprintf(stderr,
+                 "[kernels] KDSEL_SIMD=%s is not available on this build/CPU; "
+                 "using %s\n",
+                 env, VariantName(best));
+    return &GetOps(best);
+  }
+  return &GetOps(*parsed);
+}
+
+}  // namespace
+
+const Ops& Dispatch() {
+  const Ops* ops = g_active.load(std::memory_order_acquire);
+  if (ops == nullptr) {
+    ops = Resolve();
+    g_active.store(ops, std::memory_order_release);
+  }
+  return *ops;
+}
+
+Variant ActiveVariant() { return Dispatch().variant; }
+
+bool VariantSupported(Variant v) {
+  switch (v) {
+    case Variant::kScalar:
+    case Variant::kGeneric:
+      return true;
+    case Variant::kAvx2:
+      return detail::Avx2Ops() != nullptr && CpuSupportsAvx2Fma();
+  }
+  return false;
+}
+
+const Ops& GetOps(Variant v) {
+  KDSEL_CHECK(VariantSupported(v));
+  switch (v) {
+    case Variant::kScalar:
+      return *detail::ScalarOps();
+    case Variant::kGeneric:
+      return *detail::GenericOps();
+    case Variant::kAvx2:
+      return *detail::Avx2Ops();
+  }
+  return *detail::ScalarOps();
+}
+
+Variant BestSupportedVariant() {
+  if (VariantSupported(Variant::kAvx2)) return Variant::kAvx2;
+  return Variant::kGeneric;
+}
+
+std::vector<Variant> SupportedVariants() {
+  std::vector<Variant> variants = {Variant::kScalar, Variant::kGeneric};
+  if (VariantSupported(Variant::kAvx2)) variants.push_back(Variant::kAvx2);
+  return variants;
+}
+
+const char* VariantName(Variant v) {
+  switch (v) {
+    case Variant::kScalar:
+      return "scalar";
+    case Variant::kGeneric:
+      return "generic";
+    case Variant::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+StatusOr<Variant> ParseVariantName(std::string_view name) {
+  if (name == "scalar") return Variant::kScalar;
+  if (name == "generic") return Variant::kGeneric;
+  if (name == "avx2") return Variant::kAvx2;
+  return Status::InvalidArgument("expected scalar|generic|avx2, got '" +
+                                 std::string(name) + "'");
+}
+
+void ResetDispatchForTesting(Variant v) {
+  g_active.store(&GetOps(v), std::memory_order_release);
+}
+
+void ResetDispatchForTesting() {
+  g_active.store(Resolve(), std::memory_order_release);
+}
+
+}  // namespace kdsel::nn::kernels

@@ -1,0 +1,177 @@
+// Scalar reference kernels: the original loop nests from tensor.cc /
+// conv.cc / loss.cc / optimizer.cc, verbatim except for the removed
+// `v == 0.0f` skip branches (which silently turned 0 * NaN/Inf into 0
+// and cost a branch per element). For finite inputs the accumulation
+// order — and therefore every bit of the result — is unchanged from the
+// pre-kernel code.
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/kernels/kernels.h"
+
+namespace kdsel::nn::kernels {
+namespace scalar {
+namespace {
+
+// Column tile for the cache-blocked matmul kernels: a B panel of
+// kColTile columns stays resident in L1/L2 while a block of output rows
+// streams over it. Must not affect results — each c[i][j] still
+// accumulates over kk in ascending order.
+constexpr size_t kColTile = 128;
+
+void MatMulRows(const float* a, const float* b, float* c, size_t k, size_t m,
+                size_t i0, size_t i1) {
+  for (size_t jb = 0; jb < m; jb += kColTile) {
+    const size_t jend = std::min(m, jb + kColTile);
+    for (size_t i = i0; i < i1; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * m;
+      for (size_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        const float* brow = b + kk * m;
+        for (size_t j = jb; j < jend; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void MatMulTbRows(const float* a, const float* b, float* c, size_t k, size_t m,
+                  size_t i0, size_t i1) {
+  for (size_t jb = 0; jb < m; jb += kColTile) {
+    const size_t jend = std::min(m, jb + kColTile);
+    for (size_t i = i0; i < i1; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * m;
+      for (size_t j = jb; j < jend; ++j) {
+        const float* brow = b + j * k;
+        float acc = 0.0f;
+        for (size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        crow[j] = acc;
+      }
+    }
+  }
+}
+
+void MatMulTaRows(const float* a, const float* b, float* c, size_t n, size_t k,
+                  size_t m, size_t k0, size_t k1) {
+  for (size_t jb = 0; jb < m; jb += kColTile) {
+    const size_t jend = std::min(m, jb + kColTile);
+    for (size_t kk = k0; kk < k1; ++kk) {
+      float* crow = c + kk * m;
+      for (size_t i = 0; i < n; ++i) {
+        const float av = a[i * k + kk];
+        const float* brow = b + i * m;
+        for (size_t j = jb; j < jend; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void Add(float* y, const float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+void Axpy(float* y, float a, const float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void Scale(float* x, float a, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] *= a;
+}
+
+void AddScalar(float* x, float a, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] += a;
+}
+
+void ScaledCopy(float* y, const float* x, float s, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] = s * x[i];
+}
+
+void ScaledDiff(float* g, const float* p, const float* t, float s, size_t n) {
+  for (size_t i = 0; i < n; ++i) g[i] = s * (p[i] - t[i]);
+}
+
+float Dot(const float* a, const float* b, size_t n) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float Sum(const float* x, size_t n) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += x[i];
+  return acc;
+}
+
+double SquaredL2(const float* x, size_t n) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += static_cast<double>(x[i]) * x[i];
+  }
+  return sum;
+}
+
+float ConvGradTap(const float* gy, const float* x, float w, float* gx,
+                  size_t n) {
+  float wgrad_acc = 0.0f;
+  for (size_t t = 0; t < n; ++t) {
+    wgrad_acc += gy[t] * x[t];
+    gx[t] += gy[t] * w;
+  }
+  return wgrad_acc;
+}
+
+void SoftmaxRow(const float* x, float* y, size_t m) {
+  float mx = x[0];
+  for (size_t j = 1; j < m; ++j) mx = std::max(mx, x[j]);
+  double sum = 0.0;
+  for (size_t j = 0; j < m; ++j) {
+    y[j] = std::exp(x[j] - mx);
+    sum += y[j];
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (size_t j = 0; j < m; ++j) y[j] *= inv;
+}
+
+void AdamUpdate(float* p, float* m, float* v, const float* g, size_t n,
+                float lr, float b1, float b2, float eps, double lr_wd) {
+  for (size_t j = 0; j < n; ++j) {
+    m[j] = b1 * m[j] + (1 - b1) * g[j];
+    v[j] = b2 * v[j] + (1 - b2) * g[j] * g[j];
+    // Mixed float/double expression preserved exactly from the original
+    // Adam::Step: the lr*weight_decay term promotes the sum to double
+    // before the single truncating store.
+    p[j] -= lr * m[j] / (std::sqrt(v[j]) + eps) + lr_wd * p[j];
+  }
+}
+
+}  // namespace
+
+const Ops kOps = {
+    Variant::kScalar,
+    "scalar",
+    MatMulRows,
+    MatMulTbRows,
+    MatMulTaRows,
+    Add,
+    Axpy,
+    Scale,
+    AddScalar,
+    ScaledCopy,
+    ScaledDiff,
+    Dot,
+    Sum,
+    SquaredL2,
+    ConvGradTap,
+    SoftmaxRow,
+    AdamUpdate,
+};
+
+}  // namespace scalar
+
+namespace detail {
+const Ops* ScalarOps() { return &scalar::kOps; }
+}  // namespace detail
+
+}  // namespace kdsel::nn::kernels

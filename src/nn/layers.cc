@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "nn/kernels/kernels.h"
+
 namespace kdsel::nn {
 
 Linear::Linear(size_t in_features, size_t out_features, Rng& rng)
@@ -16,10 +18,10 @@ Tensor Linear::Forward(const Tensor& input, bool /*training*/) {
   KDSEL_CHECK(input.rank() == 2 && input.dim(1) == in_features_);
   cached_input_ = input;
   Tensor out = MatMulTransposedB(input, weight_.value);  // [B, out]
+  const kernels::Ops& ops = kernels::Dispatch();
   const size_t b = out.dim(0);
   for (size_t i = 0; i < b; ++i) {
-    float* row = out.raw() + i * out_features_;
-    for (size_t j = 0; j < out_features_; ++j) row[j] += bias_.value[j];
+    ops.add(out.raw() + i * out_features_, bias_.value.raw(), out_features_);
   }
   return out;
 }
@@ -30,10 +32,11 @@ Tensor Linear::Backward(const Tensor& grad_output) {
   // dW = dY^T X ; db = sum rows dY ; dX = dY W
   Tensor dw = MatMulTransposedA(grad_output, cached_input_);  // [out, in]
   weight_.grad.AddInPlace(dw);
+  const kernels::Ops& ops = kernels::Dispatch();
   const size_t b = grad_output.dim(0);
   for (size_t i = 0; i < b; ++i) {
-    const float* row = grad_output.raw() + i * out_features_;
-    for (size_t j = 0; j < out_features_; ++j) bias_.grad[j] += row[j];
+    ops.add(bias_.grad.raw(), grad_output.raw() + i * out_features_,
+            out_features_);
   }
   return MatMul(grad_output, weight_.value);  // [B, in]
 }

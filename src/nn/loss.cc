@@ -1,6 +1,10 @@
 #include "nn/loss.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "nn/kernels/kernels.h"
+#include "nn/workspace.h"
 
 namespace kdsel::nn {
 
@@ -13,18 +17,20 @@ float WeightAt(const std::vector<float>& weights, size_t i) {
 
 }  // namespace
 
-LossResult SoftmaxCrossEntropyHard(const Tensor& logits,
-                                   const std::vector<int>& labels,
-                                   const std::vector<float>& weights) {
+void SoftmaxCrossEntropyHard(const Tensor& logits,
+                             const std::vector<int>& labels,
+                             const std::vector<float>& weights,
+                             LossResult* result) {
   KDSEL_CHECK(logits.rank() == 2);
   const size_t B = logits.dim(0), m = logits.dim(1);
   KDSEL_CHECK(labels.size() == B);
   KDSEL_CHECK(weights.empty() || weights.size() == B);
 
-  Tensor probs = SoftmaxRows(logits);
-  LossResult result;
-  result.per_sample.resize(B);
-  result.grad = Tensor({B, m});
+  const kernels::Ops& ops = kernels::Dispatch();
+  Tensor probs;
+  SoftmaxRows(logits, &probs);
+  result->per_sample.resize(B);
+  result->grad.Resize({B, m});
   const float inv_b = 1.0f / static_cast<float>(B);
   double total = 0.0;
   for (size_t i = 0; i < B; ++i) {
@@ -33,27 +39,39 @@ LossResult SoftmaxCrossEntropyHard(const Tensor& logits,
     const float* p = probs.raw() + i * m;
     const float w = WeightAt(weights, i);
     const float li = -std::log(std::max(p[static_cast<size_t>(y)], 1e-12f));
-    result.per_sample[i] = li;
+    result->per_sample[i] = li;
     total += static_cast<double>(w) * li;
-    float* g = result.grad.raw() + i * m;
-    for (size_t j = 0; j < m; ++j) {
-      g[j] = w * inv_b * (p[j] - (static_cast<size_t>(y) == j ? 1.0f : 0.0f));
-    }
+    // g[j] = s * (p[j] - 1[y == j]): scaled copy of the row, then the
+    // label element recomputed with the exact same expression the
+    // scalar loop used.
+    float* g = result->grad.raw() + i * m;
+    const float s = w * inv_b;
+    ops.scaled_copy(g, p, s, m);
+    g[static_cast<size_t>(y)] = s * (p[static_cast<size_t>(y)] - 1.0f);
   }
-  result.mean_loss = total * inv_b;
+  result->mean_loss = total * inv_b;
+}
+
+LossResult SoftmaxCrossEntropyHard(const Tensor& logits,
+                                   const std::vector<int>& labels,
+                                   const std::vector<float>& weights) {
+  LossResult result;
+  SoftmaxCrossEntropyHard(logits, labels, weights, &result);
   return result;
 }
 
-LossResult SoftmaxCrossEntropySoft(const Tensor& logits, const Tensor& targets,
-                                   const std::vector<float>& weights) {
+void SoftmaxCrossEntropySoft(const Tensor& logits, const Tensor& targets,
+                             const std::vector<float>& weights,
+                             LossResult* result) {
   KDSEL_CHECK(logits.rank() == 2 && SameShape(logits, targets));
   const size_t B = logits.dim(0), m = logits.dim(1);
   KDSEL_CHECK(weights.empty() || weights.size() == B);
 
-  Tensor probs = SoftmaxRows(logits);
-  LossResult result;
-  result.per_sample.resize(B);
-  result.grad = Tensor({B, m});
+  const kernels::Ops& ops = kernels::Dispatch();
+  Tensor probs;
+  SoftmaxRows(logits, &probs);
+  result->per_sample.resize(B);
+  result->grad.Resize({B, m});
   const float inv_b = 1.0f / static_cast<float>(B);
   double total = 0.0;
   for (size_t i = 0; i < B; ++i) {
@@ -62,47 +80,48 @@ LossResult SoftmaxCrossEntropySoft(const Tensor& logits, const Tensor& targets,
     const float w = WeightAt(weights, i);
     double li = 0.0;
     for (size_t j = 0; j < m; ++j) {
-      li -= static_cast<double>(t[j]) *
-            std::log(std::max(p[j], 1e-12f));
+      li -= static_cast<double>(t[j]) * std::log(std::max(p[j], 1e-12f));
     }
-    result.per_sample[i] = static_cast<float>(li);
+    result->per_sample[i] = static_cast<float>(li);
     total += w * li;
-    float* g = result.grad.raw() + i * m;
-    for (size_t j = 0; j < m; ++j) {
-      g[j] = w * inv_b * (p[j] - t[j]);
-    }
+    ops.scaled_diff(result->grad.raw() + i * m, p, t, w * inv_b, m);
   }
-  result.mean_loss = total * inv_b;
+  result->mean_loss = total * inv_b;
+}
+
+LossResult SoftmaxCrossEntropySoft(const Tensor& logits, const Tensor& targets,
+                                   const std::vector<float>& weights) {
+  LossResult result;
+  SoftmaxCrossEntropySoft(logits, targets, weights, &result);
   return result;
 }
 
-InfoNceResult InfoNce(const Tensor& view_a, const Tensor& view_b,
-                      double temperature, const std::vector<float>& weights,
-                      const std::vector<size_t>& group_ids) {
+void InfoNce(const Tensor& view_a, const Tensor& view_b, double temperature,
+             const std::vector<float>& weights,
+             const std::vector<size_t>& group_ids, InfoNceResult* result) {
   KDSEL_CHECK(view_a.rank() == 2 && SameShape(view_a, view_b));
   KDSEL_CHECK(temperature > 0);
   const size_t B = view_a.dim(0), H = view_a.dim(1);
   KDSEL_CHECK(weights.empty() || weights.size() == B);
   KDSEL_CHECK(group_ids.empty() || group_ids.size() == B);
 
+  const kernels::Ops& ops = kernels::Dispatch();
+
   // L2-normalize rows, remembering norms and unit vectors.
-  auto normalize = [&](const Tensor& x, Tensor& unit, std::vector<float>& norm) {
-    unit = Tensor({B, H});
-    norm.resize(B);
+  ScratchBuffer a_norm(B), b_norm(B);
+  auto normalize = [&](const Tensor& x, Tensor& unit, float* norm) {
+    unit.Resize({B, H});
     for (size_t i = 0; i < B; ++i) {
       const float* r = x.raw() + i * H;
-      double ss = 0.0;
-      for (size_t j = 0; j < H; ++j) ss += static_cast<double>(r[j]) * r[j];
-      float n = static_cast<float>(std::sqrt(ss));
+      float n = static_cast<float>(std::sqrt(ops.squared_l2(r, H)));
       norm[i] = std::max(n, 1e-8f);
       float* u = unit.raw() + i * H;
       for (size_t j = 0; j < H; ++j) u[j] = r[j] / norm[i];
     }
   };
   Tensor an, bn;
-  std::vector<float> a_norm, b_norm;
-  normalize(view_a, an, a_norm);
-  normalize(view_b, bn, b_norm);
+  normalize(view_a, an, a_norm.data());
+  normalize(view_b, bn, b_norm.data());
 
   const float inv_temp = static_cast<float>(1.0 / temperature);
   Tensor sim = MatMulTransposedB(an, bn);  // [B, B]
@@ -122,24 +141,25 @@ InfoNceResult InfoNce(const Tensor& view_a, const Tensor& view_b,
   }
 
   // Row softmax (a->b direction) and column softmax (b->a direction).
-  Tensor p_row = SoftmaxRows(sim);
+  Tensor p_row;
+  SoftmaxRows(sim, &p_row);
   Tensor p_col = Transpose2D(SoftmaxRows(Transpose2D(sim)));  // col-normalized
 
-  InfoNceResult result;
-  result.per_sample.resize(B);
+  result->per_sample.resize(B);
   const float inv_b = 1.0f / static_cast<float>(B);
   double total = 0.0;
   // dS[i][j] accumulated from both directions.
-  Tensor d_sim({B, B});
+  Tensor d_sim;
+  d_sim.Resize({B, B});  // Every element written below.
   for (size_t i = 0; i < B; ++i) {
     const float w = WeightAt(weights, i);
     const float pr = std::max(p_row.At(i, i), 1e-12f);
     const float pc = std::max(p_col.At(i, i), 1e-12f);
     const float li = 0.5f * (-std::log(pr) - std::log(pc));
-    result.per_sample[i] = li;
+    result->per_sample[i] = li;
     total += static_cast<double>(w) * li;
   }
-  result.mean_loss = total * inv_b;
+  result->mean_loss = total * inv_b;
   for (size_t i = 0; i < B; ++i) {
     for (size_t j = 0; j < B; ++j) {
       const float wi = WeightAt(weights, i);
@@ -161,22 +181,30 @@ InfoNceResult InfoNce(const Tensor& view_a, const Tensor& view_b,
 
   // Back through row normalization: dx = (du - (du.u) u) / ||x||.
   auto denormalize = [&](const Tensor& du, const Tensor& unit,
-                         const std::vector<float>& norm) {
-    Tensor dx({B, H});
+                         const float* norm, Tensor& dx) {
+    dx.Resize({B, H});
     for (size_t i = 0; i < B; ++i) {
       const float* durow = du.raw() + i * H;
       const float* u = unit.raw() + i * H;
       float* d = dx.raw() + i * H;
       double dot = 0.0;
-      for (size_t j = 0; j < H; ++j) dot += static_cast<double>(durow[j]) * u[j];
+      for (size_t j = 0; j < H; ++j) {
+        dot += static_cast<double>(durow[j]) * u[j];
+      }
       for (size_t j = 0; j < H; ++j) {
         d[j] = static_cast<float>((durow[j] - dot * u[j]) / norm[i]);
       }
     }
-    return dx;
   };
-  result.grad_a = denormalize(d_an, an, a_norm);
-  result.grad_b = denormalize(d_bn, bn, b_norm);
+  denormalize(d_an, an, a_norm.data(), result->grad_a);
+  denormalize(d_bn, bn, b_norm.data(), result->grad_b);
+}
+
+InfoNceResult InfoNce(const Tensor& view_a, const Tensor& view_b,
+                      double temperature, const std::vector<float>& weights,
+                      const std::vector<size_t>& group_ids) {
+  InfoNceResult result;
+  InfoNce(view_a, view_b, temperature, weights, group_ids, &result);
   return result;
 }
 

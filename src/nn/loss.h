@@ -25,12 +25,22 @@ struct LossResult {
 LossResult SoftmaxCrossEntropyHard(const Tensor& logits,
                                    const std::vector<int>& labels,
                                    const std::vector<float>& weights);
+/// Out-param form: reuses `result`'s buffers so the training batch loop
+/// stays allocation-free at steady state.
+void SoftmaxCrossEntropyHard(const Tensor& logits,
+                             const std::vector<int>& labels,
+                             const std::vector<float>& weights,
+                             LossResult* result);
 
 /// Cross-entropy against soft target distributions (paper's PISL term):
 /// L_i = -sum_j p_ij log softmax(logits_i)_j. `targets` is [B, m] with
 /// rows summing to 1.
 LossResult SoftmaxCrossEntropySoft(const Tensor& logits, const Tensor& targets,
                                    const std::vector<float>& weights);
+/// Out-param form (see SoftmaxCrossEntropyHard).
+void SoftmaxCrossEntropySoft(const Tensor& logits, const Tensor& targets,
+                             const std::vector<float>& weights,
+                             LossResult* result);
 
 /// Result of the InfoNCE contrastive loss between two views.
 struct InfoNceResult {
@@ -55,6 +65,11 @@ struct InfoNceResult {
 InfoNceResult InfoNce(const Tensor& view_a, const Tensor& view_b,
                       double temperature, const std::vector<float>& weights,
                       const std::vector<size_t>& group_ids = {});
+/// Out-param form (see SoftmaxCrossEntropyHard); `group_ids` required to
+/// keep the overload set unambiguous.
+void InfoNce(const Tensor& view_a, const Tensor& view_b, double temperature,
+             const std::vector<float>& weights,
+             const std::vector<size_t>& group_ids, InfoNceResult* result);
 
 }  // namespace kdsel::nn
 

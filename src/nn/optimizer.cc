@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "nn/kernels/kernels.h"
+
 namespace kdsel::nn {
 
 Sgd::Sgd(std::vector<Parameter*> params, double lr, double momentum,
@@ -56,17 +58,14 @@ void Adam::Step() {
   const float b2 = static_cast<float>(beta2_);
   const float eps = static_cast<float>(eps_);
   const float wd = static_cast<float>(weight_decay_);
+  // (lr_ * wd) matches the grouping of the historical update expression
+  // `lr_ * wd * pv[j]`; the scalar kernel keeps its mixed-double math.
+  const double lr_wd = lr_ * wd;
+  const kernels::Ops& ops = kernels::Dispatch();
   for (size_t i = 0; i < params_.size(); ++i) {
     Parameter* p = params_[i];
-    float* pv = p->value.raw();
-    const float* pg = p->grad.raw();
-    float* m = m_[i].raw();
-    float* v = v_[i].raw();
-    for (size_t j = 0; j < p->value.size(); ++j) {
-      m[j] = b1 * m[j] + (1 - b1) * pg[j];
-      v[j] = b2 * v[j] + (1 - b2) * pg[j] * pg[j];
-      pv[j] -= lr * m[j] / (std::sqrt(v[j]) + eps) + lr_ * wd * pv[j];
-    }
+    ops.adam_update(p->value.raw(), m_[i].raw(), v_[i].raw(), p->grad.raw(),
+                    p->value.size(), lr, b1, b2, eps, lr_wd);
   }
 }
 

@@ -1,27 +1,15 @@
 #include "nn/tensor.h"
 
 #include <algorithm>
-#include <cmath>
-#include <numeric>
+#include <cstring>
 #include <sstream>
 
 #include "common/parallel.h"
+#include "nn/kernels/kernels.h"
 
 namespace kdsel::nn {
 
 namespace {
-
-size_t ShapeProduct(const std::vector<size_t>& shape) {
-  size_t n = 1;
-  for (size_t d : shape) n *= d;
-  return n;
-}
-
-// Column tile for the cache-blocked matmul kernels: a B panel of
-// kColTile columns stays resident in L1/L2 while a block of output rows
-// streams over it. Must not affect results — each c[i][j] still
-// accumulates over kk in ascending order.
-constexpr size_t kColTile = 128;
 
 /// Row-chunk size so ParallelFor chunks carry ~32K multiply-adds each:
 /// small matmuls collapse to one chunk (inline, no pool round-trip),
@@ -35,28 +23,45 @@ size_t RowGrain(size_t rows, size_t work_per_row) {
   return std::max<size_t>(1, std::min(grain == 0 ? 1 : grain, rows));
 }
 
+// Square tile for the cache-blocked transpose: 32x32 floats = two 4 KiB
+// panels, so both the row-major reads and column-major writes stay
+// within L1 instead of striding a cache line per element.
+constexpr size_t kTransposeTile = 32;
+
 }  // namespace
 
-Tensor::Tensor(std::vector<size_t> shape)
-    : shape_(std::move(shape)), data_(ShapeProduct(shape_), 0.0f) {
-  KDSEL_CHECK(!shape_.empty() && shape_.size() <= 4);
+Tensor::Tensor(const Shape& shape)
+    : shape_(shape), data_(shape.NumElements(), /*zero=*/true) {
+  KDSEL_CHECK(!shape_.empty());
 }
 
-Tensor::Tensor(std::vector<size_t> shape, std::vector<float> data)
-    : shape_(std::move(shape)), data_(std::move(data)) {
-  KDSEL_CHECK(!shape_.empty() && shape_.size() <= 4);
-  KDSEL_CHECK(data_.size() == ShapeProduct(shape_));
+Tensor::Tensor(const Shape& shape, const std::vector<float>& data)
+    : shape_(shape), data_(shape.NumElements(), /*zero=*/false) {
+  KDSEL_CHECK(!shape_.empty());
+  KDSEL_CHECK(data.size() == shape_.NumElements());
+  if (!data.empty()) {
+    std::memcpy(data_.data(), data.data(), data.size() * sizeof(float));
+  }
 }
 
-Tensor Tensor::Full(std::vector<size_t> shape, float value) {
-  Tensor t(std::move(shape));
+Tensor Tensor::Full(const Shape& shape, float value) {
+  Tensor t(shape);
   t.Fill(value);
   return t;
 }
 
-Tensor Tensor::Reshaped(std::vector<size_t> new_shape) const {
-  KDSEL_CHECK(ShapeProduct(new_shape) == size());
-  return Tensor(std::move(new_shape), data_);
+Tensor Tensor::Reshaped(const Shape& new_shape) const {
+  KDSEL_CHECK(new_shape.NumElements() == size());
+  Tensor t;
+  t.shape_ = new_shape;
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::Resize(const Shape& shape) {
+  KDSEL_CHECK(!shape.empty());
+  shape_ = shape;
+  data_.ResizeDiscard(shape.NumElements());
 }
 
 void Tensor::Fill(float value) {
@@ -65,26 +70,20 @@ void Tensor::Fill(float value) {
 
 void Tensor::AddInPlace(const Tensor& other) {
   KDSEL_CHECK(size() == other.size());
-  const float* src = other.raw();
-  float* dst = raw();
-  for (size_t i = 0; i < data_.size(); ++i) dst[i] += src[i];
+  kernels::Dispatch().add(raw(), other.raw(), size());
 }
 
 void Tensor::ScaleInPlace(float factor) {
-  for (float& v : data_) v *= factor;
+  kernels::Dispatch().scale(raw(), factor, size());
 }
 
 void Tensor::AxpyInPlace(float a, const Tensor& x) {
   KDSEL_CHECK(size() == x.size());
-  const float* src = x.raw();
-  float* dst = raw();
-  for (size_t i = 0; i < data_.size(); ++i) dst[i] += a * src[i];
+  kernels::Dispatch().axpy(raw(), a, x.raw(), size());
 }
 
 double Tensor::SquaredL2Norm() const {
-  double sum = 0.0;
-  for (float v : data_) sum += static_cast<double>(v) * v;
-  return sum;
+  return kernels::Dispatch().squared_l2(raw(), size());
 }
 
 std::string Tensor::ShapeString() const {
@@ -106,24 +105,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   KDSEL_CHECK(a.rank() == 2 && b.rank() == 2);
   const size_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
   KDSEL_CHECK(b.dim(0) == k);
-  Tensor c({n, m});
+  Tensor c({n, m});  // Zero-initialized: the kernel accumulates.
+  const kernels::Ops& ops = kernels::Dispatch();
   const float* pa = a.raw();
   const float* pb = b.raw();
   float* pc = c.raw();
   ParallelFor(n, RowGrain(n, k * m), [&](size_t begin, size_t end) {
-    for (size_t jb = 0; jb < m; jb += kColTile) {
-      const size_t jend = std::min(m, jb + kColTile);
-      for (size_t i = begin; i < end; ++i) {
-        const float* arow = pa + i * k;
-        float* crow = pc + i * m;
-        for (size_t kk = 0; kk < k; ++kk) {
-          const float av = arow[kk];
-          if (av == 0.0f) continue;
-          const float* brow = pb + kk * m;
-          for (size_t j = jb; j < jend; ++j) crow[j] += av * brow[j];
-        }
-      }
-    }
+    ops.matmul(pa, pb, pc, k, m, begin, end);
   });
   return c;
 }
@@ -132,24 +120,14 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
   KDSEL_CHECK(a.rank() == 2 && b.rank() == 2);
   const size_t n = a.dim(0), k = a.dim(1), m = b.dim(0);
   KDSEL_CHECK(b.dim(1) == k);
-  Tensor c({n, m});
+  Tensor c;
+  c.Resize({n, m});  // Overwriting kernel: no zero fill needed.
+  const kernels::Ops& ops = kernels::Dispatch();
   const float* pa = a.raw();
   const float* pb = b.raw();
   float* pc = c.raw();
   ParallelFor(n, RowGrain(n, k * m), [&](size_t begin, size_t end) {
-    for (size_t jb = 0; jb < m; jb += kColTile) {
-      const size_t jend = std::min(m, jb + kColTile);
-      for (size_t i = begin; i < end; ++i) {
-        const float* arow = pa + i * k;
-        float* crow = pc + i * m;
-        for (size_t j = jb; j < jend; ++j) {
-          const float* brow = pb + j * k;
-          float acc = 0.0f;
-          for (size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-          crow[j] = acc;
-        }
-      }
-    }
+    ops.matmul_tb(pa, pb, pc, k, m, begin, end);
   });
   return c;
 }
@@ -158,25 +136,15 @@ Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
   KDSEL_CHECK(a.rank() == 2 && b.rank() == 2);
   const size_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
   KDSEL_CHECK(b.dim(0) == n);
-  Tensor c({k, m});
+  Tensor c({k, m});  // Zero-initialized: the kernel accumulates.
+  const kernels::Ops& ops = kernels::Dispatch();
   const float* pa = a.raw();
   const float* pb = b.raw();
   float* pc = c.raw();
   // Parallelize over output rows (k): each output row kk reads column kk
   // of A, so chunks write disjoint rows.
   ParallelFor(k, RowGrain(k, n * m), [&](size_t begin, size_t end) {
-    for (size_t jb = 0; jb < m; jb += kColTile) {
-      const size_t jend = std::min(m, jb + kColTile);
-      for (size_t kk = begin; kk < end; ++kk) {
-        float* crow = pc + kk * m;
-        for (size_t i = 0; i < n; ++i) {
-          const float av = pa[i * k + kk];
-          if (av == 0.0f) continue;
-          const float* brow = pb + i * m;
-          for (size_t j = jb; j < jend; ++j) crow[j] += av * brow[j];
-        }
-      }
-    }
+    ops.matmul_ta(pa, pb, pc, n, k, m, begin, end);
   });
   return c;
 }
@@ -184,9 +152,20 @@ Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
 Tensor Transpose2D(const Tensor& a) {
   KDSEL_CHECK(a.rank() == 2);
   const size_t n = a.dim(0), m = a.dim(1);
-  Tensor t({m, n});
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < m; ++j) t[j * n + i] = a[i * m + j];
+  Tensor t;
+  t.Resize({m, n});  // Every element is written below.
+  const float* src = a.raw();
+  float* dst = t.raw();
+  for (size_t ib = 0; ib < n; ib += kTransposeTile) {
+    const size_t iend = std::min(n, ib + kTransposeTile);
+    for (size_t jb = 0; jb < m; jb += kTransposeTile) {
+      const size_t jend = std::min(m, jb + kTransposeTile);
+      for (size_t i = ib; i < iend; ++i) {
+        for (size_t j = jb; j < jend; ++j) {
+          dst[j * n + i] = src[i * m + j];
+        }
+      }
+    }
   }
   return t;
 }
@@ -198,23 +177,26 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   return c;
 }
 
-Tensor SoftmaxRows(const Tensor& logits) {
+void SoftmaxRows(const Tensor& logits, Tensor* out) {
   KDSEL_CHECK(logits.rank() == 2);
   const size_t n = logits.dim(0), m = logits.dim(1);
-  Tensor out({n, m});
-  for (size_t i = 0; i < n; ++i) {
-    const float* row = logits.raw() + i * m;
-    float* orow = out.raw() + i * m;
-    float mx = row[0];
-    for (size_t j = 1; j < m; ++j) mx = std::max(mx, row[j]);
-    double sum = 0.0;
-    for (size_t j = 0; j < m; ++j) {
-      orow[j] = std::exp(row[j] - mx);
-      sum += orow[j];
+  out->Resize({n, m});
+  const kernels::Ops& ops = kernels::Dispatch();
+  const float* in = logits.raw();
+  float* o = out->raw();
+  // Rows are independent; ~8 flops per element (exp-dominated) sets the
+  // grain. The partition depends only on (n, m) — determinism holds at
+  // any thread count.
+  ParallelFor(n, RowGrain(n, 8 * m), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      ops.softmax_row(in + i * m, o + i * m, m);
     }
-    const float inv = static_cast<float>(1.0 / sum);
-    for (size_t j = 0; j < m; ++j) orow[j] *= inv;
-  }
+  });
+}
+
+Tensor SoftmaxRows(const Tensor& logits) {
+  Tensor out;
+  SoftmaxRows(logits, &out);
   return out;
 }
 

@@ -2,12 +2,75 @@
 #define KDSEL_NN_TENSOR_H_
 
 #include <cstddef>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
 #include "common/check.h"
+#include "nn/workspace.h"
 
 namespace kdsel::nn {
+
+/// Tensor shape: up to 4 dimensions stored inline. Replaces the old
+/// `std::vector<size_t>` shape so constructing/copying a Tensor never
+/// heap-allocates for its metadata (part of the zero-allocation
+/// training-loop contract; see nn::Workspace).
+class Shape {
+ public:
+  static constexpr size_t kMaxRank = 4;
+
+  Shape() = default;
+  Shape(std::initializer_list<size_t> dims) {
+    KDSEL_CHECK(dims.size() <= kMaxRank);
+    for (size_t d : dims) dims_[rank_++] = d;
+  }
+  /// Implicit by design: legacy call sites (serialization, tests) build
+  /// shapes as vectors.
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Shape(const std::vector<size_t>& dims) {
+    KDSEL_CHECK(dims.size() <= kMaxRank);
+    for (size_t d : dims) dims_[rank_++] = d;
+  }
+
+  size_t size() const { return rank_; }
+  bool empty() const { return rank_ == 0; }
+  size_t operator[](size_t i) const {
+    KDSEL_DCHECK(i < rank_);
+    return dims_[i];
+  }
+  size_t back() const {
+    KDSEL_DCHECK(rank_ > 0);
+    return dims_[rank_ - 1];
+  }
+  const size_t* begin() const { return dims_; }
+  const size_t* end() const { return dims_ + rank_; }
+
+  void push_back(size_t d) {
+    KDSEL_CHECK(rank_ < kMaxRank);
+    dims_[rank_++] = d;
+  }
+  void clear() { rank_ = 0; }
+
+  /// Product of all dimensions (1 for the empty shape).
+  size_t NumElements() const {
+    size_t n = 1;
+    for (size_t i = 0; i < rank_; ++i) n *= dims_[i];
+    return n;
+  }
+
+  friend bool operator==(const Shape& a, const Shape& b) {
+    if (a.rank_ != b.rank_) return false;
+    for (size_t i = 0; i < a.rank_; ++i) {
+      if (a.dims_[i] != b.dims_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const Shape& a, const Shape& b) { return !(a == b); }
+
+ private:
+  size_t dims_[kMaxRank] = {0, 0, 0, 0};
+  size_t rank_ = 0;
+};
 
 /// A dense row-major float tensor of rank 1-4.
 ///
@@ -17,17 +80,22 @@ namespace kdsel::nn {
 /// cache what they need in Forward and implement Backward explicitly,
 /// which keeps the library small and makes gradients easy to unit-test
 /// with finite differences.
+///
+/// Storage comes from the nn::Workspace recycling pool, so tensors of
+/// shapes seen before construct without touching the heap — the batch
+/// loop in core::TrainSelector relies on this to run allocation-free at
+/// steady state.
 class Tensor {
  public:
   Tensor() = default;
   /// Zero-initialized tensor of the given shape.
-  explicit Tensor(std::vector<size_t> shape);
-  Tensor(std::vector<size_t> shape, std::vector<float> data);
+  explicit Tensor(const Shape& shape);
+  Tensor(const Shape& shape, const std::vector<float>& data);
 
-  static Tensor Zeros(std::vector<size_t> shape) { return Tensor(std::move(shape)); }
-  static Tensor Full(std::vector<size_t> shape, float value);
+  static Tensor Zeros(const Shape& shape) { return Tensor(shape); }
+  static Tensor Full(const Shape& shape, float value);
 
-  const std::vector<size_t>& shape() const { return shape_; }
+  const Shape& shape() const { return shape_; }
   size_t rank() const { return shape_.size(); }
   size_t dim(size_t i) const {
     KDSEL_DCHECK(i < shape_.size());
@@ -36,8 +104,8 @@ class Tensor {
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
-  const std::vector<float>& data() const { return data_; }
-  std::vector<float>& mutable_data() { return data_; }
+  const PooledBuffer& data() const { return data_; }
+  PooledBuffer& mutable_data() { return data_; }
   const float* raw() const { return data_.data(); }
   float* raw() { return data_.data(); }
 
@@ -64,12 +132,18 @@ class Tensor {
   }
 
   /// Returns a tensor with the same data but a new shape of equal size.
-  Tensor Reshaped(std::vector<size_t> new_shape) const;
+  Tensor Reshaped(const Shape& new_shape) const;
+
+  /// Re-shapes in place; element contents become UNSPECIFIED (no
+  /// zeroing). The existing buffer is reused whenever its capacity
+  /// suffices — the building block for allocation-free gather/forward
+  /// paths that overwrite every element anyway.
+  void Resize(const Shape& shape);
 
   void Fill(float value);
-  void AddInPlace(const Tensor& other);       ///< this += other
-  void ScaleInPlace(float factor);            ///< this *= factor
-  void AxpyInPlace(float a, const Tensor& x); ///< this += a * x
+  void AddInPlace(const Tensor& other);        ///< this += other
+  void ScaleInPlace(float factor);             ///< this *= factor
+  void AxpyInPlace(float a, const Tensor& x);  ///< this += a * x
 
   /// Sum of squares of all elements.
   double SquaredL2Norm() const;
@@ -77,15 +151,16 @@ class Tensor {
   std::string ShapeString() const;
 
  private:
-  std::vector<size_t> shape_;
-  std::vector<float> data_;
+  Shape shape_;
+  PooledBuffer data_;
 };
 
 /// Returns true if shapes match exactly.
 bool SameShape(const Tensor& a, const Tensor& b);
 
 /// C = A * B for 2-D tensors ([n,k] x [k,m] -> [n,m]). Multithreaded over
-/// rows for large problems; deterministic regardless of thread count.
+/// rows for large problems; deterministic regardless of thread count for
+/// a fixed kernel variant (see nn/kernels/kernels.h).
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
 /// C = A * B^T ([n,k] x [m,k] -> [n,m]).
@@ -100,8 +175,11 @@ Tensor Transpose2D(const Tensor& a);
 /// Elementwise sum (allocating).
 Tensor Add(const Tensor& a, const Tensor& b);
 
-/// Row-wise softmax of a 2-D tensor.
+/// Row-wise softmax of a 2-D tensor (row-parallel).
 Tensor SoftmaxRows(const Tensor& logits);
+/// As above, writing into `*out` (resized as needed, no allocation at
+/// steady state).
+void SoftmaxRows(const Tensor& logits, Tensor* out);
 
 }  // namespace kdsel::nn
 

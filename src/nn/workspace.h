@@ -1,0 +1,170 @@
+#ifndef KDSEL_NN_WORKSPACE_H_
+#define KDSEL_NN_WORKSPACE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace kdsel::nn {
+
+/// Size-bucketed recycling pool for float buffers — the arena behind
+/// every Tensor and scratch buffer in the NN library.
+///
+/// Training touches the same tensor shapes every batch; allocating each
+/// activation/gradient from the heap made the allocator the hottest
+/// "kernel" in the loop. Acquire() hands out a buffer whose capacity is
+/// the smallest power of two >= n (min 64 floats) from a thread-local
+/// freelist, falling back to the heap only on a cold bucket. Release()
+/// returns the buffer to the releasing thread's freelist. After one
+/// warm-up epoch a steady-state training loop performs zero heap
+/// allocations for tensor storage (asserted by train_alloc_test via
+/// HeapAllocationCount()).
+///
+/// Thread-safety: the freelists are thread-local, so Acquire/Release
+/// never contend. A buffer may be released on a different thread than
+/// it was acquired on; it then recycles within that thread's cache.
+class Workspace {
+ public:
+  /// Smallest capacity a bucket hands out, in floats.
+  static constexpr size_t kMinCapacity = 64;
+
+  /// Returns a buffer with capacity >= n (stored to *capacity).
+  /// Contents are unspecified. n == 0 is invalid.
+  static float* Acquire(size_t n, size_t* capacity);
+
+  /// Returns a buffer to the pool. `capacity` must be the value
+  /// Acquire() reported for this buffer.
+  static void Release(float* buffer, size_t capacity);
+
+  /// Number of times Acquire() missed the cache and hit the heap, over
+  /// the whole process. Steady-state training must not move this.
+  static uint64_t HeapAllocationCount();
+
+  /// Frees every buffer cached by the calling thread (memory pressure /
+  /// leak-checker hygiene; never required for correctness).
+  static void TrimThreadCache();
+};
+
+/// RAII scratch: a pooled float buffer for kernel-internal temporaries
+/// (gradient shards, attention score rows, row norms...). Replaces
+/// ad-hoc `std::vector<float>` locals on hot paths so steady-state
+/// training stays allocation-free.
+class ScratchBuffer {
+ public:
+  explicit ScratchBuffer(size_t n) : size_(n) {
+    if (n > 0) data_ = Workspace::Acquire(n, &capacity_);
+  }
+  ~ScratchBuffer() {
+    if (data_ != nullptr) Workspace::Release(data_, capacity_);
+  }
+  ScratchBuffer(const ScratchBuffer&) = delete;
+  ScratchBuffer& operator=(const ScratchBuffer&) = delete;
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  size_t size() const { return size_; }
+
+  void Zero() {
+    if (size_ > 0) std::memset(data_, 0, size_ * sizeof(float));
+  }
+
+ private:
+  float* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+/// Value-semantics float storage backed by the Workspace pool. Drop-in
+/// for the `std::vector<float>` Tensor previously used: iterable,
+/// indexable, copyable; copy-assignment reuses existing capacity.
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  /// `zero` selects zero-filled (Tensor construction semantics) or
+  /// unspecified contents (resize-before-overwrite paths).
+  explicit PooledBuffer(size_t n, bool zero = true) { Init(n, zero); }
+  PooledBuffer(const PooledBuffer& other) {
+    Init(other.size_, /*zero=*/false);
+    if (size_ > 0) std::memcpy(data_, other.data_, size_ * sizeof(float));
+  }
+  PooledBuffer& operator=(const PooledBuffer& other) {
+    if (this == &other) return *this;
+    ResizeDiscard(other.size_);
+    if (size_ > 0) std::memcpy(data_, other.data_, size_ * sizeof(float));
+    return *this;
+  }
+  PooledBuffer(PooledBuffer&& other) noexcept
+      : data_(other.data_), size_(other.size_), capacity_(other.capacity_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.capacity_ = 0;
+  }
+  PooledBuffer& operator=(PooledBuffer&& other) noexcept {
+    if (this == &other) return *this;
+    Free();
+    data_ = other.data_;
+    size_ = other.size_;
+    capacity_ = other.capacity_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.capacity_ = 0;
+    return *this;
+  }
+  ~PooledBuffer() { Free(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  float* begin() { return data_; }
+  float* end() { return data_ + size_; }
+  const float* begin() const { return data_; }
+  const float* end() const { return data_ + size_; }
+  float& operator[](size_t i) {
+    KDSEL_DCHECK(i < size_);
+    return data_[i];
+  }
+  float operator[](size_t i) const {
+    KDSEL_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  /// Sets size to n; contents become unspecified. Keeps the current
+  /// buffer whenever its capacity suffices.
+  void ResizeDiscard(size_t n) {
+    if (n > capacity_) {
+      Free();
+      Init(n, /*zero=*/false);
+    } else {
+      size_ = n;
+    }
+  }
+
+ private:
+  void Init(size_t n, bool zero) {
+    size_ = n;
+    if (n > 0) {
+      data_ = Workspace::Acquire(n, &capacity_);
+      if (zero) std::memset(data_, 0, n * sizeof(float));
+    }
+  }
+  void Free() {
+    if (data_ != nullptr) {
+      Workspace::Release(data_, capacity_);
+      data_ = nullptr;
+    }
+    size_ = 0;
+    capacity_ = 0;
+  }
+
+  float* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace kdsel::nn
+
+#endif  // KDSEL_NN_WORKSPACE_H_

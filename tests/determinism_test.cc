@@ -2,7 +2,9 @@
 // training with every KDSelector module enabled (PISL + MKI + PA) and
 // the detector performance matrix must produce identical results at
 // KDSEL_THREADS=1 and KDSEL_THREADS=8. The pool's static chunking plus
-// fixed-order gradient reduction make this exact, not approximate.
+// fixed-order kernel accumulation make this exact, not approximate —
+// and it must hold for EVERY compiled SIMD kernel variant, since each
+// variant fixes its own accumulation order as a function of shapes only.
 
 #include <gtest/gtest.h>
 
@@ -16,6 +18,7 @@
 #include "core/pipeline.h"
 #include "core/trainer.h"
 #include "datagen/families.h"
+#include "nn/kernels/kernels.h"
 #include "tsad/detector.h"
 
 namespace kdsel {
@@ -90,23 +93,33 @@ TrainOutcome TrainOnce(const core::SelectorTrainingData& data) {
 
 class DeterminismTest : public ::testing::Test {
  protected:
-  void TearDown() override { ThreadPool::ResetGlobalForTesting(0); }
+  void TearDown() override {
+    ThreadPool::ResetGlobalForTesting(0);
+    nn::kernels::ResetDispatchForTesting();
+  }
 };
 
 TEST_F(DeterminismTest, TrainingIsBitwiseIdenticalAcrossThreadCounts) {
   const core::SelectorTrainingData data = MakeTrainingData();
 
-  ThreadPool::ResetGlobalForTesting(1);
-  const TrainOutcome serial = TrainOnce(data);
-  ThreadPool::ResetGlobalForTesting(8);
-  const TrainOutcome parallel = TrainOnce(data);
+  // Cross-variant results may differ (different accumulation orders);
+  // within one variant, the thread count must not change a single bit.
+  for (nn::kernels::Variant variant : nn::kernels::SupportedVariants()) {
+    SCOPED_TRACE(nn::kernels::VariantName(variant));
+    nn::kernels::ResetDispatchForTesting(variant);
 
-  ASSERT_FALSE(serial.weight_bits.empty());
-  ASSERT_EQ(serial.weight_bits.size(), parallel.weight_bits.size());
-  EXPECT_EQ(serial.weight_bits, parallel.weight_bits);
-  ASSERT_EQ(serial.epoch_loss.size(), parallel.epoch_loss.size());
-  for (size_t e = 0; e < serial.epoch_loss.size(); ++e) {
-    EXPECT_EQ(serial.epoch_loss[e], parallel.epoch_loss[e]) << "epoch " << e;
+    ThreadPool::ResetGlobalForTesting(1);
+    const TrainOutcome serial = TrainOnce(data);
+    ThreadPool::ResetGlobalForTesting(8);
+    const TrainOutcome parallel = TrainOnce(data);
+
+    ASSERT_FALSE(serial.weight_bits.empty());
+    ASSERT_EQ(serial.weight_bits.size(), parallel.weight_bits.size());
+    EXPECT_EQ(serial.weight_bits, parallel.weight_bits);
+    ASSERT_EQ(serial.epoch_loss.size(), parallel.epoch_loss.size());
+    for (size_t e = 0; e < serial.epoch_loss.size(); ++e) {
+      EXPECT_EQ(serial.epoch_loss[e], parallel.epoch_loss[e]) << "epoch " << e;
+    }
   }
 }
 

@@ -36,6 +36,9 @@ void Suppressed(QuietDetector* detector) {
 
   std::thread worker([] {});  // kdsel-lint: allow(raw-thread)
   worker.join();
+
+  const __m128 quiet = _mm_setzero_ps();  // kdsel-lint: allow(raw-simd)
+  (void)quiet;
 }
 
 }  // namespace kdsel::fixture_suppressed

@@ -35,6 +35,9 @@ void Violations(Detector* detector) {
 
   std::thread worker([] {});  // line 36: raw-thread
   worker.join();
+
+  const __m256 wide = _mm256_setzero_ps();  // line 39: raw-simd
+  (void)wide;
 }
 
 }  // namespace kdsel::fixture

@@ -74,7 +74,7 @@ TEST(LintTest, ViolationsFixtureProducesExactDiagnostics) {
   EXPECT_EQ(result.exit_code, 1);
 
   const std::vector<std::string> lines = SplitLines(result.stdout_text);
-  ASSERT_EQ(lines.size(), 7u) << result.stdout_text;
+  ASSERT_EQ(lines.size(), 8u) << result.stdout_text;
 
   const std::string prefix = "tests/lint_fixtures/violations.cc:";
   const std::vector<std::string> expected = {
@@ -103,6 +103,10 @@ TEST(LintTest, ViolationsFixtureProducesExactDiagnostics) {
           "36: raw-thread: 'std::thread' outside src/common/ and src/serve/ "
           "bypasses the shared pool; use kdsel::ParallelFor or ThreadPool "
           "(common/parallel.h)",
+      prefix +
+          "39: raw-simd: raw SIMD outside src/nn/kernels/ bypasses runtime "
+          "dispatch and the scalar fallback; add a kernel to nn::kernels and "
+          "call it through Dispatch()",
   };
   for (size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(lines[i], expected[i]) << "diagnostic " << i;
@@ -129,7 +133,7 @@ TEST(LintTest, FixtureDirectoryScanMatchesPerFileResults) {
       RunLint(RootArgs(std::string(KDSEL_SOURCE_DIR) + "/tests/lint_fixtures"));
   EXPECT_EQ(result.exit_code, 1);
   const std::vector<std::string> lines = SplitLines(result.stdout_text);
-  EXPECT_EQ(lines.size(), 7u) << result.stdout_text;
+  EXPECT_EQ(lines.size(), 8u) << result.stdout_text;
   for (const std::string& line : lines) {
     EXPECT_NE(line.find("violations.cc"), std::string::npos) << line;
   }
@@ -174,7 +178,8 @@ TEST(LintTest, ListRulesNamesEveryRule) {
   EXPECT_EQ(result.exit_code, 0);
   for (const char* rule :
        {"discarded-status", "unchecked-value", "naked-new", "raw-parse",
-        "nonreproducible-random", "lock-across-score", "raw-thread"}) {
+        "nonreproducible-random", "lock-across-score", "raw-thread",
+        "raw-simd"}) {
     EXPECT_NE(result.stdout_text.find(rule), std::string::npos) << rule;
   }
 }

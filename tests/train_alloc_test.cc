@@ -1,0 +1,125 @@
+// Steady-state allocation regression test for the training hot loop.
+//
+// The first epoch warms up the workspace pools, hoisted scratch vectors,
+// and loss-result buffers; every epoch after that must perform ZERO heap
+// allocations. Two counters pin this down: a global operator new/delete
+// replacement counting every allocation in the process, and the
+// workspace pool's own HeapAllocationCount() (buffers that missed the
+// freelists). The trainer's on_epoch_end hook snapshots both at each
+// epoch boundary.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/trainer.h"
+#include "nn/workspace.h"
+
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+// The replacement operators must allocate with malloc/free directly.
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;  // kdsel-lint: allow(naked-new)
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;  // kdsel-lint: allow(naked-new)
+  throw std::bad_alloc();
+}
+
+// kdsel-lint: allow(naked-new)
+void operator delete(void* p) noexcept { std::free(p); }
+// kdsel-lint: allow(naked-new)
+void operator delete[](void* p) noexcept { std::free(p); }
+// kdsel-lint: allow(naked-new)
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+// kdsel-lint: allow(naked-new)
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace kdsel {
+namespace {
+
+core::SelectorTrainingData MakeData() {
+  core::SelectorTrainingData data;
+  data.num_classes = 3;
+  Rng rng(7);
+  // 64 samples with batch_size 16: every batch is full-sized, so batch
+  // shapes — and therefore pooled buffer sizes — repeat exactly.
+  const size_t kN = 64, kLen = 32;
+  for (size_t i = 0; i < kN; ++i) {
+    const int label = static_cast<int>(i % data.num_classes);
+    std::vector<float> window(kLen);
+    for (size_t t = 0; t < kLen; ++t) {
+      window[t] = static_cast<float>(
+          std::sin(0.25 * static_cast<double>(t) * (1.0 + label)) +
+          0.1 * rng.Normal());
+    }
+    data.windows.push_back(std::move(window));
+    data.labels.push_back(label);
+    std::vector<float> perf(data.num_classes, 0.2f);
+    perf[static_cast<size_t>(label)] = 0.9f;
+    data.performance.push_back(std::move(perf));
+    data.texts.push_back("series family F" + std::to_string(label));
+  }
+  return data;
+}
+
+TEST(TrainAllocTest, SteadyStateEpochsAllocateNothing) {
+  // Single-threaded pool: ParallelFor takes the inline path, so the
+  // only permissible allocations are the trainer's own — which must all
+  // happen during warmup.
+  ThreadPool::ResetGlobalForTesting(1);
+  const core::SelectorTrainingData data = MakeData();
+
+  core::TrainerOptions opts;
+  opts.backbone = "ConvNet";
+  opts.epochs = 4;
+  opts.batch_size = 16;
+  opts.seed = 3;
+  opts.use_pisl = true;
+  opts.use_mki = true;
+  opts.pruning.mode = core::PruningMode::kNone;
+
+  // Reserved up front: the snapshot push_backs inside the hook must not
+  // allocate themselves, or they would show up in their own deltas.
+  std::vector<uint64_t> allocs_at_epoch;
+  std::vector<uint64_t> pool_misses_at_epoch;
+  allocs_at_epoch.reserve(opts.epochs);
+  pool_misses_at_epoch.reserve(opts.epochs);
+  opts.on_epoch_end = [&](size_t) {
+    allocs_at_epoch.push_back(g_allocations.load(std::memory_order_relaxed));
+    pool_misses_at_epoch.push_back(nn::Workspace::HeapAllocationCount());
+  };
+
+  core::TrainStats stats;
+  auto selector = core::TrainSelector(data, opts, &stats);
+  ASSERT_TRUE(selector.ok()) << selector.status();
+  ASSERT_EQ(allocs_at_epoch.size(), opts.epochs);
+
+  // Epoch 0 warms the pools and epoch 1 settles freelist capacities;
+  // every epoch after that must be allocation-free.
+  for (size_t e = 2; e < opts.epochs; ++e) {
+    EXPECT_EQ(allocs_at_epoch[e] - allocs_at_epoch[e - 1], 0u)
+        << "operator new called during steady-state epoch " << e;
+    EXPECT_EQ(pool_misses_at_epoch[e] - pool_misses_at_epoch[e - 1], 0u)
+        << "workspace pool missed its freelist during epoch " << e;
+  }
+
+  ThreadPool::ResetGlobalForTesting(0);
+}
+
+}  // namespace
+}  // namespace kdsel

@@ -25,11 +25,13 @@
 #include <vector>
 
 #include "common/csv.h"
+#include "common/parallel.h"
 #include "common/stringutil.h"
 #include "core/pipeline.h"
 #include "core/trainer.h"
 #include "datagen/benchmark.h"
 #include "metrics/range_metrics.h"
+#include "nn/kernels/kernels.h"
 #include "serve/protocol.h"
 #include "serve/registry.h"
 #include "serve/server.h"
@@ -398,6 +400,22 @@ int CmdServe(const Flags& flags) {
   return 0;
 }
 
+int CmdVersion() {
+  const nn::kernels::Ops& ops = nn::kernels::Dispatch();
+  std::string available;
+  for (nn::kernels::Variant v : nn::kernels::SupportedVariants()) {
+    if (!available.empty()) available += " ";
+    available += nn::kernels::VariantName(v);
+  }
+  std::printf("kdsel (KDSelector reproduction)\n");
+  std::printf("simd variant:       %s%s\n", ops.name,
+              std::getenv("KDSEL_SIMD") != nullptr ? " (from KDSEL_SIMD)"
+                                                   : "");
+  std::printf("variants available: %s\n", available.c_str());
+  std::printf("threads:            %zu\n", ThreadPool::Global().threads());
+  return 0;
+}
+
 void PrintUsage() {
   std::fprintf(
       stderr,
@@ -408,7 +426,8 @@ void PrintUsage() {
       "  train      learn a selector (optionally +PISL/+MKI/+PA) and save\n"
       "  list       list saved selectors\n"
       "  detect     select a model for a series and run the detection\n"
-      "  serve      long-lived inference server (NDJSON on stdin/stdout)\n");
+      "  serve      long-lived inference server (NDJSON on stdin/stdout)\n"
+      "  version    print the active SIMD kernel variant and thread count\n");
 }
 
 }  // namespace
@@ -419,6 +438,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
+  if (cmd == "version" || cmd == "--version") return CmdVersion();
   Flags flags(argc, argv, 2);
   if (!flags.ok()) return 2;
   if (cmd == "generate") return CmdGenerate(flags);

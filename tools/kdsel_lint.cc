@@ -28,6 +28,12 @@
 //                           (long-lived serving workers); hot loops must
 //                           go through kdsel::ParallelFor so thread
 //                           counts and determinism stay centralized
+//   raw-simd                <immintrin.h>/<x86intrin.h> includes, _mm*
+//                           intrinsics or __m128/__m256/__m512 vector
+//                           types outside src/nn/kernels/; all SIMD
+//                           lives behind nn::kernels::Dispatch() so the
+//                           scalar fallback and runtime CPU detection
+//                           stay the single point of truth
 //
 // Diagnostics print as `file:line: rule: message`, one per line, sorted.
 // Exit code: 0 clean, 1 violations found, 2 usage/IO error.
@@ -84,6 +90,7 @@ constexpr RuleInfo kRules[] = {
     {"nonreproducible-random", "unseeded randomness or wall-clock seeding"},
     {"lock-across-score", "mutex held across a detector Score() call"},
     {"raw-thread", "std::thread/std::async outside src/common/ and src/serve/"},
+    {"raw-simd", "intrinsics or intrinsic headers outside src/nn/kernels/"},
 };
 
 bool IsKnownRule(const std::string& name) {
@@ -105,6 +112,9 @@ struct SourceFile {
   // Under src/common/ or src/serve/ (exempt from raw-thread: the pool
   // itself and the serving layer's long-lived workers live there).
   bool in_thread_zone = false;
+  // Under src/nn/kernels/ (exempt from raw-simd: the dispatched kernel
+  // variants are the one place intrinsics are allowed).
+  bool in_kernels = false;
 };
 
 /// Replaces the contents of comments and string/char literals with
@@ -279,6 +289,7 @@ class Linter {
       CheckNonreproducibleRandom(file, diagnostics);
       CheckLockAcrossScore(file, diagnostics);
       CheckRawThread(file, diagnostics);
+      CheckRawSimd(file, diagnostics);
     }
     std::sort(diagnostics.begin(), diagnostics.end());
     return diagnostics;
@@ -530,6 +541,24 @@ class Linter {
     }
   }
 
+  void CheckRawSimd(const SourceFile& file,
+                    std::vector<Diagnostic>& out) const {
+    if (file.in_kernels) return;
+    // Intrinsic headers (immintrin.h pulls in the whole family), _mm*
+    // intrinsic calls, and the raw vector register types.
+    static const std::regex kSimd(
+        R"(#\s*include\s*[<"]\w*intrin\.h|\b_mm(?:256|512)?_\w+\s*\(|\b__m(?:128|256|512)[di]?\b)");
+    for (size_t i = 0; i < file.stripped.size(); ++i) {
+      if (!std::regex_search(file.stripped[i], kSimd)) continue;
+      const size_t line_no = i + 1;
+      if (Suppressed(file, line_no, "raw-simd")) continue;
+      out.push_back({file.display_path, line_no, "raw-simd",
+                     "raw SIMD outside src/nn/kernels/ bypasses runtime "
+                     "dispatch and the scalar fallback; add a kernel to "
+                     "nn::kernels and call it through Dispatch()"});
+    }
+  }
+
   std::vector<SourceFile> files_;
   std::set<std::string> status_functions_;
 };
@@ -561,6 +590,9 @@ bool LoadFile(const fs::path& path, const fs::path& root, SourceFile& out) {
       out.in_common ||
       out.display_path.find("src/serve/") != std::string::npos ||
       out.display_path.find("src\\serve\\") != std::string::npos;
+  out.in_kernels =
+      out.display_path.find("src/nn/kernels/") != std::string::npos ||
+      out.display_path.find("src\\nn\\kernels\\") != std::string::npos;
   CollectSuppressions(out);
   return true;
 }
