@@ -18,12 +18,17 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <limits>
+#include <string>
 
 #include "bench/bench_report.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "common/rng.h"
 #include "core/pipeline.h"
 #include "datagen/families.h"
@@ -155,6 +160,26 @@ double TimePerCall(size_t reps, size_t iters, const std::function<void()>& fn) {
   return best;
 }
 
+// Writes the live metrics registry as METRICS_<name>.json next to the
+// bench report (same $KDSEL_BENCH_REPORT_DIR convention), so CI can
+// schema-check instrumentation coverage with
+// tools/check_metrics_snapshot.py.
+int WriteMetricsSnapshot(const char* name) {
+  const char* dir = std::getenv("KDSEL_BENCH_REPORT_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0') ? dir : ".";
+  path += std::string("/METRICS_") + name + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  out << obs::MetricsRegistry::Global().SnapshotJson() << "\n";
+  out.flush();
+  if (!out.good()) {
+    std::fprintf(stderr, "[bench_micro] metrics snapshot write failed: %s\n",
+                 path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[bench_micro] wrote %s\n", path.c_str());
+  return 0;
+}
+
 int RunReportMode() {
   // Shared inputs, built once so every thread count times identical work.
   Rng rng(21);
@@ -242,7 +267,7 @@ int RunReportMode() {
                  "[bench_micro] %-16s %zu threads  %10.6fs  speedup %.2fx\n",
                  e.name.c_str(), e.threads, e.wall_seconds, e.speedup_vs_1t);
   }
-  return 0;
+  return WriteMetricsSnapshot("micro");
 }
 
 int RunKernelsReportMode() {
@@ -326,6 +351,8 @@ int RunKernelsReportMode() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // KDSEL_TRACE=<path> records the whole bench run as a chrome trace.
+  kdsel::obs::InitTracingFromEnv();
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--report-kernels") == 0) {
       return RunKernelsReportMode();

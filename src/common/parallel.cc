@@ -13,6 +13,9 @@
 #include <vector>
 
 #include "common/stringutil.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace kdsel {
 
@@ -21,6 +24,29 @@ namespace {
 // Set while the current thread executes chunks of any job (worker or
 // participating caller); nested For() calls see it and run inline.
 thread_local bool t_in_parallel_region = false;
+
+// Handles into the immortal registry, resolved once; a struct of
+// references has a trivial destructor, so recording stays safe even
+// from worker threads during static teardown.
+struct PoolMetrics {
+  obs::Counter& jobs;
+  obs::Counter& inline_jobs;
+  obs::Counter& chunks;
+  obs::Histogram& job_us;
+  obs::Gauge& threads;
+};
+
+PoolMetrics& Metrics() {
+  auto& registry = obs::MetricsRegistry::Global();
+  static PoolMetrics metrics{
+      registry.GetCounter("kdsel.parallel.jobs"),
+      registry.GetCounter("kdsel.parallel.inline_jobs"),
+      registry.GetCounter("kdsel.parallel.chunks"),
+      registry.GetHistogram("kdsel.parallel.job_us"),
+      registry.GetGauge("kdsel.parallel.threads"),
+  };
+  return metrics;
+}
 
 // KDSEL_THREADS values above this are almost certainly typos; clamp and
 // warn rather than trying to spawn thousands of workers.
@@ -81,6 +107,7 @@ ThreadPool::ThreadPool(size_t threads)
   for (size_t i = 0; i + 1 < threads_; ++i) {
     impl_->workers.emplace_back([this] { WorkerLoop(); });
   }
+  Metrics().threads.Set(static_cast<double>(threads_));
 }
 
 ThreadPool::~ThreadPool() {
@@ -106,6 +133,7 @@ void ThreadPool::RunChunks(Job& job) {
       const size_t begin = chunk * job.grain;
       const size_t end = std::min(job.n, begin + job.grain);
       try {
+        KDSEL_SPAN("parallel.chunk");
         (*job.fn)(begin, end);
       } catch (...) {
         std::lock_guard<std::mutex> lock(job.mu);
@@ -132,12 +160,18 @@ void ThreadPool::For(size_t n, size_t grain, ChunkCallback fn) {
   // Runs the identical chunk partition in ascending order so results
   // match the parallel path bitwise.
   if (t_in_parallel_region || impl_->workers.empty() || chunks == 1) {
+    PoolMetrics& metrics = Metrics();
+    metrics.inline_jobs.Increment();
+    metrics.chunks.Increment(chunks);
     const bool was_in_region = t_in_parallel_region;
     t_in_parallel_region = true;
     for (size_t chunk = 0; chunk < chunks; ++chunk) {
       const size_t begin = chunk * grain;
       const size_t end = std::min(n, begin + grain);
       try {
+        // No span here: inline chunks are covered by the caller's own
+        // span, and emitting one per chunk floods the trace buffers on
+        // small workloads. "parallel.chunk" marks pooled execution only.
         fn(begin, end);
       } catch (...) {
         t_in_parallel_region = was_in_region;
@@ -147,6 +181,11 @@ void ThreadPool::For(size_t n, size_t grain, ChunkCallback fn) {
     t_in_parallel_region = was_in_region;
     return;
   }
+
+  PoolMetrics& metrics = Metrics();
+  metrics.jobs.Increment();
+  metrics.chunks.Increment(chunks);
+  const uint64_t job_begin_ns = obs::NowNs();
 
   auto job = std::make_shared<Job>();
   job->fn = &fn;
@@ -171,6 +210,8 @@ void ThreadPool::For(size_t n, size_t grain, ChunkCallback fn) {
     });
     if (job->error) std::rethrow_exception(job->error);
   }
+  metrics.job_us.Record(static_cast<double>(obs::NowNs() - job_begin_ns) /
+                        1e3);
 }
 
 void ThreadPool::WorkerLoop() {

@@ -1,5 +1,7 @@
 #include "core/mki.h"
 
+#include "obs/trace.h"
+
 namespace kdsel::core {
 
 MkiHead::MkiHead(const Options& options, Rng& rng) : options_(options) {
@@ -39,6 +41,7 @@ void MkiHead::ComputeLoss(const nn::Tensor& z_t, const nn::Tensor& z_k,
   KDSEL_CHECK(z_k.rank() == 2 && z_k.dim(1) == options_.text_feature_dim);
   KDSEL_CHECK(z_t.dim(0) == z_k.dim(0));
 
+  KDSEL_SPAN("mki.infonce");
   nn::Tensor proj_t = h_t_.Forward(z_t, /*training=*/true);
   nn::Tensor proj_k = h_k_.Forward(z_k, /*training=*/true);
   nn::InfoNce(proj_t, proj_k, options_.temperature, weights, group_ids,

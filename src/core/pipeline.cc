@@ -6,6 +6,8 @@
 #include "common/parallel.h"
 #include "datagen/benchmark.h"
 #include "metrics/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace kdsel::core {
 
@@ -29,6 +31,7 @@ StatusOr<std::vector<std::vector<float>>> EvaluatePerformanceMatrix(
     const std::vector<std::unique_ptr<tsad::Detector>>& models,
     const std::vector<const ts::TimeSeries*>& series, metrics::Metric metric,
     std::vector<size_t>* failure_counts) {
+  KDSEL_SPAN("core.evaluate_performance_matrix");
   const size_t num_series = series.size();
   const size_t num_models = models.size();
   for (const ts::TimeSeries* s : series) {
@@ -43,6 +46,9 @@ StatusOr<std::vector<std::vector<float>>> EvaluatePerformanceMatrix(
   // Detector::Score is const and every pair touches a distinct slot, so
   // the fan-out is race-free and the matrix is order-independent.
   std::vector<PairResult> slots(num_series * num_models);
+  obs::MetricsRegistry::Global()
+      .GetCounter("kdsel.core.perf_matrix_pairs")
+      .Increment(slots.size());
   ParallelFor(slots.size(), 1, [&](size_t begin, size_t end) {
     for (size_t pair = begin; pair < end; ++pair) {
       const size_t si = pair / num_models;

@@ -6,8 +6,36 @@
 
 #include "common/parallel.h"
 #include "lsh/simhash.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace kdsel::core {
+
+namespace {
+
+// Handles into the immortal metrics registry, resolved on first use.
+struct PruningMetrics {
+  obs::Counter& pruned_low;
+  obs::Counter& pruned_redundant;
+  obs::Gauge& multi_buckets;
+  obs::Gauge& singleton_buckets;
+  obs::Histogram& plan_us;
+};
+
+PruningMetrics& Metrics() {
+  auto& registry = obs::MetricsRegistry::Global();
+  static PruningMetrics metrics{
+      registry.GetCounter("kdsel.pruning.pruned_low"),
+      registry.GetCounter("kdsel.pruning.pruned_redundant"),
+      registry.GetGauge("kdsel.pruning.multi_buckets"),
+      registry.GetGauge("kdsel.pruning.singleton_buckets"),
+      registry.GetHistogram("kdsel.pruning.plan_us"),
+  };
+  return metrics;
+}
+
+}  // namespace
 
 const char* PruningModeToString(PruningMode mode) {
   switch (mode) {
@@ -72,12 +100,20 @@ EpochPlan Pruner::PlanEpoch(size_t epoch, size_t total_epochs) {
 }
 
 void Pruner::PlanEpoch(size_t epoch, size_t total_epochs, EpochPlan* plan) {
+  KDSEL_SPAN("pruning.plan_epoch");
+  const uint64_t begin_ns = obs::NowNs();
+  plan->full_pass = false;
+  plan->pruned_low = 0;
+  plan->pruned_redundant = 0;
+  plan->pa_buckets = 0;
+  plan->pa_singletons = 0;
   const bool anneal =
       total_epochs > 0 &&
       static_cast<double>(epoch) >=
           (1.0 - options_.anneal_fraction) * static_cast<double>(total_epochs);
   const bool first_epoch = epoch == 0;
   if (options_.mode == PruningMode::kNone || anneal || first_epoch) {
+    plan->full_pass = true;
     plan->kept.resize(num_samples_);
     std::iota(plan->kept.begin(), plan->kept.end(), size_t{0});
     plan->weights.assign(num_samples_, 1.0f);
@@ -90,6 +126,12 @@ void Pruner::PlanEpoch(size_t epoch, size_t total_epochs, EpochPlan* plan) {
   } else {
     PlanPa(plan);
   }
+  PruningMetrics& metrics = Metrics();
+  metrics.pruned_low.Increment(plan->pruned_low);
+  metrics.pruned_redundant.Increment(plan->pruned_redundant);
+  metrics.multi_buckets.Set(static_cast<double>(plan->pa_buckets));
+  metrics.singleton_buckets.Set(static_cast<double>(plan->pa_singletons));
+  metrics.plan_us.Record(static_cast<double>(obs::NowNs() - begin_ns) / 1e3);
 }
 
 void Pruner::PlanInfoBatch(EpochPlan* plan) {
@@ -99,7 +141,10 @@ void Pruner::PlanInfoBatch(EpochPlan* plan) {
   for (size_t i = 0; i < num_samples_; ++i) {
     const bool low = seen_[i] && avg_loss_[i] < mean;
     if (low) {
-      if (rng_.Bernoulli(r)) continue;  // pruned this epoch
+      if (rng_.Bernoulli(r)) {  // pruned this epoch
+        ++plan->pruned_low;
+        continue;
+      }
       plan->kept.push_back(i);
       plan->weights.push_back(rescale);
     } else {
@@ -119,7 +164,10 @@ void Pruner::PlanPa(EpochPlan* plan) {
   for (size_t i = 0; i < num_samples_; ++i) {
     const bool low = seen_[i] && avg_loss_[i] < mean;
     if (low) {
-      if (rng_.Bernoulli(r)) continue;
+      if (rng_.Bernoulli(r)) {
+        ++plan->pruned_low;
+        continue;
+      }
       plan->kept.push_back(i);
       plan->weights.push_back(rescale);
     } else {
@@ -152,12 +200,17 @@ void Pruner::PlanPa(EpochPlan* plan) {
   for (auto& [key, members] : buckets) {
     if (members.size() <= 1) {
       // Singleton buckets carry non-redundant information: keep as-is.
+      ++plan->pa_singletons;
       plan->kept.push_back(members[0]);
       plan->weights.push_back(1.0f);
       continue;
     }
+    ++plan->pa_buckets;
     for (size_t i : members) {
-      if (rng_.Bernoulli(r)) continue;
+      if (rng_.Bernoulli(r)) {
+        ++plan->pruned_redundant;
+        continue;
+      }
       plan->kept.push_back(i);
       plan->weights.push_back(rescale);
     }

@@ -27,6 +27,15 @@ const char* PruningModeToString(PruningMode mode);
 struct EpochPlan {
   std::vector<size_t> kept;
   std::vector<float> weights;  ///< Parallel to `kept`.
+
+  // Planner statistics for the epoch, reset by every PlanEpoch call.
+  // Surfaced as kdsel.pruning.* metrics and in the trainer's verbose
+  // per-epoch log.
+  bool full_pass = false;        ///< No pruning (mode none/anneal/epoch 0).
+  size_t pruned_low = 0;         ///< Low-loss samples pruned (InfoBatch rule).
+  size_t pruned_redundant = 0;   ///< High-loss samples pruned from buckets.
+  size_t pa_buckets = 0;         ///< Multi-member (signature, bin) buckets.
+  size_t pa_singletons = 0;      ///< Singleton buckets (kept unconditionally).
 };
 
 /// Options shared by the pruning strategies.

@@ -1,7 +1,6 @@
 #include "core/trainer.h"
 
 #include <cerrno>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -10,6 +9,9 @@
 
 #include "common/stringutil.h"
 #include "core/soft_label.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "nn/serialize.h"
@@ -104,6 +106,40 @@ Status ValidateSelectorTrainingData(const SelectorTrainingData& data,
     return Status::InvalidArgument("epochs/batch_size must be positive");
   }
   return Status::OK();
+}
+
+// Handles into the immortal metrics registry, resolved on first use so
+// the epoch loop's updates stay allocation-free at steady state.
+struct TrainerMetrics {
+  obs::Counter& epochs;
+  obs::Counter& batches;
+  obs::Counter& samples_visited;
+  obs::Gauge& loss_total;
+  obs::Gauge& loss_hard;
+  obs::Gauge& loss_pisl;
+  obs::Gauge& loss_mki;
+  obs::Gauge& samples_per_sec;
+  obs::Gauge& keep_rate;
+  obs::Gauge& rescale_mass;
+  obs::Histogram& epoch_us;
+};
+
+TrainerMetrics& Metrics() {
+  auto& registry = obs::MetricsRegistry::Global();
+  static TrainerMetrics metrics{
+      registry.GetCounter("kdsel.trainer.epochs"),
+      registry.GetCounter("kdsel.trainer.batches"),
+      registry.GetCounter("kdsel.trainer.samples_visited"),
+      registry.GetGauge("kdsel.trainer.loss_total"),
+      registry.GetGauge("kdsel.trainer.loss_hard"),
+      registry.GetGauge("kdsel.trainer.loss_pisl"),
+      registry.GetGauge("kdsel.trainer.loss_mki"),
+      registry.GetGauge("kdsel.trainer.samples_per_sec"),
+      registry.GetGauge("kdsel.pruning.keep_rate"),
+      registry.GetGauge("kdsel.pruning.rescale_mass"),
+      registry.GetHistogram("kdsel.trainer.epoch_us"),
+  };
+  return metrics;
 }
 
 }  // namespace
@@ -281,7 +317,8 @@ StatusOr<std::unique_ptr<TrainedSelector>> TrainSelector(
     const SelectorTrainingData& data, const TrainerOptions& options,
     TrainStats* stats) {
   KDSEL_RETURN_NOT_OK(ValidateSelectorTrainingData(data, options));
-  const auto t_begin = std::chrono::steady_clock::now();
+  KDSEL_SPAN("trainer.train");
+  const double t_begin = obs::NowSeconds();
 
   const size_t n = data.size();
   const size_t input_length = data.windows[0].size();
@@ -362,7 +399,10 @@ StatusOr<std::unique_ptr<TrainedSelector>> TrainSelector(
   nn::LossResult hard, soft;
   MkiHead::Result mki_out;
 
+  TrainerMetrics& metrics = Metrics();
   for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    KDSEL_SPAN("trainer.epoch");
+    const uint64_t epoch_begin_ns = obs::NowNs();
     pruner.PlanEpoch(epoch, options.epochs, &plan);
     // Shuffle kept samples and their weights together.
     perm.resize(plan.kept.size());
@@ -370,6 +410,10 @@ StatusOr<std::unique_ptr<TrainedSelector>> TrainSelector(
     rng.Shuffle(perm);
 
     double epoch_loss = 0.0;
+    double epoch_hard = 0.0;
+    double epoch_pisl = 0.0;
+    double epoch_mki = 0.0;
+    size_t epoch_samples = 0;
     size_t epoch_batches = 0;
     for (size_t off = 0; off < perm.size(); off += options.batch_size) {
       const size_t end = std::min(perm.size(), off + options.batch_size);
@@ -398,6 +442,7 @@ StatusOr<std::unique_ptr<TrainedSelector>> TrainSelector(
       nn::Tensor& grad_logits = hard.grad;
       std::vector<float>& per_sample = hard.per_sample;
       double batch_loss = hard.mean_loss;
+      epoch_hard += hard.mean_loss;
       if (alpha > 0) {
         // Soft labels live one row per performance entry; resolve each
         // sample's (possibly shared) row before gathering.
@@ -411,6 +456,7 @@ StatusOr<std::unique_ptr<TrainedSelector>> TrainSelector(
         grad_logits.ScaleInPlace(static_cast<float>(1.0 - alpha));
         grad_logits.AxpyInPlace(static_cast<float>(alpha), soft.grad);
         batch_loss = (1.0 - alpha) * hard.mean_loss + alpha * soft.mean_loss;
+        epoch_pisl += soft.mean_loss;
         for (size_t i = 0; i < per_sample.size(); ++i) {
           per_sample[i] = static_cast<float>((1.0 - alpha) * per_sample[i] +
                                              alpha * soft.per_sample[i]);
@@ -429,6 +475,7 @@ StatusOr<std::unique_ptr<TrainedSelector>> TrainSelector(
         mki->ComputeLoss(z, z_k, weights, text_rows, &mki_out);
         grad_z.AddInPlace(mki_out.grad_z_t);
         batch_loss += mki_out.loss;
+        epoch_mki += mki_out.loss;
         for (size_t i = 0; i < per_sample.size(); ++i) {
           per_sample[i] += static_cast<float>(options.lambda) *
                            mki_out.per_sample[i];
@@ -444,26 +491,50 @@ StatusOr<std::unique_ptr<TrainedSelector>> TrainSelector(
       }
       epoch_loss += batch_loss;
       ++epoch_batches;
+      epoch_samples += idx.size();
       if (stats) stats->samples_visited += idx.size();
     }
+    const double inv_batches =
+        epoch_batches ? 1.0 / static_cast<double>(epoch_batches) : 0.0;
+    const double epoch_seconds =
+        static_cast<double>(obs::NowNs() - epoch_begin_ns) / 1e9;
+    const double samples_per_sec =
+        epoch_seconds > 0.0 ? static_cast<double>(epoch_samples) / epoch_seconds
+                            : 0.0;
+    const double keep_rate =
+        static_cast<double>(plan.kept.size()) / static_cast<double>(n);
+    double rescale_mass = 0.0;
+    for (float w : plan.weights) rescale_mass += w;
+    metrics.epochs.Increment();
+    metrics.batches.Increment(epoch_batches);
+    metrics.samples_visited.Increment(epoch_samples);
+    metrics.loss_total.Set(epoch_loss * inv_batches);
+    metrics.loss_hard.Set(epoch_hard * inv_batches);
+    metrics.loss_pisl.Set(epoch_pisl * inv_batches);
+    metrics.loss_mki.Set(epoch_mki * inv_batches);
+    metrics.samples_per_sec.Set(samples_per_sec);
+    metrics.keep_rate.Set(keep_rate);
+    metrics.rescale_mass.Set(rescale_mass);
+    metrics.epoch_us.Record(epoch_seconds * 1e6);
     if (stats) {
       stats->epoch_loss.push_back(
           epoch_batches ? epoch_loss / static_cast<double>(epoch_batches)
                         : 0.0);
     }
     if (options.verbose) {
-      std::fprintf(stderr, "[trainer] epoch %zu/%zu: kept=%zu loss=%.4f\n",
-                   epoch + 1, options.epochs, plan.kept.size(),
-                   epoch_batches ? epoch_loss / double(epoch_batches) : 0.0);
+      std::fprintf(stderr,
+                   "[trainer] epoch %zu/%zu: loss=%.4f (hard=%.4f pisl=%.4f "
+                   "mki=%.4f) kept=%zu/%zu (%.1f%%) %.0f samples/s\n",
+                   epoch + 1, options.epochs, epoch_loss * inv_batches,
+                   epoch_hard * inv_batches, epoch_pisl * inv_batches,
+                   epoch_mki * inv_batches, plan.kept.size(), n,
+                   100.0 * keep_rate, samples_per_sec);
     }
     if (options.on_epoch_end) options.on_epoch_end(epoch);
   }
 
   if (stats) {
-    stats->train_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      t_begin)
-            .count();
+    stats->train_seconds = obs::NowSeconds() - t_begin;
   }
   std::string display_name = options.backbone;
   if (options.use_pisl || options.use_mki ||

@@ -7,6 +7,7 @@
 #include "common/parallel.h"
 #include "nn/kernels/kernels.h"
 #include "nn/workspace.h"
+#include "obs/trace.h"
 
 namespace kdsel::nn {
 
@@ -43,6 +44,7 @@ std::vector<Parameter*> Conv1d::Parameters() {
 }
 
 Tensor Conv1d::Forward(const Tensor& input, bool /*training*/) {
+  KDSEL_SPAN("nn.conv1d.forward");
   KDSEL_CHECK(input.rank() == 3 && input.dim(1) == in_channels_);
   cached_input_ = input;
   const size_t B = input.dim(0), L = input.dim(2);
@@ -85,6 +87,7 @@ Tensor Conv1d::Forward(const Tensor& input, bool /*training*/) {
 }
 
 Tensor Conv1d::Backward(const Tensor& grad_output) {
+  KDSEL_SPAN("nn.conv1d.backward");
   const size_t B = cached_input_.dim(0), L = cached_input_.dim(2);
   const size_t K = kernel_size_;
   KDSEL_CHECK(grad_output.rank() == 3 && grad_output.dim(0) == B &&

@@ -6,9 +6,18 @@
 #include "common/check.h"
 #include "common/cpu.h"
 #include "nn/kernels/kernels.h"
+#include "obs/metrics.h"
 
 namespace kdsel::nn::kernels {
 namespace {
+
+// Which Ops table is live, as the Variant enum's integer value, so a
+// metrics snapshot records the kernel backend a run actually used.
+void PublishVariantGauge(const Ops& ops) {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::Global().GetGauge("kdsel.nn.kernel_variant");
+  gauge.Set(static_cast<double>(static_cast<int>(ops.variant)));
+}
 
 // Active table. nullptr until first Dispatch(); resolution is
 // idempotent, so the benign first-use race is harmless.
@@ -42,6 +51,7 @@ const Ops& Dispatch() {
   if (ops == nullptr) {
     ops = Resolve();
     g_active.store(ops, std::memory_order_release);
+    PublishVariantGauge(*ops);
   }
   return *ops;
 }
@@ -104,11 +114,15 @@ StatusOr<Variant> ParseVariantName(std::string_view name) {
 }
 
 void ResetDispatchForTesting(Variant v) {
-  g_active.store(&GetOps(v), std::memory_order_release);
+  const Ops* ops = &GetOps(v);
+  g_active.store(ops, std::memory_order_release);
+  PublishVariantGauge(*ops);
 }
 
 void ResetDispatchForTesting() {
-  g_active.store(Resolve(), std::memory_order_release);
+  const Ops* ops = Resolve();
+  g_active.store(ops, std::memory_order_release);
+  PublishVariantGauge(*ops);
 }
 
 }  // namespace kdsel::nn::kernels

@@ -6,6 +6,7 @@
 
 #include "common/parallel.h"
 #include "nn/kernels/kernels.h"
+#include "obs/trace.h"
 
 namespace kdsel::nn {
 
@@ -102,6 +103,7 @@ bool SameShape(const Tensor& a, const Tensor& b) {
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  KDSEL_SPAN("nn.matmul");
   KDSEL_CHECK(a.rank() == 2 && b.rank() == 2);
   const size_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
   KDSEL_CHECK(b.dim(0) == k);
@@ -117,6 +119,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
+  KDSEL_SPAN("nn.matmul_tb");
   KDSEL_CHECK(a.rank() == 2 && b.rank() == 2);
   const size_t n = a.dim(0), k = a.dim(1), m = b.dim(0);
   KDSEL_CHECK(b.dim(1) == k);
@@ -133,6 +136,7 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
 }
 
 Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
+  KDSEL_SPAN("nn.matmul_ta");
   KDSEL_CHECK(a.rank() == 2 && b.rank() == 2);
   const size_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
   KDSEL_CHECK(b.dim(0) == n);

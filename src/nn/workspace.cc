@@ -4,8 +4,22 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace kdsel::nn {
 namespace {
+
+obs::Counter& PoolHits() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("kdsel.nn.workspace.pool_hits");
+  return counter;
+}
+
+obs::Counter& PoolMisses() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "kdsel.nn.workspace.pool_misses");
+  return counter;
+}
 
 // Buckets are powers of two: bucket b holds buffers of exactly
 // kMinCapacity << b floats. 32 buckets covers 64 .. 2^37 floats, far
@@ -71,9 +85,11 @@ float* Workspace::Acquire(size_t n, size_t* capacity) {
     if (!bucket.empty()) {
       float* p = bucket.back();
       bucket.pop_back();
+      PoolHits().Increment();
       return p;
     }
   }
+  PoolMisses().Increment();
   return HeapAllocate(cap);
 }
 

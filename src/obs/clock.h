@@ -1,0 +1,32 @@
+#ifndef KDSEL_OBS_CLOCK_H_
+#define KDSEL_OBS_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace kdsel::obs {
+
+/// The one monotonic clock for the whole codebase. Everything outside
+/// src/obs/, src/common/ and bench/ must time through this alias (or,
+/// better, through spans and histograms) — the `raw-timing` lint rule
+/// enforces it — so every duration in logs, metrics and traces is
+/// measured on the same timebase.
+using Clock = std::chrono::steady_clock;
+
+/// Monotonic nanoseconds since an arbitrary epoch.
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+/// Monotonic seconds since an arbitrary epoch (for coarse wall timing).
+inline double NowSeconds() {
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace kdsel::obs
+
+#endif  // KDSEL_OBS_CLOCK_H_

@@ -1,0 +1,258 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace kdsel::obs {
+
+namespace {
+
+/// fetch_add for atomic<double> (no native RMW before C++20 on all
+/// stdlibs; a CAS loop is portable and uncontended enough for stats).
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current && !target.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current && !target.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// Formats a double as JSON (finite shortest-ish form; non-finite
+/// values have no JSON spelling and collapse to 0).
+void AppendNumber(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "0";
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out += buffer;
+}
+
+/// Metric names are restricted identifiers, but escape defensively so
+/// the snapshot is valid JSON no matter what gets registered.
+void AppendQuoted(std::string& out, const std::string& text) {
+  out += '"';
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Histogram::Histogram() : min_(std::numeric_limits<double>::infinity()) {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+size_t Histogram::BucketIndex(double value) {
+  if (value < 1.0) return 0;
+  // 4 buckets per octave: index = floor(4 * log2(v)) + 1.
+  const double idx = 4.0 * std::log2(value);
+  const size_t bucket = static_cast<size_t>(idx) + 1;
+  return bucket >= kBuckets ? kBuckets - 1 : bucket;
+}
+
+double Histogram::BucketLowerBound(size_t index) {
+  if (index == 0) return 0.0;
+  return std::exp2(static_cast<double>(index - 1) / 4.0);
+}
+
+void Histogram::Record(double value) {
+  if (!(value >= 0.0)) value = 0.0;  // Also catches NaN.
+  const uint64_t seq = reset_seq_.load(std::memory_order_seq_cst);
+  // Count first, bucket second, both seq_cst: any bucket tick a reader
+  // observes has its count tick earlier in the single total order, so
+  // Summarize (buckets before count) can never see samples > count.
+  count_.fetch_add(1, std::memory_order_seq_cst);
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_seq_cst);
+  AtomicAdd(sum_, value);
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+  if (reset_seq_.load(std::memory_order_seq_cst) != seq) {
+    // A Reset() ran while this sample was being published. Its wipe may
+    // have erased the count tick but kept the bucket tick (the wipes of
+    // the two locations are not atomic together); re-publishing the
+    // count tick restores count >= samples. If the original tick
+    // survived, this sample is counted once extra — documented, and
+    // harmless for stats.
+    count_.fetch_add(1, std::memory_order_seq_cst);
+  }
+}
+
+Histogram::Summary Histogram::Summarize() const {
+  for (;;) {
+    const uint64_t seq_before = reset_seq_.load(std::memory_order_seq_cst);
+    if (seq_before & 1) continue;  // A wipe is in progress; retry.
+
+    std::array<uint64_t, kBuckets> counts;
+    uint64_t samples = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      counts[i] = buckets_[i].load(std::memory_order_seq_cst);
+      samples += counts[i];
+    }
+    Summary s;
+    s.samples = samples;
+    // Count is read after every bucket; clamping covers the transient
+    // window where a record straddling a reset has published its bucket
+    // tick but not yet re-published its wiped count tick.
+    s.count = std::max(count_.load(std::memory_order_seq_cst), samples);
+    const double sum = sum_.load(std::memory_order_relaxed);
+    const double min = min_.load(std::memory_order_relaxed);
+    const double max = max_.load(std::memory_order_relaxed);
+    if (reset_seq_.load(std::memory_order_seq_cst) != seq_before) {
+      continue;  // A reset overlapped the snapshot; retry.
+    }
+    if (samples == 0) return s;
+
+    s.min = min;
+    s.max = max;
+    s.mean = sum / static_cast<double>(samples);
+
+    auto percentile = [&](double q) {
+      const uint64_t target =
+          static_cast<uint64_t>(std::ceil(q * static_cast<double>(samples)));
+      uint64_t seen = 0;
+      for (size_t i = 0; i < kBuckets; ++i) {
+        seen += counts[i];
+        if (seen >= target && counts[i] > 0) {
+          // Geometric midpoint of the bucket, clamped to observed range.
+          const double lo = BucketLowerBound(i);
+          const double hi = BucketLowerBound(i + 1);
+          const double mid = std::sqrt(std::max(lo, 0.5) * hi);
+          return std::min(std::max(mid, s.min), s.max);
+        }
+      }
+      return s.max;
+    };
+    s.p50 = percentile(0.50);
+    s.p95 = percentile(0.95);
+    s.p99 = percentile(0.99);
+    return s;
+  }
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(reset_mu_);
+  reset_seq_.fetch_add(1, std::memory_order_seq_cst);  // -> odd: wiping
+  count_.store(0, std::memory_order_seq_cst);
+  for (auto& b : buckets_) b.store(0, std::memory_order_seq_cst);
+  sum_.store(0.0, std::memory_order_seq_cst);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_seq_cst);
+  max_.store(0.0, std::memory_order_seq_cst);
+  reset_seq_.fetch_add(1, std::memory_order_seq_cst);  // -> even: stable
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Immortal by design (see header): worker threads and thread-local
+  // cache destructors may still record during static teardown, so the
+  // registry must never be destroyed. The one object is reachable
+  // through this static pointer, so LeakSanitizer does not flag it.
+  static MetricsRegistry* registry =
+      new MetricsRegistry();  // kdsel-lint: allow(naked-new)
+  return *registry;
+}
+
+template <typename T>
+T& MetricsRegistry::GetOrCreate(
+    std::map<std::string, std::unique_ptr<T>>& slot, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slot.find(name);
+  if (it == slot.end()) {
+    it = slot.emplace(name, std::make_unique<T>()).first;
+  }
+  return *it->second;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  return GetOrCreate(counters_, name);
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  return GetOrCreate(gauges_, name);
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  return GetOrCreate(histograms_, name);
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    AppendQuoted(out, name);
+    out += ':';
+    out += std::to_string(counter->Value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    AppendQuoted(out, name);
+    out += ':';
+    AppendNumber(out, gauge->Value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    AppendQuoted(out, name);
+    const Histogram::Summary s = histogram->Summarize();
+    out += ":{\"count\":" + std::to_string(s.count);
+    out += ",\"samples\":" + std::to_string(s.samples);
+    out += ",\"min\":";
+    AppendNumber(out, s.min);
+    out += ",\"max\":";
+    AppendNumber(out, s.max);
+    out += ",\"mean\":";
+    AppendNumber(out, s.mean);
+    out += ",\"p50\":";
+    AppendNumber(out, s.p50);
+    out += ",\"p95\":";
+    AppendNumber(out, s.p95);
+    out += ",\"p99\":";
+    AppendNumber(out, s.p99);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::ResetValuesForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace kdsel::obs

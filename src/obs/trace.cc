@@ -1,0 +1,192 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+namespace kdsel::obs {
+
+namespace detail {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace detail
+
+namespace {
+
+// Per-thread span buffer: fixed capacity, no reallocation after
+// registration, drop-newest on overflow. Only the owning thread writes
+// `count` and the event slots; drains read `count` with acquire and see
+// every slot published before it.
+constexpr size_t kBufferCapacity = size_t{1} << 15;  // 32768 spans/thread
+
+struct ThreadBuffer {
+  uint32_t tid = 0;
+  std::atomic<size_t> count{0};
+  std::vector<TraceEvent> events;
+};
+
+struct TraceState {
+  std::mutex mu;
+  // Owned here (not thread-locally) so buffers outlive their threads
+  // and a drain can walk them at any time. Bounded by the number of
+  // distinct threads that ever recorded a span.
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::atomic<uint64_t> dropped{0};
+  std::string env_trace_path;  // Set once by InitTracingFromEnv.
+};
+
+// Immortal by design: thread-pool workers may finish spans while static
+// destructors run; the state must outlive every thread. Reachable via
+// the static pointer, so LeakSanitizer does not flag it.
+TraceState& State() {
+  static TraceState* state = new TraceState();  // kdsel-lint: allow(naked-new)
+  return *state;
+}
+
+thread_local ThreadBuffer* t_buffer = nullptr;
+
+ThreadBuffer* RegisterThisThread() {
+  TraceState& state = State();
+  auto buffer = std::make_unique<ThreadBuffer>();
+  buffer->events.resize(kBufferCapacity);
+  ThreadBuffer* raw = buffer.get();
+  std::lock_guard<std::mutex> lock(state.mu);
+  raw->tid = static_cast<uint32_t>(state.buffers.size());
+  state.buffers.push_back(std::move(buffer));
+  return raw;
+}
+
+void WriteTraceAtExit() {
+  StopTracing();
+  TraceState& state = State();
+  const Status written = WriteChromeTrace(state.env_trace_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "[obs] KDSEL_TRACE write failed: %s\n",
+                 written.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr, "[obs] wrote trace to %s (%zu spans, %llu dropped)\n",
+               state.env_trace_path.c_str(), CollectTraceEvents().size(),
+               static_cast<unsigned long long>(DroppedTraceEvents()));
+}
+
+}  // namespace
+
+namespace detail {
+
+void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns) {
+  ThreadBuffer* buffer = t_buffer;
+  if (buffer == nullptr) buffer = t_buffer = RegisterThisThread();
+  const size_t at = buffer->count.load(std::memory_order_relaxed);
+  if (at >= kBufferCapacity) {
+    State().dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent& event = buffer->events[at];
+  event.name = name;
+  event.start_ns = start_ns;
+  event.dur_ns = end_ns - start_ns;
+  event.tid = buffer->tid;
+  // Publish the slot before the new count so a concurrent drain never
+  // reads a half-written event.
+  buffer->count.store(at + 1, std::memory_order_release);
+}
+
+}  // namespace detail
+
+void StartTracing() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (auto& buffer : state.buffers) {
+    buffer->count.store(0, std::memory_order_relaxed);
+  }
+  state.dropped.store(0, std::memory_order_relaxed);
+  detail::g_tracing_enabled.store(true, std::memory_order_release);
+}
+
+void StopTracing() {
+  detail::g_tracing_enabled.store(false, std::memory_order_release);
+}
+
+std::vector<TraceEvent> CollectTraceEvents() {
+  TraceState& state = State();
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (const auto& buffer : state.buffers) {
+    const size_t n =
+        std::min(buffer->count.load(std::memory_order_acquire),
+                 kBufferCapacity);
+    out.insert(out.end(), buffer->events.begin(), buffer->events.begin() + n);
+  }
+  return out;
+}
+
+uint64_t DroppedTraceEvents() {
+  return State().dropped.load(std::memory_order_relaxed);
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  std::vector<TraceEvent> events = CollectTraceEvents();
+  // Stable order (and small `ts` values): rebase on the earliest span
+  // and sort by start time.
+  uint64_t base_ns = ~uint64_t{0};
+  for (const TraceEvent& e : events) base_ns = std::min(base_ns, e.start_ns);
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.dur_ns > b.dur_ns;  // Parents before children.
+            });
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    return Status::IoError("cannot open trace file: " + path);
+  }
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char line[256];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::snprintf(line, sizeof(line),
+                  "%s\n{\"name\":\"%s\",\"cat\":\"kdsel\",\"ph\":\"X\","
+                  "\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f}",
+                  i == 0 ? "" : ",", e.name, e.tid,
+                  static_cast<double>(e.start_ns - base_ns) / 1e3,
+                  static_cast<double>(e.dur_ns) / 1e3);
+    out << line;
+  }
+  out << "\n]}\n";
+  out.flush();
+  if (!out.good()) {
+    return Status::IoError("failed writing trace file: " + path);
+  }
+  return Status::OK();
+}
+
+void InitTracingFromEnv() {
+  const char* env = std::getenv("KDSEL_TRACE");
+  if (env == nullptr) return;
+  if (*env == '\0') {
+    std::fprintf(stderr,
+                 "[obs] ignoring empty KDSEL_TRACE; expected an output path\n");
+    return;
+  }
+  {
+    // Validate the path now, while a warning can still reach a user, not
+    // at exit when it is too late to re-run.
+    std::ofstream probe(env, std::ios::app);
+    if (!probe.good()) {
+      std::fprintf(stderr,
+                   "[obs] ignoring KDSEL_TRACE=%s (path is not writable); "
+                   "tracing disabled\n",
+                   env);
+      return;
+    }
+  }
+  State().env_trace_path = env;
+  StartTracing();
+  std::atexit(&WriteTraceAtExit);
+}
+
+}  // namespace kdsel::obs

@@ -1,0 +1,107 @@
+#ifndef KDSEL_OBS_TRACE_H_
+#define KDSEL_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/clock.h"
+
+namespace kdsel::obs {
+
+/// One completed span. `name` must point at static-storage text (the
+/// KDSEL_SPAN macro passes string literals); events store the pointer,
+/// never a copy, so recording stays allocation-free.
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;  ///< Dense per-thread id, assigned at first record.
+};
+
+namespace detail {
+
+extern std::atomic<bool> g_tracing_enabled;
+
+/// Appends a finished span to the calling thread's buffer. Called only
+/// from ~TraceSpan when tracing was enabled at span start.
+void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns);
+
+}  // namespace detail
+
+/// The disabled-path cost of every instrumented site: one relaxed load.
+inline bool TracingEnabled() {
+  return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+/// Enables span recording, clearing previously collected events and the
+/// dropped counter. Call from a quiescent point (no spans in flight):
+/// per-thread buffers are rewound in place, so a span racing the rewind
+/// could land at a stale slot.
+void StartTracing();
+
+/// Disables recording. Collected events stay available for
+/// CollectTraceEvents/WriteChromeTrace until the next StartTracing.
+void StopTracing();
+
+/// Snapshot of every recorded event across all threads.
+std::vector<TraceEvent> CollectTraceEvents();
+
+/// Spans dropped because a thread's buffer filled up since the last
+/// StartTracing (drop-newest policy; the buffers never reallocate).
+uint64_t DroppedTraceEvents();
+
+/// Writes the collected events to `path` in the chrome://tracing /
+/// Perfetto trace-event JSON format ("X" complete events, timestamps in
+/// microseconds, rebased to the earliest span).
+Status WriteChromeTrace(const std::string& path);
+
+/// KDSEL_TRACE=<path> env hook, strict à la KDSEL_SIMD: unset does
+/// nothing; an empty or unwritable path warns on stderr and leaves
+/// tracing off; otherwise tracing starts now and the trace is written
+/// to <path> at process exit. Call once, early in main().
+void InitTracingFromEnv();
+
+/// RAII span. Cheap when tracing is disabled: the constructor is one
+/// relaxed load + branch, the destructor one pointer test.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (TracingEnabled()) {
+      name_ = name;
+      start_ns_ = NowNs();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) detail::RecordSpan(name_, start_ns_, NowNs());
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace kdsel::obs
+
+#define KDSEL_OBS_CONCAT_INNER_(a, b) a##b
+#define KDSEL_OBS_CONCAT_(a, b) KDSEL_OBS_CONCAT_INNER_(a, b)
+
+// Scoped span covering the rest of the enclosing block. `name` must be
+// a string literal (or other static-storage string).
+//
+// KDSEL_NO_TRACING compiles every span out entirely; trace_overhead_test
+// builds its baseline loop this way to bound the disabled-path cost.
+#ifdef KDSEL_NO_TRACING
+#define KDSEL_SPAN(name) \
+  do {                   \
+  } while (false)
+#else
+#define KDSEL_SPAN(name)                 \
+  ::kdsel::obs::TraceSpan KDSEL_OBS_CONCAT_(kdsel_obs_span_, __LINE__) { name }
+#endif
+
+#endif  // KDSEL_OBS_TRACE_H_

@@ -9,6 +9,7 @@
 #include <ostream>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "serve/json.h"
 
 namespace kdsel::serve {
@@ -170,8 +171,10 @@ Status RunServeLoop(std::istream& in, std::ostream& out,
         // Formatted at print time, after every earlier reply has been
         // resolved, so the snapshot covers all previously answered
         // requests in the session.
+        // SnapshotJson() is already valid JSON text, spliced verbatim.
         line = "{\"id\":" + std::to_string(item.id) + ",\"ok\":true,\"stats\":" +
-               server.stats().ToJsonString() + "}";
+               server.stats().ToJsonString() + ",\"metrics\":" +
+               obs::MetricsRegistry::Global().SnapshotJson() + "}";
       } else if (item.ready.has_value()) {
         line = *item.ready;
       } else {

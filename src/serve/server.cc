@@ -4,13 +4,14 @@
 #include <utility>
 
 #include "core/selection.h"
+#include "obs/clock.h"
 #include "ts/window.h"
 
 namespace kdsel::serve {
 
 namespace {
 
-double ToUs(std::chrono::steady_clock::duration d) {
+double ToUs(obs::Clock::duration d) {
   return std::chrono::duration<double, std::micro>(d).count();
 }
 

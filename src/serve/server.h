@@ -1,7 +1,6 @@
 #ifndef KDSEL_SERVE_SERVER_H_
 #define KDSEL_SERVE_SERVER_H_
 
-#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -14,6 +13,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "obs/clock.h"
 #include "serve/registry.h"
 #include "serve/stats.h"
 #include "ts/time_series.h"
@@ -105,7 +105,7 @@ class InferenceServer {
   SelectorRegistry& registry() { return *registry_; }
 
  private:
-  using Clock = std::chrono::steady_clock;
+  using Clock = obs::Clock;
 
   struct Pending {
     SelectRequest request;

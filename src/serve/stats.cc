@@ -1,120 +1,17 @@
 #include "serve/stats.h"
 
-#include <cmath>
-#include <limits>
-
 namespace kdsel::serve {
 
-namespace {
-
-/// fetch_add for atomic<double> (no native RMW before C++20 on all
-/// stdlibs; a CAS loop is portable and uncontended enough for stats).
-void AtomicAdd(std::atomic<double>& target, double delta) {
-  double current = target.load(std::memory_order_relaxed);
-  while (!target.compare_exchange_weak(current, current + delta,
-                                       std::memory_order_relaxed)) {
-  }
-}
-
-void AtomicMin(std::atomic<double>& target, double value) {
-  double current = target.load(std::memory_order_relaxed);
-  while (value < current && !target.compare_exchange_weak(
-                                current, value, std::memory_order_relaxed)) {
-  }
-}
-
-void AtomicMax(std::atomic<double>& target, double value) {
-  double current = target.load(std::memory_order_relaxed);
-  while (value > current && !target.compare_exchange_weak(
-                                current, value, std::memory_order_relaxed)) {
-  }
-}
-
-}  // namespace
-
-LatencyHistogram::LatencyHistogram()
-    : min_us_(std::numeric_limits<double>::infinity()) {
-  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-}
-
-size_t LatencyHistogram::BucketIndex(double us) {
-  if (us < 1.0) return 0;
-  // 4 buckets per octave: index = floor(4 * log2(us)) + 1.
-  const double idx = 4.0 * std::log2(us);
-  const size_t bucket = static_cast<size_t>(idx) + 1;
-  return bucket >= kBuckets ? kBuckets - 1 : bucket;
-}
-
-double LatencyHistogram::BucketLowerBound(size_t index) {
-  if (index == 0) return 0.0;
-  return std::exp2(static_cast<double>(index - 1) / 4.0);
-}
-
-void LatencyHistogram::Record(double us) {
-  if (!(us >= 0.0)) us = 0.0;  // Also catches NaN.
-  buckets_[BucketIndex(us)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  AtomicAdd(sum_us_, us);
-  AtomicMin(min_us_, us);
-  AtomicMax(max_us_, us);
-}
-
-LatencyHistogram::Summary LatencyHistogram::Summarize() const {
-  std::array<uint64_t, kBuckets> counts;
-  uint64_t total = 0;
-  for (size_t i = 0; i < kBuckets; ++i) {
-    counts[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += counts[i];
-  }
-  Summary s;
-  s.count = total;
-  if (total == 0) return s;
-  s.min_us = min_us_.load(std::memory_order_relaxed);
-  s.max_us = max_us_.load(std::memory_order_relaxed);
-  s.mean_us = sum_us_.load(std::memory_order_relaxed) /
-              static_cast<double>(total);
-
-  auto percentile = [&](double q) {
-    const uint64_t target =
-        static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
-    uint64_t seen = 0;
-    for (size_t i = 0; i < kBuckets; ++i) {
-      seen += counts[i];
-      if (seen >= target && counts[i] > 0) {
-        // Geometric midpoint of the bucket, clamped to observed range.
-        const double lo = BucketLowerBound(i);
-        const double hi = BucketLowerBound(i + 1);
-        const double mid = std::sqrt(std::max(lo, 0.5) * hi);
-        return std::min(std::max(mid, s.min_us), s.max_us);
-      }
-    }
-    return s.max_us;
-  };
-  s.p50_us = percentile(0.50);
-  s.p95_us = percentile(0.95);
-  s.p99_us = percentile(0.99);
-  return s;
-}
-
-void LatencyHistogram::Reset() {
-  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-  sum_us_.store(0.0, std::memory_order_relaxed);
-  min_us_.store(std::numeric_limits<double>::infinity(),
-                std::memory_order_relaxed);
-  max_us_.store(0.0, std::memory_order_relaxed);
-}
-
-Json LatencyHistogram::ToJson() const {
-  const Summary s = Summarize();
+Json LatencyHistogramJson(const LatencyHistogram& histogram) {
+  const obs::Histogram::Summary s = histogram.Summarize();
   Json out = Json::Object();
   out.Set("count", Json::Number(static_cast<double>(s.count)));
-  out.Set("min_us", Json::Number(s.min_us));
-  out.Set("max_us", Json::Number(s.max_us));
-  out.Set("mean_us", Json::Number(s.mean_us));
-  out.Set("p50_us", Json::Number(s.p50_us));
-  out.Set("p95_us", Json::Number(s.p95_us));
-  out.Set("p99_us", Json::Number(s.p99_us));
+  out.Set("min_us", Json::Number(s.min));
+  out.Set("max_us", Json::Number(s.max));
+  out.Set("mean_us", Json::Number(s.mean));
+  out.Set("p50_us", Json::Number(s.p50));
+  out.Set("p95_us", Json::Number(s.p95));
+  out.Set("p99_us", Json::Number(s.p99));
   return out;
 }
 
@@ -122,10 +19,10 @@ Json EndpointStats::ToJson() const {
   Json out = Json::Object();
   out.Set("completed", Json::Number(static_cast<double>(completed.load())));
   out.Set("failed", Json::Number(static_cast<double>(failed.load())));
-  out.Set("queue_wait", queue_wait.ToJson());
-  out.Set("selection", selection.ToJson());
-  out.Set("detection", detection.ToJson());
-  out.Set("total", total.ToJson());
+  out.Set("queue_wait", LatencyHistogramJson(queue_wait));
+  out.Set("selection", LatencyHistogramJson(selection));
+  out.Set("detection", LatencyHistogramJson(detection));
+  out.Set("total", LatencyHistogramJson(total));
   return out;
 }
 

@@ -6,55 +6,23 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
 #include "serve/json.h"
 
 namespace kdsel::serve {
 
-/// A thread-safe latency histogram over geometric buckets.
-///
-/// Record() is wait-free (one relaxed fetch_add per sample plus a few
-/// CAS loops for min/max), so the serving hot path never contends on a
-/// stats lock. Buckets grow by 2^(1/4) per step, bounding the relative
-/// quantile error at ~19% — plenty for p50/p95/p99 dashboards.
-class LatencyHistogram {
- public:
-  LatencyHistogram();
+/// The serving layer's latency histograms are the general-purpose
+/// obs::Histogram (which started life here as serve::LatencyHistogram
+/// and was promoted to src/obs/ when the rest of the codebase grew
+/// metrics). Samples are microseconds; the wire format in stats
+/// responses keeps its historical `*_us` key names (see
+/// LatencyHistogramJson).
+using LatencyHistogram = obs::Histogram;
 
-  /// Records one sample, in microseconds. Negative values clamp to 0.
-  void Record(double us);
-
-  struct Summary {
-    uint64_t count = 0;
-    double min_us = 0.0;
-    double max_us = 0.0;
-    double mean_us = 0.0;
-    double p50_us = 0.0;
-    double p95_us = 0.0;
-    double p99_us = 0.0;
-  };
-
-  /// Consistent-enough snapshot: concurrent Record() calls may or may
-  /// not be included, but the summary never mixes torn per-bucket state.
-  Summary Summarize() const;
-
-  void Reset();
-
-  /// {"count":..,"min_us":..,"max_us":..,"mean_us":..,"p50_us":..,...}
-  Json ToJson() const;
-
- private:
-  // 2^(1/4) growth, 128 buckets: covers [0, ~4.3e9] us (~72 minutes).
-  static constexpr size_t kBuckets = 128;
-
-  static size_t BucketIndex(double us);
-  static double BucketLowerBound(size_t index);
-
-  std::array<std::atomic<uint64_t>, kBuckets> buckets_;
-  std::atomic<uint64_t> count_{0};
-  std::atomic<double> sum_us_{0.0};
-  std::atomic<double> min_us_;
-  std::atomic<double> max_us_{0.0};
-};
+/// Renders a histogram of microsecond samples with the serving wire
+/// keys: {"count":..,"min_us":..,"max_us":..,"mean_us":..,"p50_us":..,
+/// "p95_us":..,"p99_us":..}.
+Json LatencyHistogramJson(const LatencyHistogram& histogram);
 
 /// Counters and latency histograms for one logical endpoint ("select"
 /// for selection-only requests, "detect" for selection+detection).

@@ -15,13 +15,15 @@ namespace kdsel::fixture_clean {
 Status Tidy(const std::string& input);
 
 Status Caller() {
-  // Prose mentioning rand() and new Foo() must not fire: comments are
-  // stripped before scanning.
+  // Prose mentioning rand(), new Foo() and steady_clock::now() must not
+  // fire: comments are stripped before scanning.
   KDSEL_RETURN_NOT_OK(Tidy("checked"));
   Status status = Tidy("assigned");
   if (!status.ok()) return status;
 
-  const std::string text = "calling rand() via new Foo() and std::stoi()";
+  const std::string text =
+      "calling rand() via new Foo(), std::stoi() and "
+      "std::chrono::steady_clock::now()";
   auto owned = std::make_unique<std::string>(text);
 
   StatusOr<int> maybe = 7;

@@ -3,6 +3,7 @@
 // same-line markers, a preceding-comment-line marker, and a multi-rule
 // marker. Must scan clean. NOT compiled.
 
+#include <chrono>
 #include <mutex>
 #include <string>
 
@@ -39,6 +40,9 @@ void Suppressed(QuietDetector* detector) {
 
   const __m128 quiet = _mm_setzero_ps();  // kdsel-lint: allow(raw-simd)
   (void)quiet;
+
+  const auto t0 = std::chrono::high_resolution_clock::now();  // kdsel-lint: allow(raw-timing)
+  (void)t0;
 }
 
 }  // namespace kdsel::fixture_suppressed

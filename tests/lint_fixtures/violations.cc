@@ -3,6 +3,7 @@
 //
 // Keep line numbers stable: lint_test pins them.
 
+#include <chrono>
 #include <mutex>
 #include <string>
 
@@ -17,27 +18,30 @@ struct Detector {
 };
 
 void Violations(Detector* detector) {
-  DoWork("hello");  // line 20: discarded-status
+  DoWork("hello");  // line 21: discarded-status
 
   StatusOr<int> maybe = 42;
-  int x = maybe.value();  // line 23: unchecked-value
+  int x = maybe.value();  // line 24: unchecked-value
 
-  auto* leaked = new std::string("oops");  // line 25: naked-new
+  auto* leaked = new std::string("oops");  // line 26: naked-new
 
-  const long parsed = std::stol("123");  // line 27: raw-parse
+  const long parsed = std::stol("123");  // line 28: raw-parse
 
-  const int noise = rand();  // line 29: nonreproducible-random
+  const int noise = rand();  // line 30: nonreproducible-random
 
   std::mutex mu;
   std::lock_guard<std::mutex> lock(mu);
   detector->Score(noise + x + static_cast<int>(parsed) +
-                  static_cast<int>(leaked->size()));  // line 33 via line 34
+                  static_cast<int>(leaked->size()));  // line 34 via line 35
 
-  std::thread worker([] {});  // line 36: raw-thread
+  std::thread worker([] {});  // line 37: raw-thread
   worker.join();
 
-  const __m256 wide = _mm256_setzero_ps();  // line 39: raw-simd
+  const __m256 wide = _mm256_setzero_ps();  // line 40: raw-simd
   (void)wide;
+
+  const auto t0 = std::chrono::steady_clock::now();  // line 43: raw-timing
+  (void)t0;
 }
 
 }  // namespace kdsel::fixture

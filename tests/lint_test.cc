@@ -74,39 +74,43 @@ TEST(LintTest, ViolationsFixtureProducesExactDiagnostics) {
   EXPECT_EQ(result.exit_code, 1);
 
   const std::vector<std::string> lines = SplitLines(result.stdout_text);
-  ASSERT_EQ(lines.size(), 8u) << result.stdout_text;
+  ASSERT_EQ(lines.size(), 9u) << result.stdout_text;
 
   const std::string prefix = "tests/lint_fixtures/violations.cc:";
   const std::vector<std::string> expected = {
       prefix +
-          "20: discarded-status: result of Status-returning call 'DoWork' is "
+          "21: discarded-status: result of Status-returning call 'DoWork' is "
           "discarded; check it, propagate it with KDSEL_RETURN_NOT_OK, or "
           "assert on it",
       prefix +
-          "23: unchecked-value: .value() without a nearby ok()/has_value() "
+          "24: unchecked-value: .value() without a nearby ok()/has_value() "
           "check aborts on error; check first or propagate with "
           "KDSEL_ASSIGN_OR_RETURN",
       prefix +
-          "25: naked-new: raw 'new' allocation; use "
+          "26: naked-new: raw 'new' allocation; use "
           "std::make_unique/std::make_shared or a container",
       prefix +
-          "27: raw-parse: 'stol' outside common/: it throws or silently "
+          "28: raw-parse: 'stol' outside common/: it throws or silently "
           "wraps; use kdsel::ParseUint64 (stringutil.h)",
       prefix +
-          "29: nonreproducible-random: unseeded/wall-clock randomness breaks "
+          "30: nonreproducible-random: unseeded/wall-clock randomness breaks "
           "bit-for-bit reproducibility; use kdsel::Rng with an explicit seed",
       prefix +
-          "33: lock-across-score: detector Score() runs while a mutex guard "
+          "34: lock-across-score: detector Score() runs while a mutex guard "
           "is live; scoring is slow and must happen off-lock (clone or "
           "snapshot instead)",
       prefix +
-          "36: raw-thread: 'std::thread' outside src/common/ and src/serve/ "
+          "37: raw-thread: 'std::thread' outside src/common/ and src/serve/ "
           "bypasses the shared pool; use kdsel::ParallelFor or ThreadPool "
           "(common/parallel.h)",
       prefix +
-          "39: raw-simd: raw SIMD outside src/nn/kernels/ bypasses runtime "
+          "40: raw-simd: raw SIMD outside src/nn/kernels/ bypasses runtime "
           "dispatch and the scalar fallback; add a kernel to nn::kernels and "
           "call it through Dispatch()",
+      prefix +
+          "43: raw-timing: 'steady_clock' outside src/obs/, src/common/ and "
+          "bench/; time through obs::Clock/NowNs (obs/clock.h) or record a "
+          "span/histogram so all durations share one timebase",
   };
   for (size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(lines[i], expected[i]) << "diagnostic " << i;
@@ -133,7 +137,7 @@ TEST(LintTest, FixtureDirectoryScanMatchesPerFileResults) {
       RunLint(RootArgs(std::string(KDSEL_SOURCE_DIR) + "/tests/lint_fixtures"));
   EXPECT_EQ(result.exit_code, 1);
   const std::vector<std::string> lines = SplitLines(result.stdout_text);
-  EXPECT_EQ(lines.size(), 8u) << result.stdout_text;
+  EXPECT_EQ(lines.size(), 9u) << result.stdout_text;
   for (const std::string& line : lines) {
     EXPECT_NE(line.find("violations.cc"), std::string::npos) << line;
   }
@@ -179,7 +183,7 @@ TEST(LintTest, ListRulesNamesEveryRule) {
   for (const char* rule :
        {"discarded-status", "unchecked-value", "naked-new", "raw-parse",
         "nonreproducible-random", "lock-across-score", "raw-thread",
-        "raw-simd"}) {
+        "raw-simd", "raw-timing"}) {
     EXPECT_NE(result.stdout_text.find(rule), std::string::npos) << rule;
   }
 }

@@ -1,0 +1,223 @@
+// Tests for the src/obs/ tracing and metrics layer: registry handle
+// identity, exact concurrent counter sums, histogram percentiles and
+// reset semantics, snapshot JSON well-formedness, span recording with
+// nesting/thread attribution, buffer overflow accounting, and the
+// chrome-trace writer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/json.h"
+
+namespace kdsel {
+namespace {
+
+TEST(MetricsRegistryTest, SameNameReturnsSameHandle) {
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Counter& a = registry.GetCounter("kdsel.test.handle");
+  obs::Counter& b = registry.GetCounter("kdsel.test.handle");
+  EXPECT_EQ(&a, &b);
+  obs::Gauge& g1 = registry.GetGauge("kdsel.test.handle");  // distinct kind
+  obs::Gauge& g2 = registry.GetGauge("kdsel.test.handle");
+  EXPECT_EQ(&g1, &g2);
+  obs::Histogram& h1 = registry.GetHistogram("kdsel.test.handle");
+  obs::Histogram& h2 = registry.GetHistogram("kdsel.test.handle");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistryTest, ParallelIncrementsSumExactly) {
+  auto& counter =
+      obs::MetricsRegistry::Global().GetCounter("kdsel.test.parallel_sum");
+  counter.Reset();
+  constexpr size_t kItems = 10000;
+  ParallelFor(kItems, 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) counter.Increment();
+  });
+  EXPECT_EQ(counter.Value(), kItems);
+}
+
+TEST(MetricsRegistryTest, ConcurrentThreadsSumExactly) {
+  auto& counter =
+      obs::MetricsRegistry::Global().GetCounter("kdsel.test.thread_sum");
+  counter.Reset();
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 25000;
+  // Raw threads on purpose: the registry must be safe outside the pool.
+  std::vector<std::thread> threads;  // kdsel-lint: allow(raw-thread)
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST(HistogramTest, SummaryAndReset) {
+  obs::Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i));
+  const obs::Histogram::Summary s = h.Summarize();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.samples, 1000u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+  EXPECT_NEAR(s.mean, 500.5, 1e-9);
+  // Geometric buckets (2^(1/4) growth) bound relative error at ~19%.
+  EXPECT_GT(s.p50, 500.0 * 0.8);
+  EXPECT_LT(s.p50, 500.0 * 1.25);
+  EXPECT_GE(s.p99, 990.0 * 0.8);
+  EXPECT_LE(s.p99, 1000.0);
+
+  h.Reset();
+  const obs::Histogram::Summary empty = h.Summarize();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.samples, 0u);
+}
+
+TEST(HistogramTest, NegativeAndNanClampToZero) {
+  obs::Histogram h;
+  h.Record(-5.0);
+  h.Record(std::nan(""));
+  const obs::Histogram::Summary s = h.Summarize();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonParsesAndCarriesValues) {
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("kdsel.test.snapshot_counter").Reset();
+  registry.GetCounter("kdsel.test.snapshot_counter").Increment(41);
+  registry.GetGauge("kdsel.test.snapshot_gauge").Set(2.5);
+  auto& histogram = registry.GetHistogram("kdsel.test.snapshot_histogram");
+  histogram.Reset();
+  histogram.Record(10.0);
+  histogram.Record(20.0);
+
+  auto parsed = serve::Json::Parse(registry.SnapshotJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const serve::Json* counter =
+      parsed->Find("counters")->Find("kdsel.test.snapshot_counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_DOUBLE_EQ(counter->as_number(), 41.0);
+  const serve::Json* gauge =
+      parsed->Find("gauges")->Find("kdsel.test.snapshot_gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_DOUBLE_EQ(gauge->as_number(), 2.5);
+  const serve::Json* hist =
+      parsed->Find("histograms")->Find("kdsel.test.snapshot_histogram");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->Find("count")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(hist->Find("mean")->as_number(), 15.0);
+}
+
+TEST(TraceTest, DisabledByDefaultRecordsNothing) {
+  ASSERT_FALSE(obs::TracingEnabled());
+  { KDSEL_SPAN("obs_test.should_not_appear"); }
+  for (const obs::TraceEvent& e : obs::CollectTraceEvents()) {
+    EXPECT_STRNE(e.name, "obs_test.should_not_appear");
+  }
+}
+
+TEST(TraceTest, SpanNestingAndThreadAttribution) {
+  obs::StartTracing();
+  {
+    KDSEL_SPAN("obs_test.outer");
+    { KDSEL_SPAN("obs_test.inner"); }
+  }
+  // One span on a second thread: it must carry a different tid.
+  std::thread other([] {  // kdsel-lint: allow(raw-thread)
+    KDSEL_SPAN("obs_test.other_thread");
+  });
+  other.join();
+  obs::StopTracing();
+
+  const obs::TraceEvent* outer = nullptr;
+  const obs::TraceEvent* inner = nullptr;
+  const obs::TraceEvent* remote = nullptr;
+  const std::vector<obs::TraceEvent> events = obs::CollectTraceEvents();
+  for (const obs::TraceEvent& e : events) {
+    if (std::string(e.name) == "obs_test.outer") outer = &e;
+    if (std::string(e.name) == "obs_test.inner") inner = &e;
+    if (std::string(e.name) == "obs_test.other_thread") remote = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(remote, nullptr);
+  // Nesting: inner fully contained in outer, same thread.
+  EXPECT_EQ(inner->tid, outer->tid);
+  EXPECT_GE(inner->start_ns, outer->start_ns);
+  EXPECT_LE(inner->start_ns + inner->dur_ns, outer->start_ns + outer->dur_ns);
+  EXPECT_NE(remote->tid, outer->tid);
+}
+
+TEST(TraceTest, ChromeTraceJsonRoundTrips) {
+  obs::StartTracing();
+  {
+    KDSEL_SPAN("obs_test.export_outer");
+    { KDSEL_SPAN("obs_test.export_inner"); }
+  }
+  obs::StopTracing();
+
+  const std::string path = ::testing::TempDir() + "/kdsel_obs_trace.json";
+  ASSERT_TRUE(obs::WriteChromeTrace(path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::remove(path.c_str());
+
+  auto parsed = serve::Json::Parse(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const serve::Json* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool outer_seen = false, inner_seen = false;
+  for (const serve::Json& event : events->items()) {
+    EXPECT_EQ(event.Find("ph")->as_string(), "X");
+    EXPECT_EQ(event.Find("cat")->as_string(), "kdsel");
+    EXPECT_GE(event.Find("ts")->as_number(), 0.0);
+    EXPECT_GE(event.Find("dur")->as_number(), 0.0);
+    if (event.Find("name")->as_string() == "obs_test.export_outer") {
+      outer_seen = true;
+    }
+    if (event.Find("name")->as_string() == "obs_test.export_inner") {
+      inner_seen = true;
+    }
+  }
+  EXPECT_TRUE(outer_seen);
+  EXPECT_TRUE(inner_seen);
+}
+
+TEST(TraceTest, OverflowDropsNewestAndCounts) {
+  obs::StartTracing();
+  // More spans than one thread's buffer holds (32768): the excess must
+  // be counted as dropped, not crash or overwrite.
+  constexpr size_t kSpans = 40000;
+  for (size_t i = 0; i < kSpans; ++i) {
+    KDSEL_SPAN("obs_test.flood");
+  }
+  obs::StopTracing();
+  EXPECT_GE(obs::DroppedTraceEvents(), kSpans - 32768);
+  // A fresh StartTracing rewinds both the buffers and the counter.
+  obs::StartTracing();
+  obs::StopTracing();
+  EXPECT_EQ(obs::DroppedTraceEvents(), 0u);
+}
+
+TEST(TraceTest, WriteToUnwritablePathFails) {
+  const Status status = obs::WriteChromeTrace("/no/such/dir/trace.json");
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace kdsel

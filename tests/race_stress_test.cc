@@ -9,6 +9,8 @@
 //     calls on the inference path.
 //   * InferenceServer lifecycle: concurrent Stop() calls (client thread
 //     vs destructor path) with requests still in flight.
+//   * obs::Histogram: Reset() racing Record() and Summarize(), the
+//     pairing behind live `kdsel serve` stats scrapes.
 //
 // Iteration counts are deliberately modest: under TSan every memory
 // access is instrumented (~5-15x slowdown), and a data race is caught
@@ -26,6 +28,7 @@
 
 #include "common/rng.h"
 #include "core/pipeline.h"
+#include "obs/metrics.h"
 #include "serve/json.h"
 #include "serve/registry.h"
 #include "serve/server.h"
@@ -250,6 +253,60 @@ TEST(RaceStressTest, ConcurrentStopIsIdempotent) {
     // stops again when `server` leaves scope.
     server.Stop();
   }
+}
+
+// Histogram Reset() racing Record() and Summarize(). Contract under
+// test (see obs/metrics.h): a summary never mixes pre- and post-reset
+// buckets, so `count >= samples` always holds, min <= max, and the mean
+// lies within the recorded value range. Recorders feed a fixed value so
+// any torn read shows up as an out-of-range min/max/mean.
+TEST(RaceStressTest, HistogramResetRacesRecordAndSummarize) {
+  obs::Histogram histogram;
+  constexpr double kValue = 42.0;
+  constexpr int kIterations = 2000;
+  std::atomic<bool> done{false};
+  std::atomic<int> violations{0};
+
+  std::vector<std::thread> threads;  // kdsel-lint: allow(raw-thread)
+  // Recorders: hammer a constant value.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIterations; ++i) histogram.Record(kValue);
+    });
+  }
+  // Resetter: wipes mid-flight.
+  threads.emplace_back([&] {
+    for (int i = 0; i < kIterations / 10; ++i) {
+      histogram.Reset();
+      std::this_thread::yield();
+    }
+  });
+  // Summarizer: every snapshot must be internally coherent.
+  threads.emplace_back([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const obs::Histogram::Summary s = histogram.Summarize();
+      if (s.count < s.samples) violations.fetch_add(1);
+      if (s.samples > 0) {
+        if (s.min > s.max) violations.fetch_add(1);
+        if (s.min != kValue || s.max != kValue) violations.fetch_add(1);
+        if (s.mean < s.min || s.mean > s.max) violations.fetch_add(1);
+      }
+    }
+  });
+
+  for (size_t t = 0; t + 1 < threads.size(); ++t) threads[t].join();
+  done.store(true, std::memory_order_release);
+  threads.back().join();
+  EXPECT_EQ(violations.load(), 0);
+
+  // Quiescent: one final reset-and-record round is exact.
+  histogram.Reset();
+  histogram.Record(kValue);
+  const obs::Histogram::Summary s = histogram.Summarize();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.samples, 1u);
+  EXPECT_EQ(s.min, kValue);
+  EXPECT_EQ(s.max, kValue);
 }
 
 }  // namespace

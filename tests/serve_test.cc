@@ -89,15 +89,15 @@ TEST(LatencyHistogramTest, PercentilesRoughlyCorrect) {
   for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i));
   auto s = h.Summarize();
   EXPECT_EQ(s.count, 1000u);
-  EXPECT_DOUBLE_EQ(s.min_us, 1.0);
-  EXPECT_DOUBLE_EQ(s.max_us, 1000.0);
-  EXPECT_NEAR(s.mean_us, 500.5, 1e-9);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+  EXPECT_NEAR(s.mean, 500.5, 1e-9);
   // Geometric buckets (2^(1/4) growth) bound relative error at ~19%.
-  EXPECT_GT(s.p50_us, 500.0 * 0.8);
-  EXPECT_LT(s.p50_us, 500.0 * 1.25);
-  EXPECT_GT(s.p95_us, 950.0 * 0.8);
-  EXPECT_LE(s.p99_us, 1000.0);
-  EXPECT_GE(s.p99_us, 990.0 * 0.8);
+  EXPECT_GT(s.p50, 500.0 * 0.8);
+  EXPECT_LT(s.p50, 500.0 * 1.25);
+  EXPECT_GT(s.p95, 950.0 * 0.8);
+  EXPECT_LE(s.p99, 1000.0);
+  EXPECT_GE(s.p99, 990.0 * 0.8);
 
   h.Reset();
   EXPECT_EQ(h.Summarize().count, 0u);
@@ -116,8 +116,8 @@ TEST(LatencyHistogramTest, ConcurrentRecordIsConsistent) {
   for (auto& t : threads) t.join();
   auto s = h.Summarize();
   EXPECT_EQ(s.count, 10000u);
-  EXPECT_DOUBLE_EQ(s.min_us, 100.0);
-  EXPECT_DOUBLE_EQ(s.max_us, 100.0);
+  EXPECT_DOUBLE_EQ(s.min, 100.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
 }
 
 TEST(SelectorRegistryTest, RegisterGetEvictVersions) {
@@ -288,7 +288,7 @@ TEST(InferenceServerTest, MatchesSequentialPipelineByteForByte) {
   auto detect_summary =
       server.stats().endpoint(ServerStats::Endpoint::kDetect).total.Summarize();
   EXPECT_EQ(detect_summary.count, kClients * kPerClient);
-  EXPECT_GT(detect_summary.p99_us, 0.0);
+  EXPECT_GT(detect_summary.p99, 0.0);
 }
 
 TEST(InferenceServerTest, HotReloadDuringInFlightRequestsIsRaceFree) {

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Schema check for a METRICS_*.json snapshot written by bench_micro.
+
+CI runs this after `bench_micro --report` to catch silent instrumentation
+regressions: if a refactor drops a metric registration (or renames it
+outside the kdsel.<layer>.<name> convention), the snapshot loses the key
+and this script fails the job.
+
+Only metrics the bench path actually exercises are required -- trainer
+and pruning metrics belong to `kdsel trace` runs, not bench_micro.
+
+Usage: check_metrics_snapshot.py METRICS_micro.json
+"""
+
+import json
+import sys
+
+# (section, metric name) pairs that a bench_micro --report run must have
+# populated. Counters/gauges map to numbers, histograms to summary dicts.
+REQUIRED = [
+    ("counters", "kdsel.parallel.jobs"),
+    ("counters", "kdsel.parallel.chunks"),
+    ("counters", "kdsel.nn.workspace.pool_hits"),
+    ("counters", "kdsel.nn.workspace.pool_misses"),
+    ("gauges", "kdsel.parallel.threads"),
+    ("gauges", "kdsel.nn.kernel_variant"),
+    ("histograms", "kdsel.parallel.job_us"),
+]
+
+HISTOGRAM_KEYS = ["count", "samples", "min", "max", "mean", "p50", "p95", "p99"]
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = argv[1]
+    with open(path, "r", encoding="utf-8") as f:
+        snapshot = json.load(f)
+
+    errors = []
+    for section in ("counters", "gauges", "histograms"):
+        if section not in snapshot:
+            errors.append(f"missing section '{section}'")
+    for section, name in REQUIRED:
+        value = snapshot.get(section, {}).get(name)
+        if value is None:
+            errors.append(f"missing {section[:-1]} '{name}'")
+        elif section == "histograms":
+            for key in HISTOGRAM_KEYS:
+                if key not in value:
+                    errors.append(f"histogram '{name}' missing key '{key}'")
+        elif not isinstance(value, (int, float)):
+            errors.append(f"{section[:-1]} '{name}' is not numeric: {value!r}")
+
+    # Names outside the convention are almost always typos.
+    for section in ("counters", "gauges", "histograms"):
+        for name in snapshot.get(section, {}):
+            if not name.startswith("kdsel."):
+                errors.append(
+                    f"{section[:-1]} '{name}' violates kdsel.<layer>.<name>"
+                )
+
+    if errors:
+        for error in errors:
+            print(f"{path}: {error}", file=sys.stderr)
+        return 1
+    total = sum(len(snapshot.get(s, {})) for s in
+                ("counters", "gauges", "histograms"))
+    print(f"{path}: ok ({total} metrics, all required keys present)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -19,6 +19,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -32,6 +33,8 @@
 #include "datagen/benchmark.h"
 #include "metrics/range_metrics.h"
 #include "nn/kernels/kernels.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/protocol.h"
 #include "serve/registry.h"
 #include "serve/server.h"
@@ -200,7 +203,8 @@ int CmdTrain(const Flags& flags) {
         stderr,
         "usage: kdsel train --data DIR --perf FILE --dir SELECTOR_DIR"
         " --name NAME [--backbone ResNet] [--window 64] [--epochs 12]\n"
-        "             [--pisl] [--mki] [--pa | --infobatch] [--seed S]\n");
+        "             [--pisl] [--mki] [--pa | --infobatch] [--seed S]\n"
+        "             [--verbose]\n");
     return 2;
   }
   auto datasets = LoadAllDatasets(data_dir);
@@ -258,6 +262,7 @@ int CmdTrain(const Flags& flags) {
   if (flags.Has("infobatch")) {
     opts.pruning.mode = core::PruningMode::kInfoBatch;
   }
+  opts.verbose = flags.Has("verbose");
   core::TrainStats stats;
   auto selector = core::TrainSelector(*data, opts, &stats);
   if (!selector.ok()) return Fail(selector.status());
@@ -400,6 +405,90 @@ int CmdServe(const Flags& flags) {
   return 0;
 }
 
+/// Runs a small fully in-memory pipeline (synthetic data -> detector
+/// performance matrix -> selector training with PISL+MKI+PA) with span
+/// recording on, and writes the chrome://tracing JSON. The same spans
+/// fire in any run via KDSEL_TRACE; this subcommand is the zero-setup
+/// way to get a representative trace.
+int CmdTrace(const Flags& flags) {
+  const std::string out_path = flags.Get("out", "");
+  if (out_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: kdsel trace --out TRACE_JSON [--epochs 4]"
+                 " [--series 8] [--window 64] [--seed 7]\n"
+                 "       [--metrics-out METRICS_JSON]\n");
+    return 2;
+  }
+  const size_t epochs = flags.GetInt("epochs", 4);
+  const size_t max_series = flags.GetInt("series", 8);
+  const uint64_t seed = flags.GetInt("seed", 7);
+
+  datagen::BenchmarkOptions gen;
+  gen.series_per_family = 1;
+  gen.min_length = 400;
+  gen.max_length = 800;
+  gen.seed = seed;
+  auto datasets = datagen::GenerateBenchmark(gen);
+  if (!datasets.ok()) return Fail(datasets.status());
+
+  std::vector<ts::TimeSeries> series;
+  for (auto& ds : *datasets) {
+    for (auto& s : ds.series) {
+      if (series.size() >= max_series) break;
+      s.SetMeta("dataset", ds.name);
+      s.SetMeta("domain", ds.domain_description);
+      series.push_back(std::move(s));
+    }
+  }
+  auto models = tsad::BuildDefaultModelSet(seed);
+
+  obs::StartTracing();
+
+  std::vector<const ts::TimeSeries*> series_ptrs;
+  for (const auto& s : series) series_ptrs.push_back(&s);
+  auto performance = core::EvaluatePerformanceMatrix(models, series_ptrs);
+  if (!performance.ok()) return Fail(performance.status());
+
+  ts::WindowOptions window_opts;
+  window_opts.length = flags.GetInt("window", 64);
+  window_opts.stride = window_opts.length;
+  auto data =
+      core::BuildSelectorTrainingData(series, *performance, window_opts);
+  if (!data.ok()) return Fail(data.status());
+
+  core::TrainerOptions opts;
+  opts.epochs = epochs;
+  opts.seed = seed;
+  opts.use_pisl = true;
+  opts.use_mki = true;
+  opts.pruning.mode = core::PruningMode::kPa;
+  opts.verbose = flags.Has("verbose");
+  core::TrainStats stats;
+  auto selector = core::TrainSelector(*data, opts, &stats);
+  if (!selector.ok()) return Fail(selector.status());
+
+  obs::StopTracing();
+  Status written = obs::WriteChromeTrace(out_path);
+  if (!written.ok()) return Fail(written);
+  std::printf("trained %s in %.1fs (%zu windows, %zu epochs)\n",
+              (*selector)->name().c_str(), stats.train_seconds,
+              data->windows.size(), epochs);
+  std::printf("wrote %zu spans to %s (%llu dropped)"
+              " — load in chrome://tracing or ui.perfetto.dev\n",
+              obs::CollectTraceEvents().size(), out_path.c_str(),
+              static_cast<unsigned long long>(obs::DroppedTraceEvents()));
+  if (flags.Has("metrics-out")) {
+    const std::string metrics_path = flags.Get("metrics-out", "");
+    std::ofstream metrics_out(metrics_path);
+    metrics_out << obs::MetricsRegistry::Global().SnapshotJson() << "\n";
+    if (!metrics_out.good()) {
+      return Fail(Status::IoError("cannot write " + metrics_path));
+    }
+    std::printf("wrote metrics snapshot to %s\n", metrics_path.c_str());
+  }
+  return 0;
+}
+
 int CmdVersion() {
   const nn::kernels::Ops& ops = nn::kernels::Dispatch();
   std::string available;
@@ -427,6 +516,8 @@ void PrintUsage() {
       "  list       list saved selectors\n"
       "  detect     select a model for a series and run the detection\n"
       "  serve      long-lived inference server (NDJSON on stdin/stdout)\n"
+      "  trace      record a chrome://tracing profile of a small training "
+      "run\n"
       "  version    print the active SIMD kernel variant and thread count\n");
 }
 
@@ -438,6 +529,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
+  // KDSEL_TRACE=<path>: record spans for the whole invocation and write
+  // the chrome-trace JSON at exit (works for every subcommand).
+  obs::InitTracingFromEnv();
   if (cmd == "version" || cmd == "--version") return CmdVersion();
   Flags flags(argc, argv, 2);
   if (!flags.ok()) return 2;
@@ -447,6 +541,7 @@ int main(int argc, char** argv) {
   if (cmd == "list") return CmdList(flags);
   if (cmd == "detect") return CmdDetect(flags);
   if (cmd == "serve") return CmdServe(flags);
+  if (cmd == "trace") return CmdTrace(flags);
   PrintUsage();
   return 2;
 }

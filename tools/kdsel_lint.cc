@@ -34,6 +34,12 @@
 //                           lives behind nn::kernels::Dispatch() so the
 //                           scalar fallback and runtime CPU detection
 //                           stay the single point of truth
+//   raw-timing              std::chrono::steady_clock /
+//                           high_resolution_clock outside src/obs/,
+//                           src/common/ and bench/; production code
+//                           times through obs::Clock/NowNs (or better,
+//                           KDSEL_SPAN and obs::Histogram) so every
+//                           duration shares one timebase
 //
 // Diagnostics print as `file:line: rule: message`, one per line, sorted.
 // Exit code: 0 clean, 1 violations found, 2 usage/IO error.
@@ -91,6 +97,9 @@ constexpr RuleInfo kRules[] = {
     {"lock-across-score", "mutex held across a detector Score() call"},
     {"raw-thread", "std::thread/std::async outside src/common/ and src/serve/"},
     {"raw-simd", "intrinsics or intrinsic headers outside src/nn/kernels/"},
+    {"raw-timing",
+     "steady_clock/high_resolution_clock outside src/obs/, src/common/ and "
+     "bench/"},
 };
 
 bool IsKnownRule(const std::string& name) {
@@ -115,6 +124,9 @@ struct SourceFile {
   // Under src/nn/kernels/ (exempt from raw-simd: the dispatched kernel
   // variants are the one place intrinsics are allowed).
   bool in_kernels = false;
+  // Under src/obs/, src/common/ or bench/ (exempt from raw-timing:
+  // obs/clock.h wraps the clock, and benchmarks time themselves).
+  bool in_timing_zone = false;
 };
 
 /// Replaces the contents of comments and string/char literals with
@@ -290,6 +302,7 @@ class Linter {
       CheckLockAcrossScore(file, diagnostics);
       CheckRawThread(file, diagnostics);
       CheckRawSimd(file, diagnostics);
+      CheckRawTiming(file, diagnostics);
     }
     std::sort(diagnostics.begin(), diagnostics.end());
     return diagnostics;
@@ -559,6 +572,27 @@ class Linter {
     }
   }
 
+  void CheckRawTiming(const SourceFile& file,
+                      std::vector<Diagnostic>& out) const {
+    if (file.in_timing_zone) return;
+    static const std::regex kTiming(
+        R"(\b(?:std\s*::\s*)?chrono\s*::\s*(steady_clock|high_resolution_clock)\b)");
+    for (size_t i = 0; i < file.stripped.size(); ++i) {
+      std::smatch match;
+      if (!std::regex_search(file.stripped[i], match, kTiming)) continue;
+      const size_t line_no = i + 1;
+      if (Suppressed(file, line_no, "raw-timing")) continue;
+      std::string message = "'";
+      message += match[1].str();
+      message +=
+          "' outside src/obs/, src/common/ and bench/; time through "
+          "obs::Clock/NowNs (obs/clock.h) or record a span/histogram so "
+          "all durations share one timebase";
+      out.push_back(
+          {file.display_path, line_no, "raw-timing", std::move(message)});
+    }
+  }
+
   std::vector<SourceFile> files_;
   std::set<std::string> status_functions_;
 };
@@ -593,6 +627,13 @@ bool LoadFile(const fs::path& path, const fs::path& root, SourceFile& out) {
   out.in_kernels =
       out.display_path.find("src/nn/kernels/") != std::string::npos ||
       out.display_path.find("src\\nn\\kernels\\") != std::string::npos;
+  out.in_timing_zone =
+      out.in_common ||
+      out.display_path.find("src/obs/") != std::string::npos ||
+      out.display_path.find("src\\obs\\") != std::string::npos ||
+      out.display_path.rfind("bench/", 0) == 0 ||
+      out.display_path.rfind("bench\\", 0) == 0 ||
+      out.display_path.find("/bench/") != std::string::npos;
   CollectSuppressions(out);
   return true;
 }
