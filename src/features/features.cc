@@ -52,7 +52,7 @@ const char* kFeatureNames[] = {
     "mad",
 };
 
-double Quantile(std::vector<float>& sorted, double q) {
+double Quantile(const std::vector<float>& sorted, double q) {
   if (sorted.empty()) return 0.0;
   double pos = q * static_cast<double>(sorted.size() - 1);
   size_t lo = static_cast<size_t>(pos);
@@ -61,14 +61,14 @@ double Quantile(std::vector<float>& sorted, double q) {
   return (1 - frac) * sorted[lo] + frac * sorted[hi];
 }
 
-double Autocorr(const std::vector<float>& v, double mean, double var,
-                size_t lag) {
-  if (v.size() <= lag || var < 1e-12) return 0.0;
+double Autocorr(const float* v, size_t n, double mean, double var, size_t lag,
+                bool degenerate) {
+  if (n <= lag || degenerate) return 0.0;
   double acc = 0.0;
-  for (size_t i = lag; i < v.size(); ++i) {
+  for (size_t i = lag; i < n; ++i) {
     acc += (v[i] - mean) * (v[i - lag] - mean);
   }
-  return acc / (var * static_cast<double>(v.size() - lag));
+  return acc / (var * static_cast<double>(n - lag));
 }
 
 }  // namespace
@@ -84,18 +84,24 @@ const std::vector<std::string>& FeatureNames() {
 
 size_t FeatureCount() { return FeatureNames().size(); }
 
-std::vector<float> ExtractFeatures(const std::vector<float>& v) {
-  std::vector<float> f;
-  f.reserve(FeatureCount());
-  const size_t n = v.size();
+bool DegenerateVariance(double var, double mean) {
+  // Relative threshold: a window at level ~1e3 carries ~1e-4 of float
+  // quantization noise in its variance, which an absolute 1e-12 cutoff
+  // would treat as structure.
+  return !(var > 1e-12 * (1.0 + mean * mean));
+}
+
+void ExtractFeaturesInto(const float* v, size_t n, FeatureScratch& scratch,
+                         float* out) {
   KDSEL_CHECK(n >= 4);
+  size_t k = 0;
 
   double mean = 0.0;
-  for (float x : v) mean += x;
+  for (size_t i = 0; i < n; ++i) mean += v[i];
   mean /= static_cast<double>(n);
   double var = 0.0, m3 = 0.0, m4 = 0.0;
-  for (float x : v) {
-    double d = x - mean;
+  for (size_t i = 0; i < n; ++i) {
+    double d = v[i] - mean;
     var += d * d;
     m3 += d * d * d;
     m4 += d * d * d * d;
@@ -104,27 +110,31 @@ std::vector<float> ExtractFeatures(const std::vector<float>& v) {
   m3 /= static_cast<double>(n);
   m4 /= static_cast<double>(n);
   const double stddev = std::sqrt(var);
+  const bool degenerate = DegenerateVariance(var, mean);
 
-  std::vector<float> sorted(v);
+  std::vector<float>& sorted = scratch.sorted;
+  sorted.assign(v, v + n);
   std::sort(sorted.begin(), sorted.end());
   const double median = Quantile(sorted, 0.5);
   const double q25 = Quantile(sorted, 0.25);
   const double q75 = Quantile(sorted, 0.75);
 
-  f.push_back(static_cast<float>(mean));
-  f.push_back(static_cast<float>(stddev));
-  f.push_back(sorted.front());
-  f.push_back(sorted.back());
-  f.push_back(static_cast<float>(median));
-  f.push_back(static_cast<float>(q25));
-  f.push_back(static_cast<float>(q75));
-  f.push_back(static_cast<float>(q75 - q25));
-  f.push_back(static_cast<float>(stddev > 1e-9 ? m3 / (var * stddev) : 0.0));
-  f.push_back(static_cast<float>(var > 1e-12 ? m4 / (var * var) - 3.0 : 0.0));
+  out[k++] = static_cast<float>(mean);
+  out[k++] = static_cast<float>(stddev);
+  out[k++] = sorted.front();
+  out[k++] = sorted.back();
+  out[k++] = static_cast<float>(median);
+  out[k++] = static_cast<float>(q25);
+  out[k++] = static_cast<float>(q75);
+  out[k++] = static_cast<float>(q75 - q25);
+  out[k++] = static_cast<float>(degenerate ? 0.0 : m3 / (var * stddev));
+  out[k++] = static_cast<float>(degenerate ? 0.0 : m4 / (var * var) - 3.0);
 
   double abs_energy = 0.0;
-  for (float x : v) abs_energy += static_cast<double>(x) * x;
-  f.push_back(static_cast<float>(abs_energy / static_cast<double>(n)));
+  for (size_t i = 0; i < n; ++i) {
+    abs_energy += static_cast<double>(v[i]) * v[i];
+  }
+  out[k++] = static_cast<float>(abs_energy / static_cast<double>(n));
 
   double sum_abs_change = 0.0, sum_change = 0.0, max_abs_change = 0.0;
   double var_diff = 0.0, mean_diff = 0.0;
@@ -141,22 +151,22 @@ std::vector<float> ExtractFeatures(const std::vector<float>& v) {
     var_diff += d * d;
   }
   var_diff /= static_cast<double>(n - 1);
-  f.push_back(static_cast<float>(sum_abs_change / static_cast<double>(n - 1)));
-  f.push_back(static_cast<float>(sum_change / static_cast<double>(n - 1)));
-  f.push_back(static_cast<float>(max_abs_change));
+  out[k++] = static_cast<float>(sum_abs_change / static_cast<double>(n - 1));
+  out[k++] = static_cast<float>(sum_change / static_cast<double>(n - 1));
+  out[k++] = static_cast<float>(max_abs_change);
 
   size_t zero_cross = 0, mean_cross = 0;
   for (size_t i = 1; i < n; ++i) {
     if ((v[i] >= 0) != (v[i - 1] >= 0)) ++zero_cross;
     if ((v[i] >= mean) != (v[i - 1] >= mean)) ++mean_cross;
   }
-  f.push_back(static_cast<float>(zero_cross) / static_cast<float>(n - 1));
-  f.push_back(static_cast<float>(mean_cross) / static_cast<float>(n - 1));
+  out[k++] = static_cast<float>(zero_cross) / static_cast<float>(n - 1);
+  out[k++] = static_cast<float>(mean_cross) / static_cast<float>(n - 1);
 
   size_t above = 0, strike_above = 0, strike_below = 0;
   size_t cur_above = 0, cur_below = 0;
-  for (float x : v) {
-    if (x > mean) {
+  for (size_t i = 0; i < n; ++i) {
+    if (v[i] > mean) {
       ++above;
       ++cur_above;
       cur_below = 0;
@@ -167,23 +177,22 @@ std::vector<float> ExtractFeatures(const std::vector<float>& v) {
     strike_above = std::max(strike_above, cur_above);
     strike_below = std::max(strike_below, cur_below);
   }
-  f.push_back(static_cast<float>(above) / static_cast<float>(n));
-  f.push_back(static_cast<float>(strike_above) / static_cast<float>(n));
-  f.push_back(static_cast<float>(strike_below) / static_cast<float>(n));
+  out[k++] = static_cast<float>(above) / static_cast<float>(n);
+  out[k++] = static_cast<float>(strike_above) / static_cast<float>(n);
+  out[k++] = static_cast<float>(strike_below) / static_cast<float>(n);
 
   size_t argmax = 0, argmin = 0;
   for (size_t i = 1; i < n; ++i) {
     if (v[i] > v[argmax]) argmax = i;
     if (v[i] < v[argmin]) argmin = i;
   }
-  f.push_back(static_cast<float>(argmax) / static_cast<float>(n));
-  f.push_back(static_cast<float>(argmin) / static_cast<float>(n));
+  out[k++] = static_cast<float>(argmax) / static_cast<float>(n);
+  out[k++] = static_cast<float>(argmin) / static_cast<float>(n);
 
-  const double var_n = var * static_cast<double>(n);
-  f.push_back(static_cast<float>(Autocorr(v, mean, var_n / double(n), 1)));
-  f.push_back(static_cast<float>(Autocorr(v, mean, var_n / double(n), 2)));
-  f.push_back(static_cast<float>(Autocorr(v, mean, var_n / double(n), 4)));
-  f.push_back(static_cast<float>(Autocorr(v, mean, var_n / double(n), 8)));
+  out[k++] = static_cast<float>(Autocorr(v, n, mean, var, 1, degenerate));
+  out[k++] = static_cast<float>(Autocorr(v, n, mean, var, 2, degenerate));
+  out[k++] = static_cast<float>(Autocorr(v, n, mean, var, 4, degenerate));
+  out[k++] = static_cast<float>(Autocorr(v, n, mean, var, 8, degenerate));
 
   auto range_of = [&](size_t begin, size_t end) {
     float lo = v[begin], hi = v[begin];
@@ -193,8 +202,8 @@ std::vector<float> ExtractFeatures(const std::vector<float>& v) {
     }
     return hi - lo;
   };
-  f.push_back(range_of(0, n / 2));
-  f.push_back(range_of(n / 2, n));
+  out[k++] = range_of(0, n / 2);
+  out[k++] = range_of(n / 2, n);
 
   // CID complexity estimate: sqrt(sum of squared diffs).
   double cid = 0.0;
@@ -202,7 +211,7 @@ std::vector<float> ExtractFeatures(const std::vector<float>& v) {
     double d = static_cast<double>(v[i]) - v[i - 1];
     cid += d * d;
   }
-  f.push_back(static_cast<float>(std::sqrt(cid)));
+  out[k++] = static_cast<float>(std::sqrt(cid));
 
   // c3 nonlinearity statistic, lag 1.
   double c3 = 0.0;
@@ -212,17 +221,17 @@ std::vector<float> ExtractFeatures(const std::vector<float>& v) {
     }
     c3 /= static_cast<double>(n - 2);
   }
-  f.push_back(static_cast<float>(c3));
+  out[k++] = static_cast<float>(c3);
 
   // Binned entropy over 10 equi-width bins.
   {
-    const size_t kBins = 10;
+    constexpr size_t kBins = 10;
     double lo = sorted.front(), hi = sorted.back();
     double entropy = 0.0;
     if (hi - lo > 1e-12) {
-      std::vector<double> hist(kBins, 0.0);
-      for (float x : v) {
-        size_t b = static_cast<size_t>((x - lo) / (hi - lo) * kBins);
+      double hist[kBins] = {};
+      for (size_t i = 0; i < n; ++i) {
+        size_t b = static_cast<size_t>((v[i] - lo) / (hi - lo) * kBins);
         hist[std::min(b, kBins - 1)] += 1.0;
       }
       for (double h : hist) {
@@ -232,7 +241,7 @@ std::vector<float> ExtractFeatures(const std::vector<float>& v) {
         }
       }
     }
-    f.push_back(static_cast<float>(entropy));
+    out[k++] = static_cast<float>(entropy);
   }
 
   // Peaks: local maxima with support 1.
@@ -240,17 +249,22 @@ std::vector<float> ExtractFeatures(const std::vector<float>& v) {
   for (size_t i = 1; i + 1 < n; ++i) {
     if (v[i] > v[i - 1] && v[i] > v[i + 1]) ++peaks;
   }
-  f.push_back(static_cast<float>(peaks) / static_cast<float>(n));
-  f.push_back(static_cast<float>(var_diff));
+  out[k++] = static_cast<float>(peaks) / static_cast<float>(n);
+  out[k++] = static_cast<float>(var_diff);
 
+  // Beyond-sigma ratios are 0 by contract for degenerate windows: with
+  // stddev ~ 0 the count reduces to |x - mean| > 0, which float rounding
+  // of the mean turns into "all points" for a constant series.
   size_t beyond1 = 0, beyond2 = 0;
-  for (float x : v) {
-    double d = std::abs(x - mean);
-    if (d > stddev) ++beyond1;
-    if (d > 2 * stddev) ++beyond2;
+  if (!degenerate) {
+    for (size_t i = 0; i < n; ++i) {
+      double d = std::abs(v[i] - mean);
+      if (d > stddev) ++beyond1;
+      if (d > 2 * stddev) ++beyond2;
+    }
   }
-  f.push_back(static_cast<float>(beyond1) / static_cast<float>(n));
-  f.push_back(static_cast<float>(beyond2) / static_cast<float>(n));
+  out[k++] = static_cast<float>(beyond1) / static_cast<float>(n);
+  out[k++] = static_cast<float>(beyond2) / static_cast<float>(n);
 
   // Time-reversal asymmetry statistic, lag 1.
   double tra = 0.0;
@@ -261,25 +275,32 @@ std::vector<float> ExtractFeatures(const std::vector<float>& v) {
     }
     tra /= static_cast<double>(n - 2);
   }
-  f.push_back(static_cast<float>(tra));
-  f.push_back(static_cast<float>(sum_abs_change));
-  f.push_back(v.back() - v.front());
-  f.push_back(static_cast<float>(std::sqrt(abs_energy / double(n))));
+  out[k++] = static_cast<float>(tra);
+  out[k++] = static_cast<float>(sum_abs_change);
+  out[k++] = v[n - 1] - v[0];
+  out[k++] = static_cast<float>(std::sqrt(abs_energy / double(n)));
 
   // Median absolute deviation.
   {
-    std::vector<float> dev(n);
+    std::vector<float>& dev = scratch.dev;
+    dev.resize(n);
     for (size_t i = 0; i < n; ++i) {
       dev[i] = std::abs(v[i] - static_cast<float>(median));
     }
     std::sort(dev.begin(), dev.end());
-    f.push_back(static_cast<float>(Quantile(dev, 0.5)));
+    out[k++] = static_cast<float>(Quantile(dev, 0.5));
   }
 
-  KDSEL_CHECK(f.size() == FeatureCount());
-  for (float& x : f) {
-    if (!std::isfinite(x)) x = 0.0f;
+  KDSEL_CHECK(k == FeatureCount());
+  for (size_t i = 0; i < k; ++i) {
+    if (!std::isfinite(out[i])) out[i] = 0.0f;
   }
+}
+
+std::vector<float> ExtractFeatures(const std::vector<float>& v) {
+  std::vector<float> f(FeatureCount());
+  FeatureScratch scratch;
+  ExtractFeaturesInto(v.data(), v.size(), scratch, f.data());
   return f;
 }
 
@@ -287,7 +308,12 @@ std::vector<std::vector<float>> ExtractFeaturesBatch(
     const std::vector<std::vector<float>>& windows) {
   std::vector<std::vector<float>> rows(windows.size());
   ParallelFor(windows.size(), 8, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) rows[i] = ExtractFeatures(windows[i]);
+    FeatureScratch scratch;
+    for (size_t i = begin; i < end; ++i) {
+      rows[i].resize(FeatureCount());
+      ExtractFeaturesInto(windows[i].data(), windows[i].size(), scratch,
+                          rows[i].data());
+    }
   });
   return rows;
 }

@@ -1,6 +1,7 @@
 #ifndef KDSEL_FEATURES_FEATURES_H_
 #define KDSEL_FEATURES_FEATURES_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,35 @@ const std::vector<std::string>& FeatureNames();
 
 /// Number of features produced by ExtractFeatures.
 size_t FeatureCount();
+
+/// True when a window's variance is too small — relative to its mean's
+/// magnitude — for variance-normalized statistics to be meaningful.
+/// Constant and near-constant windows land here: float rounding makes the
+/// computed mean differ from the constant by a few ulps, so absolute
+/// epsilon checks (and the raw beyond-sigma counts) misfire. For such
+/// windows skewness, kurtosis, the autocorrelation lags, and the
+/// beyond-sigma ratios are defined as exactly 0; the batch and streaming
+/// extractors both honor this contract.
+bool DegenerateVariance(double var, double mean);
+
+/// Reusable temporaries for ExtractFeaturesInto. Reserve(n) once with the
+/// maximum window length and every subsequent extraction of length <= n
+/// is heap-allocation-free (the streaming ingest path depends on this).
+struct FeatureScratch {
+  std::vector<float> sorted;
+  std::vector<float> dev;
+
+  void Reserve(size_t n) {
+    sorted.reserve(n);
+    dev.reserve(n);
+  }
+};
+
+/// Allocation-free core of ExtractFeatures: writes exactly FeatureCount()
+/// values to `out`, using `scratch` for sorting temporaries. Requires
+/// n >= 4.
+void ExtractFeaturesInto(const float* window, size_t n,
+                         FeatureScratch& scratch, float* out);
 
 /// TSFresh-style statistical features of one subsequence (the paper's
 /// feature-based baselines run TSFresh + a classical classifier).

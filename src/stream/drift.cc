@@ -1,0 +1,56 @@
+#include "stream/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kdsel::stream {
+
+bool DriftMonitor::Observe(const MomentSummary& summary) {
+  double x[MomentSummary::kDims];
+  summary.ToArray(x);
+
+  if (count_ < options_.calibration) {
+    ++count_;
+    for (size_t j = 0; j < MomentSummary::kDims; ++j) {
+      const double delta = x[j] - mean_[j];
+      mean_[j] += delta / static_cast<double>(count_);
+      m2_[j] += delta * (x[j] - mean_[j]);
+    }
+    statistic_ = 0.0;
+    return false;
+  }
+
+  ++count_;
+  double acc = 0.0;
+  for (size_t j = 0; j < MomentSummary::kDims; ++j) {
+    const double sigma =
+        std::sqrt(m2_[j] / static_cast<double>(options_.calibration));
+    const double floor = options_.sigma_floor * (1.0 + std::abs(mean_[j]));
+    const double z = (x[j] - mean_[j]) / std::max(sigma, floor);
+    acc += z * z;
+  }
+  statistic_ = acc / static_cast<double>(MomentSummary::kDims);
+
+  if (statistic_ > options_.threshold) {
+    ++hot_;
+  } else {
+    hot_ = 0;
+  }
+  if (hot_ >= options_.patience) {
+    hot_ = 0;
+    return true;
+  }
+  return false;
+}
+
+void DriftMonitor::Rebase() {
+  count_ = 0;
+  hot_ = 0;
+  statistic_ = 0.0;
+  for (size_t j = 0; j < MomentSummary::kDims; ++j) {
+    mean_[j] = 0.0;
+    m2_[j] = 0.0;
+  }
+}
+
+}  // namespace kdsel::stream

@@ -1,0 +1,309 @@
+#include "stream/incremental_features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace kdsel::stream {
+
+namespace {
+
+constexpr size_t kLags[] = {1, 2, 4, 8};
+constexpr size_t kNumLags = 4;
+
+/// Indices of the feature slots OverwriteFromSums owns, resolved from
+/// FeatureNames() once so a reordering of the batch extractor cannot
+/// silently desynchronize the streaming path.
+struct Slots {
+  size_t mean, stddev, skew, kurt, abs_energy, mean_abs_change, mean_change;
+  size_t autocorr[kNumLags];
+  size_t cid, c3, var_diff, tra, abs_sum, last_minus_first, rms;
+};
+
+const Slots& GetSlots() {
+  static const Slots slots = [] {
+    auto idx = [](const char* name) {
+      const auto& names = features::FeatureNames();
+      for (size_t i = 0; i < names.size(); ++i) {
+        if (names[i] == name) return i;
+      }
+      KDSEL_CHECK(false && "unknown feature name");
+      return size_t{0};
+    };
+    Slots s;
+    s.mean = idx("mean");
+    s.stddev = idx("std");
+    s.skew = idx("skewness");
+    s.kurt = idx("kurtosis");
+    s.abs_energy = idx("abs_energy");
+    s.mean_abs_change = idx("mean_abs_change");
+    s.mean_change = idx("mean_change");
+    s.autocorr[0] = idx("autocorr_lag1");
+    s.autocorr[1] = idx("autocorr_lag2");
+    s.autocorr[2] = idx("autocorr_lag4");
+    s.autocorr[3] = idx("autocorr_lag8");
+    s.cid = idx("cid_ce");
+    s.c3 = idx("c3");
+    s.var_diff = idx("var_of_diff");
+    s.tra = idx("time_reversal_asymmetry");
+    s.abs_sum = idx("abs_sum_of_changes");
+    s.last_minus_first = idx("last_minus_first");
+    s.rms = idx("rms");
+    return s;
+  }();
+  return slots;
+}
+
+obs::Counter& RecomputeCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("kdsel.stream.recomputes");
+  return counter;
+}
+
+}  // namespace
+
+void MomentSummary::ToArray(double out[kDims]) const {
+  out[0] = mean;
+  out[1] = stddev;
+  out[2] = skewness;
+  out[3] = autocorr1;
+  out[4] = mean_abs_change;
+  out[5] = rms;
+}
+
+IncrementalFeatures::IncrementalFeatures(IncrementalOptions options)
+    : options_(options), buffer_(options.window) {
+  KDSEL_CHECK(options_.window >= 16);
+  if (options_.recompute_interval == 0) {
+    options_.recompute_interval = options_.window;
+  }
+  window_.reserve(options_.window);
+  scratch_.Reserve(options_.window);
+}
+
+void IncrementalFeatures::Push(float x) {
+  const StreamBuffer& b = buffer_;
+  const size_t m = b.size();
+  const bool evict = b.full();
+
+  if (evict) {
+    // Remove every sum term that references the outgoing oldest point.
+    // All reads happen before the ring mutates.
+    const double e0 = b[0];
+    const double d0 = e0 - anchor_;
+    s1_ -= d0;
+    s2_ -= d0 * d0;
+    s3_ -= d0 * d0 * d0;
+    s4_ -= d0 * d0 * d0 * d0;
+    energy_ -= e0 * e0;
+    for (size_t li = 0; li < kNumLags; ++li) {
+      const size_t lag = kLags[li];
+      if (m > lag) lag_[li] -= (b[lag] - anchor_) * d0;
+    }
+    {
+      const double diff = static_cast<double>(b[1]) - e0;
+      abs_change_ -= std::abs(diff);
+      sq_change_ -= diff * diff;
+    }
+    {
+      const double w1 = b[1], w2 = b[2];
+      c3_ -= w2 * w1 * e0;
+      tra_ -= w2 * w2 * w1 - w1 * e0 * e0;
+    }
+  }
+
+  // Partners of x in the post-push window, read before the ring mutates:
+  // post-push logical index j maps to pre-push index j+1 when evicting,
+  // j otherwise.
+  const size_t new_size = evict ? m : m + 1;
+  double partner[kNumLags];
+  bool has_partner[kNumLags];
+  for (size_t li = 0; li < kNumLags; ++li) {
+    const size_t lag = kLags[li];
+    has_partner[li] = new_size > lag;
+    partner[li] =
+        has_partner[li]
+            ? b[evict ? new_size - lag : new_size - 1 - lag]
+            : 0.0;
+  }
+  const double prev1 =
+      new_size >= 2 ? b[evict ? new_size - 1 : new_size - 2] : 0.0;
+  const double prev2 =
+      new_size >= 3 ? b[evict ? new_size - 2 : new_size - 3] : 0.0;
+
+  buffer_.Push(x);
+
+  const double xv = x;
+  const double d = xv - anchor_;
+  s1_ += d;
+  s2_ += d * d;
+  s3_ += d * d * d;
+  s4_ += d * d * d * d;
+  energy_ += xv * xv;
+  for (size_t li = 0; li < kNumLags; ++li) {
+    if (has_partner[li]) lag_[li] += (partner[li] - anchor_) * d;
+  }
+  if (new_size >= 2) {
+    const double diff = xv - prev1;
+    abs_change_ += std::abs(diff);
+    sq_change_ += diff * diff;
+  }
+  if (new_size >= 3) {
+    c3_ += xv * prev1 * prev2;
+    tra_ += xv * xv * prev1 - prev1 * prev2 * prev2;
+  }
+
+  if (++pushes_since_recompute_ >= options_.recompute_interval) {
+    RecomputeExact();
+  }
+}
+
+void IncrementalFeatures::RecomputeExact() {
+  pushes_since_recompute_ = 0;
+  ++recomputes_;
+  RecomputeCounter().Increment();
+
+  const size_t n = buffer_.size();
+  s1_ = s2_ = s3_ = s4_ = 0.0;
+  energy_ = 0.0;
+  for (size_t li = 0; li < kNumLags; ++li) lag_[li] = 0.0;
+  abs_change_ = sq_change_ = 0.0;
+  c3_ = tra_ = 0.0;
+  if (n == 0) {
+    anchor_ = 0.0;
+    return;
+  }
+
+  window_.resize(n);
+  buffer_.CopyTo(window_.data());
+  const float* w = window_.data();
+
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += w[i];
+  anchor_ = sum / static_cast<double>(n);
+
+  for (size_t i = 0; i < n; ++i) {
+    const double xv = w[i];
+    const double d = xv - anchor_;
+    s1_ += d;
+    s2_ += d * d;
+    s3_ += d * d * d;
+    s4_ += d * d * d * d;
+    energy_ += xv * xv;
+    for (size_t li = 0; li < kNumLags; ++li) {
+      const size_t lag = kLags[li];
+      if (i >= lag) lag_[li] += d * (w[i - lag] - anchor_);
+    }
+    if (i >= 1) {
+      const double diff = xv - static_cast<double>(w[i - 1]);
+      abs_change_ += std::abs(diff);
+      sq_change_ += diff * diff;
+    }
+    if (i >= 2) {
+      const double p1 = w[i - 1], p2 = w[i - 2];
+      c3_ += xv * p1 * p2;
+      tra_ += xv * xv * p1 - p1 * p2 * p2;
+    }
+  }
+}
+
+double IncrementalFeatures::AutocorrFromSums(size_t lag_index,
+                                             double shifted_mean, double var,
+                                             size_t n) const {
+  const size_t lag = kLags[lag_index];
+  if (n <= lag) return 0.0;
+  // Boundary corrections: the lag sum pairs each point with its
+  // predecessor, so the first `lag` points never appear as d_i and the
+  // last `lag` never as d_{i-lag}.
+  double head = 0.0, tail = 0.0;
+  for (size_t i = 0; i < lag; ++i) {
+    head += static_cast<double>(buffer_[i]) - anchor_;
+    tail += static_cast<double>(buffer_[n - 1 - i]) - anchor_;
+  }
+  const double pairs = static_cast<double>(n - lag);
+  const double sum_recent = s1_ - head;  // sum of d_i over i >= lag
+  const double sum_old = s1_ - tail;     // sum of d_{i-lag} over i >= lag
+  const double acc = lag_[lag_index] - shifted_mean * (sum_recent + sum_old) +
+                     pairs * shifted_mean * shifted_mean;
+  return acc / (var * pairs);
+}
+
+void IncrementalFeatures::OverwriteFromSums(float* out, size_t n) const {
+  const Slots& slot = GetSlots();
+  const double dn = static_cast<double>(n);
+  const double ms = s1_ / dn;
+  const double mean = anchor_ + ms;
+  const double var = std::max(0.0, s2_ / dn - ms * ms);
+  const double stddev = std::sqrt(var);
+  const double m3 = s3_ / dn - 3.0 * ms * (s2_ / dn) + 2.0 * ms * ms * ms;
+  const double m4 = s4_ / dn - 4.0 * ms * (s3_ / dn) +
+                    6.0 * ms * ms * (s2_ / dn) - 3.0 * ms * ms * ms * ms;
+  const bool degenerate = features::DegenerateVariance(var, mean);
+
+  out[slot.mean] = static_cast<float>(mean);
+  out[slot.stddev] = static_cast<float>(stddev);
+  out[slot.skew] =
+      static_cast<float>(degenerate ? 0.0 : m3 / (var * stddev));
+  out[slot.kurt] =
+      static_cast<float>(degenerate ? 0.0 : m4 / (var * var) - 3.0);
+  out[slot.abs_energy] = static_cast<float>(energy_ / dn);
+  out[slot.mean_abs_change] =
+      static_cast<float>(abs_change_ / static_cast<double>(n - 1));
+  const double first = buffer_.front();
+  const double last = buffer_.back();
+  // The diff sum telescopes to last - first; same value, O(1) state.
+  const double mean_diff = (last - first) / static_cast<double>(n - 1);
+  out[slot.mean_change] = static_cast<float>(mean_diff);
+  for (size_t li = 0; li < kNumLags; ++li) {
+    out[slot.autocorr[li]] = static_cast<float>(
+        degenerate ? 0.0 : AutocorrFromSums(li, ms, var, n));
+  }
+  out[slot.cid] = static_cast<float>(std::sqrt(std::max(0.0, sq_change_)));
+  out[slot.c3] =
+      static_cast<float>(n > 2 ? c3_ / static_cast<double>(n - 2) : 0.0);
+  out[slot.var_diff] = static_cast<float>(std::max(
+      0.0, sq_change_ / static_cast<double>(n - 1) - mean_diff * mean_diff));
+  out[slot.tra] =
+      static_cast<float>(n > 2 ? tra_ / static_cast<double>(n - 2) : 0.0);
+  out[slot.abs_sum] = static_cast<float>(abs_change_);
+  out[slot.last_minus_first] = static_cast<float>(last - first);
+  out[slot.rms] = static_cast<float>(std::sqrt(std::max(0.0, energy_ / dn)));
+
+  // Same finite-value contract as the batch extractor.
+  const size_t count = features::FeatureCount();
+  for (size_t i = 0; i < count; ++i) {
+    if (!std::isfinite(out[i])) out[i] = 0.0f;
+  }
+}
+
+void IncrementalFeatures::Features(float* out) {
+  const size_t n = buffer_.size();
+  KDSEL_CHECK(n >= 4);
+  window_.resize(n);
+  buffer_.CopyTo(window_.data());
+  features::ExtractFeaturesInto(window_.data(), n, scratch_, out);
+  OverwriteFromSums(out, n);
+}
+
+MomentSummary IncrementalFeatures::Moments() const {
+  MomentSummary s;
+  const size_t n = buffer_.size();
+  KDSEL_CHECK(n >= 2);
+  const double dn = static_cast<double>(n);
+  const double ms = s1_ / dn;
+  s.mean = anchor_ + ms;
+  const double var = std::max(0.0, s2_ / dn - ms * ms);
+  s.stddev = std::sqrt(var);
+  if (!features::DegenerateVariance(var, s.mean)) {
+    const double m3 = s3_ / dn - 3.0 * ms * (s2_ / dn) + 2.0 * ms * ms * ms;
+    s.skewness = m3 / (var * s.stddev);
+    s.autocorr1 = AutocorrFromSums(0, ms, var, n);
+  }
+  s.mean_abs_change = abs_change_ / static_cast<double>(n - 1);
+  s.rms = std::sqrt(std::max(0.0, energy_ / dn));
+  return s;
+}
+
+}  // namespace kdsel::stream

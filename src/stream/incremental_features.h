@@ -1,0 +1,104 @@
+#ifndef KDSEL_STREAM_INCREMENTAL_FEATURES_H_
+#define KDSEL_STREAM_INCREMENTAL_FEATURES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "features/features.h"
+#include "stream/stream_buffer.h"
+
+namespace kdsel::stream {
+
+/// O(1) moment summary derived purely from the running sums — cheap
+/// enough for the drift monitor to consume every few points without
+/// touching the full feature extraction.
+struct MomentSummary {
+  static constexpr size_t kDims = 6;
+
+  double mean = 0.0;
+  double stddev = 0.0;
+  double skewness = 0.0;
+  double autocorr1 = 0.0;
+  double mean_abs_change = 0.0;
+  double rms = 0.0;
+
+  void ToArray(double out[kDims]) const;
+};
+
+struct IncrementalOptions {
+  size_t window = 256;            ///< Ring capacity per series (>= 16).
+  size_t recompute_interval = 0;  ///< Exact-recompute cadence; 0 = window.
+};
+
+/// Maintains the features::ExtractFeatures vector over a sliding window
+/// with O(1) amortized work per point and zero steady-state allocation.
+///
+/// Push updates running sums in O(1): power sums of (x - K) shifted by an
+/// anchor K (the window mean at the last exact recompute, which keeps the
+/// high-order sums well conditioned), lag-product sums for the four
+/// autocorrelation lags, first-difference sums, and the lag-1 triple
+/// products behind c3 / time-reversal asymmetry. Every
+/// recompute_interval pushes the sums are rebuilt exactly from the ring
+/// in one pass and the anchor re-set, bounding floating-point drift to
+/// what at most one window of O(1) updates can accumulate.
+///
+/// Features() fills the full vector: order statistics and scan features
+/// (quantiles, strikes, argmax/argmin, entropy, MAD, ...) are inherently
+/// O(window) and come from the batch extractor run over the ring copy —
+/// bit-identical to ExtractFeatures by construction — while every
+/// moment / autocorrelation / difference slot is overwritten with the
+/// value derived from the incremental sums, which the stream_test parity
+/// suite pins against the batch extractor.
+class IncrementalFeatures {
+ public:
+  explicit IncrementalFeatures(IncrementalOptions options);
+
+  /// Ingests one point. O(1) amortized; never allocates.
+  void Push(float x);
+
+  /// True once the window holds enough points to extract (>= 4).
+  bool ready() const { return buffer_.size() >= 4; }
+
+  /// Fills out[0..features::FeatureCount()) for the current window.
+  /// Allocation-free once the internal scratch is warm. Requires ready().
+  void Features(float* out);
+
+  /// O(1) summary for drift checks. Requires buffer().size() >= 2.
+  MomentSummary Moments() const;
+
+  const StreamBuffer& buffer() const { return buffer_; }
+  uint64_t recomputes() const { return recomputes_; }
+  const IncrementalOptions& options() const { return options_; }
+
+ private:
+  /// Shifted-sum autocorrelation at kLags[lag_index]; exact in real
+  /// arithmetic w.r.t. the batch formula (boundary sums read <= lag
+  /// values from the ring, so it stays O(1)).
+  double AutocorrFromSums(size_t lag_index, double shifted_mean, double var,
+                          size_t n) const;
+  /// Overwrites the incrementally-maintained slots of `out`.
+  void OverwriteFromSums(float* out, size_t n) const;
+  /// One exact pass over the ring: rebuilds every sum, re-anchors.
+  void RecomputeExact();
+
+  IncrementalOptions options_;
+  StreamBuffer buffer_;
+  features::FeatureScratch scratch_;
+  std::vector<float> window_;  ///< Linearized ring for exact passes.
+
+  double anchor_ = 0.0;  ///< Shift K for the power/lag sums.
+  double s1_ = 0.0, s2_ = 0.0, s3_ = 0.0, s4_ = 0.0;  ///< Sum (x-K)^p.
+  double energy_ = 0.0;                               ///< Sum x^2 (raw).
+  double lag_[4] = {0.0, 0.0, 0.0, 0.0};  ///< Sum d_i * d_{i-L}, L=1,2,4,8.
+  double abs_change_ = 0.0;               ///< Sum |x_i - x_{i-1}|.
+  double sq_change_ = 0.0;                ///< Sum (x_i - x_{i-1})^2.
+  double c3_ = 0.0;                       ///< Sum x_i x_{i-1} x_{i-2}.
+  double tra_ = 0.0;  ///< Sum x_i^2 x_{i-1} - x_{i-1} x_{i-2}^2.
+  size_t pushes_since_recompute_ = 0;
+  uint64_t recomputes_ = 0;
+};
+
+}  // namespace kdsel::stream
+
+#endif  // KDSEL_STREAM_INCREMENTAL_FEATURES_H_

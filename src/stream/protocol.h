@@ -1,0 +1,58 @@
+#ifndef KDSEL_STREAM_PROTOCOL_H_
+#define KDSEL_STREAM_PROTOCOL_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "stream/scorer.h"
+
+namespace kdsel::stream {
+
+/// One parsed line of the streaming NDJSON wire protocol.
+///
+/// Point events (one JSON object per line):
+///   {"series":"s1","value":0.42}
+///   {"series":"s1","values":[0.42,0.43,0.44]}   -- burst form
+/// Control ops:
+///   {"op":"reload"}  -- hot-reload every resident selector from disk
+///   {"op":"stats"}   -- emit a stats event with the metrics snapshot
+///   {"op":"quit"}    -- flush and exit (EOF works too)
+///
+/// Emitted events:
+///   {"event":"selection","series":"s1","point":256,"model":"IForest",
+///    "model_id":4,"votes":[...],"num_windows":4,"reason":"initial",
+///    "changed":false,"selector_version":1}
+///   {"event":"drift","series":"s1","point":1024,"statistic":31.7}
+///   {"event":"error","error":"InvalidArgument: ..."}
+struct StreamRequest {
+  enum class Op { kPoints, kReload, kStats, kQuit };
+
+  Op op = Op::kPoints;
+  std::string series;
+  std::vector<float> values;
+};
+
+/// Parses one input line via the serve json layer (strict parsers only —
+/// the raw-parse lint rule bans hand-rolled NDJSON scanning).
+StatusOr<StreamRequest> ParseStreamLine(const std::string& line);
+
+/// Event formatting (each returns a complete line WITHOUT the '\n').
+std::string FormatStreamEvent(const StreamEvent& event);
+std::string FormatStreamError(const Status& status);
+
+struct StreamLoopOptions {
+  size_t max_batch = 256;  ///< Points buffered before a forced flush.
+};
+
+/// Runs the NDJSON streaming session: reads point events from `in`,
+/// feeds them to `scorer` in batches (a control op or max_batch forces a
+/// flush), and writes emitted events to `out`. Malformed lines produce
+/// an error event and the session continues; a failed batch ends it.
+/// Returns when "quit" or EOF is seen and the final batch is flushed.
+Status RunStreamLoop(std::istream& in, std::ostream& out, StreamScorer& scorer,
+                     serve::SelectorRegistry& registry,
+                     const StreamLoopOptions& options = {});
+
+}  // namespace kdsel::stream
+
+#endif  // KDSEL_STREAM_PROTOCOL_H_

@@ -1,0 +1,64 @@
+#ifndef KDSEL_STREAM_STREAM_BUFFER_H_
+#define KDSEL_STREAM_STREAM_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace kdsel::stream {
+
+/// Fixed-capacity ring buffer over an unbounded point stream: the active
+/// window of one streamed series. Push is O(1) and allocation-free after
+/// construction; once full, each push evicts the oldest point. Logical
+/// index 0 is always the oldest retained point.
+class StreamBuffer {
+ public:
+  explicit StreamBuffer(size_t capacity) : data_(capacity, 0.0f) {
+    KDSEL_CHECK(capacity > 0);
+  }
+
+  /// Appends x, evicting the oldest point once the buffer is full.
+  void Push(float x) {
+    data_[head_] = x;
+    head_ = head_ + 1 == data_.size() ? 0 : head_ + 1;
+    if (size_ < data_.size()) ++size_;
+    ++total_;
+  }
+
+  /// Value at logical position i (0 = oldest retained point).
+  float operator[](size_t i) const {
+    KDSEL_DCHECK(i < size_);
+    // Until the buffer wraps, head_ trails the contiguous prefix and the
+    // oldest point sits at physical 0; afterwards head_ IS the oldest.
+    size_t p = (size_ == data_.size() ? head_ : 0) + i;
+    if (p >= data_.size()) p -= data_.size();
+    return data_[p];
+  }
+
+  /// Copies the window, oldest point first, into out[0..size()).
+  void CopyTo(float* out) const {
+    for (size_t i = 0; i < size_; ++i) out[i] = (*this)[i];
+  }
+
+  float front() const { return (*this)[0]; }
+  float back() const { return (*this)[size_ - 1]; }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return data_.size(); }
+  bool full() const { return size_ == data_.size(); }
+
+  /// Points ever pushed, including evicted ones.
+  uint64_t total() const { return total_; }
+
+ private:
+  std::vector<float> data_;
+  size_t head_ = 0;  // next physical write slot
+  size_t size_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace kdsel::stream
+
+#endif  // KDSEL_STREAM_STREAM_BUFFER_H_

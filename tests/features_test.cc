@@ -49,6 +49,73 @@ TEST(FeatureValuesTest, ConstantWindowIsFinite) {
   EXPECT_NEAR(f[IndexOf("std")], 0.0f, 1e-6f);
 }
 
+TEST(FeatureValuesTest, ConstantWindowDegenerateContract) {
+  // Variance-normalized statistics of a constant window are exactly 0 by
+  // contract — including ratio_beyond_*sigma, which naive |x - mean| > 0
+  // counting turns into 1.0 when the float mean rounds off the constant.
+  for (float level : {0.0f, 2.5f, -7.25f, 1.0e6f}) {
+    std::vector<float> window(64, level);
+    auto f = ExtractFeatures(window);
+    for (float v : f) EXPECT_TRUE(std::isfinite(v)) << "level " << level;
+    EXPECT_FLOAT_EQ(f[IndexOf("skewness")], 0.0f) << "level " << level;
+    EXPECT_FLOAT_EQ(f[IndexOf("kurtosis")], 0.0f) << "level " << level;
+    for (const char* name :
+         {"autocorr_lag1", "autocorr_lag2", "autocorr_lag4", "autocorr_lag8"}) {
+      EXPECT_FLOAT_EQ(f[IndexOf(name)], 0.0f)
+          << name << " at level " << level;
+    }
+    EXPECT_FLOAT_EQ(f[IndexOf("ratio_beyond_1sigma")], 0.0f)
+        << "level " << level;
+    EXPECT_FLOAT_EQ(f[IndexOf("ratio_beyond_2sigma")], 0.0f)
+        << "level " << level;
+  }
+}
+
+TEST(FeatureValuesTest, NearConstantWindowIsDegenerate) {
+  // A large level with a few-ulp wobble has variance that is pure float
+  // quantization noise; the relative threshold must classify it as
+  // degenerate instead of emitting huge normalized moments.
+  std::vector<float> window(64, 1.0e6f);
+  for (size_t i = 0; i < window.size(); i += 7) {
+    window[i] = std::nextafter(window[i], 2.0e6f);
+  }
+  auto f = ExtractFeatures(window);
+  for (float v : f) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_FLOAT_EQ(f[IndexOf("skewness")], 0.0f);
+  EXPECT_FLOAT_EQ(f[IndexOf("kurtosis")], 0.0f);
+  EXPECT_FLOAT_EQ(f[IndexOf("autocorr_lag1")], 0.0f);
+  EXPECT_FLOAT_EQ(f[IndexOf("ratio_beyond_1sigma")], 0.0f);
+}
+
+TEST(FeatureValuesTest, GenuineVarianceIsNotDegenerate) {
+  // A plain sine keeps its normalized statistics: the degenerate guard
+  // must not swallow real structure.
+  std::vector<float> window(64);
+  for (size_t i = 0; i < window.size(); ++i) {
+    window[i] = static_cast<float>(5.0 + std::sin(i * 0.3));
+  }
+  auto f = ExtractFeatures(window);
+  EXPECT_GT(f[IndexOf("autocorr_lag1")], 0.5f);
+  EXPECT_GT(f[IndexOf("ratio_beyond_1sigma")], 0.0f);
+  EXPECT_FALSE(DegenerateVariance(0.5, 5.0));
+  EXPECT_TRUE(DegenerateVariance(0.0, 5.0));
+  EXPECT_TRUE(DegenerateVariance(1e-14, 0.0));
+}
+
+TEST(FeatureValuesTest, ExtractIntoMatchesVectorApi) {
+  Rng rng(11);
+  std::vector<float> window(48);
+  for (float& v : window) v = static_cast<float>(rng.Normal(1.0, 2.0));
+  auto f = ExtractFeatures(window);
+  FeatureScratch scratch;
+  scratch.Reserve(window.size());
+  std::vector<float> into(FeatureCount());
+  ExtractFeaturesInto(window.data(), window.size(), scratch, into.data());
+  for (size_t j = 0; j < f.size(); ++j) {
+    EXPECT_FLOAT_EQ(into[j], f[j]) << FeatureNames()[j];
+  }
+}
+
 TEST(FeatureValuesTest, ZeroCrossingRate) {
   std::vector<float> window{1, -1, 1, -1, 1, -1, 1, -1};
   auto f = ExtractFeatures(window);

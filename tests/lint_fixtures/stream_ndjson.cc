@@ -1,0 +1,28 @@
+// Lint fixture: hand-rolled NDJSON wire parsing, the exact anti-pattern
+// the raw-parse rule exists to catch on the streaming path. Real code
+// must parse stream lines through serve::Json::Parse plus the strict
+// kdsel::Parse* helpers (src/stream/protocol.cc is the blessed shape).
+// NOT compiled — scanned only.
+//
+// Keep line numbers stable: lint_test pins them.
+
+#include <cstdlib>
+#include <string>
+
+namespace kdsel::fixture {
+
+// A "quick" point-event parser that rips fields out of an NDJSON line
+// with substring search and raw C number parsing.
+double ParseStreamValue(const std::string& line) {
+  const size_t pos = line.find("\"value\":");
+  if (pos == std::string::npos) return 0.0;
+  return std::strtod(line.c_str() + pos + 8, nullptr);  // 19: raw-parse
+}
+
+int ParseStreamPoint(const std::string& line) {
+  const size_t pos = line.find("\"point\":");
+  if (pos == std::string::npos) return -1;
+  return atoi(line.c_str() + pos + 8);  // line 25: raw-parse
+}
+
+}  // namespace kdsel::fixture

@@ -117,6 +117,28 @@ TEST(LintTest, ViolationsFixtureProducesExactDiagnostics) {
   }
 }
 
+// NDJSON hand-parsing on the streaming wire path is the raw-parse
+// rule's marquee catch: strtod/atoi silently accept trailing garbage and
+// locale-dependent formats. Stream input must flow through
+// serve::Json::Parse + the strict kdsel::Parse* helpers instead.
+TEST(LintTest, StreamNdjsonFixtureCatchesHandParsing) {
+  const RunResult result = RunLint(RootArgs(FixturePath("stream_ndjson.cc")));
+  EXPECT_EQ(result.exit_code, 1);
+
+  const std::vector<std::string> lines = SplitLines(result.stdout_text);
+  ASSERT_EQ(lines.size(), 2u) << result.stdout_text;
+
+  const std::string prefix = "tests/lint_fixtures/stream_ndjson.cc:";
+  EXPECT_EQ(lines[0],
+            prefix +
+                "19: raw-parse: 'strtod' outside common/: it throws or "
+                "silently wraps; use kdsel::ParseUint64 (stringutil.h)");
+  EXPECT_EQ(lines[1],
+            prefix +
+                "25: raw-parse: 'atoi' outside common/: it throws or "
+                "silently wraps; use kdsel::ParseUint64 (stringutil.h)");
+}
+
 TEST(LintTest, SuppressedFixtureIsClean) {
   const RunResult result = RunLint(RootArgs(FixturePath("suppressed.cc")));
   EXPECT_EQ(result.exit_code, 0) << result.stdout_text;
@@ -129,17 +151,24 @@ TEST(LintTest, CleanFixtureIsClean) {
   EXPECT_TRUE(result.stdout_text.empty()) << result.stdout_text;
 }
 
-// The combined fixture directory scan sees all three files at once, so
-// cross-file symbol collection (Status function names) must not bleed
-// findings between fixtures.
+// The combined fixture directory scan sees all fixture files at once,
+// so cross-file symbol collection (Status function names) must not
+// bleed findings between fixtures. Diagnostics sort by file, so the two
+// stream_ndjson.cc raw-parse findings precede the nine violations.cc
+// ones.
 TEST(LintTest, FixtureDirectoryScanMatchesPerFileResults) {
   const RunResult result =
       RunLint(RootArgs(std::string(KDSEL_SOURCE_DIR) + "/tests/lint_fixtures"));
   EXPECT_EQ(result.exit_code, 1);
   const std::vector<std::string> lines = SplitLines(result.stdout_text);
-  EXPECT_EQ(lines.size(), 9u) << result.stdout_text;
-  for (const std::string& line : lines) {
-    EXPECT_NE(line.find("violations.cc"), std::string::npos) << line;
+  ASSERT_EQ(lines.size(), 11u) << result.stdout_text;
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_NE(lines[i].find("stream_ndjson.cc"), std::string::npos)
+        << lines[i];
+    EXPECT_NE(lines[i].find("raw-parse"), std::string::npos) << lines[i];
+  }
+  for (size_t i = 2; i < lines.size(); ++i) {
+    EXPECT_NE(lines[i].find("violations.cc"), std::string::npos) << lines[i];
   }
 }
 

@@ -1,40 +1,62 @@
 #!/usr/bin/env python3
-"""Schema check for a METRICS_*.json snapshot written by bench_micro.
+"""Schema check for a METRICS_*.json snapshot written by a bench binary.
 
-CI runs this after `bench_micro --report` to catch silent instrumentation
-regressions: if a refactor drops a metric registration (or renames it
-outside the kdsel.<layer>.<name> convention), the snapshot loses the key
-and this script fails the job.
+CI runs this after `bench_micro --report` / `bench_streaming --report` to
+catch silent instrumentation regressions: if a refactor drops a metric
+registration (or renames it outside the kdsel.<layer>.<name> convention),
+the snapshot loses the key and this script fails the job.
 
-Only metrics the bench path actually exercises are required -- trainer
-and pruning metrics belong to `kdsel trace` runs, not bench_micro.
+Only metrics the corresponding bench path actually exercises are
+required -- trainer and pruning metrics belong to `kdsel trace` runs.
+The `--profile` flag picks the required set: `micro` (default) for
+bench_micro's parallel/kernel paths, `stream` for bench_streaming's
+kdsel.stream.* instrumentation.
 
-Usage: check_metrics_snapshot.py METRICS_micro.json
+Usage: check_metrics_snapshot.py [--profile micro|stream] METRICS_x.json
 """
 
 import json
 import sys
 
-# (section, metric name) pairs that a bench_micro --report run must have
-# populated. Counters/gauges map to numbers, histograms to summary dicts.
-REQUIRED = [
-    ("counters", "kdsel.parallel.jobs"),
-    ("counters", "kdsel.parallel.chunks"),
-    ("counters", "kdsel.nn.workspace.pool_hits"),
-    ("counters", "kdsel.nn.workspace.pool_misses"),
-    ("gauges", "kdsel.parallel.threads"),
-    ("gauges", "kdsel.nn.kernel_variant"),
-    ("histograms", "kdsel.parallel.job_us"),
-]
+# (section, metric name) pairs that a bench run must have populated, per
+# profile. Counters/gauges map to numbers, histograms to summary dicts.
+REQUIRED_BY_PROFILE = {
+    "micro": [
+        ("counters", "kdsel.parallel.jobs"),
+        ("counters", "kdsel.parallel.chunks"),
+        ("counters", "kdsel.nn.workspace.pool_hits"),
+        ("counters", "kdsel.nn.workspace.pool_misses"),
+        ("gauges", "kdsel.parallel.threads"),
+        ("gauges", "kdsel.nn.kernel_variant"),
+        ("histograms", "kdsel.parallel.job_us"),
+    ],
+    "stream": [
+        ("counters", "kdsel.stream.points"),
+        ("counters", "kdsel.stream.rescores"),
+        ("counters", "kdsel.stream.recomputes"),
+        ("counters", "kdsel.stream.drift_events"),
+        ("counters", "kdsel.stream.selection_changes"),
+        ("gauges", "kdsel.stream.series"),
+        ("histograms", "kdsel.stream.rescore_us"),
+    ],
+}
 
 HISTOGRAM_KEYS = ["count", "samples", "min", "max", "mean", "p50", "p95", "p99"]
 
 
 def main(argv):
-    if len(argv) != 2:
+    args = argv[1:]
+    profile = "micro"
+    if args and args[0] == "--profile":
+        if len(args) < 2 or args[1] not in REQUIRED_BY_PROFILE:
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        profile = args[1]
+        args = args[2:]
+    if len(args) != 1:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    path = argv[1]
+    path = args[0]
     with open(path, "r", encoding="utf-8") as f:
         snapshot = json.load(f)
 
@@ -42,7 +64,7 @@ def main(argv):
     for section in ("counters", "gauges", "histograms"):
         if section not in snapshot:
             errors.append(f"missing section '{section}'")
-    for section, name in REQUIRED:
+    for section, name in REQUIRED_BY_PROFILE[profile]:
         value = snapshot.get(section, {}).get(name)
         if value is None:
             errors.append(f"missing {section[:-1]} '{name}'")

@@ -38,6 +38,8 @@
 #include "serve/protocol.h"
 #include "serve/registry.h"
 #include "serve/server.h"
+#include "stream/protocol.h"
+#include "stream/scorer.h"
 #include "ts/dataset.h"
 #include "tsad/detector.h"
 
@@ -81,6 +83,19 @@ class Flags {
     auto value = ParseUint64(it->second);
     if (!value.ok()) {
       std::fprintf(stderr, "invalid integer for --%s: '%s'\n", key.c_str(),
+                   it->second.c_str());
+      std::exit(2);
+    }
+    return *value;
+  }
+  /// Parses --key as a double with the same strict-or-exit contract as
+  /// GetInt.
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    auto value = ParseDouble(it->second);
+    if (!value.ok()) {
+      std::fprintf(stderr, "invalid number for --%s: '%s'\n", key.c_str(),
                    it->second.c_str());
       std::exit(2);
     }
@@ -405,6 +420,65 @@ int CmdServe(const Flags& flags) {
   return 0;
 }
 
+int CmdStream(const Flags& flags) {
+  const std::string sel_dir = flags.Get("dir", "");
+  const std::string selector = flags.Get("selector", "");
+  if (sel_dir.empty() || selector.empty()) {
+    std::fprintf(stderr,
+                 "usage: kdsel stream --dir SELECTOR_DIR --selector NAME"
+                 " [--window 256] [--rescore 128]\n"
+                 "             [--drift-check 16] [--drift-threshold 16.0]"
+                 " [--drift-calibration 64]\n"
+                 "             [--drift-patience 3] [--batch 256] [--seed 42]"
+                 " [--preload]\n"
+                 "speaks newline-delimited JSON on stdin/stdout;"
+                 " see README section 'kdsel stream'\n");
+    return 2;
+  }
+  auto registry = std::make_unique<serve::SelectorRegistry>(
+      core::SelectorManager(sel_dir));
+  if (flags.Has("preload")) {
+    auto names = registry->DiskNames();
+    if (!names.ok()) return Fail(names.status());
+    for (const auto& name : *names) {
+      Status loaded = registry->Load(name);
+      if (!loaded.ok()) return Fail(loaded);
+      std::fprintf(stderr, "preloaded selector '%s'\n", name.c_str());
+    }
+  }
+
+  stream::StreamOptions opts;
+  opts.selector = selector;
+  opts.window = flags.GetInt("window", 256);
+  opts.rescore_interval = flags.GetInt("rescore", 128);
+  opts.drift_check_interval = flags.GetInt("drift-check", 16);
+  opts.drift.threshold = flags.GetDouble("drift-threshold", 16.0);
+  opts.drift.calibration = flags.GetInt("drift-calibration", 64);
+  opts.drift.patience = flags.GetInt("drift-patience", 3);
+  // Selected model indices map onto the default TSAD model set; resolve
+  // their display names so events carry "iforest" rather than "model_3".
+  const uint64_t seed = flags.GetInt("seed", 42);
+  for (const auto& model : tsad::BuildDefaultModelSet(seed)) {
+    opts.model_names.push_back(model->name());
+  }
+
+  stream::StreamScorer scorer(registry.get(), opts);
+  std::fprintf(stderr,
+               "kdsel stream: selector '%s', window %zu, rescore every %zu"
+               " points, drift check every %zu — reading NDJSON from stdin\n",
+               selector.c_str(), opts.window, opts.rescore_interval,
+               opts.drift_check_interval);
+
+  stream::StreamLoopOptions loop_opts;
+  loop_opts.max_batch = flags.GetInt("batch", 256);
+  Status session =
+      stream::RunStreamLoop(std::cin, std::cout, scorer, *registry, loop_opts);
+  std::fprintf(stderr, "kdsel stream: final stats series=%zu points=%zu\n",
+               scorer.series_count(), scorer.points_ingested());
+  if (!session.ok()) return Fail(session);
+  return 0;
+}
+
 /// Runs a small fully in-memory pipeline (synthetic data -> detector
 /// performance matrix -> selector training with PISL+MKI+PA) with span
 /// recording on, and writes the chrome://tracing JSON. The same spans
@@ -516,6 +590,8 @@ void PrintUsage() {
       "  list       list saved selectors\n"
       "  detect     select a model for a series and run the detection\n"
       "  serve      long-lived inference server (NDJSON on stdin/stdout)\n"
+      "  stream     online scorer: incremental features + drift-triggered"
+      " re-selection\n"
       "  trace      record a chrome://tracing profile of a small training "
       "run\n"
       "  version    print the active SIMD kernel variant and thread count\n");
@@ -541,6 +617,7 @@ int main(int argc, char** argv) {
   if (cmd == "list") return CmdList(flags);
   if (cmd == "detect") return CmdDetect(flags);
   if (cmd == "serve") return CmdServe(flags);
+  if (cmd == "stream") return CmdStream(flags);
   if (cmd == "trace") return CmdTrace(flags);
   PrintUsage();
   return 2;

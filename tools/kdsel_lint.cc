@@ -14,7 +14,15 @@
 //                           of make_unique/make_shared/containers
 //   raw-parse               std::sto*/ato*/strto* outside src/common/
 //                           (use kdsel::ParseUint64 and friends, which
-//                           return Status instead of throwing/UB)
+//                           return Status instead of throwing/UB).
+//                           This includes wire input: NDJSON lines for
+//                           `kdsel serve`/`kdsel stream` go through
+//                           serve::Json::Parse, never hand-rolled
+//                           substring + atoi/strtod extraction — raw C
+//                           parsers accept trailing garbage and
+//                           locale-dependent formats silently
+//                           (tests/lint_fixtures/stream_ndjson.cc is
+//                           the canonical catch)
 //   nonreproducible-random  rand()/srand()/random_device/time(nullptr):
 //                           all randomness must flow through kdsel::Rng
 //                           with an explicit seed, or results stop being
