@@ -1,0 +1,49 @@
+#ifndef KDSEL_COMMON_ANNOTATIONS_H_
+#define KDSEL_COMMON_ANNOTATIONS_H_
+
+// Static-analysis annotations checked by tools/kdsel_lint.
+//
+// The macros are deliberately free of runtime cost: under GCC they
+// expand to nothing (or a plain optimization hint), and kdsel_lint
+// parses them out of the token stream to drive its whole-program rules:
+//
+//   KDSEL_GUARDED_BY(m)   on a member/global declaration: every access
+//                         must happen with mutex `m` held (guarded-by
+//                         rule). `m` is a member of the same class or a
+//                         global declared in the same file.
+//   KDSEL_REQUIRES(m)     on a function: callers must hold `m`; inside
+//                         the function `m` is assumed held. Use for
+//                         *Locked() helpers instead of re-locking.
+//   KDSEL_HOT             on a function definition: marks a steady-state
+//                         entry point. The alloc-in-hot-path rule walks
+//                         the call graph from every KDSEL_HOT root and
+//                         flags reachable allocating constructs.
+//   KDSEL_ALLOC_OK(why)   on a function definition: trusted allocation
+//                         boundary; the hot-path walk does not descend
+//                         into it. The `why` string is mandatory and
+//                         should name the runtime test or invariant
+//                         that justifies the trust (e.g. a pooled
+//                         allocator verified by a counting-allocator
+//                         test, or a provably rare path).
+//
+// When compiled with clang and -DKDSEL_CLANG_TSA, GUARDED_BY/REQUIRES
+// additionally expand to clang's thread-safety attributes so
+// -Wthread-safety cross-checks the same annotations.
+
+#if defined(KDSEL_CLANG_TSA) && defined(__clang__)
+#define KDSEL_GUARDED_BY(m) __attribute__((guarded_by(m)))
+#define KDSEL_REQUIRES(m) __attribute__((exclusive_locks_required(m)))
+#else
+#define KDSEL_GUARDED_BY(m)
+#define KDSEL_REQUIRES(m)
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define KDSEL_HOT __attribute__((hot))
+#else
+#define KDSEL_HOT
+#endif
+
+#define KDSEL_ALLOC_OK(why)
+
+#endif  // KDSEL_COMMON_ANNOTATIONS_H_

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/stringutil.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
@@ -66,15 +67,16 @@ struct ThreadPool::Job {
   std::atomic<bool> failed{false};
   std::mutex mu;
   std::condition_variable done_cv;
-  std::exception_ptr error;  // Guarded by mu; first failure wins.
+  std::exception_ptr error KDSEL_GUARDED_BY(mu);  // First failure wins.
 };
 
 struct ThreadPool::Impl {
   std::mutex mu;
   std::condition_variable wake;
-  std::deque<std::shared_ptr<Job>> queue;  // Jobs with chunks left to hand out.
+  // Jobs with chunks left to hand out.
+  std::deque<std::shared_ptr<Job>> queue KDSEL_GUARDED_BY(mu);
   std::vector<std::thread> workers;
-  bool stop = false;
+  bool stop KDSEL_GUARDED_BY(mu) = false;
 };
 
 size_t ThreadPool::ThreadsFromEnv() {
@@ -151,6 +153,9 @@ void ThreadPool::RunChunks(Job& job) {
   }
 }
 
+KDSEL_ALLOC_OK(
+    "one Job control block per dispatch, amortized across all chunks of "
+    "the parallel region; the per-chunk worker path is allocation-free")
 void ThreadPool::For(size_t n, size_t grain, ChunkCallback fn) {
   if (n == 0) return;
   if (grain < 1) grain = 1;
@@ -242,7 +247,7 @@ void ThreadPool::WorkerLoop() {
 namespace {
 
 std::mutex g_global_pool_mu;
-std::unique_ptr<ThreadPool> g_global_pool;  // Guarded by g_global_pool_mu.
+std::unique_ptr<ThreadPool> g_global_pool KDSEL_GUARDED_BY(g_global_pool_mu);
 
 ThreadPool& GlobalPoolLocked() {
   std::lock_guard<std::mutex> lock(g_global_pool_mu);

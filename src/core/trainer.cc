@@ -7,6 +7,7 @@
 #include <map>
 #include <numeric>
 
+#include "common/annotations.h"
 #include "common/stringutil.h"
 #include "core/soft_label.h"
 #include "obs/clock.h"
@@ -141,6 +142,210 @@ TrainerMetrics& Metrics() {
   };
   return metrics;
 }
+
+/// Everything one epoch touches, bundled behind typed references so the
+/// KDSEL_HOT epoch body is a standalone function the static allocation
+/// walk (and a human reader) can audit in isolation. The scratch
+/// members at the bottom persist across epochs, so their capacity is
+/// paid once.
+struct EpochContext {
+  const TrainerOptions& options;
+  const SelectorTrainingData& data;
+  const nn::Tensor& soft_labels;
+  MkiHead* mki;
+  const nn::Tensor& text_embeddings;
+  const std::vector<size_t>& text_index;
+  std::vector<nn::Parameter*>& params;
+  nn::Adam& optimizer;
+  Pruner& pruner;
+  Rng& rng;
+  double alpha;
+  size_t n;
+  TrainStats* stats;
+  TrainerMetrics& metrics;
+  selectors::Backbone& backbone;
+  nn::Linear& classifier;
+  EpochPlan& plan;
+  std::vector<size_t>& perm;
+  std::vector<size_t>& idx;
+  std::vector<float>& weights;
+  std::vector<int>& batch_labels;
+  std::vector<size_t>& soft_rows;
+  std::vector<size_t>& text_rows;
+  nn::Tensor& x;
+  nn::Tensor& soft_batch;
+  nn::Tensor& z_k;
+  nn::LossResult& hard;
+  nn::LossResult& soft;
+  MkiHead::Result& mki_out;
+};
+
+/// One training epoch: prune-plan, shuffle, batched forward/backward,
+/// optimizer step, metrics. KDSEL_HOT -- kdsel_lint walks everything
+/// reachable from here and proves the steady-state loop allocates only
+/// through audited boundaries (capacities are warmed by the setup code
+/// in TrainSelector; train_alloc_test asserts the same at runtime).
+KDSEL_HOT void RunEpoch(EpochContext& ctx, size_t epoch) {
+  const TrainerOptions& options = ctx.options;
+  const SelectorTrainingData& data = ctx.data;
+  const nn::Tensor& soft_labels = ctx.soft_labels;
+  MkiHead* mki = ctx.mki;
+  const nn::Tensor& text_embeddings = ctx.text_embeddings;
+  const std::vector<size_t>& text_index = ctx.text_index;
+  std::vector<nn::Parameter*>& params = ctx.params;
+  nn::Adam& optimizer = ctx.optimizer;
+  Pruner& pruner = ctx.pruner;
+  Rng& rng = ctx.rng;
+  const double alpha = ctx.alpha;
+  const size_t n = ctx.n;
+  TrainStats* stats = ctx.stats;
+  TrainerMetrics& metrics = ctx.metrics;
+  selectors::Backbone& backbone = ctx.backbone;
+  nn::Linear& classifier = ctx.classifier;
+  EpochPlan& plan = ctx.plan;
+  std::vector<size_t>& perm = ctx.perm;
+  std::vector<size_t>& idx = ctx.idx;
+  std::vector<float>& weights = ctx.weights;
+  std::vector<int>& batch_labels = ctx.batch_labels;
+  std::vector<size_t>& soft_rows = ctx.soft_rows;
+  std::vector<size_t>& text_rows = ctx.text_rows;
+  nn::Tensor& x = ctx.x;
+  nn::Tensor& soft_batch = ctx.soft_batch;
+  nn::Tensor& z_k = ctx.z_k;
+  nn::LossResult& hard = ctx.hard;
+  nn::LossResult& soft = ctx.soft;
+  MkiHead::Result& mki_out = ctx.mki_out;
+
+    KDSEL_SPAN("trainer.epoch");
+    const uint64_t epoch_begin_ns = obs::NowNs();
+    pruner.PlanEpoch(epoch, options.epochs, &plan);
+    // Shuffle kept samples and their weights together.
+    perm.resize(plan.kept.size());
+    std::iota(perm.begin(), perm.end(), size_t{0});
+    rng.Shuffle(perm);
+
+    double epoch_loss = 0.0;
+    double epoch_hard = 0.0;
+    double epoch_pisl = 0.0;
+    double epoch_mki = 0.0;
+    size_t epoch_samples = 0;
+    size_t epoch_batches = 0;
+    for (size_t off = 0; off < perm.size(); off += options.batch_size) {
+      const size_t end = std::min(perm.size(), off + options.batch_size);
+      idx.clear();
+      weights.clear();
+      for (size_t i = off; i < end; ++i) {
+        idx.push_back(plan.kept[perm[i]]);
+        weights.push_back(plan.weights[perm[i]]);
+      }
+      // MKI's InfoNCE contrasts each sample against the rest of the
+      // batch; a 1-sample batch has no negatives, so skip the remainder
+      // batch in that degenerate case.
+      if (idx.size() < 2 && options.use_mki) continue;
+
+      GatherWindows(data.windows, idx, &x);
+      nn::Tensor z = backbone.Forward(x, /*training=*/true);
+      nn::Tensor logits = classifier.Forward(z, /*training=*/true);
+
+      batch_labels.resize(idx.size());
+      for (size_t i = 0; i < idx.size(); ++i) {
+        batch_labels[i] = data.labels[idx[i]];
+      }
+      nn::SoftmaxCrossEntropyHard(logits, batch_labels, weights, &hard);
+      // The blended gradient and per-sample losses are built in place on
+      // the hard-CE result; it is not needed in pristine form afterward.
+      nn::Tensor& grad_logits = hard.grad;
+      std::vector<float>& per_sample = hard.per_sample;
+      double batch_loss = hard.mean_loss;
+      epoch_hard += hard.mean_loss;
+      if (alpha > 0) {
+        // Soft labels live one row per performance entry; resolve each
+        // sample's (possibly shared) row before gathering.
+        soft_rows.resize(idx.size());
+        for (size_t i = 0; i < idx.size(); ++i) {
+          soft_rows[i] = data.PerformanceRow(idx[i]);
+        }
+        GatherRows(soft_labels, soft_rows, &soft_batch);
+        nn::SoftmaxCrossEntropySoft(logits, soft_batch, weights, &soft);
+        // (1 - alpha) * L_CE + alpha * L_PISL.
+        grad_logits.ScaleInPlace(static_cast<float>(1.0 - alpha));
+        grad_logits.AxpyInPlace(static_cast<float>(alpha), soft.grad);
+        batch_loss = (1.0 - alpha) * hard.mean_loss + alpha * soft.mean_loss;
+        epoch_pisl += soft.mean_loss;
+        for (size_t i = 0; i < per_sample.size(); ++i) {
+          per_sample[i] = static_cast<float>((1.0 - alpha) * per_sample[i] +
+                                             alpha * soft.per_sample[i]);
+        }
+      }
+
+      nn::Tensor grad_z = classifier.Backward(grad_logits);
+      if (mki) {
+        text_rows.resize(idx.size());
+        for (size_t i = 0; i < idx.size(); ++i) {
+          text_rows[i] = text_index[idx[i]];
+        }
+        GatherRows(text_embeddings, text_rows, &z_k);
+        // Text row ids double as group ids: windows sharing a metadata
+        // text must not serve as each other's InfoNCE negatives.
+        mki->ComputeLoss(z, z_k, weights, text_rows, &mki_out);
+        grad_z.AddInPlace(mki_out.grad_z_t);
+        batch_loss += mki_out.loss;
+        epoch_mki += mki_out.loss;
+        for (size_t i = 0; i < per_sample.size(); ++i) {
+          per_sample[i] += static_cast<float>(options.lambda) *
+                           mki_out.per_sample[i];
+        }
+      }
+      backbone.Backward(grad_z);
+      nn::ClipGradNorm(params, options.clip_norm);
+      optimizer.Step();
+      optimizer.ZeroGrad();
+
+      for (size_t i = 0; i < idx.size(); ++i) {
+        pruner.RecordLoss(idx[i], per_sample[i]);
+      }
+      epoch_loss += batch_loss;
+      ++epoch_batches;
+      epoch_samples += idx.size();
+      if (stats) stats->samples_visited += idx.size();
+    }
+    const double inv_batches =
+        epoch_batches ? 1.0 / static_cast<double>(epoch_batches) : 0.0;
+    const double epoch_seconds =
+        static_cast<double>(obs::NowNs() - epoch_begin_ns) / 1e9;
+    const double samples_per_sec =
+        epoch_seconds > 0.0 ? static_cast<double>(epoch_samples) / epoch_seconds
+                            : 0.0;
+    const double keep_rate =
+        static_cast<double>(plan.kept.size()) / static_cast<double>(n);
+    double rescale_mass = 0.0;
+    for (float w : plan.weights) rescale_mass += w;
+    metrics.epochs.Increment();
+    metrics.batches.Increment(epoch_batches);
+    metrics.samples_visited.Increment(epoch_samples);
+    metrics.loss_total.Set(epoch_loss * inv_batches);
+    metrics.loss_hard.Set(epoch_hard * inv_batches);
+    metrics.loss_pisl.Set(epoch_pisl * inv_batches);
+    metrics.loss_mki.Set(epoch_mki * inv_batches);
+    metrics.samples_per_sec.Set(samples_per_sec);
+    metrics.keep_rate.Set(keep_rate);
+    metrics.rescale_mass.Set(rescale_mass);
+    metrics.epoch_us.Record(epoch_seconds * 1e6);
+    if (stats) {
+      stats->epoch_loss.push_back(
+          epoch_batches ? epoch_loss / static_cast<double>(epoch_batches)
+                        : 0.0);
+    }
+    if (options.verbose) {
+      std::fprintf(stderr,
+                   "[trainer] epoch %zu/%zu: loss=%.4f (hard=%.4f pisl=%.4f "
+                   "mki=%.4f) kept=%zu/%zu (%.1f%%) %.0f samples/s\n",
+                   epoch + 1, options.epochs, epoch_loss * inv_batches,
+                   epoch_hard * inv_batches, epoch_pisl * inv_batches,
+                   epoch_mki * inv_batches, plan.kept.size(), n,
+                   100.0 * keep_rate, samples_per_sec);
+    }
+    if (options.on_epoch_end) options.on_epoch_end(epoch);}
 
 }  // namespace
 
@@ -399,138 +604,21 @@ StatusOr<std::unique_ptr<TrainedSelector>> TrainSelector(
   nn::LossResult hard, soft;
   MkiHead::Result mki_out;
 
+  // Batch scratch capacity up front: the epoch loop must not grow them.
+  idx.reserve(options.batch_size);
+  weights.reserve(options.batch_size);
+
   TrainerMetrics& metrics = Metrics();
+  EpochContext ctx{options,      data,     soft_labels, mki.get(),
+                   text_embeddings,        text_index,  params,
+                   optimizer,    pruner,   rng,         alpha,
+                   n,            stats,    metrics,     *backbone,
+                   *classifier,  plan,     perm,        idx,
+                   weights,      batch_labels,          soft_rows,
+                   text_rows,    x,        soft_batch,  z_k,
+                   hard,         soft,     mki_out};
   for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
-    KDSEL_SPAN("trainer.epoch");
-    const uint64_t epoch_begin_ns = obs::NowNs();
-    pruner.PlanEpoch(epoch, options.epochs, &plan);
-    // Shuffle kept samples and their weights together.
-    perm.resize(plan.kept.size());
-    std::iota(perm.begin(), perm.end(), size_t{0});
-    rng.Shuffle(perm);
-
-    double epoch_loss = 0.0;
-    double epoch_hard = 0.0;
-    double epoch_pisl = 0.0;
-    double epoch_mki = 0.0;
-    size_t epoch_samples = 0;
-    size_t epoch_batches = 0;
-    for (size_t off = 0; off < perm.size(); off += options.batch_size) {
-      const size_t end = std::min(perm.size(), off + options.batch_size);
-      idx.clear();
-      weights.clear();
-      for (size_t i = off; i < end; ++i) {
-        idx.push_back(plan.kept[perm[i]]);
-        weights.push_back(plan.weights[perm[i]]);
-      }
-      // MKI's InfoNCE contrasts each sample against the rest of the
-      // batch; a 1-sample batch has no negatives, so skip the remainder
-      // batch in that degenerate case.
-      if (idx.size() < 2 && options.use_mki) continue;
-
-      GatherWindows(data.windows, idx, &x);
-      nn::Tensor z = backbone->Forward(x, /*training=*/true);
-      nn::Tensor logits = classifier->Forward(z, /*training=*/true);
-
-      batch_labels.resize(idx.size());
-      for (size_t i = 0; i < idx.size(); ++i) {
-        batch_labels[i] = data.labels[idx[i]];
-      }
-      nn::SoftmaxCrossEntropyHard(logits, batch_labels, weights, &hard);
-      // The blended gradient and per-sample losses are built in place on
-      // the hard-CE result; it is not needed in pristine form afterward.
-      nn::Tensor& grad_logits = hard.grad;
-      std::vector<float>& per_sample = hard.per_sample;
-      double batch_loss = hard.mean_loss;
-      epoch_hard += hard.mean_loss;
-      if (alpha > 0) {
-        // Soft labels live one row per performance entry; resolve each
-        // sample's (possibly shared) row before gathering.
-        soft_rows.resize(idx.size());
-        for (size_t i = 0; i < idx.size(); ++i) {
-          soft_rows[i] = data.PerformanceRow(idx[i]);
-        }
-        GatherRows(soft_labels, soft_rows, &soft_batch);
-        nn::SoftmaxCrossEntropySoft(logits, soft_batch, weights, &soft);
-        // (1 - alpha) * L_CE + alpha * L_PISL.
-        grad_logits.ScaleInPlace(static_cast<float>(1.0 - alpha));
-        grad_logits.AxpyInPlace(static_cast<float>(alpha), soft.grad);
-        batch_loss = (1.0 - alpha) * hard.mean_loss + alpha * soft.mean_loss;
-        epoch_pisl += soft.mean_loss;
-        for (size_t i = 0; i < per_sample.size(); ++i) {
-          per_sample[i] = static_cast<float>((1.0 - alpha) * per_sample[i] +
-                                             alpha * soft.per_sample[i]);
-        }
-      }
-
-      nn::Tensor grad_z = classifier->Backward(grad_logits);
-      if (mki) {
-        text_rows.resize(idx.size());
-        for (size_t i = 0; i < idx.size(); ++i) {
-          text_rows[i] = text_index[idx[i]];
-        }
-        GatherRows(text_embeddings, text_rows, &z_k);
-        // Text row ids double as group ids: windows sharing a metadata
-        // text must not serve as each other's InfoNCE negatives.
-        mki->ComputeLoss(z, z_k, weights, text_rows, &mki_out);
-        grad_z.AddInPlace(mki_out.grad_z_t);
-        batch_loss += mki_out.loss;
-        epoch_mki += mki_out.loss;
-        for (size_t i = 0; i < per_sample.size(); ++i) {
-          per_sample[i] += static_cast<float>(options.lambda) *
-                           mki_out.per_sample[i];
-        }
-      }
-      backbone->Backward(grad_z);
-      nn::ClipGradNorm(params, options.clip_norm);
-      optimizer.Step();
-      optimizer.ZeroGrad();
-
-      for (size_t i = 0; i < idx.size(); ++i) {
-        pruner.RecordLoss(idx[i], per_sample[i]);
-      }
-      epoch_loss += batch_loss;
-      ++epoch_batches;
-      epoch_samples += idx.size();
-      if (stats) stats->samples_visited += idx.size();
-    }
-    const double inv_batches =
-        epoch_batches ? 1.0 / static_cast<double>(epoch_batches) : 0.0;
-    const double epoch_seconds =
-        static_cast<double>(obs::NowNs() - epoch_begin_ns) / 1e9;
-    const double samples_per_sec =
-        epoch_seconds > 0.0 ? static_cast<double>(epoch_samples) / epoch_seconds
-                            : 0.0;
-    const double keep_rate =
-        static_cast<double>(plan.kept.size()) / static_cast<double>(n);
-    double rescale_mass = 0.0;
-    for (float w : plan.weights) rescale_mass += w;
-    metrics.epochs.Increment();
-    metrics.batches.Increment(epoch_batches);
-    metrics.samples_visited.Increment(epoch_samples);
-    metrics.loss_total.Set(epoch_loss * inv_batches);
-    metrics.loss_hard.Set(epoch_hard * inv_batches);
-    metrics.loss_pisl.Set(epoch_pisl * inv_batches);
-    metrics.loss_mki.Set(epoch_mki * inv_batches);
-    metrics.samples_per_sec.Set(samples_per_sec);
-    metrics.keep_rate.Set(keep_rate);
-    metrics.rescale_mass.Set(rescale_mass);
-    metrics.epoch_us.Record(epoch_seconds * 1e6);
-    if (stats) {
-      stats->epoch_loss.push_back(
-          epoch_batches ? epoch_loss / static_cast<double>(epoch_batches)
-                        : 0.0);
-    }
-    if (options.verbose) {
-      std::fprintf(stderr,
-                   "[trainer] epoch %zu/%zu: loss=%.4f (hard=%.4f pisl=%.4f "
-                   "mki=%.4f) kept=%zu/%zu (%.1f%%) %.0f samples/s\n",
-                   epoch + 1, options.epochs, epoch_loss * inv_batches,
-                   epoch_hard * inv_batches, epoch_pisl * inv_batches,
-                   epoch_mki * inv_batches, plan.kept.size(), n,
-                   100.0 * keep_rate, samples_per_sec);
-    }
-    if (options.on_epoch_end) options.on_epoch_end(epoch);
+    RunEpoch(ctx, epoch);
   }
 
   if (stats) {

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/annotations.h"
 #include "nn/kernels/kernels.h"
 
 namespace kdsel::nn::kernels {
@@ -20,7 +21,7 @@ namespace {
 // accumulates over kk in ascending order.
 constexpr size_t kColTile = 128;
 
-void MatMulRows(const float* a, const float* b, float* c, size_t k, size_t m,
+KDSEL_HOT void MatMulRows(const float* a, const float* b, float* c, size_t k, size_t m,
                 size_t i0, size_t i1) {
   for (size_t jb = 0; jb < m; jb += kColTile) {
     const size_t jend = std::min(m, jb + kColTile);
@@ -36,7 +37,7 @@ void MatMulRows(const float* a, const float* b, float* c, size_t k, size_t m,
   }
 }
 
-void MatMulTbRows(const float* a, const float* b, float* c, size_t k, size_t m,
+KDSEL_HOT void MatMulTbRows(const float* a, const float* b, float* c, size_t k, size_t m,
                   size_t i0, size_t i1) {
   for (size_t jb = 0; jb < m; jb += kColTile) {
     const size_t jend = std::min(m, jb + kColTile);
@@ -53,7 +54,7 @@ void MatMulTbRows(const float* a, const float* b, float* c, size_t k, size_t m,
   }
 }
 
-void MatMulTaRows(const float* a, const float* b, float* c, size_t n, size_t k,
+KDSEL_HOT void MatMulTaRows(const float* a, const float* b, float* c, size_t n, size_t k,
                   size_t m, size_t k0, size_t k1) {
   for (size_t jb = 0; jb < m; jb += kColTile) {
     const size_t jend = std::min(m, jb + kColTile);
@@ -68,43 +69,43 @@ void MatMulTaRows(const float* a, const float* b, float* c, size_t n, size_t k,
   }
 }
 
-void Add(float* y, const float* x, size_t n) {
+KDSEL_HOT void Add(float* y, const float* x, size_t n) {
   for (size_t i = 0; i < n; ++i) y[i] += x[i];
 }
 
-void Axpy(float* y, float a, const float* x, size_t n) {
+KDSEL_HOT void Axpy(float* y, float a, const float* x, size_t n) {
   for (size_t i = 0; i < n; ++i) y[i] += a * x[i];
 }
 
-void Scale(float* x, float a, size_t n) {
+KDSEL_HOT void Scale(float* x, float a, size_t n) {
   for (size_t i = 0; i < n; ++i) x[i] *= a;
 }
 
-void AddScalar(float* x, float a, size_t n) {
+KDSEL_HOT void AddScalar(float* x, float a, size_t n) {
   for (size_t i = 0; i < n; ++i) x[i] += a;
 }
 
-void ScaledCopy(float* y, const float* x, float s, size_t n) {
+KDSEL_HOT void ScaledCopy(float* y, const float* x, float s, size_t n) {
   for (size_t i = 0; i < n; ++i) y[i] = s * x[i];
 }
 
-void ScaledDiff(float* g, const float* p, const float* t, float s, size_t n) {
+KDSEL_HOT void ScaledDiff(float* g, const float* p, const float* t, float s, size_t n) {
   for (size_t i = 0; i < n; ++i) g[i] = s * (p[i] - t[i]);
 }
 
-float Dot(const float* a, const float* b, size_t n) {
+KDSEL_HOT float Dot(const float* a, const float* b, size_t n) {
   float acc = 0.0f;
   for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
   return acc;
 }
 
-float Sum(const float* x, size_t n) {
+KDSEL_HOT float Sum(const float* x, size_t n) {
   float acc = 0.0f;
   for (size_t i = 0; i < n; ++i) acc += x[i];
   return acc;
 }
 
-double SquaredL2(const float* x, size_t n) {
+KDSEL_HOT double SquaredL2(const float* x, size_t n) {
   double sum = 0.0;
   for (size_t i = 0; i < n; ++i) {
     sum += static_cast<double>(x[i]) * x[i];
@@ -112,7 +113,7 @@ double SquaredL2(const float* x, size_t n) {
   return sum;
 }
 
-float ConvGradTap(const float* gy, const float* x, float w, float* gx,
+KDSEL_HOT float ConvGradTap(const float* gy, const float* x, float w, float* gx,
                   size_t n) {
   float wgrad_acc = 0.0f;
   for (size_t t = 0; t < n; ++t) {
@@ -122,7 +123,7 @@ float ConvGradTap(const float* gy, const float* x, float w, float* gx,
   return wgrad_acc;
 }
 
-void SoftmaxRow(const float* x, float* y, size_t m) {
+KDSEL_HOT void SoftmaxRow(const float* x, float* y, size_t m) {
   float mx = x[0];
   for (size_t j = 1; j < m; ++j) mx = std::max(mx, x[j]);
   double sum = 0.0;
@@ -134,7 +135,7 @@ void SoftmaxRow(const float* x, float* y, size_t m) {
   for (size_t j = 0; j < m; ++j) y[j] *= inv;
 }
 
-void AdamUpdate(float* p, float* m, float* v, const float* g, size_t n,
+KDSEL_HOT void AdamUpdate(float* p, float* m, float* v, const float* g, size_t n,
                 float lr, float b1, float b2, float eps, double lr_wd) {
   for (size_t j = 0; j < n; ++j) {
     m[j] = b1 * m[j] + (1 - b1) * g[j];

@@ -179,9 +179,9 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 template <typename T>
-T& MetricsRegistry::GetOrCreate(
-    std::map<std::string, std::unique_ptr<T>>& slot, const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+T& MetricsRegistry::GetOrCreateLocked(
+    std::map<std::string, std::unique_ptr<T>>& slot, const std::string& name)
+    KDSEL_REQUIRES(mu_) {
   auto it = slot.find(name);
   if (it == slot.end()) {
     it = slot.emplace(name, std::make_unique<T>()).first;
@@ -190,15 +190,18 @@ T& MetricsRegistry::GetOrCreate(
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  return GetOrCreate(counters_, name);
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetOrCreateLocked(counters_, name);
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  return GetOrCreate(gauges_, name);
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetOrCreateLocked(gauges_, name);
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
-  return GetOrCreate(histograms_, name);
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetOrCreateLocked(histograms_, name);
 }
 
 std::string MetricsRegistry::SnapshotJson() const {

@@ -9,6 +9,8 @@
 #include <mutex>
 #include <string>
 
+#include "common/annotations.h"
+
 namespace kdsel::obs {
 
 /// Monotonically increasing event count. All operations are lock-free
@@ -139,13 +141,15 @@ class MetricsRegistry {
 
  private:
   template <typename T>
-  T& GetOrCreate(std::map<std::string, std::unique_ptr<T>>& slot,
-                 const std::string& name);
+  T& GetOrCreateLocked(std::map<std::string, std::unique_ptr<T>>& slot,
+                       const std::string& name) KDSEL_REQUIRES(mu_);
 
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      KDSEL_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ KDSEL_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      KDSEL_GUARDED_BY(mu_);
 };
 
 }  // namespace kdsel::obs

@@ -7,6 +7,8 @@
 #include <memory>
 #include <mutex>
 
+#include "common/annotations.h"
+
 namespace kdsel::obs {
 
 namespace detail {
@@ -32,7 +34,7 @@ struct TraceState {
   // Owned here (not thread-locally) so buffers outlive their threads
   // and a drain can walk them at any time. Bounded by the number of
   // distinct threads that ever recorded a span.
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers KDSEL_GUARDED_BY(mu);
   std::atomic<uint64_t> dropped{0};
   std::string env_trace_path;  // Set once by InitTracingFromEnv.
 };

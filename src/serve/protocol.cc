@@ -9,6 +9,7 @@
 #include <ostream>
 #include <thread>
 
+#include "common/annotations.h"
 #include "obs/metrics.h"
 #include "serve/json.h"
 
@@ -137,34 +138,43 @@ std::string FormatOkResponse(int64_t id) {
   return "{\"id\":" + std::to_string(id) + ",\"ok\":true}";
 }
 
-Status RunServeLoop(std::istream& in, std::ostream& out,
-                    InferenceServer& server) {
-  struct PrintItem {
-    int64_t id = -1;
-    bool labeled = false;
-    bool want_scores = false;
-    bool stats = false;
-    std::optional<std::string> ready;
-    std::future<StatusOr<SelectResponse>> future;
-  };
+namespace {
 
-  // Responses are printed by one thread, in submission order, so the
-  // reader keeps submitting while earlier requests are still in flight
-  // (the server processes them concurrently).
+struct PrintItem {
+  int64_t id = -1;
+  bool labeled = false;
+  bool want_scores = false;
+  bool stats = false;
+  std::optional<std::string> ready;
+  std::future<StatusOr<SelectResponse>> future;
+};
+
+/// Responses are printed by one thread, in submission order, so the
+/// reader keeps submitting while earlier requests are still in flight
+/// (the server processes them concurrently). One instance lives on
+/// RunServeLoop's stack; the printer thread joins before it dies.
+struct PrintQueue {
   std::mutex mu;
   std::condition_variable cv;
-  std::deque<PrintItem> pending;
-  bool done = false;
+  std::deque<PrintItem> pending KDSEL_GUARDED_BY(mu);
+  bool done KDSEL_GUARDED_BY(mu) = false;
+};
+
+}  // namespace
+
+Status RunServeLoop(std::istream& in, std::ostream& out,
+                    InferenceServer& server) {
+  PrintQueue q;
 
   std::thread printer([&] {
     for (;;) {
       PrintItem item;
       {
-        std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [&] { return !pending.empty() || done; });
-        if (pending.empty()) return;
-        item = std::move(pending.front());
-        pending.pop_front();
+        std::unique_lock<std::mutex> lock(q.mu);
+        q.cv.wait(lock, [&] { return !q.pending.empty() || q.done; });
+        if (q.pending.empty()) return;
+        item = std::move(q.pending.front());
+        q.pending.pop_front();
       }
       std::string line;
       if (item.stats) {
@@ -190,10 +200,10 @@ Status RunServeLoop(std::istream& in, std::ostream& out,
 
   auto enqueue = [&](PrintItem item) {
     {
-      std::lock_guard<std::mutex> lock(mu);
-      pending.push_back(std::move(item));
+      std::lock_guard<std::mutex> lock(q.mu);
+      q.pending.push_back(std::move(item));
     }
-    cv.notify_one();
+    q.cv.notify_one();
   };
   auto enqueue_ready = [&](std::string line) {
     PrintItem item;
@@ -272,10 +282,10 @@ Status RunServeLoop(std::istream& in, std::ostream& out,
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu);
-    done = true;
+    std::lock_guard<std::mutex> lock(q.mu);
+    q.done = true;
   }
-  cv.notify_all();
+  q.cv.notify_all();
   printer.join();
   return Status::OK();
 }

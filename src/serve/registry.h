@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "core/pipeline.h"
 #include "core/trainer.h"
 
@@ -73,8 +74,8 @@ class SelectorRegistry {
 
   core::SelectorManager manager_;
   mutable std::mutex mu_;
-  uint64_t next_version_ = 1;
-  std::map<std::string, Snapshot> selectors_;
+  uint64_t next_version_ KDSEL_GUARDED_BY(mu_) = 1;
+  std::map<std::string, Snapshot> selectors_ KDSEL_GUARDED_BY(mu_);
 };
 
 }  // namespace kdsel::serve

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "core/pipeline.h"
 #include "obs/clock.h"
 #include "serve/registry.h"
@@ -138,13 +139,13 @@ class InferenceServer {
 
   std::mutex submit_mu_;
   std::condition_variable submit_cv_;
-  std::deque<Pending> submit_queue_;
-  bool accepting_ = false;
+  std::deque<Pending> submit_queue_ KDSEL_GUARDED_BY(submit_mu_);
+  bool accepting_ KDSEL_GUARDED_BY(submit_mu_) = false;
 
   std::mutex batch_mu_;
   std::condition_variable batch_cv_;
-  std::deque<Batch> batch_queue_;
-  bool batcher_done_ = false;
+  std::deque<Batch> batch_queue_ KDSEL_GUARDED_BY(batch_mu_);
+  bool batcher_done_ KDSEL_GUARDED_BY(batch_mu_) = false;
 
   std::thread batcher_;
   std::vector<std::thread> workers_;
@@ -153,8 +154,8 @@ class InferenceServer {
   // Without this, a Stop() racing the destructor's Stop() could both
   // pass the started-and-not-stopped check and double-join the threads.
   std::mutex lifecycle_mu_;
-  bool started_ = false;
-  bool stopped_ = false;
+  bool started_ KDSEL_GUARDED_BY(lifecycle_mu_) = false;
+  bool stopped_ KDSEL_GUARDED_BY(lifecycle_mu_) = false;
 };
 
 }  // namespace kdsel::serve

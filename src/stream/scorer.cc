@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/annotations.h"
 #include "common/check.h"
 #include "common/parallel.h"
 #include "common/stringutil.h"
@@ -98,7 +99,22 @@ std::string StreamScorer::ModelName(int model) const {
   return StrFormat("model_%d", model);
 }
 
-void StreamScorer::IngestPending(SeriesState& state, size_t min_points) {
+KDSEL_ALLOC_OK("drift events are rare; steady-state points never allocate")
+void StreamScorer::NoteDrift(SeriesState& state, uint64_t total) {
+  StreamEvent event;
+  event.kind = StreamEvent::Kind::kDrift;
+  event.series = state.name;
+  event.point = total;
+  event.statistic = state.drift.statistic();
+  state.drift_events.push_back(std::move(event));
+  state.drift.Rebase();
+  state.drift_pending = true;
+  state.rescore_pending = true;
+  state.pending_reason = "drift";
+}
+
+KDSEL_HOT void StreamScorer::IngestPending(SeriesState& state,
+                                           size_t min_points) {
   for (float value : state.pending) {
     state.features.Push(value);
     const uint64_t total = state.features.buffer().total();
@@ -108,16 +124,7 @@ void StreamScorer::IngestPending(SeriesState& state, size_t min_points) {
         state.features.buffer().size() >= 2) {
       const MomentSummary summary = state.features.Moments();
       if (state.drift.Observe(summary)) {
-        StreamEvent event;
-        event.kind = StreamEvent::Kind::kDrift;
-        event.series = state.name;
-        event.point = total;
-        event.statistic = state.drift.statistic();
-        state.drift_events.push_back(std::move(event));
-        state.drift.Rebase();
-        state.drift_pending = true;
-        state.rescore_pending = true;
-        state.pending_reason = "drift";
+        NoteDrift(state, total);
       }
     }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/annotations.h"
 #include "serve/registry.h"
 #include "stream/drift.h"
 #include "stream/incremental_features.h"
@@ -81,7 +82,14 @@ class StreamScorer {
   struct WorkerClone;
 
   SeriesState* FindOrCreate(const std::string& name);
+  /// Steady-state per-point loop: feature pushes, drift checks, rescore
+  /// scheduling. KDSEL_HOT -- kdsel_lint proves no allocation happens
+  /// here outside the NoteDrift boundary.
   void IngestPending(SeriesState& state, size_t min_points);
+  /// Drift events are rare (one per detected distribution change), so
+  /// the event construction + push is an accepted allocation boundary
+  /// (KDSEL_ALLOC_OK on the definition).
+  void NoteDrift(SeriesState& state, uint64_t total);
   Status RescoreSeries(SeriesState& state,
                        const core::TrainedSelector& selector,
                        StreamEvent* out);

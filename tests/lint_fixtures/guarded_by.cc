@@ -1,0 +1,39 @@
+// Lint fixture: KDSEL_GUARDED_BY / KDSEL_REQUIRES violations. Good()
+// and BumpLocked() are the blessed shapes; Bad() touches the guarded
+// member without the mutex, and CallsLockedHelperWithoutLock() calls a
+// KDSEL_REQUIRES helper without holding its mutex.
+// NOT compiled — scanned only (the annotation macros expand to nothing
+// at compile time anyway; the analyzer reads them from the tokens).
+//
+// Keep line numbers stable: lint_test pins them.
+
+#include <mutex>
+
+#define KDSEL_GUARDED_BY(m)
+#define KDSEL_REQUIRES(m)
+
+namespace kdsel::fixture {
+
+class GuardedCounter {
+ public:
+  void Good() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++hits_;
+  }
+
+  void BumpLocked() KDSEL_REQUIRES(mu_) { ++hits_; }
+
+  int Bad() {
+    return hits_;  // line 27: guarded-by (no lock held)
+  }
+
+  void CallsLockedHelperWithoutLock() {
+    BumpLocked();  // line 31: guarded-by (KDSEL_REQUIRES not satisfied)
+  }
+
+ private:
+  std::mutex mu_;
+  int hits_ KDSEL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace kdsel::fixture

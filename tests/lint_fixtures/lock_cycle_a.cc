@@ -1,0 +1,25 @@
+// Lint fixture: half of a cross-file lock-order inversion. This file
+// acquires gm_first and then calls into lock_cycle_b.cc, which acquires
+// gm_second while gm_first is still held. lock_cycle_b.cc also takes
+// gm_second before gm_first, closing the cycle: the lock graph has
+// gm_first -> gm_second (transitive, via CrossLockSecond) and
+// gm_second -> gm_first (direct), so both edges are diagnosed.
+// NOT compiled — scanned only.
+//
+// Keep line numbers stable: lint_test pins them.
+
+#include <mutex>
+
+namespace kdsel::fixture {
+
+extern std::mutex gm_first;
+extern std::mutex gm_second;
+
+void CrossLockSecond();
+
+void ForwardOrder() {
+  std::lock_guard<std::mutex> hold_first(gm_first);
+  CrossLockSecond();  // line 22: acquires gm_second while gm_first held
+}
+
+}  // namespace kdsel::fixture

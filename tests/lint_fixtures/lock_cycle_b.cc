@@ -1,0 +1,25 @@
+// Lint fixture: the other half of the cross-file lock-order inversion
+// (see lock_cycle_a.cc). CrossLockSecond() acquires gm_second — fine on
+// its own, but lock_cycle_a.cc calls it with gm_first held. ReverseOrder
+// then nests gm_first under gm_second, the opposite order.
+// NOT compiled — scanned only.
+//
+// Keep line numbers stable: lint_test pins them.
+
+#include <mutex>
+
+namespace kdsel::fixture {
+
+std::mutex gm_first;
+std::mutex gm_second;
+
+void CrossLockSecond() {
+  std::lock_guard<std::mutex> hold_second(gm_second);
+}
+
+void ReverseOrder() {
+  std::lock_guard<std::mutex> hold_second(gm_second);
+  std::lock_guard<std::mutex> hold_first(gm_first);  // line 22: inversion
+}
+
+}  // namespace kdsel::fixture

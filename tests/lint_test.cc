@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <array>
 #include <cstdio>
 #include <fstream>
@@ -152,24 +155,122 @@ TEST(LintTest, CleanFixtureIsClean) {
 }
 
 // The combined fixture directory scan sees all fixture files at once,
-// so cross-file symbol collection (Status function names) must not
-// bleed findings between fixtures. Diagnostics sort by file, so the two
-// stream_ndjson.cc raw-parse findings precede the nine violations.cc
-// ones.
+// so cross-file symbol collection (Status names, classes, the call
+// graph) must not bleed findings between fixtures. Diagnostics sort by
+// file: guarded_by (2), hot_alloc (3), lock_cycle_a (1), lock_cycle_b
+// (1), stream_ndjson (2), violations (9) -- 18 total.
 TEST(LintTest, FixtureDirectoryScanMatchesPerFileResults) {
   const RunResult result =
       RunLint(RootArgs(std::string(KDSEL_SOURCE_DIR) + "/tests/lint_fixtures"));
   EXPECT_EQ(result.exit_code, 1);
   const std::vector<std::string> lines = SplitLines(result.stdout_text);
-  ASSERT_EQ(lines.size(), 11u) << result.stdout_text;
-  for (size_t i = 0; i < 2; ++i) {
-    EXPECT_NE(lines[i].find("stream_ndjson.cc"), std::string::npos)
+  ASSERT_EQ(lines.size(), 18u) << result.stdout_text;
+  const std::vector<std::pair<std::string, std::string>> expected = {
+      {"guarded_by.cc", "guarded-by"},
+      {"guarded_by.cc", "guarded-by"},
+      {"hot_alloc.cc", "alloc-in-hot-path"},
+      {"hot_alloc.cc", "alloc-in-hot-path"},
+      {"hot_alloc.cc", "alloc-in-hot-path"},
+      {"lock_cycle_a.cc", "lock-order-inversion"},
+      {"lock_cycle_b.cc", "lock-order-inversion"},
+      {"stream_ndjson.cc", "raw-parse"},
+      {"stream_ndjson.cc", "raw-parse"},
+      {"violations.cc", "discarded-status"},
+      {"violations.cc", "unchecked-value"},
+      {"violations.cc", "naked-new"},
+      {"violations.cc", "raw-parse"},
+      {"violations.cc", "nonreproducible-random"},
+      {"violations.cc", "lock-across-score"},
+      {"violations.cc", "raw-thread"},
+      {"violations.cc", "raw-simd"},
+      {"violations.cc", "raw-timing"},
+  };
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NE(lines[i].find(expected[i].first), std::string::npos) << lines[i];
+    EXPECT_NE(lines[i].find(expected[i].second), std::string::npos)
         << lines[i];
-    EXPECT_NE(lines[i].find("raw-parse"), std::string::npos) << lines[i];
   }
-  for (size_t i = 2; i < lines.size(); ++i) {
-    EXPECT_NE(lines[i].find("violations.cc"), std::string::npos) << lines[i];
-  }
+}
+
+// lock-order-inversion: the two fixture halves form a cross-file cycle.
+// lock_cycle_a holds gm_first and calls into lock_cycle_b (transitive
+// acquisition of gm_second through the call graph); lock_cycle_b nests
+// the opposite direct order. Both edges of the cycle are diagnosed,
+// each citing the opposite edge's location.
+TEST(LintTest, LockCycleFixtureDiagnosesBothEdges) {
+  const RunResult result = RunLint(
+      RootArgs(FixturePath("lock_cycle_a.cc") + " " +
+               FixturePath("lock_cycle_b.cc")));
+  EXPECT_EQ(result.exit_code, 1);
+  const std::vector<std::string> lines = SplitLines(result.stdout_text);
+  ASSERT_EQ(lines.size(), 2u) << result.stdout_text;
+  EXPECT_EQ(lines[0],
+            "tests/lint_fixtures/lock_cycle_a.cc:22: lock-order-inversion: "
+            "mutex 'gm_second' can be acquired (via call to "
+            "'CrossLockSecond') while 'gm_first' is held, but the opposite "
+            "order exists at tests/lint_fixtures/lock_cycle_b.cc:22; "
+            "establish a single global lock order");
+  EXPECT_EQ(lines[1],
+            "tests/lint_fixtures/lock_cycle_b.cc:22: lock-order-inversion: "
+            "mutex 'gm_first' is acquired while 'gm_second' is held, but "
+            "the opposite order exists at "
+            "tests/lint_fixtures/lock_cycle_a.cc:22; establish a single "
+            "global lock order");
+}
+
+// A single consistent order (only lock_cycle_b's ReverseOrder nesting,
+// without the opposing file) is NOT an inversion: the rule diagnoses
+// cycles, not nesting.
+TEST(LintTest, ConsistentLockOrderAloneIsClean) {
+  const RunResult result = RunLint(RootArgs(FixturePath("lock_cycle_b.cc")));
+  EXPECT_EQ(result.exit_code, 0) << result.stdout_text;
+  EXPECT_TRUE(result.stdout_text.empty()) << result.stdout_text;
+}
+
+// guarded-by: a KDSEL_GUARDED_BY member accessed without its mutex and
+// a KDSEL_REQUIRES helper called without the lock are both diagnosed;
+// the locked accessor and the annotated helper body are not.
+TEST(LintTest, GuardedByFixtureProducesExactDiagnostics) {
+  const RunResult result = RunLint(RootArgs(FixturePath("guarded_by.cc")));
+  EXPECT_EQ(result.exit_code, 1);
+  const std::vector<std::string> lines = SplitLines(result.stdout_text);
+  ASSERT_EQ(lines.size(), 2u) << result.stdout_text;
+  EXPECT_EQ(lines[0],
+            "tests/lint_fixtures/guarded_by.cc:27: guarded-by: member "
+            "'hits_' is guarded by 'mu_' (KDSEL_GUARDED_BY) but accessed "
+            "without it held; take the lock or annotate the function with "
+            "KDSEL_REQUIRES(mu_)");
+  EXPECT_EQ(lines[1],
+            "tests/lint_fixtures/guarded_by.cc:31: guarded-by: call to "
+            "'BumpLocked' requires 'mu_' held (KDSEL_REQUIRES) but it is "
+            "not; take the lock before calling");
+}
+
+// alloc-in-hot-path: growth with no reserve anywhere, transitive
+// reachability through the call graph (HotIngest -> AppendStaging),
+// allocating std:: formatting, the KDSEL_ALLOC_OK pruning boundary, and
+// the reserve-proven receiver exemption.
+TEST(LintTest, HotAllocFixtureProducesExactDiagnostics) {
+  const RunResult result = RunLint(RootArgs(FixturePath("hot_alloc.cc")));
+  EXPECT_EQ(result.exit_code, 1);
+  const std::vector<std::string> lines = SplitLines(result.stdout_text);
+  ASSERT_EQ(lines.size(), 3u) << result.stdout_text;
+  EXPECT_EQ(lines[0],
+            "tests/lint_fixtures/hot_alloc.cc:22: alloc-in-hot-path: "
+            "'push_back' on 'g_staging' allocates (no reserve() for "
+            "'g_staging' anywhere in the tree) on the hot path 'HotIngest "
+            "-> AppendStaging'; reserve in setup or mark a KDSEL_ALLOC_OK "
+            "boundary");
+  EXPECT_EQ(lines[1],
+            "tests/lint_fixtures/hot_alloc.cc:36: alloc-in-hot-path: "
+            "'push_back' on 'ring' allocates (no reserve() for 'ring' "
+            "anywhere in the tree) on the hot path 'HotIngest'; reserve in "
+            "setup or mark a KDSEL_ALLOC_OK boundary");
+  EXPECT_EQ(lines[2],
+            "tests/lint_fixtures/hot_alloc.cc:39: alloc-in-hot-path: "
+            "'std::to_string' allocates on the hot path 'HotIngest'; hoist "
+            "the formatting off the steady-state path or mark a "
+            "KDSEL_ALLOC_OK boundary");
 }
 
 // The real tree must stay clean: --self-check exits non-zero on any
@@ -206,13 +307,101 @@ TEST(LintTest, SeededViolationIsReported) {
       << lines[1];
 }
 
+// --self-check reports wall-clock timing on stderr; with --budget-ms it
+// appends the budget and fails the run when exceeded (0 ms always
+// trips, since scanning the tree takes at least 1 ms).
+TEST(LintTest, SelfCheckReportsTimingAndEnforcesBudget) {
+  const RunResult ok = RunLint(RootArgs("--self-check --budget-ms 5000 2>&1"));
+  EXPECT_EQ(ok.exit_code, 0) << ok.stdout_text;
+  EXPECT_NE(ok.stdout_text.find("full-tree lint took"), std::string::npos)
+      << ok.stdout_text;
+  EXPECT_NE(ok.stdout_text.find("(budget 5000 ms)"), std::string::npos)
+      << ok.stdout_text;
+
+  const RunResult trip = RunLint(RootArgs("--self-check --budget-ms 0 2>&1"));
+  EXPECT_EQ(trip.exit_code, 1) << trip.stdout_text;
+  EXPECT_NE(trip.stdout_text.find("budget exceeded"), std::string::npos)
+      << trip.stdout_text;
+}
+
+// --format=json: a machine-readable array with file/line/rule/message
+// keys; parse-light smoke check on a fixture with known findings.
+TEST(LintTest, JsonFormatEmitsStructuredFindings) {
+  const RunResult result =
+      RunLint(RootArgs("--format=json " + FixturePath("guarded_by.cc")));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_EQ(result.stdout_text.compare(0, 2, "[\n"), 0) << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("\"rule\": \"guarded-by\""),
+            std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("\"line\": 27"), std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("\"file\": "
+                                    "\"tests/lint_fixtures/guarded_by.cc\""),
+            std::string::npos)
+      << result.stdout_text;
+}
+
+// --format=sarif: SARIF 2.1.0 for CI code-scanning upload. Checks the
+// schema header, the rule id, and a physicalLocation with the fixture
+// line.
+TEST(LintTest, SarifFormatEmitsCodeScanningReport) {
+  const RunResult result =
+      RunLint(RootArgs("--format=sarif " + FixturePath("hot_alloc.cc")));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.stdout_text.find("\"version\": \"2.1.0\""),
+            std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("sarif-schema-2.1.0.json"),
+            std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("\"ruleId\": \"alloc-in-hot-path\""),
+            std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("\"startLine\": 22"), std::string::npos)
+      << result.stdout_text;
+  // Empty results on a clean input must still be valid SARIF.
+  const RunResult clean =
+      RunLint(RootArgs("--format=sarif " + FixturePath("clean.cc")));
+  EXPECT_EQ(clean.exit_code, 0);
+  EXPECT_NE(clean.stdout_text.find("\"results\": []"), std::string::npos)
+      << clean.stdout_text;
+}
+
+// The three semantic rules must not be silenced outside tests/:
+// --self-check treats such a suppression as a finding in its own right.
+TEST(LintTest, SemanticRuleSuppressionOutsideTestsIsForbidden) {
+  const std::string dir = ::testing::TempDir();
+  const std::string src = dir + "/src";
+  ::mkdir(src.c_str(), 0755);
+  const std::string path = src + "/kdsel_lint_suppressed.cc";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    out << "#include <mutex>\n";
+    out << "void Sneaky() {\n";
+    out << "  // kdsel-lint: allow(lock-order-inversion)\n";
+    out << "}\n";
+  }
+  const RunResult result = RunLint("--root " + dir + " --self-check " + path);
+  std::remove(path.c_str());
+  ::rmdir(src.c_str());
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(
+      result.stdout_text.find(
+          "suppressing lock-order-inversion outside tests/ is forbidden"),
+      std::string::npos)
+      << result.stdout_text;
+}
+
 TEST(LintTest, ListRulesNamesEveryRule) {
   const RunResult result = RunLint("--list-rules");
   EXPECT_EQ(result.exit_code, 0);
   for (const char* rule :
        {"discarded-status", "unchecked-value", "naked-new", "raw-parse",
         "nonreproducible-random", "lock-across-score", "raw-thread",
-        "raw-simd", "raw-timing"}) {
+        "raw-simd", "raw-timing", "lock-order-inversion", "guarded-by",
+        "alloc-in-hot-path"}) {
     EXPECT_NE(result.stdout_text.find(rule), std::string::npos) << rule;
   }
 }
