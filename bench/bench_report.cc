@@ -34,7 +34,12 @@ serve::Json BenchReport::ToJson() const {
     row.Set("name", serve::Json::Str(e.name));
     row.Set("threads", serve::Json::Number(static_cast<double>(e.threads)));
     row.Set("wall_seconds", serve::Json::Number(e.wall_seconds));
-    row.Set("speedup_vs_1t", serve::Json::Number(e.speedup_vs_1t));
+    // Omitted entirely when no 1-thread baseline was measured: a zero
+    // (or inf from a degenerate baseline) would read as a real ratio in
+    // downstream diffs.
+    if (e.speedup_vs_1t > 0.0) {
+      row.Set("speedup_vs_1t", serve::Json::Number(e.speedup_vs_1t));
+    }
     if (e.items > 0.0) {
       row.Set("items", serve::Json::Number(e.items));
       row.Set("items_unit", serve::Json::Str(e.items_unit));

@@ -21,7 +21,8 @@ struct BenchEntry {
   /// Extra named metrics (per-dataset AUC-PR, failure counts, ...).
   std::map<std::string, double> metrics;
   /// wall(1 thread) / wall(this run). Filled by ComputeSpeedups for
-  /// workloads that were also measured at threads == 1; 0 otherwise.
+  /// workloads that were also measured at threads == 1; 0 otherwise
+  /// (and then omitted from the JSON instead of emitted as garbage).
   double speedup_vs_1t = 0.0;
 };
 

@@ -122,7 +122,22 @@ class TrainedSelector : public selectors::Selector {
   /// state tensor. Forward passes cache activations inside the modules,
   /// so a single TrainedSelector must not run Predict from two threads;
   /// concurrent servers give each worker its own clone instead.
+  /// Int8 quantization carries over: a clone of a quantized selector
+  /// serves int8 (serve workers run on clones).
   StatusOr<std::unique_ptr<TrainedSelector>> Clone() const;
+
+  /// Post-training int8 quantization: clones this selector, runs an
+  /// inference calibration sweep over `calibration_windows` to record
+  /// per-tensor activation ranges, then quantizes every Linear/Conv1d/
+  /// attention projection to int8 with per-output-channel weight scales.
+  /// The original selector is untouched; training state does not carry
+  /// over (the quantized copy is inference-only in practice, though its
+  /// fp32 master weights remain intact).
+  StatusOr<std::unique_ptr<TrainedSelector>> QuantizeInt8(
+      const std::vector<std::vector<float>>& calibration_windows) const;
+
+  /// True when the selector runs int8 inference (any layer quantized).
+  bool IsInt8() const;
 
   /// Persists architecture info + weights as `<prefix>.meta` and
   /// `<prefix>.weights`.
@@ -132,6 +147,10 @@ class TrainedSelector : public selectors::Selector {
       const std::string& prefix);
 
  private:
+  /// Quantizable layers in serialization order (backbone depth-first,
+  /// then classifier). Collection mutates nothing, hence the const_cast.
+  std::vector<nn::Quantizable*> QuantizableLayers() const;
+
   std::unique_ptr<selectors::Backbone> backbone_;
   std::unique_ptr<nn::Linear> classifier_;
   size_t num_classes_;

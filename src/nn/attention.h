@@ -1,11 +1,13 @@
 #ifndef KDSEL_NN_ATTENTION_H_
 #define KDSEL_NN_ATTENTION_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "nn/layers.h"
 #include "nn/module.h"
+#include "nn/quantize.h"
 
 namespace kdsel::nn {
 
@@ -29,15 +31,34 @@ class LayerNorm : public Module {
 
 /// Multi-head self-attention over [B, T, D] (post-norm omitted; this is
 /// the bare attention sublayer). D must be divisible by num_heads.
-class MultiHeadSelfAttention : public Module {
+/// Int8 inference quantizes the four projections (the O(D^2) work); the
+/// attention core — QK^T, softmax, PV — stays fp32. Two activation
+/// scales: the flat input (feeds Wq/Wk/Wv) and the concat (feeds Wo).
+class MultiHeadSelfAttention : public Module, public Quantizable {
  public:
   MultiHeadSelfAttention(size_t dim, size_t num_heads, Rng& rng);
 
   Tensor Forward(const Tensor& input, bool training) override;
   Tensor Backward(const Tensor& grad_output) override;
   std::vector<Parameter*> Parameters() override;
+  void CollectQuantizable(std::vector<Quantizable*>* out) override {
+    out->push_back(this);
+  }
+
+  void BeginQuantCalibration() override;
+  void EndQuantCalibration() override;
+  size_t NumActivationScales() const override { return 2; }
+  std::vector<float> ActivationScales() const override;
+  void QuantizeWithScales(const std::vector<float>& scales) override;
+  void ClearQuantization() override;
+  bool IsQuantized() const override { return quantized_; }
 
  private:
+  /// Shared fp32 attention core: fills cached_attn_ / cached_concat_
+  /// from cached_q_/k_/v_ (both the fp32 and int8 paths run this).
+  void AttentionCore(size_t B, size_t T);
+  Tensor ForwardInt8(const Tensor& input);
+
   size_t dim_;
   size_t num_heads_;
   size_t head_dim_;
@@ -47,6 +68,13 @@ class MultiHeadSelfAttention : public Module {
   Tensor cached_q_, cached_k_, cached_v_;  // [B, T, D]
   Tensor cached_attn_;                  // [B, H, T, T] softmaxed
   Tensor cached_concat_;                // [B, T, D] pre-Wo
+  // Int8 inference state; empty/false unless quantized.
+  bool quantized_ = false;
+  bool calibrating_ = false;
+  float in_absmax_ = 0.0f, concat_absmax_ = 0.0f;
+  float in_scale_ = 0.0f, concat_scale_ = 0.0f;
+  std::vector<int8_t> wq_q_, wk_q_, wv_q_, wo_q_;     // each [D, D]
+  std::vector<float> rq_q_, rq_k_, rq_v_, rq_o_;      // each [D]
 };
 
 /// One pre-norm Transformer encoder block:
@@ -60,6 +88,11 @@ class TransformerEncoderBlock : public Module {
   Tensor Forward(const Tensor& input, bool training) override;
   Tensor Backward(const Tensor& grad_output) override;
   std::vector<Parameter*> Parameters() override;
+  void CollectQuantizable(std::vector<Quantizable*>* out) override {
+    attn_.CollectQuantizable(out);
+    ffn1_.CollectQuantizable(out);
+    ffn2_.CollectQuantizable(out);
+  }
 
  private:
   size_t dim_;

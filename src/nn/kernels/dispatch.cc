@@ -24,24 +24,25 @@ void PublishVariantGauge(const Ops& ops) {
 std::atomic<const Ops*> g_active{nullptr};
 
 const Ops* Resolve() {
-  const Variant best = BestSupportedVariant();
   const char* env = std::getenv("KDSEL_SIMD");
-  if (env == nullptr || *env == '\0') return &GetOps(best);
+  if (env == nullptr || *env == '\0') return &GetOps(BestSupportedVariant());
   auto parsed = ParseVariantName(env);
+  if (parsed.ok() && VariantSupported(*parsed)) return &GetOps(*parsed);
+  // Fallback warnings name the table actually returned (its own `name`
+  // field, not an independently recomputed variant) so the message can
+  // never drift from the kernels that end up running.
+  const Ops& chosen = GetOps(BestSupportedVariant());
   if (!parsed.ok()) {
     std::fprintf(stderr,
                  "[kernels] ignoring invalid KDSEL_SIMD=%s (%s); using %s\n",
-                 env, parsed.status().message().c_str(), VariantName(best));
-    return &GetOps(best);
-  }
-  if (!VariantSupported(*parsed)) {
+                 env, parsed.status().message().c_str(), chosen.name);
+  } else {
     std::fprintf(stderr,
                  "[kernels] KDSEL_SIMD=%s is not available on this build/CPU; "
                  "using %s\n",
-                 env, VariantName(best));
-    return &GetOps(best);
+                 env, chosen.name);
   }
-  return &GetOps(*parsed);
+  return &chosen;
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstddef>
 
+#include "common/annotations.h"
 #include "nn/kernels/kernels.h"
 
 #define KDSEL_VEC_WIDTH 4

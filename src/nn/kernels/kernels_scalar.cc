@@ -147,6 +147,8 @@ KDSEL_HOT void AdamUpdate(float* p, float* m, float* v, const float* g, size_t n
   }
 }
 
+#include "nn/kernels/kernels_i8_ref.inc"
+
 }  // namespace
 
 const Ops kOps = {
@@ -167,6 +169,10 @@ const Ops kOps = {
     ConvGradTap,
     SoftmaxRow,
     AdamUpdate,
+    I8Quantize,
+    I8MatMulTb,
+    I8Dot,
+    kI8ImplName,
 };
 
 }  // namespace scalar

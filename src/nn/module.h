@@ -10,6 +10,8 @@
 
 namespace kdsel::nn {
 
+class Quantizable;
+
 /// A learnable tensor with its accumulated gradient.
 struct Parameter {
   std::string name;
@@ -47,6 +49,13 @@ class Module {
   /// Non-trainable state that must persist with the model (e.g. batch-norm
   /// running statistics). Serialized alongside parameters.
   virtual std::vector<Tensor*> StateTensors() { return {}; }
+
+  /// Appends the int8-quantizable layers inside this module, depth-first
+  /// in declaration order — the deterministic order activation scales
+  /// serialize in (see nn/quantize.h). Default: none.
+  virtual void CollectQuantizable(std::vector<Quantizable*>* out) {
+    (void)out;
+  }
 };
 
 /// Chains modules; Forward runs them in order, Backward in reverse.
@@ -66,6 +75,7 @@ class Sequential : public Module {
   Tensor Backward(const Tensor& grad_output) override;
   std::vector<Parameter*> Parameters() override;
   std::vector<Tensor*> StateTensors() override;
+  void CollectQuantizable(std::vector<Quantizable*>* out) override;
 
   size_t size() const { return modules_.size(); }
 

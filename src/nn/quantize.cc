@@ -1,0 +1,99 @@
+#include "nn/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/parallel.h"
+#include "nn/kernels/kernels.h"
+
+namespace kdsel::nn {
+
+namespace {
+
+/// Row-chunk size mirroring tensor.cc's MatMul chunking: ~32K MACs per
+/// chunk, depending only on the operand shapes.
+size_t RowGrain(size_t rows, size_t work_per_row) {
+  constexpr size_t kTargetWorkPerChunk = size_t{1} << 15;
+  if (work_per_row == 0) return std::max<size_t>(1, rows);
+  const size_t grain = kTargetWorkPerChunk / work_per_row;
+  return std::max<size_t>(1, std::min(grain == 0 ? 1 : grain, rows));
+}
+
+}  // namespace
+
+std::vector<Quantizable*> CollectQuantizableLayers(Module& module) {
+  std::vector<Quantizable*> layers;
+  module.CollectQuantizable(&layers);
+  return layers;
+}
+
+std::vector<float> CollectActivationScales(
+    const std::vector<Quantizable*>& layers) {
+  std::vector<float> flat;
+  for (Quantizable* q : layers) {
+    const std::vector<float> scales = q->ActivationScales();
+    flat.insert(flat.end(), scales.begin(), scales.end());
+  }
+  return flat;
+}
+
+Status ApplyActivationScales(const std::vector<Quantizable*>& layers,
+                             const std::vector<float>& flat) {
+  size_t expected = 0;
+  for (Quantizable* q : layers) expected += q->NumActivationScales();
+  if (flat.size() != expected) {
+    return Status::InvalidArgument(
+        "activation scale count mismatch: got " + std::to_string(flat.size()) +
+        ", model needs " + std::to_string(expected));
+  }
+  for (float s : flat) {
+    if (!(s > 0.0f) || !std::isfinite(s)) {
+      return Status::InvalidArgument(
+          "activation scales must be finite and > 0");
+    }
+  }
+  size_t off = 0;
+  for (Quantizable* q : layers) {
+    const size_t count = q->NumActivationScales();
+    q->QuantizeWithScales(
+        std::vector<float>(flat.begin() + static_cast<ptrdiff_t>(off),
+                           flat.begin() + static_cast<ptrdiff_t>(off + count)));
+    off += count;
+  }
+  return Status::OK();
+}
+
+float AbsMax(const float* x, size_t n) {
+  float mx = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    const float a = std::fabs(x[i]);
+    if (a > mx) mx = a;
+  }
+  return mx;
+}
+
+float QuantScaleFromAbsMax(float absmax) {
+  return absmax > 0.0f ? absmax / 127.0f : 1.0f;
+}
+
+void QuantizeWeightRows(const float* w, size_t rows, size_t k, float act_scale,
+                        int8_t* q, float* requant_scale) {
+  const kernels::Ops& ops = kernels::Dispatch();
+  for (size_t r = 0; r < rows; ++r) {
+    const float* wrow = w + r * k;
+    const float w_scale = QuantScaleFromAbsMax(AbsMax(wrow, k));
+    ops.i8_quantize(wrow, 1.0f / w_scale, q + r * k, k);
+    requant_scale[r] = act_scale * w_scale;
+  }
+}
+
+void I8MatMulTbParallel(const int8_t* a, const int8_t* b, float* c, size_t n,
+                        size_t k, size_t m, const float* scale,
+                        const float* bias) {
+  const kernels::Ops& ops = kernels::Dispatch();
+  ParallelFor(n, RowGrain(n, k * m), [&](size_t begin, size_t end) {
+    ops.i8_matmul_tb(a, b, c, k, m, scale, bias, begin, end);
+  });
+}
+
+}  // namespace kdsel::nn

@@ -1,0 +1,95 @@
+#ifndef KDSEL_NN_QUANTIZE_H_
+#define KDSEL_NN_QUANTIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace kdsel::nn {
+
+/// Post-training int8 quantization interface, implemented by the layers
+/// that carry the selector forward pass's contraction work (Linear,
+/// Conv1d, MultiHeadSelfAttention). Everything else — BatchNorm, ReLU,
+/// pooling, softmax, LayerNorm, GELU — stays fp32: those are O(n) tails
+/// next to the O(n*k) matmuls, so quantizing them would cost ranking
+/// accuracy for no measurable speed.
+///
+/// Protocol: BeginQuantCalibration(), run inference forwards over
+/// representative inputs (each layer records the absmax of the
+/// activations it would quantize), then EndQuantCalibration() to derive
+/// per-tensor activation scales (absmax/127) and quantize the weights
+/// with symmetric per-output-channel scales. QuantizeWithScales()
+/// replays previously-derived activation scales (checkpoint load /
+/// clone paths): weights re-quantize deterministically from the fp32
+/// master copy, so persisting the activation scales alone reproduces
+/// the quantized model bit-for-bit.
+///
+/// Quantization only affects inference forwards (training=false);
+/// training always runs the fp32 path.
+class Quantizable {
+ public:
+  virtual ~Quantizable() = default;
+
+  /// Drops quantized state and starts recording activation ranges on
+  /// subsequent inference forwards.
+  virtual void BeginQuantCalibration() = 0;
+  /// Derives activation scales from the recorded ranges and quantizes
+  /// the layer for int8 inference.
+  virtual void EndQuantCalibration() = 0;
+  /// Number of per-tensor activation scales this layer carries (a fixed
+  /// property of the layer type).
+  virtual size_t NumActivationScales() const = 0;
+  /// The derived activation scales; valid once quantized.
+  virtual std::vector<float> ActivationScales() const = 0;
+  /// Quantizes directly from previously-derived activation scales
+  /// (size must equal NumActivationScales()).
+  virtual void QuantizeWithScales(const std::vector<float>& scales) = 0;
+  /// Reverts the layer to fp32 inference.
+  virtual void ClearQuantization() = 0;
+  virtual bool IsQuantized() const = 0;
+};
+
+/// Every quantizable layer reachable from `module`, depth-first in
+/// declaration order — the deterministic order activation scales
+/// serialize in.
+std::vector<Quantizable*> CollectQuantizableLayers(Module& module);
+
+/// Activation scales of all `layers`, flattened in order. Every layer
+/// must be quantized.
+std::vector<float> CollectActivationScales(
+    const std::vector<Quantizable*>& layers);
+
+/// Re-applies quantization from a CollectActivationScales() vector.
+/// InvalidArgument when the flat count does not match the layer set or
+/// a scale is not strictly positive.
+Status ApplyActivationScales(const std::vector<Quantizable*>& layers,
+                             const std::vector<float>& flat);
+
+/// max_i |x[i]| (0 when n == 0).
+float AbsMax(const float* x, size_t n);
+
+/// Symmetric per-tensor scale for a recorded absmax: absmax / 127, with
+/// a scale of 1 for degenerate (all-zero) ranges so requantization
+/// never divides by zero — a zero-range tensor quantizes to all zeros
+/// under any positive scale.
+float QuantScaleFromAbsMax(float absmax);
+
+/// Quantizes `rows` rows of `k` fp32 weights each with symmetric
+/// per-row scales: writes rows*k int8 values to `q` and the combined
+/// requantize factor act_scale * w_scale[row] to `requant_scale`.
+void QuantizeWeightRows(const float* w, size_t rows, size_t k,
+                        float act_scale, int8_t* q, float* requant_scale);
+
+/// Dequantizing int8 matmul C = dequant(Aq Bq^T) with Aq:[n,k],
+/// Bq:[m,k], C:[n,m], parallelized row-wise with the same shape-only
+/// chunking as MatMulTransposedB (bitwise-deterministic at any thread
+/// count; int8 results are additionally identical across variants).
+void I8MatMulTbParallel(const int8_t* a, const int8_t* b, float* c, size_t n,
+                        size_t k, size_t m, const float* scale,
+                        const float* bias);
+
+}  // namespace kdsel::nn
+
+#endif  // KDSEL_NN_QUANTIZE_H_

@@ -1,0 +1,95 @@
+// BenchReport JSON contract, focused on the speedup column: entries
+// whose workload was never measured at threads == 1 must OMIT
+// "speedup_vs_1t" from the JSON instead of emitting 0/inf garbage that
+// downstream diffs would read as a real ratio.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench/bench_report.h"
+#include "serve/json.h"
+
+namespace kdsel::bench {
+namespace {
+
+BenchEntry Entry(std::string name, size_t threads, double wall) {
+  BenchEntry e;
+  e.name = std::move(name);
+  e.threads = threads;
+  e.wall_seconds = wall;
+  return e;
+}
+
+const serve::Json* FindRow(const serve::Json& root, const std::string& name,
+                           size_t threads) {
+  const serve::Json* entries = root.Find("entries");
+  if (entries == nullptr) return nullptr;
+  for (const serve::Json& row : entries->items()) {
+    if (row.GetString("name", "") == name &&
+        row.GetNumber("threads", -1) == static_cast<double>(threads)) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+TEST(BenchReportTest, ComputeSpeedupsFillsOnlyBaselinedWorkloads) {
+  BenchReport report("test");
+  report.Add(Entry("with_baseline", 1, 0.4));
+  report.Add(Entry("with_baseline", 4, 0.1));
+  report.Add(Entry("no_baseline", 4, 0.2));   // Never measured at 1 thread.
+  report.Add(Entry("zero_wall", 1, 0.0));     // Degenerate baseline.
+  report.Add(Entry("zero_wall", 2, 0.1));
+  report.ComputeSpeedups();
+
+  const auto& entries = report.entries();
+  EXPECT_DOUBLE_EQ(entries[0].speedup_vs_1t, 1.0);
+  EXPECT_DOUBLE_EQ(entries[1].speedup_vs_1t, 4.0);
+  EXPECT_DOUBLE_EQ(entries[2].speedup_vs_1t, 0.0);
+  // A zero-wall 1-thread row is not a usable baseline: no inf ratios.
+  EXPECT_DOUBLE_EQ(entries[3].speedup_vs_1t, 0.0);
+  EXPECT_DOUBLE_EQ(entries[4].speedup_vs_1t, 0.0);
+}
+
+TEST(BenchReportTest, JsonOmitsSpeedupWithoutBaseline) {
+  BenchReport report("test");
+  report.Add(Entry("with_baseline", 1, 0.4));
+  report.Add(Entry("with_baseline", 4, 0.1));
+  report.Add(Entry("no_baseline", 4, 0.2));
+  report.ComputeSpeedups();
+
+  auto parsed = serve::Json::Parse(report.ToJson().Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const serve::Json* baselined = FindRow(*parsed, "with_baseline", 4);
+  ASSERT_NE(baselined, nullptr);
+  EXPECT_EQ(baselined->GetNumber("speedup_vs_1t", -1.0), 4.0);
+
+  const serve::Json* unbaselined = FindRow(*parsed, "no_baseline", 4);
+  ASSERT_NE(unbaselined, nullptr);
+  EXPECT_EQ(unbaselined->Find("speedup_vs_1t"), nullptr)
+      << "speedup must be omitted, not emitted as a junk number: "
+      << unbaselined->Dump();
+}
+
+TEST(BenchReportTest, JsonCarriesItemsAndMetrics) {
+  BenchReport report("test");
+  BenchEntry e = Entry("kernel", 1, 0.5);
+  e.items = 100.0;
+  e.items_unit = "calls";
+  e.metrics["speedup_vs_fp32"] = 2.5;
+  report.Add(std::move(e));
+
+  auto parsed = serve::Json::Parse(report.ToJson().Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->GetString("bench", ""), "test");
+  const serve::Json* row = FindRow(*parsed, "kernel", 1);
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->GetNumber("items_per_second", -1.0), 200.0);
+  const serve::Json* metrics = row->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->GetNumber("speedup_vs_fp32", -1.0), 2.5);
+}
+
+}  // namespace
+}  // namespace kdsel::bench

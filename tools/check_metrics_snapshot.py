@@ -12,7 +12,15 @@ The `--profile` flag picks the required set: `micro` (default) for
 bench_micro's parallel/kernel paths, `stream` for bench_streaming's
 kdsel.stream.* instrumentation.
 
+`--profile kernels` instead validates a BENCH_kernels.json written by
+`bench_micro --report-kernels`: every dispatch variant that reports at
+all must carry the full workload set including the int8 rows
+(i8_matmul_256, selector_forward_int8) with their speedup_vs_fp32
+metric, and no row may smuggle in a non-positive speedup_vs_1t (the
+writer omits the key when there is no 1-thread baseline).
+
 Usage: check_metrics_snapshot.py [--profile micro|stream] METRICS_x.json
+       check_metrics_snapshot.py --profile kernels BENCH_kernels.json
 """
 
 import json
@@ -43,12 +51,64 @@ REQUIRED_BY_PROFILE = {
 
 HISTOGRAM_KEYS = ["count", "samples", "min", "max", "mean", "p50", "p95", "p99"]
 
+# Workloads every reporting dispatch variant must measure at 1 thread in
+# BENCH_kernels.json. The int8 rows are load-bearing: dropping them
+# would silently retire the quantized-inference perf tracking.
+KERNEL_WORKLOADS = [
+    "matmul_256",
+    "i8_matmul_256",
+    "conv1d_forward",
+    "selector_forward_fp32",
+    "selector_forward_int8",
+]
+
+# (workload prefix, required metrics key) for kernel report rows.
+KERNEL_REQUIRED_METRICS = [
+    ("i8_matmul_256:", "speedup_vs_fp32"),
+    ("i8_matmul_256:", "speedup_vs_scalar"),
+    ("selector_forward_int8:", "speedup_vs_fp32"),
+]
+
+
+def check_bench_kernels(path, snapshot):
+    errors = []
+    entries = snapshot.get("entries")
+    if not isinstance(entries, list) or not entries:
+        return [f"{path}: missing or empty 'entries'"]
+    variants = sorted(
+        {e["name"].split(":", 1)[1]
+         for e in entries if ":" in e.get("name", "")}
+    )
+    if "scalar" not in variants:
+        errors.append(f"{path}: no scalar-variant rows (got {variants})")
+    rows = {(e.get("name"), e.get("threads")) for e in entries}
+    for variant in variants:
+        for workload in KERNEL_WORKLOADS:
+            if (f"{workload}:{variant}", 1) not in rows:
+                errors.append(
+                    f"{path}: missing 1-thread row '{workload}:{variant}'"
+                )
+    for e in entries:
+        name = e.get("name", "?")
+        speedup = e.get("speedup_vs_1t")
+        if speedup is not None and not speedup > 0:
+            errors.append(
+                f"{path}: '{name}' has non-positive speedup_vs_1t "
+                f"{speedup!r} (must be omitted without a baseline)"
+            )
+        metrics = e.get("metrics", {})
+        for prefix, key in KERNEL_REQUIRED_METRICS:
+            if name.startswith(prefix) and key not in metrics:
+                errors.append(f"{path}: '{name}' missing metric '{key}'")
+    return errors
+
 
 def main(argv):
     args = argv[1:]
     profile = "micro"
     if args and args[0] == "--profile":
-        if len(args) < 2 or args[1] not in REQUIRED_BY_PROFILE:
+        known = set(REQUIRED_BY_PROFILE) | {"kernels"}
+        if len(args) < 2 or args[1] not in known:
             print(__doc__.strip(), file=sys.stderr)
             return 2
         profile = args[1]
@@ -59,6 +119,18 @@ def main(argv):
     path = args[0]
     with open(path, "r", encoding="utf-8") as f:
         snapshot = json.load(f)
+
+    if profile == "kernels":
+        errors = check_bench_kernels(path, snapshot)
+        if errors:
+            for error in errors:
+                print(error, file=sys.stderr)
+            return 1
+        print(
+            f"{path}: ok ({len(snapshot['entries'])} rows, int8 workloads "
+            "present)"
+        )
+        return 0
 
     errors = []
     for section in ("counters", "gauges", "histograms"):
