@@ -1,22 +1,40 @@
-// Closed-loop load driver for the in-process serving layer.
+// Multi-process closed-loop load driver for the network serving layer.
 //
-// Trains a small ConvNet selector on synthetic data, registers it in a
-// SelectorRegistry, then replays the same request stream against several
-// server configurations and reports throughput plus tail latency. The
-// headline comparison is a single-thread unbatched baseline (1 worker,
-// max_batch=1, 1 client) against a batched multi-threaded configuration.
+// The default mode trains a small ConvNet selector, stands up the full
+// serving stack in-process (InferenceServer + net::NetServer on a
+// loopback ephemeral port) and forks N client processes — fork+exec of
+// this same binary in --connect mode — that drive pipelined NDJSON over
+// TCP. Each child streams its raw per-request latencies back through an
+// inherited pipe; the parent merges them and reports client-observed
+// p50/p99/p999, throughput and shed rate into BENCH_serving.json.
 //
-// The workload models a monitoring fleet: many concurrent clients
-// re-scoring a modest set of hot series. Micro-batching wins by (a)
-// amortizing per-forward-pass dispatch and (b) coalescing identical
-// windows across concurrent requests so the selector forward pass runs
-// once per distinct window per batch.
+// Two configurations run back to back:
+//   capacity  no SLO, minimal payload (one selector window/request,
+//             small hot pool so batches coalesce): peak sustained req/s.
+//   overload  demand engineered past what one machine serves within the
+//             --slo-ms target: the shedder must reject (shed > 0) while
+//             the latency of *accepted* requests stays near the SLO.
+//
+// Modes:
+//   (default)             driver: servers + forked clients, JSON report
+//   --connect HOST:PORT   client only (used by the forked children and
+//                         by the CI loopback smoke job)
+//   --export-selector DIR train the bench selector, save as "bench",
+//                         exit (lets CI start `kdsel serve --dir DIR`)
 //
 // Flags:
-//   --requests N     total requests per configuration (default 512)
-//   --pool K         number of distinct hot series (default 16)
-//   --detect         run the selected detector too (default: selection only)
-//   --series-len L   request series length (default 64, datagen minimum)
+//   --requests N     capacity-run total requests (default 100000;
+//                    overload runs 2N). In --connect mode: requests
+//                    this client sends.
+//   --clients C      client processes per run (default 2)
+//   --pipeline D     in-flight requests per client (default 256)
+//   --series-len L   values per request (default 16 = one window)
+//   --pool K         distinct hot series cycled through (default 4)
+//   --slo-ms M       overload-run SLO (default 10.0)
+//   --latency-fd FD  (child only) pipe fd for the binary latency blob
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -24,34 +42,41 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+#include <deque>
 #include <string>
-#include <thread>
+#include <string_view>
 #include <vector>
 
-#include "common/parallel.h"
+#include "bench/bench_report.h"
 #include "common/rng.h"
 #include "common/stringutil.h"
 #include "core/pipeline.h"
 #include "core/trainer.h"
-#include "datagen/families.h"
+#include "net/listener.h"
+#include "net/server.h"
 #include "serve/registry.h"
 #include "serve/server.h"
 
 namespace kdsel {
 namespace {
 
-constexpr size_t kWindow = 32;
+constexpr size_t kWindow = 16;
+
+double NowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 std::unique_ptr<core::TrainedSelector> TrainBenchSelector() {
   core::SelectorTrainingData data;
-  data.num_classes = 4;
+  data.num_classes = 2;
   Rng rng(7);
-  for (int i = 0; i < 160; ++i) {
-    const int c = i % 4;
+  for (int i = 0; i < 60; ++i) {
+    const int c = i % 2;
     std::vector<float> w(kWindow);
     for (size_t t = 0; t < kWindow; ++t) {
-      w[t] = std::sin((0.15 + 0.35 * c) * static_cast<double>(t)) +
+      w[t] = std::sin((0.3 + 0.9 * c) * static_cast<double>(t)) +
              0.05f * static_cast<float>(rng.Normal());
     }
     data.windows.push_back(std::move(w));
@@ -66,115 +91,429 @@ std::unique_ptr<core::TrainedSelector> TrainBenchSelector() {
   return std::move(selector).value();
 }
 
-std::vector<ts::TimeSeries> MakeRequestPool(size_t count, size_t length) {
-  std::vector<ts::TimeSeries> pool;
+/// Precomputes the request pool as fully formatted NDJSON lines (id 0
+/// throughout: replies come back in submission order per connection, so
+/// clients match them to send timestamps FIFO instead of by id).
+std::vector<std::string> MakeRequestLines(size_t pool, size_t series_len) {
+  std::vector<std::string> lines;
   Rng rng(99);
-  for (size_t i = 0; i < count; ++i) {
-    auto family = static_cast<datagen::Family>(i % 4);
-    auto series = datagen::GenerateSeries(family, length, i, rng);
-    KDSEL_CHECK(series.ok());
-    pool.push_back(std::move(series).value());
+  for (size_t i = 0; i < pool; ++i) {
+    std::string line =
+        R"({"id":0,"op":"select","selector":"bench","detect":false,"values":[)";
+    const double freq = 0.1 + 0.05 * static_cast<double>(i);
+    for (size_t t = 0; t < series_len; ++t) {
+      if (t > 0) line.push_back(',');
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.4f",
+                    std::sin(freq * static_cast<double>(t)) +
+                        0.01 * rng.Normal());
+      line += buffer;
+    }
+    line += "]}\n";
+    lines.push_back(std::move(line));
   }
-  return pool;
+  return lines;
 }
 
-struct RunConfig {
-  std::string label;
-  size_t workers;
-  size_t max_batch;
-  size_t clients;
-  uint64_t max_delay_us;
+// ---------------------------------------------------------------------------
+// Client side (runs inside the forked children and in --connect mode).
+
+struct ClientStats {
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t errors = 0;
+  std::vector<double> latencies_us;  ///< Accepted (ok) replies only.
 };
 
-struct RunResult {
-  double seconds = 0.0;
-  double throughput = 0.0;
-  double p50_ms = 0.0;
-  double p95_ms = 0.0;
-  double p99_ms = 0.0;
-  double mean_batch = 0.0;
-  double coalesce = 1.0;  ///< Extracted rows per forward-pass row.
-  size_t failed = 0;
-};
-
-double PercentileMs(std::vector<double>& latencies_us, double q) {
-  if (latencies_us.empty()) return 0.0;
-  std::sort(latencies_us.begin(), latencies_us.end());
-  const size_t idx = std::min(
-      latencies_us.size() - 1,
-      static_cast<size_t>(q * static_cast<double>(latencies_us.size())));
-  return latencies_us[idx] / 1000.0;
+void WriteAll(int fd, const char* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = write(fd, data + off, size - off);
+    if (n < 0 && errno == EINTR) continue;
+    KDSEL_CHECK(n > 0);
+    off += static_cast<size_t>(n);
+  }
 }
 
-RunResult RunConfigOnce(serve::SelectorRegistry& registry,
-                        const RunConfig& config,
-                        const std::vector<ts::TimeSeries>& pool,
-                        size_t total_requests, bool detect) {
-  serve::ServerOptions opts;
-  opts.num_workers = config.workers;
-  opts.max_batch = config.max_batch;
-  opts.max_delay_us = config.max_delay_us;
-  opts.queue_capacity = 4096;
-  serve::InferenceServer server(&registry, opts);
-  auto started = server.Start();
-  KDSEL_CHECK(started.ok());
+/// Closed-loop pipelined client: keeps `pipeline` requests in flight,
+/// classifies each reply (ok / shed / error) and records the accepted
+/// replies' client-observed latency.
+ClientStats RunClient(int fd, const std::vector<std::string>& lines,
+                      size_t requests, size_t pipeline) {
+  ClientStats stats;
+  stats.latencies_us.reserve(requests);
+  std::deque<double> send_times;
+  std::string inbuf;
+  size_t next = 0;
+  size_t done = 0;
+  char buffer[64 * 1024];
 
-  std::vector<double> latencies_us;
-  latencies_us.reserve(total_requests);
-  std::mutex latencies_mutex;
-  // Client simulation wants independent uncoordinated threads, not
-  // the deterministic shared pool.
-  std::vector<std::thread> clients;  // kdsel-lint: allow(raw-thread)
-  std::vector<size_t> failures(config.clients, 0);
-  const size_t per_client = total_requests / config.clients;
-
-  const auto start = std::chrono::steady_clock::now();
-  for (size_t c = 0; c < config.clients; ++c) {
-    clients.emplace_back([&, c] {
-      Rng pick(1000 + c);  // Uniform traffic over the hot-series pool.
-      std::vector<double> local;
-      local.reserve(per_client);
-      for (size_t r = 0; r < per_client; ++r) {
-        serve::SelectRequest request;
-        request.selector = "bench";
-        request.series = pool[pick.Index(pool.size())];
-        request.run_detection = detect;
-        auto response = server.Run(std::move(request));
-        if (!response.ok()) {
-          ++failures[c];
-          continue;
-        }
-        local.push_back(response->timing.total_us);
+  bool saturated = false;
+  while (done < requests) {
+    if (saturated) {
+      // Back off when the server shed an entire reply window: hammering
+      // an overloaded server with instant retries only burns the CPU it
+      // needs to drain (and on a shared machine, starves it outright).
+      usleep(5000);
+      saturated = false;
+    }
+    if (next < requests && send_times.size() < pipeline) {
+      // Batch the whole open window into one write(2): syscall cost is
+      // what limits a loopback closed loop, not bytes.
+      std::string out;
+      const double now = NowUs();
+      while (next < requests && send_times.size() < pipeline) {
+        out += lines[next % lines.size()];
+        send_times.push_back(now);
+        ++next;
+        ++stats.sent;
       }
-      std::lock_guard<std::mutex> lock(latencies_mutex);
-      latencies_us.insert(latencies_us.end(), local.begin(), local.end());
-    });
+      WriteAll(fd, out.data(), out.size());
+    }
+    ssize_t n = read(fd, buffer, sizeof(buffer));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // Server closed (drain on shutdown) or died.
+    inbuf.append(buffer, static_cast<size_t>(n));
+    size_t start = 0;
+    size_t pass_ok = 0;
+    size_t pass_shed = 0;
+    for (;;) {
+      const size_t newline = inbuf.find('\n', start);
+      if (newline == std::string::npos) break;
+      const std::string_view line(inbuf.data() + start, newline - start);
+      start = newline + 1;
+      const double latency_us = NowUs() - send_times.front();
+      send_times.pop_front();
+      ++done;
+      if (line.find("\"ok\":true") != std::string_view::npos) {
+        ++stats.ok;
+        ++pass_ok;
+        stats.latencies_us.push_back(latency_us);
+      } else if (line.find("\"error\":\"overloaded\"") !=
+                 std::string_view::npos) {
+        ++stats.shed;
+        ++pass_shed;
+      } else {
+        ++stats.errors;
+      }
+    }
+    inbuf.erase(0, start);
+    saturated = pass_shed > 0 && pass_ok == 0;
   }
-  for (auto& t : clients) t.join();
-  const auto end = std::chrono::steady_clock::now();
-  server.Stop();
+  return stats;
+}
 
-  RunResult result;
-  result.seconds = std::chrono::duration<double>(end - start).count();
-  result.throughput =
-      static_cast<double>(latencies_us.size()) / result.seconds;
-  result.p50_ms = PercentileMs(latencies_us, 0.50);
-  result.p95_ms = PercentileMs(latencies_us, 0.95);
-  result.p99_ms = PercentileMs(latencies_us, 0.99);
+/// Child -> parent latency blob: five uint64 counters, then the raw
+/// latency array. Written once, at exit, so the hot loop never blocks on
+/// a full pipe.
+void WriteLatencyBlob(int fd, const ClientStats& stats) {
+  const uint64_t header[5] = {stats.sent, stats.ok, stats.shed, stats.errors,
+                              stats.latencies_us.size()};
+  WriteAll(fd, reinterpret_cast<const char*>(header), sizeof(header));
+  WriteAll(fd, reinterpret_cast<const char*>(stats.latencies_us.data()),
+           stats.latencies_us.size() * sizeof(double));
+}
+
+int RunConnectMode(const std::string& address, size_t requests,
+                   size_t pipeline, size_t pool, size_t series_len,
+                   int latency_fd) {
+  auto host_port = net::ParseHostPort(address);
+  if (!host_port.ok()) {
+    std::fprintf(stderr, "bench_serving: %s\n",
+                 host_port.status().ToString().c_str());
+    return 2;
+  }
+  // The driver execs children right after Start(); a short retry window
+  // also lets the CI smoke job race the server's startup.
+  int fd = -1;
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    auto connected = net::ConnectTcp(*host_port);
+    if (connected.ok()) {
+      fd = *connected;
+      break;
+    }
+    usleep(100 * 1000);
+  }
+  if (fd < 0) {
+    std::fprintf(stderr, "bench_serving: cannot connect to %s\n",
+                 address.c_str());
+    return 2;
+  }
+
+  const auto lines = MakeRequestLines(pool, series_len);
+  const ClientStats stats = RunClient(fd, lines, requests, pipeline);
+  close(fd);
+
+  if (latency_fd >= 0) {
+    WriteLatencyBlob(latency_fd, stats);
+    close(latency_fd);
+    return 0;
+  }
+  const uint64_t done = stats.ok + stats.shed + stats.errors;
+  std::printf("bench_serving connect: sent=%llu replies=%llu ok=%llu "
+              "shed=%llu errors=%llu\n",
+              static_cast<unsigned long long>(stats.sent),
+              static_cast<unsigned long long>(done),
+              static_cast<unsigned long long>(stats.ok),
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.errors));
+  return (done == stats.sent && stats.errors == 0) ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Driver side.
+
+struct NetConfig {
+  std::string name;
+  size_t requests = 0;  ///< Total across all clients.
+  size_t clients = 2;
+  size_t pipeline = 64;
+  size_t series_len = kWindow;
+  size_t pool = 4;
+  double slo_ms = 0.0;
+  size_t shards = 1;
+  serve::ServerOptions server;
+};
+
+struct NetRunResult {
+  double wall_seconds = 0.0;
+  ClientStats merged;
+  uint64_t server_shed = 0;
+  double mean_batch = 0.0;
+  double coalesce = 1.0;
+};
+
+double PercentileMs(const std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const size_t idx = std::min(
+      sorted_us.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted_us.size())));
+  return sorted_us[idx] / 1000.0;
+}
+
+void ReadAll(int fd, char* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = read(fd, data + off, size - off);
+    if (n < 0 && errno == EINTR) continue;
+    KDSEL_CHECK(n > 0);
+    off += static_cast<size_t>(n);
+  }
+}
+
+/// fork+exec one client child; returns {pid, read end of its pipe}.
+std::pair<pid_t, int> SpawnClient(const std::string& self_path,
+                                  const NetConfig& config, uint16_t port,
+                                  size_t requests) {
+  int pipe_fds[2];
+  KDSEL_CHECK(pipe(pipe_fds) == 0);  // Blocking, inherited across exec.
+  const pid_t pid = fork();
+  KDSEL_CHECK(pid >= 0);
+  if (pid == 0) {
+    close(pipe_fds[0]);
+    const std::vector<std::string> args = {
+        self_path,
+        "--connect",    "127.0.0.1:" + std::to_string(port),
+        "--requests",   std::to_string(requests),
+        "--pipeline",   std::to_string(config.pipeline),
+        "--series-len", std::to_string(config.series_len),
+        "--pool",       std::to_string(config.pool),
+        "--latency-fd", std::to_string(pipe_fds[1]),
+    };
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (const auto& arg : args) argv.push_back(const_cast<char*>(arg.c_str()));
+    argv.push_back(nullptr);
+    execv(self_path.c_str(), argv.data());
+    _exit(127);  // exec failed; async-signal-safe exit only.
+  }
+  close(pipe_fds[1]);
+  return {pid, pipe_fds[0]};
+}
+
+NetRunResult RunNetConfig(serve::SelectorRegistry& registry,
+                          const std::string& self_path,
+                          const NetConfig& config) {
+  serve::InferenceServer server(&registry, config.server);
+  KDSEL_CHECK(server.Start().ok());
+  net::NetServerOptions net_opts;
+  net_opts.listen = "127.0.0.1:0";
+  net_opts.shards = config.shards;
+  net_opts.slo_ms = config.slo_ms;
+  // Overload runs live or die on controller responsiveness: evaluate
+  // often so the pre-shed transient stays a tiny fraction of samples.
+  net_opts.shedder.eval_interval_us = 5000;
+  net::NetServer net(&server, net_opts);
+  KDSEL_CHECK(net.Start().ok());
+
+  const size_t per_client = config.requests / config.clients;
+  std::vector<std::pair<pid_t, int>> children;
+  const double start_us = NowUs();
+  for (size_t c = 0; c < config.clients; ++c) {
+    children.push_back(SpawnClient(self_path, config, net.port(), per_client));
+  }
+
+  NetRunResult result;
+  // Drain every pipe before waitpid: a child's latency blob can exceed
+  // the pipe capacity, and it only exits once the blob is fully read.
+  for (auto& [pid, fd] : children) {
+    uint64_t header[5];
+    ReadAll(fd, reinterpret_cast<char*>(header), sizeof(header));
+    result.merged.sent += header[0];
+    result.merged.ok += header[1];
+    result.merged.shed += header[2];
+    result.merged.errors += header[3];
+    std::vector<double> latencies(header[4]);
+    ReadAll(fd, reinterpret_cast<char*>(latencies.data()),
+            latencies.size() * sizeof(double));
+    close(fd);
+    result.merged.latencies_us.insert(result.merged.latencies_us.end(),
+                                      latencies.begin(), latencies.end());
+  }
+  for (auto& [pid, fd] : children) {
+    int wstatus = 0;
+    waitpid(pid, &wstatus, 0);
+    KDSEL_CHECK(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0);
+  }
+  result.wall_seconds = (NowUs() - start_us) / 1e6;
+
+  net.Stop();
+  server.Stop();
+  result.server_shed = server.stats().shed();
   result.mean_batch = server.stats().MeanBatchSize();
   if (server.stats().rows_unique() > 0) {
     result.coalesce = static_cast<double>(server.stats().rows_total()) /
                       static_cast<double>(server.stats().rows_unique());
   }
-  for (const size_t f : failures) result.failed += f;
+  std::sort(result.merged.latencies_us.begin(),
+            result.merged.latencies_us.end());
   return result;
 }
 
+int RunDriver(size_t requests, size_t clients, size_t pipeline,
+              double slo_ms) {
+  char exe[4096];
+  const ssize_t n = readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  KDSEL_CHECK(n > 0);
+  exe[n] = '\0';
+  const std::string self_path(exe);
+
+  serve::SelectorRegistry registry{
+      core::SelectorManager("/tmp/kdsel_bench_serving")};
+  KDSEL_CHECK(registry.Register("bench", TrainBenchSelector()).ok());
+
+  NetConfig capacity;
+  capacity.name = "capacity";
+  capacity.requests = requests;
+  capacity.clients = clients;
+  capacity.pipeline = pipeline;
+  capacity.series_len = kWindow;  // One window/request: peak rate.
+  capacity.pool = 4;
+  capacity.slo_ms = 0.0;
+  capacity.server.num_workers = 1;
+  capacity.server.max_batch = 512;
+  capacity.server.max_delay_us = 200;
+  capacity.server.queue_capacity = 16384;
+
+  NetConfig overload;
+  overload.name = "overload";
+  // Shed replies are cheap, so the overload run needs many more
+  // offered requests than the capacity run to sustain load for seconds.
+  overload.requests = std::max<size_t>(2 * requests, 4000);
+  overload.clients = std::max<size_t>(clients, 4);
+  // A modest per-client window: overload comes from client count times
+  // demand rate, not from one enormous pipelined burst whose replies
+  // would dominate the latency measurement.
+  overload.pipeline = 4;
+  // Heavier payload (4 windows) over a wide pool defeats coalescing, so
+  // offered demand genuinely exceeds single-machine capacity at the SLO.
+  // The submit queue is kept shallow on purpose: the queue bound and the
+  // SLO shedder are the two halves of the overload contract — the bound
+  // caps how much latency admitted requests can accumulate, the shedder
+  // adapts when per-request cost drifts past what the bound assumed.
+  overload.series_len = 4 * kWindow;
+  overload.pool = 64;
+  overload.slo_ms = slo_ms;
+  overload.server.num_workers = 1;
+  overload.server.max_batch = 4;
+  overload.server.max_delay_us = 500;
+  overload.server.queue_capacity = 4;
+
+  bench::BenchReport report("serving");
+  std::printf("bench_serving: requests=%zu clients=%zu pipeline=%zu "
+              "slo_ms=%.2f\n\n",
+              requests, clients, pipeline, slo_ms);
+  std::printf("%-10s %9s %9s %8s %8s %8s %9s %9s %7s\n", "config", "req/s",
+              "p50ms", "p99ms", "p999ms", "shed", "shedrate", "coalesce",
+              "errors");
+
+  for (const NetConfig* config : {&capacity, &overload}) {
+    // Warm-up primes worker selector clones and the branch predictors.
+    NetConfig warm = *config;
+    warm.requests = std::min<size_t>(config->requests / 10, 5000);
+    warm.slo_ms = 0.0;
+    (void)RunNetConfig(registry, self_path, warm);
+
+    const NetRunResult r = RunNetConfig(registry, self_path, *config);
+    const uint64_t replies = r.merged.ok + r.merged.shed + r.merged.errors;
+    const double req_per_s =
+        static_cast<double>(r.merged.ok) / r.wall_seconds;
+    const double shed_rate =
+        replies > 0 ? static_cast<double>(r.merged.shed) /
+                          static_cast<double>(replies)
+                    : 0.0;
+    const double p50 = PercentileMs(r.merged.latencies_us, 0.50);
+    const double p99 = PercentileMs(r.merged.latencies_us, 0.99);
+    const double p999 = PercentileMs(r.merged.latencies_us, 0.999);
+    std::printf("%-10s %9.0f %9.3f %8.3f %8.3f %8llu %8.1f%% %8.2fx %7llu\n",
+                config->name.c_str(), req_per_s, p50, p99, p999,
+                static_cast<unsigned long long>(r.merged.shed),
+                100.0 * shed_rate, r.coalesce,
+                static_cast<unsigned long long>(r.merged.errors));
+
+    bench::BenchEntry entry;
+    entry.name = config->name;
+    entry.threads = config->clients;
+    entry.wall_seconds = r.wall_seconds;
+    entry.items = static_cast<double>(r.merged.ok);
+    entry.items_unit = "requests";
+    entry.metrics["req_per_s"] = req_per_s;
+    entry.metrics["p50_ms"] = p50;
+    entry.metrics["p99_ms"] = p99;
+    entry.metrics["p999_ms"] = p999;
+    entry.metrics["shed"] = static_cast<double>(r.merged.shed);
+    entry.metrics["shed_rate"] = shed_rate;
+    entry.metrics["slo_ms"] = config->slo_ms;
+    entry.metrics["ok"] = static_cast<double>(r.merged.ok);
+    entry.metrics["errors"] = static_cast<double>(r.merged.errors);
+    entry.metrics["coalesce"] = r.coalesce;
+    entry.metrics["mean_batch"] = r.mean_batch;
+    report.Add(std::move(entry));
+  }
+
+  auto written = report.Write();
+  if (written.ok()) {
+    std::printf("\nreport written to %s\n", written->c_str());
+  } else {
+    std::fprintf(stderr, "bench_serving: %s\n",
+                 written.status().ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
-  size_t total_requests = 512;
-  size_t series_len = 64;  // datagen minimum; two selector windows.
-  size_t pool_size = 16;
-  bool detect = false;
+  size_t requests = 100000;
+  size_t clients = 2;
+  size_t pipeline = 256;
+  size_t series_len = kWindow;
+  size_t pool = 4;
+  double slo_ms = 10.0;
+  int latency_fd = -1;
+  std::string connect_address;
+  std::string export_dir;
+
   const auto parse_flag = [](const char* flag, const char* text) {
     auto value = ParseSize(text);
     if (!value.ok()) {
@@ -185,68 +524,52 @@ int Main(int argc, char** argv) {
   };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
-      total_requests = parse_flag("--requests", argv[++i]);
+      requests = parse_flag("--requests", argv[++i]);
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      clients = parse_flag("--clients", argv[++i]);
+    } else if (std::strcmp(argv[i], "--pipeline") == 0 && i + 1 < argc) {
+      pipeline = parse_flag("--pipeline", argv[++i]);
     } else if (std::strcmp(argv[i], "--series-len") == 0 && i + 1 < argc) {
       series_len = parse_flag("--series-len", argv[++i]);
     } else if (std::strcmp(argv[i], "--pool") == 0 && i + 1 < argc) {
-      pool_size = parse_flag("--pool", argv[++i]);
-    } else if (std::strcmp(argv[i], "--detect") == 0) {
-      detect = true;
+      pool = parse_flag("--pool", argv[++i]);
+    } else if (std::strcmp(argv[i], "--slo-ms") == 0 && i + 1 < argc) {
+      slo_ms = std::strtod(argv[++i], nullptr);  // kdsel-lint: allow(raw-parse)
+    } else if (std::strcmp(argv[i], "--latency-fd") == 0 && i + 1 < argc) {
+      latency_fd = static_cast<int>(parse_flag("--latency-fd", argv[++i]));
+    } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      connect_address = argv[++i];
+    } else if (std::strcmp(argv[i], "--export-selector") == 0 &&
+               i + 1 < argc) {
+      export_dir = argv[++i];
     } else {
-      std::fprintf(stderr,
-                   "usage: bench_serving [--requests N] [--pool K] "
-                   "[--series-len L] [--detect]\n");
+      std::fprintf(
+          stderr,
+          "usage: bench_serving [--requests N] [--clients C] [--pipeline D]\n"
+          "                     [--slo-ms M]\n"
+          "       bench_serving --connect HOST:PORT [--requests N]\n"
+          "                     [--pipeline D] [--series-len L] [--pool K]\n"
+          "       bench_serving --export-selector DIR\n");
       return 2;
     }
   }
-  if (detect && series_len < 4 * kWindow) {
-    series_len = 8 * kWindow;  // Detectors need more context than one window.
-  }
 
-  serve::SelectorRegistry registry{
-      core::SelectorManager("/tmp/kdsel_bench_serving")};
-  auto bench_ok = registry.Register("bench", TrainBenchSelector());
-  KDSEL_CHECK(bench_ok.ok());
-  const auto pool = MakeRequestPool(pool_size, series_len);
-
-  const size_t hw = kdsel::ParallelThreads();
-  std::printf("bench_serving: %zu requests/config, pool=%zu, series_len=%zu, "
-              "detect=%d, hardware_concurrency=%zu\n\n",
-              total_requests, pool_size, series_len, detect ? 1 : 0, hw);
-  std::printf("%-28s %8s %9s %8s %8s %8s %9s %7s\n", "config", "req/s",
-              "p50ms", "p95ms", "p99ms", "batch", "coalesce", "failed");
-
-  const std::vector<RunConfig> configs = {
-      {"baseline_1w_b1_1c", 1, 1, 1, 0},
-      {"batched_2w_b16_16c", 2, 16, 16, 2000},
-      {"batched_4w_b32_32c", 4, 32, 32, 2000},
-      {"batched_4w_b64_64c", 4, 64, 64, 4000},
-  };
-
-  double baseline_throughput = 0.0;
-  double best_batched = 0.0;
-  for (const auto& config : configs) {
-    // Warm-up pass primes per-worker selector clones and detector sets.
-    (void)RunConfigOnce(registry, config, pool,
-                        std::min<size_t>(total_requests / 4, 64), detect);
-    const RunResult r =
-        RunConfigOnce(registry, config, pool, total_requests, detect);
-    std::printf("%-28s %8.0f %9.3f %8.3f %8.3f %8.2f %8.2fx %7zu\n",
-                config.label.c_str(), r.throughput, r.p50_ms, r.p95_ms,
-                r.p99_ms, r.mean_batch, r.coalesce, r.failed);
-    if (config.label.rfind("baseline", 0) == 0) {
-      baseline_throughput = r.throughput;
-    } else {
-      best_batched = std::max(best_batched, r.throughput);
+  if (!export_dir.empty()) {
+    core::SelectorManager manager(export_dir);
+    auto selector = TrainBenchSelector();
+    auto saved = manager.Save(*selector, "bench");
+    if (!saved.ok()) {
+      std::fprintf(stderr, "bench_serving: %s\n", saved.ToString().c_str());
+      return 1;
     }
+    std::printf("bench selector saved to %s/bench\n", export_dir.c_str());
+    return 0;
   }
-
-  if (baseline_throughput > 0.0) {
-    std::printf("\nbest batched vs unbatched single-thread baseline: "
-                "%.2fx\n",
-                best_batched / baseline_throughput);
+  if (!connect_address.empty()) {
+    return RunConnectMode(connect_address, requests, pipeline, pool,
+                          series_len, latency_fd);
   }
-  return 0;
+  return RunDriver(requests, clients, pipeline, slo_ms);
 }
 
 }  // namespace

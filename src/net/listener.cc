@@ -1,0 +1,122 @@
+#include "net/listener.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/stringutil.h"
+
+namespace kdsel::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+StatusOr<HostPort> ParseHostPort(const std::string& address) {
+  const size_t colon = address.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("listen address needs host:port, got '" +
+                                   address + "'");
+  }
+  HostPort out;
+  out.host = address.substr(0, colon);
+  KDSEL_ASSIGN_OR_RETURN(const uint64_t port,
+                         ParseUint64(address.substr(colon + 1)));
+  if (port > 65535) {
+    return Status::InvalidArgument("port out of range in '" + address + "'");
+  }
+  out.port = static_cast<uint16_t>(port);
+  return out;
+}
+
+StatusOr<int> OpenReusePortListener(const HostPort& address, int backlog) {
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(address.port);
+  if (address.host.empty() || address.host == "*") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (inet_pton(AF_INET, address.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: '" + address.host +
+                                   "'");
+  }
+
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  if (setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0 ||
+      setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+    Status status = Errno("setsockopt(SO_REUSEADDR|SO_REUSEPORT)");
+    close(fd);
+    return status;
+  }
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Errno("bind " + address.host + ":" +
+                          std::to_string(address.port));
+    close(fd);
+    return status;
+  }
+  if (listen(fd, backlog) != 0) {
+    Status status = Errno("listen");
+    close(fd);
+    return status;
+  }
+  return fd;
+}
+
+StatusOr<int> ConnectTcp(const HostPort& address) {
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(address.port);
+  const std::string host = address.host.empty() ? "127.0.0.1" : address.host;
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: '" + host + "'");
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status = Errno("connect " + host + ":" +
+                          std::to_string(address.port));
+    close(fd);
+    return status;
+  }
+  KDSEL_RETURN_NOT_OK(SetNoDelay(fd));
+  return fd;
+}
+
+StatusOr<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr = {};
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+Status SetNoDelay(int fd) {
+  const int one = 1;
+  if (setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return Status::OK();
+}
+
+}  // namespace kdsel::net

@@ -1,0 +1,44 @@
+#ifndef KDSEL_NET_LISTENER_H_
+#define KDSEL_NET_LISTENER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace kdsel::net {
+
+/// A parsed "host:port" listen address. Host may be empty (wildcard).
+struct HostPort {
+  std::string host;
+  uint16_t port = 0;
+};
+
+/// Parses "127.0.0.1:7070", "0.0.0.0:0" or ":7070" (wildcard host).
+/// IPv4 only; the serving layer is loopback/LAN-facing.
+StatusOr<HostPort> ParseHostPort(const std::string& address);
+
+/// Opens a non-blocking IPv4 TCP listening socket bound with
+/// SO_REUSEADDR + SO_REUSEPORT. Every shard opens its own socket on the
+/// same address, so the kernel load-balances accepts across shards
+/// instead of every shard contending on one accept queue.
+StatusOr<int> OpenReusePortListener(const HostPort& address, int backlog);
+
+/// The port a socket is actually bound to (resolves port 0 requests).
+StatusOr<uint16_t> LocalPort(int fd);
+
+/// Opens a blocking IPv4 TCP connection with TCP_NODELAY set — the
+/// client-side counterpart of OpenReusePortListener, used by the bench
+/// driver and tests so socket(2) stays confined to src/net/.
+StatusOr<int> ConnectTcp(const HostPort& address);
+
+/// Marks any fd non-blocking (O_NONBLOCK).
+Status SetNonBlocking(int fd);
+
+/// Disables Nagle's algorithm on a connected TCP socket; NDJSON
+/// request/response traffic is latency-bound, not bandwidth-bound.
+Status SetNoDelay(int fd);
+
+}  // namespace kdsel::net
+
+#endif  // KDSEL_NET_LISTENER_H_

@@ -1,0 +1,625 @@
+#include "net/server.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "net/listener.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "serve/protocol.h"
+
+namespace kdsel::net {
+
+namespace {
+
+/// Monotonic microseconds on the codebase-wide obs timebase.
+int64_t NowUs() { return static_cast<int64_t>(obs::NowNs() / 1000); }
+
+/// The canned shed reply: cheap to build by construction (no JSON
+/// formatter), identical whether the refusal came from the SLO shedder
+/// or from submit-queue backpressure.
+std::string OverloadedLine(int64_t id) {
+  return "{\"id\":" + std::to_string(id) +
+         ",\"ok\":false,\"error\":\"overloaded\"}";
+}
+
+/// Drain deadline for peers that stop reading during shutdown: sockets
+/// whose pending output cannot be written within this budget are closed
+/// with the output dropped (in-flight inference completions are always
+/// awaited regardless; only unwritable bytes are abandoned).
+constexpr int64_t kStopFlushBudgetUs = 5 * 1000 * 1000;
+
+/// True when `token` appears at `pos` as a JSON key (preceded only by
+/// `{` or `,` modulo whitespace, followed by a colon).
+bool IsTopLevelKey(const std::string& line, size_t pos, size_t len) {
+  size_t before = pos;
+  while (before > 0 && std::isspace(static_cast<unsigned char>(
+                           line[before - 1]))) {
+    --before;
+  }
+  if (before == 0 || (line[before - 1] != '{' && line[before - 1] != ',')) {
+    return false;
+  }
+  size_t after = pos + len;
+  while (after < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[after]))) {
+    ++after;
+  }
+  return after < line.size() && line[after] == ':';
+}
+
+/// Scans for `"key":` at top level-ish positions and returns the index
+/// just past the colon, or npos.
+size_t FindKeyValue(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\"";
+  size_t pos = 0;
+  while ((pos = line.find(needle, pos)) != std::string::npos) {
+    if (IsTopLevelKey(line, pos, needle.size())) {
+      size_t after = pos + needle.size();
+      while (after < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[after]))) {
+        ++after;
+      }
+      return after + 1;  // Past the colon (IsTopLevelKey verified it).
+    }
+    pos += 1;
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+KDSEL_HOT LinePeek PeekRequestLine(const std::string& line) {
+  LinePeek peek;
+  size_t pos = FindKeyValue(line, "op");
+  if (pos != std::string::npos) {
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+    // Anything other than the string "select" (including malformed
+    // values) is not shed on the fast path; the full parser owns it.
+    peek.is_select =
+        line.compare(pos, 8, "\"select\"") == 0;
+  }
+  pos = FindKeyValue(line, "id");
+  if (pos != std::string::npos) {
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+    bool negative = false;
+    if (pos < line.size() && line[pos] == '-') {
+      negative = true;
+      ++pos;
+    }
+    int64_t value = 0;
+    bool any = false;
+    while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+      value = value * 10 + (line[pos] - '0');
+      any = true;
+      ++pos;
+    }
+    if (any) peek.id = negative ? -value : value;
+  }
+  return peek;
+}
+
+NetServer::NetServer(serve::InferenceServer* server, NetServerOptions options)
+    : server_(server), options_(std::move(options)), shedder_([&] {
+        ShedderOptions shed = options_.shedder;
+        shed.slo_us = options_.slo_ms * 1000.0;
+        return shed;
+      }()) {}
+
+NetServer::~NetServer() { Stop(); }
+
+Status NetServer::Start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (server_ == nullptr) {
+    return Status::InvalidArgument("net server needs an inference server");
+  }
+  if (started_) return Status::FailedPrecondition("net server already started");
+  if (options_.shards == 0) {
+    return Status::InvalidArgument("shards must be positive");
+  }
+  if (options_.max_line_bytes == 0 || options_.max_write_buffer_bytes == 0) {
+    return Status::InvalidArgument("buffer caps must be positive");
+  }
+  KDSEL_ASSIGN_OR_RETURN(HostPort address, ParseHostPort(options_.listen));
+
+  auto cleanup = [&] {
+    for (auto& shard : shards_) {
+      if (shard->listen_fd >= 0) close(shard->listen_fd);
+      if (shard->epoll_fd >= 0) close(shard->epoll_fd);
+      if (shard->wake_fd >= 0) close(shard->wake_fd);
+    }
+    shards_.clear();
+  };
+
+  for (size_t i = 0; i < options_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->owner = this;
+    shard->index = i;
+
+    auto listener = OpenReusePortListener(address, options_.backlog);
+    if (!listener.ok()) {
+      cleanup();
+      return listener.status();
+    }
+    shard->listen_fd = *listener;
+    if (i == 0) {
+      // Resolve an ephemeral-port request so the remaining shards (and
+      // the caller) bind/see the same concrete port.
+      auto port = LocalPort(shard->listen_fd);
+      if (!port.ok()) {
+        close(shard->listen_fd);
+        cleanup();
+        return port.status();
+      }
+      port_ = *port;
+      address.port = *port;
+    }
+
+    shard->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    shard->wake_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (shard->epoll_fd < 0 || shard->wake_fd < 0) {
+      Status status = Status::IoError(std::string("epoll_create1/eventfd: ") +
+                                      std::strerror(errno));
+      shards_.push_back(std::move(shard));
+      cleanup();
+      return status;
+    }
+    epoll_event ev = {};
+    ev.events = EPOLLIN;
+    ev.data.fd = shard->listen_fd;
+    epoll_event wake = {};
+    wake.events = EPOLLIN;
+    wake.data.fd = shard->wake_fd;
+    if (epoll_ctl(shard->epoll_fd, EPOLL_CTL_ADD, shard->listen_fd, &ev) != 0 ||
+        epoll_ctl(shard->epoll_fd, EPOLL_CTL_ADD, shard->wake_fd, &wake) != 0) {
+      Status status =
+          Status::IoError(std::string("epoll_ctl: ") + std::strerror(errno));
+      shards_.push_back(std::move(shard));
+      cleanup();
+      return status;
+    }
+    shards_.push_back(std::move(shard));
+  }
+
+  for (auto& shard : shards_) {
+    shard->thread = std::thread(&NetServer::ShardLoop, this, std::ref(*shard));
+  }
+  started_ = true;
+  return Status::OK();
+}
+
+void NetServer::Stop() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  stopping_.store(true, std::memory_order_release);
+  const uint64_t one = 1;
+  for (auto& shard : shards_) {
+    [[maybe_unused]] ssize_t n = write(shard->wake_fd, &one, sizeof(one));
+  }
+  for (auto& shard : shards_) {
+    shard->thread.join();
+    close(shard->epoll_fd);
+    close(shard->wake_fd);
+  }
+}
+
+void NetServer::PushCompletion(Shard& shard, Completion completion) {
+  // The wake write happens under the lock on purpose: once the shard
+  // has drained this completion from the queue (which requires the
+  // lock), the eventfd write has already retired, so the shard can
+  // never exit with a write to its wake_fd still in flight.
+  std::lock_guard<std::mutex> lock(shard.done_mu);
+  shard.done.push_back(std::move(completion));
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(shard.wake_fd, &one, sizeof(one));
+}
+
+void NetServer::EnqueueReady(Conn& conn, std::string line) {
+  Slot slot;
+  slot.kind = Slot::Kind::kReady;
+  slot.line = std::move(line);
+  conn.slots.push_back(std::move(slot));
+}
+
+void NetServer::AcceptReady(Shard& shard) {
+  static obs::Counter& accepted =
+      obs::MetricsRegistry::Global().GetCounter("kdsel.net.connections");
+  for (;;) {
+    const int fd = accept4(shard.listen_fd, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) {
+      // EMFILE/ENFILE: out of descriptors; the pending connection stays
+      // in the backlog and is retried on the next accept wake.
+      break;
+    }
+    // Best effort: NDJSON request/response is latency-bound, but a
+    // kernel refusing TCP_NODELAY is not fatal.
+    Status nodelay = SetNoDelay(fd);
+    (void)nodelay;
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->gen = ++shard.next_gen;
+    conn->armed = EPOLLIN;
+    epoll_event ev = {};
+    ev.events = conn->armed;
+    ev.data.fd = fd;
+    if (epoll_ctl(shard.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      close(fd);
+      continue;
+    }
+    shard.conns[fd] = std::move(conn);
+    accepted.Increment();
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void NetServer::ProcessLine(
+    Shard& shard, Conn& conn, const std::string& line, int64_t now_us,
+    std::vector<serve::InferenceServer::AsyncItem>& submits) {
+  if (line.find_first_not_of(" \t\r") == std::string::npos) return;
+
+  // SLO admission control, before the full JSON parse: refusing a
+  // request must stay cheap precisely when the server has no capacity
+  // to spare.
+  if (options_.slo_ms > 0.0) {
+    const LinePeek peek = PeekRequestLine(line);
+    if (peek.is_select && !shedder_.Admit(now_us)) {
+      server_->stats().RecordShed();
+      EnqueueReady(conn, OverloadedLine(peek.id));
+      return;
+    }
+  }
+
+  int64_t error_id = -1;
+  auto parsed = serve::ParseRequestLine(line, &error_id);
+  if (!parsed.ok()) {
+    EnqueueReady(conn, serve::FormatErrorResponse(error_id, parsed.status()));
+    return;
+  }
+  serve::WireRequest& request = *parsed;
+  serve::SelectorRegistry& registry = server_->registry();
+
+  switch (request.op) {
+    case serve::WireRequest::Op::kQuit:
+      // Drain in-flight replies, then close. Remaining buffered input
+      // is discarded by the caller.
+      conn.stop_reading = true;
+      conn.saw_quit = true;
+      break;
+    case serve::WireRequest::Op::kList:
+      EnqueueReady(conn, serve::FormatListResponse(request.id, registry));
+      break;
+    case serve::WireRequest::Op::kReload: {
+      Status status = request.selector.empty() ? registry.ReloadAll()
+                                               : registry.Load(request.selector);
+      if (status.ok()) server_->stats().RecordReload();
+      EnqueueReady(conn, status.ok()
+                             ? serve::FormatOkResponse(request.id)
+                             : serve::FormatErrorResponse(request.id, status));
+      break;
+    }
+    case serve::WireRequest::Op::kStats: {
+      Slot slot;
+      slot.kind = Slot::Kind::kStats;
+      slot.id = request.id;
+      conn.slots.push_back(std::move(slot));
+      break;
+    }
+    case serve::WireRequest::Op::kSelect: {
+      static obs::Counter& requests =
+          obs::MetricsRegistry::Global().GetCounter("kdsel.net.requests");
+      requests.Increment();
+      const uint64_t seq = conn.base_seq + conn.slots.size();
+      Slot slot;
+      slot.kind = Slot::Kind::kPending;
+      slot.id = request.id;
+      conn.slots.push_back(std::move(slot));
+      ++conn.pending;
+      shard.outstanding.fetch_add(1, std::memory_order_relaxed);
+
+      serve::InferenceServer::AsyncItem item;
+      item.request.selector = request.selector;
+      item.request.run_detection = request.detect;
+      const bool labeled = request.series.has_labels();
+      const bool want_scores = request.want_scores;
+      item.request.series = std::move(request.series);
+      const int64_t id = request.id;
+      const int fd = conn.fd;
+      const uint64_t gen = conn.gen;
+      Shard* shard_ptr = &shard;
+      const bool slo = options_.slo_ms > 0.0;
+      item.done = [this, shard_ptr, fd, gen, seq, id, labeled, want_scores,
+                   slo](StatusOr<serve::SelectResponse> response) {
+        Completion completion;
+        completion.fd = fd;
+        completion.gen = gen;
+        completion.seq = seq;
+        if (response.ok()) {
+          if (slo) shedder_.RecordLatency(response->timing.total_us);
+          completion.line = serve::FormatSelectResponse(id, *response, labeled,
+                                                        want_scores);
+        } else if (response.status().code() ==
+                       StatusCode::kFailedPrecondition &&
+                   response.status().message().find("queue full") !=
+                       std::string::npos) {
+          // Backpressure from the bounded submit queue is load shedding
+          // by another door: same cheap reply, same counter, and no
+          // latency sample (the request never ran).
+          server_->stats().RecordShed();
+          completion.line = OverloadedLine(id);
+        } else {
+          completion.line = serve::FormatErrorResponse(id, response.status());
+        }
+        PushCompletion(*shard_ptr, std::move(completion));
+      };
+      submits.push_back(std::move(item));
+      break;
+    }
+  }
+}
+
+void NetServer::ReadReady(
+    Shard& shard, Conn& conn, int64_t now_us,
+    std::vector<serve::InferenceServer::AsyncItem>& submits) {
+  char buffer[64 * 1024];
+  while (!conn.stop_reading && !conn.dead) {
+    const ssize_t n = read(conn.fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      conn.rbuf.append(buffer, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof(buffer)) break;  // Drained.
+      continue;
+    }
+    if (n == 0) {
+      conn.stop_reading = true;  // EOF; half-close: keep flushing replies.
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    conn.dead = true;
+    return;
+  }
+
+  size_t start = 0;
+  for (;;) {
+    const size_t newline = conn.rbuf.find('\n', start);
+    if (newline == std::string::npos) break;
+    size_t end = newline;
+    if (end > start && conn.rbuf[end - 1] == '\r') --end;
+    if (end - start > options_.max_line_bytes) {
+      LineOverflow(conn);
+      start = conn.rbuf.size();
+      break;
+    }
+    const std::string line = conn.rbuf.substr(start, end - start);
+    start = newline + 1;
+    ProcessLine(shard, conn, line, now_us, submits);
+    if (conn.saw_quit) {
+      // quit: everything after it on the wire is intentionally dropped.
+      // (EOF is different: lines received before the FIN all run.)
+      start = conn.rbuf.size();
+      break;
+    }
+  }
+  conn.rbuf.erase(0, start);
+
+  if (!conn.stop_reading && conn.rbuf.size() > options_.max_line_bytes) {
+    LineOverflow(conn);
+    conn.rbuf.clear();
+  }
+}
+
+/// Rejects a line (complete or still accumulating) past the length cap:
+/// one error reply, then the connection drains its queue and closes.
+void NetServer::LineOverflow(Conn& conn) {
+  static obs::Counter& overflows =
+      obs::MetricsRegistry::Global().GetCounter("kdsel.net.line_overflows");
+  overflows.Increment();
+  EnqueueReady(conn, serve::FormatErrorResponse(
+                         -1, Status::InvalidArgument(
+                                 "line exceeds " +
+                                 std::to_string(options_.max_line_bytes) +
+                                 " bytes")));
+  conn.stop_reading = true;  // Error reply flushes, then the conn closes.
+}
+
+void NetServer::DrainCompletions(Shard& shard) {
+  uint64_t counter = 0;
+  [[maybe_unused]] ssize_t n =
+      read(shard.wake_fd, &counter, sizeof(counter));
+  std::vector<Completion> done;
+  {
+    std::lock_guard<std::mutex> lock(shard.done_mu);
+    done.swap(shard.done);
+  }
+  for (Completion& completion : done) {
+    shard.outstanding.fetch_sub(1, std::memory_order_relaxed);
+    auto it = shard.conns.find(completion.fd);
+    if (it == shard.conns.end() || it->second->gen != completion.gen) {
+      continue;  // The connection died before its reply resolved.
+    }
+    Conn& conn = *it->second;
+    const uint64_t index = completion.seq - conn.base_seq;
+    if (index >= conn.slots.size()) continue;  // Defensive; cannot happen.
+    Slot& slot = conn.slots[static_cast<size_t>(index)];
+    slot.kind = Slot::Kind::kReady;
+    slot.line = std::move(completion.line);
+    --conn.pending;
+  }
+}
+
+void NetServer::FlushConn(Shard& shard, Conn& conn) {
+  if (conn.dead) {
+    CloseConn(shard, conn);
+    return;
+  }
+  // Release the ready prefix in submission order.
+  while (!conn.slots.empty()) {
+    Slot& front = conn.slots.front();
+    if (front.kind == Slot::Kind::kPending) break;
+    if (front.kind == Slot::Kind::kStats) {
+      // Formatted only now, when every earlier reply has left the
+      // queue, so the snapshot covers all previously answered requests.
+      front.line = serve::FormatStatsResponse(front.id, *server_);
+    }
+    conn.wbuf += front.line;
+    conn.wbuf.push_back('\n');
+    conn.slots.pop_front();
+    ++conn.base_seq;
+  }
+
+  while (conn.woff < conn.wbuf.size()) {
+    const ssize_t n = send(conn.fd, conn.wbuf.data() + conn.woff,
+                           conn.wbuf.size() - conn.woff, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.woff += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConn(shard, conn);  // Peer gone; replies are undeliverable.
+    return;
+  }
+  if (conn.woff == conn.wbuf.size() && !conn.wbuf.empty()) {
+    conn.wbuf.clear();
+    conn.woff = 0;
+  }
+
+  if (conn.stop_reading && conn.slots.empty() &&
+      conn.woff == conn.wbuf.size()) {
+    CloseConn(shard, conn);
+    return;
+  }
+
+  // Backpressure: a peer that stops reading its replies stops being
+  // read. Resume at half the cap so the edge does not chatter.
+  const size_t backlog = conn.wbuf.size() - conn.woff;
+  if (!conn.paused && backlog > options_.max_write_buffer_bytes) {
+    conn.paused = true;
+  } else if (conn.paused && backlog < options_.max_write_buffer_bytes / 2) {
+    conn.paused = false;
+  }
+
+  uint32_t want = 0;
+  if (!conn.stop_reading && !conn.paused) want |= EPOLLIN;
+  if (backlog > 0) want |= EPOLLOUT;
+  if (want != conn.armed) {
+    epoll_event ev = {};
+    ev.events = want;
+    ev.data.fd = conn.fd;
+    if (epoll_ctl(shard.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev) == 0) {
+      conn.armed = want;
+    }
+  }
+}
+
+void NetServer::CloseConn(Shard& shard, Conn& conn) {
+  epoll_ctl(shard.epoll_fd, EPOLL_CTL_DEL, conn.fd, nullptr);
+  close(conn.fd);
+  shard.conns.erase(conn.fd);  // Invalidates `conn`.
+}
+
+void NetServer::ShardLoop(Shard& shard) {
+  constexpr size_t kMaxEvents = 256;
+  epoll_event events[kMaxEvents];
+  std::vector<serve::InferenceServer::AsyncItem> submits;
+  bool draining = false;
+  int64_t drain_deadline_us = 0;
+
+  for (;;) {
+    const int timeout_ms = draining ? 50 : -1;
+    const int n = epoll_wait(shard.epoll_fd, events, kMaxEvents, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd broken; nothing sane left to do.
+    }
+    const int64_t now_us = NowUs();
+
+    bool completions = false;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == shard.wake_fd) {
+        completions = true;  // Drained once, below, after socket work.
+        continue;
+      }
+      if (fd == shard.listen_fd) {
+        AcceptReady(shard);
+        continue;
+      }
+      auto it = shard.conns.find(fd);
+      if (it == shard.conns.end()) continue;
+      Conn& conn = *it->second;
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+        // Half-close (EPOLLHUP with pending replies) still flushes;
+        // hard errors surface through read()/send() below.
+        conn.stop_reading = true;
+      }
+      if (events[i].events & EPOLLIN) {
+        ReadReady(shard, conn, now_us, submits);
+      }
+      FlushConn(shard, conn);  // May close and erase `conn`.
+    }
+
+    if (completions) {
+      DrainCompletions(shard);
+      // Ready slots may now head several queues; flush every conn with
+      // no pending front rather than tracking touched fds.
+      for (auto it = shard.conns.begin(); it != shard.conns.end();) {
+        Conn& conn = *it->second;
+        ++it;  // FlushConn may erase the current entry.
+        FlushConn(shard, conn);
+      }
+    }
+
+    if (!submits.empty()) {
+      server_->SubmitBatch(std::move(submits));
+      submits.clear();
+    }
+
+    if (stopping_.load(std::memory_order_acquire) && !draining) {
+      draining = true;
+      drain_deadline_us = now_us + kStopFlushBudgetUs;
+      epoll_ctl(shard.epoll_fd, EPOLL_CTL_DEL, shard.listen_fd, nullptr);
+      close(shard.listen_fd);
+      shard.listen_fd = -1;
+      for (auto it = shard.conns.begin(); it != shard.conns.end();) {
+        Conn& conn = *it->second;
+        ++it;
+        conn.stop_reading = true;
+        FlushConn(shard, conn);  // Closes idle conns outright.
+      }
+    }
+
+    if (draining) {
+      if (NowUs() > drain_deadline_us) {
+        // Peers refusing to read their replies do not hold shutdown
+        // hostage; whatever remains unwritten is dropped.
+        while (!shard.conns.empty()) {
+          CloseConn(shard, *shard.conns.begin()->second);
+        }
+      }
+      if (shard.conns.empty() &&
+          shard.outstanding.load(std::memory_order_relaxed) == 0) {
+        // Late completions for force-closed conns were already drained;
+        // with outstanding at zero no callback will touch wake_fd again,
+        // so Stop() can close it safely after join.
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace kdsel::net

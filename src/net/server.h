@@ -1,0 +1,186 @@
+#ifndef KDSEL_NET_SERVER_H_
+#define KDSEL_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/status.h"
+#include "net/shedder.h"
+#include "serve/server.h"
+
+namespace kdsel::net {
+
+/// Tuning knobs for the TCP front end.
+struct NetServerOptions {
+  /// IPv4 "host:port" to listen on. Port 0 binds an ephemeral port
+  /// (query it with port() after Start()).
+  std::string listen = "127.0.0.1:0";
+  /// Shard threads. Each owns its own SO_REUSEPORT listening socket,
+  /// epoll instance and connections; shards share nothing but the
+  /// InferenceServer behind them.
+  size_t shards = 1;
+  /// p99 SLO target for accepted requests in milliseconds; <= 0 turns
+  /// admission control off.
+  double slo_ms = 0.0;
+  /// A connection whose current line exceeds this many bytes is sent
+  /// one error reply and closed (protocol abuse / runaway input).
+  size_t max_line_bytes = 1 << 20;
+  /// Backpressure: stop reading from a connection whose pending output
+  /// exceeds this many bytes; resume below half of it.
+  size_t max_write_buffer_bytes = 4u << 20;
+  /// listen(2) backlog per shard socket.
+  int backlog = 1024;
+  /// Hysteresis/eval tuning for the shedder; slo_us is derived from
+  /// slo_ms by Start().
+  ShedderOptions shedder;
+};
+
+/// Cheap structural peek at a request line, used for the shed fast
+/// path: while overloaded, select requests are refused from the raw
+/// bytes without paying for a full JSON parse. Heuristic by design (a
+/// quoted string containing `"op"` can fool it); admitted requests
+/// still go through the strict parser, so correctness never depends on
+/// the peek.
+struct LinePeek {
+  bool is_select = true;  ///< "op" missing (the default op) or "select".
+  int64_t id = -1;        ///< Top-level "id" when scannable.
+};
+LinePeek PeekRequestLine(const std::string& line);
+
+/// Network front end for the NDJSON serving protocol.
+///
+/// N shard threads, each with its own SO_REUSEPORT listener and epoll
+/// loop, speak the protocol of serve/protocol.h over TCP with
+/// non-blocking reads/writes and per-connection bounded buffers.
+/// Responses go back in per-connection submission order. Select
+/// requests are handed to the InferenceServer in one batch per epoll
+/// wake (one submission-lock acquisition), and completions flow back to
+/// the owning shard through an eventfd, so no thread ever parks on a
+/// future.
+///
+/// Admission control: when `slo_ms` is set, a Shedder watches the
+/// windowed p99 of accepted requests and, while overloaded, refuses new
+/// select requests with `{"id":N,"ok":false,"error":"overloaded"}`
+/// (counted as `shed` in ServerStats) before they consume parse or
+/// inference capacity.
+///
+/// Lifecycle: Start() binds and spawns shards; Stop() closes the
+/// listeners, stops reading, drains every in-flight request, flushes
+/// what the peers will accept, and joins. Stop this front end BEFORE
+/// stopping the InferenceServer, so in-flight completions can drain.
+class NetServer {
+ public:
+  /// The inference server must outlive this object and be Start()ed.
+  NetServer(serve::InferenceServer* server, NetServerOptions options);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  /// Bound port (after Start(); resolves a port-0 request).
+  uint16_t port() const { return port_; }
+  const NetServerOptions& options() const { return options_; }
+  Shedder& shedder() { return shedder_; }
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One response slot; replies leave in slot order per connection.
+  struct Slot {
+    enum class Kind {
+      kPending,  ///< Select in flight; `line` arrives via completion.
+      kReady,    ///< `line` is final.
+      kStats,    ///< Formatted lazily when it reaches the flush front,
+                 ///< so the snapshot covers every earlier reply.
+    };
+    Kind kind = Kind::kReady;
+    int64_t id = -1;
+    std::string line;
+  };
+
+  struct Conn {
+    int fd = -1;
+    uint64_t gen = 0;
+    std::string rbuf;       ///< Unconsumed input (at most one partial line).
+    std::string wbuf;       ///< Pending output.
+    size_t woff = 0;        ///< Consumed prefix of wbuf.
+    uint32_t armed = 0;     ///< Events currently registered with epoll.
+    uint64_t base_seq = 0;  ///< Sequence number of slots.front().
+    std::deque<Slot> slots;
+    size_t pending = 0;     ///< Slots still waiting on a completion.
+    bool stop_reading = false;  ///< EOF or quit seen (or server stopping).
+    bool saw_quit = false;      ///< quit op: discard any later input too.
+    bool paused = false;        ///< Reads off due to write backpressure.
+    bool dead = false;          ///< Hard error: close, dropping output.
+  };
+
+  /// A resolved select request on its way back to the shard thread.
+  struct Completion {
+    int fd = -1;
+    uint64_t gen = 0;
+    uint64_t seq = 0;
+    std::string line;
+  };
+
+  struct Shard {
+    NetServer* owner = nullptr;
+    size_t index = 0;
+    int listen_fd = -1;
+    int epoll_fd = -1;
+    int wake_fd = -1;  ///< eventfd: completions arrived or Stop() called.
+    std::thread thread;
+    uint64_t next_gen = 0;  ///< Generation source for accepted conns.
+    std::map<int, std::unique_ptr<Conn>> conns;  ///< Shard-thread only.
+    std::mutex done_mu;
+    std::vector<Completion> done KDSEL_GUARDED_BY(done_mu);
+    /// Select slots submitted but not yet seen back by this shard; the
+    /// loop only exits once this drains (the InferenceServer resolves
+    /// every accepted request, so this always terminates).
+    std::atomic<uint64_t> outstanding{0};
+  };
+
+  void ShardLoop(Shard& shard);
+  void AcceptReady(Shard& shard);
+  void ReadReady(Shard& shard, Conn& conn, int64_t now_us,
+                 std::vector<serve::InferenceServer::AsyncItem>& submits);
+  void ProcessLine(Shard& shard, Conn& conn, const std::string& line,
+                   int64_t now_us,
+                   std::vector<serve::InferenceServer::AsyncItem>& submits);
+  void DrainCompletions(Shard& shard);
+  void PushCompletion(Shard& shard, Completion completion);
+  /// Moves ready slots into wbuf, writes what the socket accepts,
+  /// updates epoll interest (EPOLLOUT, read pause/resume) and closes
+  /// the connection when it is finished or broken.
+  void FlushConn(Shard& shard, Conn& conn);
+  void CloseConn(Shard& shard, Conn& conn);
+  void EnqueueReady(Conn& conn, std::string line);
+  void LineOverflow(Conn& conn);
+
+  serve::InferenceServer* server_;
+  NetServerOptions options_;
+  Shedder shedder_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> connections_accepted_{0};
+
+  std::mutex lifecycle_mu_;
+  bool started_ KDSEL_GUARDED_BY(lifecycle_mu_) = false;
+  bool stopped_ KDSEL_GUARDED_BY(lifecycle_mu_) = false;
+};
+
+}  // namespace kdsel::net
+
+#endif  // KDSEL_NET_SERVER_H_

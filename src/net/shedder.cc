@@ -1,0 +1,50 @@
+#include "net/shedder.h"
+
+namespace kdsel::net {
+
+Shedder::Shedder(ShedderOptions options) : options_(options) {}
+
+KDSEL_HOT void Shedder::RecordLatency(double us) { window_.Record(us); }
+
+KDSEL_HOT bool Shedder::Admit(int64_t now_us) {
+  if (options_.slo_us <= 0.0) return true;
+  if (now_us >= next_eval_us_.load(std::memory_order_relaxed)) {
+    Evaluate(now_us);
+  }
+  if (shedding_.load(std::memory_order_relaxed)) {
+    shed_count_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void Shedder::Evaluate(int64_t now_us) {
+  // One evaluator per interval; concurrent shards skip and use the
+  // current state rather than queueing on the lock.
+  std::unique_lock<std::mutex> lock(eval_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  if (now_us < next_eval_us_.load(std::memory_order_relaxed)) return;
+
+  const obs::Histogram::Summary window = window_.Summarize();
+  const bool shedding = shedding_.load(std::memory_order_relaxed);
+  if (!shedding) {
+    if (window.samples >= options_.min_samples &&
+        window.p99 > options_.slo_us) {
+      shedding_.store(true, std::memory_order_relaxed);
+    }
+  } else {
+    // While shedding, the window only sees the draining backlog. Recover
+    // when the drain's p99 clears the exit threshold -- or when nothing
+    // completed at all this window (backlog empty: no evidence left).
+    if (window.samples == 0 ||
+        window.p99 < options_.exit_fraction * options_.slo_us) {
+      shedding_.store(false, std::memory_order_relaxed);
+    }
+  }
+  window_.Reset();
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  next_eval_us_.store(now_us + options_.eval_interval_us,
+                      std::memory_order_relaxed);
+}
+
+}  // namespace kdsel::net

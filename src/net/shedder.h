@@ -1,0 +1,88 @@
+#ifndef KDSEL_NET_SHEDDER_H_
+#define KDSEL_NET_SHEDDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "common/annotations.h"
+#include "obs/metrics.h"
+
+namespace kdsel::net {
+
+/// Tuning for SLO-aware admission control.
+struct ShedderOptions {
+  /// p99 latency target in microseconds for accepted requests; <= 0
+  /// disables shedding entirely (every request is admitted).
+  double slo_us = 0.0;
+  /// Hysteresis: once shedding, recover only when the windowed p99 falls
+  /// below exit_fraction * slo_us. Between the two thresholds the
+  /// current state holds, so the shedder cannot flap on a p99 that
+  /// hovers at the boundary.
+  double exit_fraction = 0.7;
+  /// Evaluate the latency window at most once per this interval.
+  int64_t eval_interval_us = 20000;
+  /// A window needs at least this many samples before its p99 can
+  /// trigger shedding (a handful of cold-start outliers must not shed).
+  uint64_t min_samples = 32;
+};
+
+/// SLO-aware load shedder with hysteresis.
+///
+/// Accepted requests record their server-side total latency into a
+/// windowed obs `LatencyHistogram`; Admit() periodically summarizes the
+/// window, compares its p99 against the SLO target, and flips between
+/// ADMIT and SHED:
+///
+///   ADMIT -> SHED  when windowed p99 > slo_us (with >= min_samples)
+///   SHED  -> ADMIT when windowed p99 < exit_fraction * slo_us, or the
+///                  window is empty (the backlog fully drained -- with
+///                  admission off, an empty window means there is no
+///                  latency evidence left to justify shedding)
+///
+/// The window resets after every evaluation, so decisions track the
+/// last eval interval rather than the whole process history (a p99 over
+/// all time would never recover after one overload episode).
+///
+/// All methods are thread-safe; Admit() and RecordLatency() are
+/// wait-free except for the one caller per interval that wins the
+/// evaluation try_lock. Time is injected (`now_us`, monotonic
+/// microseconds, e.g. obs::NowNs()/1000) so tests can drive the state
+/// machine with a fake clock.
+class Shedder {
+ public:
+  explicit Shedder(ShedderOptions options);
+
+  /// Records the server-side total latency (microseconds) of one
+  /// completed, previously admitted request.
+  void RecordLatency(double us);
+
+  /// Admission decision for one new request at monotonic time `now_us`.
+  /// Returns false (and counts the request as shed) while shedding.
+  bool Admit(int64_t now_us);
+
+  bool shedding() const { return shedding_.load(std::memory_order_relaxed); }
+  uint64_t shed_count() const {
+    return shed_count_.load(std::memory_order_relaxed);
+  }
+  /// Number of window evaluations performed (for tests/introspection).
+  uint64_t evaluations() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+  const ShedderOptions& options() const { return options_; }
+
+ private:
+  void Evaluate(int64_t now_us);
+
+  ShedderOptions options_;
+  obs::Histogram window_;
+  std::atomic<bool> shedding_{false};
+  std::atomic<uint64_t> shed_count_{0};
+  std::atomic<uint64_t> evaluations_{0};
+  std::atomic<int64_t> next_eval_us_{0};
+  std::mutex eval_mu_;  ///< At most one thread evaluates a window.
+};
+
+}  // namespace kdsel::net
+
+#endif  // KDSEL_NET_SHEDDER_H_

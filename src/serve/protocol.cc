@@ -35,13 +35,18 @@ std::string FormatUs(double us) {
 
 }  // namespace
 
-StatusOr<WireRequest> ParseRequestLine(const std::string& line) {
+StatusOr<WireRequest> ParseRequestLine(const std::string& line,
+                                       int64_t* error_id) {
+  if (error_id != nullptr) *error_id = -1;
   KDSEL_ASSIGN_OR_RETURN(Json doc, Json::Parse(line));
   if (!doc.is_object()) {
     return Status::InvalidArgument("request must be a JSON object");
   }
   WireRequest request;
   request.id = static_cast<int64_t>(doc.GetNumber("id", -1));
+  // From here on the line is a JSON object: any later validation error
+  // can still be attributed to the request the client sent.
+  if (error_id != nullptr) *error_id = request.id;
 
   const std::string op = doc.GetString("op", "select");
   if (op == "select") {
@@ -148,6 +153,30 @@ std::string FormatOkResponse(int64_t id) {
   return "{\"id\":" + std::to_string(id) + ",\"ok\":true}";
 }
 
+std::string FormatListResponse(int64_t id, SelectorRegistry& registry) {
+  Json names = Json::Array();
+  for (const auto& name : registry.ResidentNames()) {
+    names.Append(Json::Str(name));
+  }
+  Json disk = Json::Array();
+  if (auto on_disk = registry.DiskNames(); on_disk.ok()) {
+    for (const auto& name : *on_disk) disk.Append(Json::Str(name));
+  }
+  Json reply = Json::Object();
+  reply.Set("id", Json::Number(static_cast<double>(id)));
+  reply.Set("ok", Json::Bool(true));
+  reply.Set("resident", names);
+  reply.Set("on_disk", disk);
+  return reply.Dump();
+}
+
+std::string FormatStatsResponse(int64_t id, const InferenceServer& server) {
+  // SnapshotJson() is already valid JSON text, spliced verbatim.
+  return "{\"id\":" + std::to_string(id) + ",\"ok\":true,\"stats\":" +
+         server.stats().ToJsonString() + ",\"metrics\":" +
+         obs::MetricsRegistry::Global().SnapshotJson() + "}";
+}
+
 namespace {
 
 struct PrintItem {
@@ -191,10 +220,7 @@ Status RunServeLoop(std::istream& in, std::ostream& out,
         // Formatted at print time, after every earlier reply has been
         // resolved, so the snapshot covers all previously answered
         // requests in the session.
-        // SnapshotJson() is already valid JSON text, spliced verbatim.
-        line = "{\"id\":" + std::to_string(item.id) + ",\"ok\":true,\"stats\":" +
-               server.stats().ToJsonString() + ",\"metrics\":" +
-               obs::MetricsRegistry::Global().SnapshotJson() + "}";
+        line = FormatStatsResponse(item.id, server);
       } else if (item.ready.has_value()) {
         line = *item.ready;
       } else {
@@ -226,9 +252,13 @@ Status RunServeLoop(std::istream& in, std::ostream& out,
   bool quit = false;
   while (!quit && std::getline(in, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    auto parsed = ParseRequestLine(line);
+    // A malformed line answers with a structured error (echoing the
+    // request id whenever one was recoverable) and the session keeps
+    // going; only "quit"/EOF end the loop.
+    int64_t error_id = -1;
+    auto parsed = ParseRequestLine(line, &error_id);
     if (!parsed.ok()) {
-      enqueue_ready(FormatErrorResponse(-1, parsed.status()));
+      enqueue_ready(FormatErrorResponse(error_id, parsed.status()));
       continue;
     }
     WireRequest& request = *parsed;
@@ -236,23 +266,9 @@ Status RunServeLoop(std::istream& in, std::ostream& out,
       case WireRequest::Op::kQuit:
         quit = true;
         break;
-      case WireRequest::Op::kList: {
-        Json names = Json::Array();
-        for (const auto& name : registry.ResidentNames()) {
-          names.Append(Json::Str(name));
-        }
-        Json disk = Json::Array();
-        if (auto on_disk = registry.DiskNames(); on_disk.ok()) {
-          for (const auto& name : *on_disk) disk.Append(Json::Str(name));
-        }
-        Json reply = Json::Object();
-        reply.Set("id", Json::Number(static_cast<double>(request.id)));
-        reply.Set("ok", Json::Bool(true));
-        reply.Set("resident", names);
-        reply.Set("on_disk", disk);
-        enqueue_ready(reply.Dump());
+      case WireRequest::Op::kList:
+        enqueue_ready(FormatListResponse(request.id, registry));
         break;
-      }
       case WireRequest::Op::kReload: {
         Status status = request.selector.empty()
                             ? registry.ReloadAll()

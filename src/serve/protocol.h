@@ -36,13 +36,25 @@ struct WireRequest {
 
 /// Parses one request line. Unknown fields are ignored; unknown ops and
 /// malformed JSON are errors.
-StatusOr<WireRequest> ParseRequestLine(const std::string& line);
+///
+/// When `error_id` is non-null it receives the id to echo in an error
+/// reply for this line: the request's "id" whenever the line was at
+/// least a JSON object carrying one (e.g. a select with a bad "values"
+/// array), -1 when even that much could not be recovered. This keeps a
+/// pipelined client able to correlate failures mid-session instead of
+/// seeing every malformed line collapse to id -1.
+StatusOr<WireRequest> ParseRequestLine(const std::string& line,
+                                       int64_t* error_id = nullptr);
 
 /// Response formatting (each returns a complete line WITHOUT the '\n').
 std::string FormatSelectResponse(int64_t id, const SelectResponse& response,
                                  bool labeled, bool want_scores);
 std::string FormatErrorResponse(int64_t id, const Status& status);
 std::string FormatOkResponse(int64_t id);
+
+/// Control-op replies shared by the stdin loop and the TCP shards.
+std::string FormatListResponse(int64_t id, SelectorRegistry& registry);
+std::string FormatStatsResponse(int64_t id, const InferenceServer& server);
 
 /// Runs the NDJSON session: reads requests from `in`, submits "select"
 /// ops to `server` (concurrently, responses are written in submission

@@ -66,13 +66,25 @@ void InferenceServer::Stop() {
 
 StatusOr<std::future<StatusOr<SelectResponse>>> InferenceServer::Submit(
     SelectRequest request) {
+  // Promise-backed shim over the callback path. The shared_ptr keeps the
+  // promise alive inside the copyable std::function.
+  auto state = std::make_shared<std::promise<StatusOr<SelectResponse>>>();
+  std::future<StatusOr<SelectResponse>> future = state->get_future();
+  KDSEL_RETURN_NOT_OK(SubmitAsync(
+      std::move(request), [state](StatusOr<SelectResponse> response) {
+        state->set_value(std::move(response));
+      }));
+  return future;
+}
+
+Status InferenceServer::SubmitAsync(SelectRequest request, DoneCallback done) {
   if (request.selector.empty()) {
     return Status::InvalidArgument("request names no selector");
   }
   Pending pending;
   pending.request = std::move(request);
+  pending.done = std::move(done);
   pending.submit_time = Clock::now();
-  std::future<StatusOr<SelectResponse>> future = pending.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(submit_mu_);
     if (!accepting_) {
@@ -88,7 +100,46 @@ StatusOr<std::future<StatusOr<SelectResponse>>> InferenceServer::Submit(
   }
   stats_.RecordSubmitted();
   submit_cv_.notify_all();
-  return future;
+  return Status::OK();
+}
+
+void InferenceServer::SubmitBatch(std::vector<AsyncItem> items) {
+  const Clock::time_point now = Clock::now();
+  // `done` for inadmissible items runs after the lock drops: callbacks
+  // are caller code and must not execute under submit_mu_.
+  std::vector<std::pair<DoneCallback, Status>> failed;
+  size_t admitted = 0;
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    for (AsyncItem& item : items) {
+      Status verdict = Status::OK();
+      if (item.request.selector.empty()) {
+        verdict = Status::InvalidArgument("request names no selector");
+      } else if (!accepting_) {
+        verdict = Status::FailedPrecondition("server is not accepting requests");
+      } else if (submit_queue_.size() >= options_.queue_capacity) {
+        stats_.RecordRejected();
+        verdict = Status::FailedPrecondition(
+            "submission queue full (" +
+            std::to_string(options_.queue_capacity) + " requests)");
+      }
+      if (!verdict.ok()) {
+        failed.emplace_back(std::move(item.done), std::move(verdict));
+        continue;
+      }
+      Pending pending;
+      pending.request = std::move(item.request);
+      pending.done = std::move(item.done);
+      pending.submit_time = now;
+      submit_queue_.push_back(std::move(pending));
+      ++admitted;
+    }
+  }
+  if (admitted > 0) {
+    stats_.RecordSubmitted(admitted);
+    submit_cv_.notify_all();
+  }
+  for (auto& [done, status] : failed) done(status);
 }
 
 StatusOr<SelectResponse> InferenceServer::Run(SelectRequest request) {
@@ -198,7 +249,7 @@ void InferenceServer::FailBatch(Batch& batch, const Status& status) {
                                          ? ServerStats::Endpoint::kDetect
                                          : ServerStats::Endpoint::kSelect);
     endpoint.failed.fetch_add(1, std::memory_order_relaxed);
-    item.promise.set_value(status);
+    item.done(status);
   }
 }
 
@@ -288,7 +339,7 @@ void InferenceServer::ProcessBatch(
                                             : ServerStats::Endpoint::kSelect);
     if (!item_status[i].ok()) {
       endpoint.failed.fetch_add(1, std::memory_order_relaxed);
-      item.promise.set_value(item_status[i]);
+      item.done(item_status[i]);
       continue;
     }
     std::vector<int> window_predictions(
@@ -297,7 +348,7 @@ void InferenceServer::ProcessBatch(
     auto selection = core::VoteSeriesSelection(window_predictions, num_classes);
     if (!selection.ok()) {
       endpoint.failed.fetch_add(1, std::memory_order_relaxed);
-      item.promise.set_value(selection.status());
+      item.done(selection.status());
       continue;
     }
 
@@ -309,7 +360,7 @@ void InferenceServer::ProcessBatch(
           core::RunSelectedDetection(*selection, models, item.request.series);
       if (!detected.ok()) {
         endpoint.failed.fetch_add(1, std::memory_order_relaxed);
-        item.promise.set_value(detected.status());
+        item.done(detected.status());
         continue;
       }
       response.result = std::move(detected).value();
@@ -334,7 +385,7 @@ void InferenceServer::ProcessBatch(
     if (detect) endpoint.detection.Record(response.timing.detect_us);
     endpoint.total.Record(response.timing.total_us);
     endpoint.completed.fetch_add(1, std::memory_order_relaxed);
-    item.promise.set_value(std::move(response));
+    item.done(std::move(response));
   }
 }
 

@@ -4,12 +4,14 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/annotations.h"
@@ -97,6 +99,30 @@ class InferenceServer {
   /// The future resolves when a worker finishes the request.
   StatusOr<std::future<StatusOr<SelectResponse>>> Submit(SelectRequest request);
 
+  /// Completion callback for the async submission path. Invoked exactly
+  /// once per request, from a worker thread (or from the submitting
+  /// thread when admission fails synchronously). Must not block: the
+  /// net layer's callbacks hand the formatted response to an epoll shard
+  /// and return.
+  using DoneCallback = std::function<void(StatusOr<SelectResponse>)>;
+
+  /// One request of a batched async hand-off.
+  struct AsyncItem {
+    SelectRequest request;
+    DoneCallback done;
+  };
+
+  /// Callback flavor of Submit for event-loop callers that cannot park a
+  /// thread on a future.
+  Status SubmitAsync(SelectRequest request, DoneCallback done);
+
+  /// Batched hand-off: admits every item under ONE submission-queue lock
+  /// acquisition (an epoll shard submits everything parsed in one wake
+  /// cycle together). Items that cannot be admitted (queue full, server
+  /// stopped) have `done` invoked synchronously with the error; the rest
+  /// resolve from worker threads. Every `done` is invoked exactly once.
+  void SubmitBatch(std::vector<AsyncItem> items);
+
   /// Convenience: Submit + wait.
   StatusOr<SelectResponse> Run(SelectRequest request);
 
@@ -110,7 +136,7 @@ class InferenceServer {
 
   struct Pending {
     SelectRequest request;
-    std::promise<StatusOr<SelectResponse>> promise;
+    DoneCallback done;
     Clock::time_point submit_time;
   };
 

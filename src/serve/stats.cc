@@ -58,6 +58,7 @@ Json ServerStats::ToJson() const {
   Json out = Json::Object();
   out.Set("submitted", Json::Number(static_cast<double>(submitted_.load())));
   out.Set("rejected", Json::Number(static_cast<double>(rejected_.load())));
+  out.Set("shed", Json::Number(static_cast<double>(shed_.load())));
   out.Set("completed", Json::Number(static_cast<double>(completed())));
   out.Set("failed", Json::Number(static_cast<double>(failed())));
   out.Set("reloads", Json::Number(static_cast<double>(reloads_.load())));

@@ -44,9 +44,16 @@ class ServerStats {
   enum class Endpoint { kSelect = 0, kDetect = 1 };
   static constexpr size_t kNumEndpoints = 2;
 
-  void RecordSubmitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordSubmitted(uint64_t n = 1) {
+    submitted_.fetch_add(n, std::memory_order_relaxed);
+  }
   void RecordRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
   void RecordReload() { reloads_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Records one request refused by SLO-aware admission control (the
+  /// net-layer shedder) before it reached the submission queue. Distinct
+  /// from `rejected`, which counts queue-full backpressure failures.
+  void RecordShed() { shed_.fetch_add(1, std::memory_order_relaxed); }
 
   /// Records one flushed batch of `size` requests.
   void RecordBatch(size_t size);
@@ -77,6 +84,7 @@ class ServerStats {
 
   uint64_t submitted() const { return submitted_.load(); }
   uint64_t rejected() const { return rejected_.load(); }
+  uint64_t shed() const { return shed_.load(); }
   uint64_t completed() const;
   uint64_t failed() const;
   uint64_t batches() const { return batches_.load(); }
@@ -92,6 +100,7 @@ class ServerStats {
  private:
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> reloads_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> batched_requests_{0};

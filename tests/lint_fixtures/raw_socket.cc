@@ -1,0 +1,28 @@
+// Lint fixture: hand-rolled socket plumbing outside src/net/, the exact
+// anti-pattern the raw-socket rule exists to catch. Real code must serve
+// network traffic through net::NetServer (src/net/server.h), which owns
+// nonblocking setup, backpressure and SLO shedding.
+// NOT compiled — scanned only.
+//
+// Keep line numbers stable: lint_test pins them.
+
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+namespace kdsel::fixture {
+
+// A "quick" hand-rolled accept loop that sidesteps the event loop.
+int OpenAdHocListener() {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);  // 17: raw-socket
+  if (fd < 0) return -1;
+  const int ep = epoll_create1(0);  // 19: raw-socket
+  if (ep < 0) return -1;
+  epoll_event ev = {};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  epoll_ctl(ep, EPOLL_CTL_ADD, fd, &ev);  // 24: raw-socket
+  return accept4(fd, nullptr, nullptr, SOCK_NONBLOCK);  // 25: raw-socket
+}
+
+}  // namespace kdsel::fixture

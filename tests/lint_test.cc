@@ -103,9 +103,9 @@ TEST(LintTest, ViolationsFixtureProducesExactDiagnostics) {
           "is live; scoring is slow and must happen off-lock (clone or "
           "snapshot instead)",
       prefix +
-          "37: raw-thread: 'std::thread' outside src/common/ and src/serve/ "
-          "bypasses the shared pool; use kdsel::ParallelFor or ThreadPool "
-          "(common/parallel.h)",
+          "37: raw-thread: 'std::thread' outside src/common/, src/serve/ and "
+          "src/net/ bypasses the shared pool; use kdsel::ParallelFor or "
+          "ThreadPool (common/parallel.h)",
       prefix +
           "40: raw-simd: raw SIMD outside src/nn/kernels/ bypasses runtime "
           "dispatch and the scalar fallback; add a kernel to nn::kernels and "
@@ -142,6 +142,27 @@ TEST(LintTest, StreamNdjsonFixtureCatchesHandParsing) {
                 "silently wraps; use kdsel::ParseUint64 (stringutil.h)");
 }
 
+// Ad-hoc socket plumbing outside src/net/ sidesteps the event loop's
+// nonblocking setup, backpressure and SLO shedding; the raw-socket rule
+// routes it to net::NetServer.
+TEST(LintTest, RawSocketFixtureCatchesAdHocSockets) {
+  const RunResult result = RunLint(RootArgs(FixturePath("raw_socket.cc")));
+  EXPECT_EQ(result.exit_code, 1);
+
+  const std::vector<std::string> lines = SplitLines(result.stdout_text);
+  ASSERT_EQ(lines.size(), 4u) << result.stdout_text;
+
+  const std::string prefix = "tests/lint_fixtures/raw_socket.cc:";
+  const std::string tail =
+      "' outside src/net/ bypasses the event loop's nonblocking setup, "
+      "backpressure and shedding; serve through net::NetServer "
+      "(net/server.h)";
+  EXPECT_EQ(lines[0], prefix + "17: raw-socket: 'socket" + tail);
+  EXPECT_EQ(lines[1], prefix + "19: raw-socket: 'epoll_create1" + tail);
+  EXPECT_EQ(lines[2], prefix + "24: raw-socket: 'epoll_ctl" + tail);
+  EXPECT_EQ(lines[3], prefix + "25: raw-socket: 'accept4" + tail);
+}
+
 TEST(LintTest, SuppressedFixtureIsClean) {
   const RunResult result = RunLint(RootArgs(FixturePath("suppressed.cc")));
   EXPECT_EQ(result.exit_code, 0) << result.stdout_text;
@@ -158,13 +179,13 @@ TEST(LintTest, CleanFixtureIsClean) {
 // so cross-file symbol collection (Status names, classes, the call
 // graph) must not bleed findings between fixtures. Diagnostics sort by
 // file: guarded_by (2), hot_alloc (3), lock_cycle_a (1), lock_cycle_b
-// (1), stream_ndjson (2), violations (9) -- 18 total.
+// (1), raw_socket (4), stream_ndjson (2), violations (9) -- 22 total.
 TEST(LintTest, FixtureDirectoryScanMatchesPerFileResults) {
   const RunResult result =
       RunLint(RootArgs(std::string(KDSEL_SOURCE_DIR) + "/tests/lint_fixtures"));
   EXPECT_EQ(result.exit_code, 1);
   const std::vector<std::string> lines = SplitLines(result.stdout_text);
-  ASSERT_EQ(lines.size(), 18u) << result.stdout_text;
+  ASSERT_EQ(lines.size(), 22u) << result.stdout_text;
   const std::vector<std::pair<std::string, std::string>> expected = {
       {"guarded_by.cc", "guarded-by"},
       {"guarded_by.cc", "guarded-by"},
@@ -173,6 +194,10 @@ TEST(LintTest, FixtureDirectoryScanMatchesPerFileResults) {
       {"hot_alloc.cc", "alloc-in-hot-path"},
       {"lock_cycle_a.cc", "lock-order-inversion"},
       {"lock_cycle_b.cc", "lock-order-inversion"},
+      {"raw_socket.cc", "raw-socket"},
+      {"raw_socket.cc", "raw-socket"},
+      {"raw_socket.cc", "raw-socket"},
+      {"raw_socket.cc", "raw-socket"},
       {"stream_ndjson.cc", "raw-parse"},
       {"stream_ndjson.cc", "raw-parse"},
       {"violations.cc", "discarded-status"},
@@ -400,8 +425,8 @@ TEST(LintTest, ListRulesNamesEveryRule) {
   for (const char* rule :
        {"discarded-status", "unchecked-value", "naked-new", "raw-parse",
         "nonreproducible-random", "lock-across-score", "raw-thread",
-        "raw-simd", "raw-timing", "lock-order-inversion", "guarded-by",
-        "alloc-in-hot-path"}) {
+        "raw-simd", "raw-socket", "raw-timing", "lock-order-inversion",
+        "guarded-by", "alloc-in-hot-path"}) {
     EXPECT_NE(result.stdout_text.find(rule), std::string::npos) << rule;
   }
 }

@@ -540,6 +540,67 @@ TEST(ProtocolTest, NdjsonSessionEndToEnd) {
   std::filesystem::remove_all(dir);
 }
 
+// Malformed input must not end the session, and the error reply must
+// carry the best id the parser could recover: -1 for non-JSON garbage,
+// the request's own id when the line was a well-formed JSON object that
+// failed validation.
+TEST(InferenceServerTest, ServeLoopRecoversIdsFromMalformedLines) {
+  SelectorRegistry registry(core::SelectorManager("/tmp/kdsel_srv_badid"));
+  ASSERT_TRUE(registry.Register("tiny", TrainTinySelector()).ok());
+  ServerOptions opts;
+  opts.num_workers = 2;
+  InferenceServer server(&registry, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::string values = "[";
+  for (int i = 0; i < 16; ++i) {
+    if (i) values += ",";
+    values += std::to_string(std::sin(0.3 * static_cast<double>(i)));
+  }
+  values += "]";
+
+  std::istringstream in(
+      std::string("not json at all\n") +                         // -> id -1
+      R"({"op":"select","id":41,"selector":"tiny","values":[]})" // -> id 41
+      "\n"
+      R"({"op":"frobnicate","id":42})"                          // -> id 42
+      "\n" +
+      R"({"op":"select","id":43,"selector":"tiny","values":)" + values +
+      R"(,"detect":false})"
+      "\n"
+      R"({"op":"quit"})"
+      "\n");
+  std::ostringstream out;
+  ASSERT_TRUE(RunServeLoop(in, out, server).ok());
+  server.Stop();
+
+  std::vector<std::string> lines;
+  std::istringstream reread(out.str());
+  for (std::string line; std::getline(reread, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);
+
+  auto garbage = Json::Parse(lines[0]);
+  ASSERT_TRUE(garbage.ok());
+  EXPECT_FALSE(garbage->GetBool("ok", true));
+  EXPECT_EQ(garbage->GetNumber("id", 0), -1.0);
+
+  auto empty_values = Json::Parse(lines[1]);
+  ASSERT_TRUE(empty_values.ok());
+  EXPECT_FALSE(empty_values->GetBool("ok", true));
+  EXPECT_EQ(empty_values->GetNumber("id", 0), 41.0);
+
+  auto bad_op = Json::Parse(lines[2]);
+  ASSERT_TRUE(bad_op.ok());
+  EXPECT_FALSE(bad_op->GetBool("ok", true));
+  EXPECT_EQ(bad_op->GetNumber("id", 0), 42.0);
+
+  // The session survived all three and still serves real requests.
+  auto good = Json::Parse(lines[3]);
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->GetBool("ok", false)) << lines[3];
+  EXPECT_EQ(good->GetNumber("id", 0), 43.0);
+}
+
 // A/B serving: fp32 under "tiny" and its quantized sibling under
 // "tiny.int8" live in the registry at once. The wire protocol routes via
 // the optional "variant" field, the int8 entry hot-reloads while fp32

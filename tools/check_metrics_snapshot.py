@@ -19,8 +19,15 @@ all must carry the full workload set including the int8 rows
 metric, and no row may smuggle in a non-positive speedup_vs_1t (the
 writer omits the key when there is no 1-thread baseline).
 
+`--profile serving` validates a BENCH_serving.json written by
+bench_serving: every row must carry the latency percentiles
+(p50/p99/p999), throughput and shed counters, and any row named
+overload* must actually have shed requests -- an overload run that
+sheds nothing means the SLO admission path silently stopped firing.
+
 Usage: check_metrics_snapshot.py [--profile micro|stream] METRICS_x.json
        check_metrics_snapshot.py --profile kernels BENCH_kernels.json
+       check_metrics_snapshot.py --profile serving BENCH_serving.json
 """
 
 import json
@@ -103,11 +110,52 @@ def check_bench_kernels(path, snapshot):
     return errors
 
 
+# Metrics every BENCH_serving.json row must report. The percentile trio
+# is the SLO evidence; shed/req_per_s are the load-shedding contract.
+SERVING_REQUIRED_METRICS = [
+    "req_per_s",
+    "p50_ms",
+    "p99_ms",
+    "p999_ms",
+    "shed",
+    "shed_rate",
+    "ok",
+    "errors",
+    "slo_ms",
+]
+
+
+def check_bench_serving(path, snapshot):
+    errors = []
+    entries = snapshot.get("entries")
+    if not isinstance(entries, list) or not entries:
+        return [f"{path}: missing or empty 'entries'"]
+    for e in entries:
+        name = e.get("name", "?")
+        metrics = e.get("metrics", {})
+        for key in SERVING_REQUIRED_METRICS:
+            if not isinstance(metrics.get(key), (int, float)):
+                errors.append(
+                    f"{path}: '{name}' missing numeric metric '{key}'"
+                )
+        if name.startswith("overload") and not metrics.get("shed", 0) > 0:
+            errors.append(
+                f"{path}: '{name}' shed nothing -- the SLO admission "
+                "path never fired under engineered overload"
+            )
+        if metrics.get("errors", 0) != 0:
+            errors.append(
+                f"{path}: '{name}' reports {metrics['errors']} protocol "
+                "errors (replies that were neither ok nor shed)"
+            )
+    return errors
+
+
 def main(argv):
     args = argv[1:]
     profile = "micro"
     if args and args[0] == "--profile":
-        known = set(REQUIRED_BY_PROFILE) | {"kernels"}
+        known = set(REQUIRED_BY_PROFILE) | {"kernels", "serving"}
         if len(args) < 2 or args[1] not in known:
             print(__doc__.strip(), file=sys.stderr)
             return 2
@@ -119,6 +167,18 @@ def main(argv):
     path = args[0]
     with open(path, "r", encoding="utf-8") as f:
         snapshot = json.load(f)
+
+    if profile == "serving":
+        errors = check_bench_serving(path, snapshot)
+        if errors:
+            for error in errors:
+                print(error, file=sys.stderr)
+            return 1
+        print(
+            f"{path}: ok ({len(snapshot['entries'])} rows, latency "
+            "percentiles and shed accounting present)"
+        )
+        return 0
 
     if profile == "kernels":
         errors = check_bench_kernels(path, snapshot)

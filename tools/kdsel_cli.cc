@@ -32,6 +32,8 @@
 #include "core/trainer.h"
 #include "datagen/benchmark.h"
 #include "metrics/range_metrics.h"
+#include "net/server.h"
+#include "net/signal.h"
 #include "nn/kernels/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -380,7 +382,11 @@ int CmdServe(const Flags& flags) {
                  "usage: kdsel serve --dir SELECTOR_DIR [--workers 4]"
                  " [--max-batch 8] [--max-delay-us 1000]\n"
                  "             [--queue 1024] [--seed 42] [--preload]\n"
-                 "speaks newline-delimited JSON on stdin/stdout;"
+                 "             [--listen HOST:PORT [--shards 1]"
+                 " [--slo-ms 0]]\n"
+                 "speaks newline-delimited JSON on stdin/stdout by default;"
+                 " --listen serves the same\n"
+                 "protocol over TCP with SLO-aware load shedding;"
                  " see README section 'kdsel serve'\n");
     return 2;
   }
@@ -406,14 +412,51 @@ int CmdServe(const Flags& flags) {
   serve::InferenceServer server(registry.get(), opts);
   Status started = server.Start();
   if (!started.ok()) return Fail(started);
+
+  // SIGINT/SIGTERM drain in-flight requests and print final stats in
+  // both transports instead of killing the process mid-reply.
+  Status handlers = net::InstallShutdownHandlers();
+  if (!handlers.ok()) return Fail(handlers);
+
+  if (flags.Has("listen")) {
+    net::NetServerOptions net_opts;
+    net_opts.listen = flags.Get("listen", "127.0.0.1:7070");
+    net_opts.shards = static_cast<size_t>(flags.GetInt("shards", 1));
+    net_opts.slo_ms = flags.GetDouble("slo-ms", 0.0);
+    net::NetServer net(&server, net_opts);
+    Status listening = net.Start();
+    if (!listening.ok()) {
+      server.Stop();
+      return Fail(listening);
+    }
+    std::fprintf(stderr,
+                 "kdsel serve: listening on %s port %u, %zu shards,"
+                 " slo %.3f ms, %zu workers, max_batch %zu\n",
+                 net_opts.listen.c_str(), net.port(), net_opts.shards,
+                 net_opts.slo_ms, opts.num_workers, opts.max_batch);
+    net::WaitForShutdownSignal();
+    std::fprintf(stderr, "kdsel serve: shutdown signal, draining\n");
+    net.Stop();  // Flushes in-flight replies before workers stop.
+    server.Stop();
+    std::fprintf(stderr, "kdsel serve: shed %llu, final stats %s\n",
+                 static_cast<unsigned long long>(net.shedder().shed_count()),
+                 server.stats().ToJsonString().c_str());
+    return 0;
+  }
+
   std::fprintf(stderr,
                "kdsel serve: %zu workers, max_batch %zu, max_delay %lld us,"
                " queue %zu — reading NDJSON from stdin\n",
                opts.num_workers, opts.max_batch,
                static_cast<long long>(opts.max_delay_us), opts.queue_capacity);
 
+  // Handlers installed without SA_RESTART: a signal pops std::getline out
+  // of its blocking read with eof set, so the loop drains and returns.
   Status session = serve::RunServeLoop(std::cin, std::cout, server);
   server.Stop();
+  if (net::ShutdownRequested()) {
+    std::fprintf(stderr, "kdsel serve: shutdown signal, drained\n");
+  }
   std::fprintf(stderr, "kdsel serve: final stats %s\n",
                server.stats().ToJsonString().c_str());
   if (!session.ok()) return Fail(session);
@@ -469,10 +512,19 @@ int CmdStream(const Flags& flags) {
                selector.c_str(), opts.window, opts.rescore_interval,
                opts.drift_check_interval);
 
+  // Installed without SA_RESTART so SIGINT/SIGTERM pop the loop's
+  // blocking getline with eof set: the session drains buffered events
+  // and the final stats line below still prints.
+  Status handlers = net::InstallShutdownHandlers();
+  if (!handlers.ok()) return Fail(handlers);
+
   stream::StreamLoopOptions loop_opts;
   loop_opts.max_batch = flags.GetInt("batch", 256);
   Status session =
       stream::RunStreamLoop(std::cin, std::cout, scorer, *registry, loop_opts);
+  if (net::ShutdownRequested()) {
+    std::fprintf(stderr, "kdsel stream: shutdown signal, drained\n");
+  }
   std::fprintf(stderr, "kdsel stream: final stats series=%zu points=%zu\n",
                scorer.series_count(), scorer.points_ingested());
   if (!session.ok()) return Fail(session);

@@ -30,10 +30,12 @@
 //   nonreproducible-random  rand()/srand()/random_device/time(nullptr)
 //   lock-across-score       a mutex guard live across a detector
 //                           `Score(...)` call
-//   raw-thread              std::thread/std::async outside src/common/
-//                           and src/serve/
+//   raw-thread              std::thread/std::async outside src/common/,
+//                           src/serve/ and src/net/
 //   raw-simd                intrinsics or intrinsic headers outside
 //                           src/nn/kernels/
+//   raw-socket              socket(2)/epoll_*/accept(2) outside
+//                           src/net/
 //   raw-timing              steady_clock/high_resolution_clock outside
 //                           src/obs/, src/common/ and bench/
 //
@@ -118,8 +120,10 @@ constexpr RuleInfo kRules[] = {
     {"raw-parse", "std::sto*/ato*/strto* outside src/common/"},
     {"nonreproducible-random", "unseeded randomness or wall-clock seeding"},
     {"lock-across-score", "mutex held across a detector Score() call"},
-    {"raw-thread", "std::thread/std::async outside src/common/ and src/serve/"},
+    {"raw-thread",
+     "std::thread/std::async outside src/common/, src/serve/ and src/net/"},
     {"raw-simd", "intrinsics or intrinsic headers outside src/nn/kernels/"},
+    {"raw-socket", "socket(2)/epoll_*/accept(2) outside src/net/"},
     {"raw-timing",
      "steady_clock/high_resolution_clock outside src/obs/, src/common/ and "
      "bench/"},
@@ -166,9 +170,10 @@ struct SourceFile {
   std::vector<bool> line_has_code;  // index = line number (0 unused).
   size_t line_count = 0;
   bool in_common = false;       // src/common/: exempt from raw-parse.
-  bool in_thread_zone = false;  // src/common/ or src/serve/.
+  bool in_thread_zone = false;  // src/common/, src/serve/ or src/net/.
   bool in_kernels = false;      // src/nn/kernels/: raw-simd home.
   bool in_timing_zone = false;  // src/obs/, src/common/ or bench/.
+  bool in_net = false;          // src/net/: raw-socket home.
 };
 
 bool IsIdentStart(char c) {
@@ -2710,9 +2715,22 @@ void RunFilePasses(Program& prog, int fi, std::vector<Diagnostic>* out) {
         i >= 2 && toks[i - 2].text == "std") {
       report(tok.line, "raw-thread",
              "'std::" + std::string(t == "async" ? "thread" : t) +
-                 "' outside src/common/ and src/serve/ bypasses the shared "
-                 "pool; use kdsel::ParallelFor or ThreadPool "
+                 "' outside src/common/, src/serve/ and src/net/ bypasses "
+                 "the shared pool; use kdsel::ParallelFor or ThreadPool "
                  "(common/parallel.h)");
+      continue;
+    }
+
+    if (!file.in_net && next_is_call && !prev_is_decl_head && prev != "." &&
+        prev != "->" && prev != "::" &&
+        (t == "socket" || t == "accept" || t == "accept4" ||
+         t == "epoll_create" || t == "epoll_create1" || t == "epoll_ctl" ||
+         t == "epoll_wait" || t == "epoll_pwait")) {
+      report(tok.line, "raw-socket",
+             "'" + t +
+                 "' outside src/net/ bypasses the event loop's nonblocking "
+                 "setup, backpressure and shedding; serve through "
+                 "net::NetServer (net/server.h)");
       continue;
     }
 
@@ -2941,8 +2959,9 @@ void SetZones(SourceFile& file) {
     return p.find(needle) != std::string::npos;
   };
   file.in_common = contains("src/common/") || contains("src\\common\\");
-  file.in_thread_zone = file.in_common || contains("src/serve/") ||
-                        contains("src\\serve\\");
+  file.in_net = contains("src/net/") || contains("src\\net\\");
+  file.in_thread_zone = file.in_common || file.in_net ||
+                        contains("src/serve/") || contains("src\\serve\\");
   file.in_kernels = contains("src/nn/kernels/") || contains("src\\nn\\kernels\\");
   file.in_timing_zone = file.in_common || contains("src/obs/") ||
                         contains("src\\obs\\") || p.rfind("bench/", 0) == 0 ||
