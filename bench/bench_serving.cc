@@ -54,6 +54,8 @@
 #include "core/trainer.h"
 #include "net/listener.h"
 #include "net/server.h"
+#include "obs/metrics.h"
+#include "serve/json.h"
 #include "serve/registry.h"
 #include "serve/server.h"
 
@@ -282,14 +284,43 @@ struct NetRunResult {
   uint64_t server_shed = 0;
   double mean_batch = 0.0;
   double coalesce = 1.0;
+  std::string ops_snapshot;  ///< "ops" snapshot reply scraped over TCP.
+  std::string ops_flight;    ///< "ops" flight reply scraped over TCP.
 };
 
-double PercentileMs(const std::vector<double>& sorted_us, double q) {
-  if (sorted_us.empty()) return 0.0;
-  const size_t idx = std::min(
-      sorted_us.size() - 1,
-      static_cast<size_t>(q * static_cast<double>(sorted_us.size())));
-  return sorted_us[idx] / 1000.0;
+/// Client-observed percentiles go through obs::Histogram::Percentile —
+/// the same estimator (bucket resolution, midpoint rule) the server's
+/// stage histograms use — so driver-side and ops-snapshot quantiles are
+/// directly comparable instead of mixing rank math with bucket math.
+double PercentileMs(const obs::Histogram& hist, double q) {
+  return hist.Percentile(q) / 1000.0;
+}
+
+/// Fetches one "ops" view from a running NetServer over a short-lived
+/// loopback connection; returns the reply line (empty on any failure —
+/// the bench report simply omits the derived metrics then).
+std::string FetchOpsView(uint16_t port, const std::string& view) {
+  auto host_port = net::ParseHostPort("127.0.0.1:" + std::to_string(port));
+  if (!host_port.ok()) return std::string();
+  auto connected = net::ConnectTcp(*host_port);
+  if (!connected.ok()) return std::string();
+  const int fd = *connected;
+  const std::string request = "{\"op\":\"ops\",\"id\":0,\"view\":\"" + view +
+                              "\"}\n{\"op\":\"quit\"}\n";
+  WriteAll(fd, request.data(), request.size());
+  std::string reply;
+  char buffer[64 * 1024];
+  while (reply.find('\n') == std::string::npos) {
+    const ssize_t n = read(fd, buffer, sizeof(buffer));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    reply.append(buffer, static_cast<size_t>(n));
+  }
+  close(fd);
+  const size_t newline = reply.find('\n');
+  if (newline == std::string::npos) return std::string();
+  reply.resize(newline);
+  return reply;
 }
 
 void ReadAll(int fd, char* data, size_t size) {
@@ -335,6 +366,9 @@ std::pair<pid_t, int> SpawnClient(const std::string& self_path,
 NetRunResult RunNetConfig(serve::SelectorRegistry& registry,
                           const std::string& self_path,
                           const NetConfig& config) {
+  // Stage/e2e histograms live in the process-global registry; zero them
+  // so each config's ops snapshot covers exactly that config's load.
+  obs::MetricsRegistry::Global().ResetValuesForTesting();
   serve::InferenceServer server(&registry, config.server);
   KDSEL_CHECK(server.Start().ok());
   net::NetServerOptions net_opts;
@@ -378,6 +412,12 @@ NetRunResult RunNetConfig(serve::SelectorRegistry& registry,
   }
   result.wall_seconds = (NowUs() - start_us) / 1e6;
 
+  // Scrape the live telemetry endpoint while the server is still up:
+  // this is the same wire path `kdsel ops --connect` uses, so the bench
+  // doubles as an end-to-end exercise of the "ops" op under real load.
+  result.ops_snapshot = FetchOpsView(net.port(), "snapshot");
+  result.ops_flight = FetchOpsView(net.port(), "flight");
+
   net.Stop();
   server.Stop();
   result.server_shed = server.stats().shed();
@@ -386,8 +426,6 @@ NetRunResult RunNetConfig(serve::SelectorRegistry& registry,
     result.coalesce = static_cast<double>(server.stats().rows_total()) /
                       static_cast<double>(server.stats().rows_unique());
   }
-  std::sort(result.merged.latencies_us.begin(),
-            result.merged.latencies_us.end());
   return result;
 }
 
@@ -463,14 +501,66 @@ int RunDriver(size_t requests, size_t clients, size_t pipeline,
         replies > 0 ? static_cast<double>(r.merged.shed) /
                           static_cast<double>(replies)
                     : 0.0;
-    const double p50 = PercentileMs(r.merged.latencies_us, 0.50);
-    const double p99 = PercentileMs(r.merged.latencies_us, 0.99);
-    const double p999 = PercentileMs(r.merged.latencies_us, 0.999);
+    obs::Histogram latency_hist;
+    for (const double us : r.merged.latencies_us) latency_hist.Record(us);
+    const double p50 = PercentileMs(latency_hist, 0.50);
+    const double p99 = PercentileMs(latency_hist, 0.99);
+    const double p999 = PercentileMs(latency_hist, 0.999);
     std::printf("%-10s %9.0f %9.3f %8.3f %8.3f %8llu %8.1f%% %8.2fx %7llu\n",
                 config->name.c_str(), req_per_s, p50, p99, p999,
                 static_cast<unsigned long long>(r.merged.shed),
                 100.0 * shed_rate, r.coalesce,
                 static_cast<unsigned long long>(r.merged.errors));
+
+    // Stage decomposition from the scraped ops snapshot: the per-stage
+    // p50s should roughly add up to the server-observed end-to-end p50
+    // (the acceptance bound is 20%; client-observed p50 above includes
+    // client-side queueing on top, so compare server e2e, not p50_ms).
+    double stage_p50_us[4] = {0.0, 0.0, 0.0, 0.0};
+    double stage_p50_sum_us = 0.0;
+    double e2e_p50_us = 0.0;
+    double flight_slowest_us = 0.0;
+    double flight_recorded = 0.0;
+    static constexpr const char* kStages[4] = {
+        "kdsel.net.stage.queue", "kdsel.net.stage.batch_wait",
+        "kdsel.net.stage.compute", "kdsel.net.stage.write"};
+    if (auto snapshot = serve::Json::Parse(r.ops_snapshot); snapshot.ok()) {
+      if (const serve::Json* metrics = snapshot->Find("metrics")) {
+        if (const serve::Json* hists = metrics->Find("histograms")) {
+          for (size_t s = 0; s < 4; ++s) {
+            if (const serve::Json* h = hists->Find(kStages[s])) {
+              stage_p50_us[s] = h->GetNumber("p50", 0.0);
+              stage_p50_sum_us += stage_p50_us[s];
+            }
+          }
+          if (const serve::Json* h = hists->Find("kdsel.net.e2e")) {
+            e2e_p50_us = h->GetNumber("p50", 0.0);
+          }
+        }
+      }
+    }
+    if (auto dump = serve::Json::Parse(r.ops_flight); dump.ok()) {
+      if (const serve::Json* flight = dump->Find("flight")) {
+        flight_recorded = flight->GetNumber("recorded", 0.0);
+        if (const serve::Json* slowest = flight->Find("slowest");
+            slowest != nullptr && slowest->is_array() &&
+            !slowest->items().empty()) {
+          flight_slowest_us = slowest->items().front().GetNumber("total_us",
+                                                                 0.0);
+        }
+      }
+    }
+    const double driver_max_us =
+        r.merged.latencies_us.empty()
+            ? 0.0
+            : *std::max_element(r.merged.latencies_us.begin(),
+                                r.merged.latencies_us.end());
+    std::printf("  ops: stage p50 q=%.0f bw=%.0f c=%.0f w=%.0f sum %.1fus vs "
+                "e2e p50 %.1fus; flight recorded %.0f, slowest %.1fus "
+                "(driver max %.1fus)\n",
+                stage_p50_us[0], stage_p50_us[1], stage_p50_us[2],
+                stage_p50_us[3], stage_p50_sum_us, e2e_p50_us, flight_recorded,
+                flight_slowest_us, driver_max_us);
 
     bench::BenchEntry entry;
     entry.name = config->name;
@@ -489,6 +579,10 @@ int RunDriver(size_t requests, size_t clients, size_t pipeline,
     entry.metrics["errors"] = static_cast<double>(r.merged.errors);
     entry.metrics["coalesce"] = r.coalesce;
     entry.metrics["mean_batch"] = r.mean_batch;
+    entry.metrics["stage_p50_sum_us"] = stage_p50_sum_us;
+    entry.metrics["e2e_p50_us"] = e2e_p50_us;
+    entry.metrics["flight_recorded"] = flight_recorded;
+    entry.metrics["flight_slowest_us"] = flight_slowest_us;
     report.Add(std::move(entry));
   }
 

@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cstdio>
@@ -25,10 +26,36 @@ int64_t NowUs() { return static_cast<int64_t>(obs::NowNs() / 1000); }
 
 /// The canned shed reply: cheap to build by construction (no JSON
 /// formatter), identical whether the refusal came from the SLO shedder
-/// or from submit-queue backpressure.
-std::string OverloadedLine(int64_t id) {
-  return "{\"id\":" + std::to_string(id) +
-         ",\"ok\":false,\"error\":\"overloaded\"}";
+/// or from submit-queue backpressure. `trace` must be in the sanitized
+/// trace charset (it is spliced raw); "" omits the field.
+std::string OverloadedLine(int64_t id, const char* trace = "") {
+  std::string out = "{\"id\":" + std::to_string(id) +
+                    ",\"ok\":false,\"error\":\"overloaded\"";
+  if (trace[0] != '\0') {
+    out += ",\"trace\":\"";
+    out += trace;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+/// Mirrors serve::SanitizeTraceId's charset; duplicated here so the
+/// shed fast path can validate a peeked trace without a string
+/// allocation. The charset is what makes raw-splicing safe.
+bool IsTraceChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '.' || c == '_' || c == ':' ||
+         c == '-';
+}
+
+/// Deterministic server-generated trace id for requests whose client
+/// sent none: `s<shard>-<per-shard sequence>`. Shard-thread only (the
+/// sequence lives on the Shard).
+void GenerateTrace(size_t shard_index, uint64_t& trace_seq,
+                   char out[obs::FlightRecord::kTraceBytes]) {
+  std::snprintf(out, obs::FlightRecord::kTraceBytes, "s%zu-%llu", shard_index,
+                static_cast<unsigned long long>(++trace_seq));
 }
 
 /// Drain deadline for peers that stop reading during shutdown: sockets
@@ -109,6 +136,35 @@ KDSEL_HOT LinePeek PeekRequestLine(const std::string& line) {
       ++pos;
     }
     if (any) peek.id = negative ? -value : value;
+  }
+  pos = FindKeyValue(line, "trace");
+  if (pos != std::string::npos) {
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+    if (pos < line.size() && line[pos] == '"') {
+      ++pos;
+      size_t out = 0;
+      bool usable = false;
+      while (pos < line.size()) {
+        const char c = line[pos];
+        if (c == '"') {
+          usable = true;  // Closing quote reached within budget.
+          break;
+        }
+        // Escapes, exotic characters and over-long ids all disqualify
+        // the peek (the id is dropped, not an error): only ids that can
+        // be spliced raw are worth recovering on the fast path.
+        if (!IsTraceChar(c) ||
+            out + 1 >= obs::FlightRecord::kTraceBytes) {
+          break;
+        }
+        peek.trace[out++] = c;
+        ++pos;
+      }
+      peek.trace[usable ? out : 0] = '\0';
+    }
   }
   return peek;
 }
@@ -274,12 +330,24 @@ void NetServer::ProcessLine(
 
   // SLO admission control, before the full JSON parse: refusing a
   // request must stay cheap precisely when the server has no capacity
-  // to spare.
+  // to spare. The refusal still carries a trace id (peeked from the raw
+  // bytes or generated) so shed requests are attributable end to end.
   if (options_.slo_ms > 0.0) {
     const LinePeek peek = PeekRequestLine(line);
     if (peek.is_select && !shedder_.Admit(now_us)) {
       server_->stats().RecordShed();
-      EnqueueReady(conn, OverloadedLine(peek.id));
+      char trace[obs::FlightRecord::kTraceBytes];
+      if (peek.trace[0] != '\0') {
+        std::memcpy(trace, peek.trace, sizeof(trace));
+      } else {
+        GenerateTrace(shard.index, shard.trace_seq, trace);
+      }
+      EnqueueReady(conn, OverloadedLine(peek.id, trace));
+      Slot& slot = conn.slots.back();
+      slot.meta.traced = true;
+      slot.meta.verdict = obs::FlightRecord::Verdict::kShed;
+      slot.meta.ingress_us = now_us;
+      std::memcpy(slot.meta.trace, trace, sizeof(trace));
       return;
     }
   }
@@ -287,7 +355,18 @@ void NetServer::ProcessLine(
   int64_t error_id = -1;
   auto parsed = serve::ParseRequestLine(line, &error_id);
   if (!parsed.ok()) {
-    EnqueueReady(conn, serve::FormatErrorResponse(error_id, parsed.status()));
+    // Rare path: one extra structural scan recovers the client's trace
+    // id from the unparseable line when it has a usable one.
+    char trace[obs::FlightRecord::kTraceBytes];
+    std::memcpy(trace, PeekRequestLine(line).trace, sizeof(trace));
+    if (trace[0] == '\0') GenerateTrace(shard.index, shard.trace_seq, trace);
+    EnqueueReady(conn, serve::FormatErrorResponse(error_id, parsed.status(),
+                                                  trace));
+    Slot& slot = conn.slots.back();
+    slot.meta.traced = true;
+    slot.meta.verdict = obs::FlightRecord::Verdict::kError;
+    slot.meta.ingress_us = now_us;
+    std::memcpy(slot.meta.trace, trace, sizeof(trace));
     return;
   }
   serve::WireRequest& request = *parsed;
@@ -319,14 +398,31 @@ void NetServer::ProcessLine(
       conn.slots.push_back(std::move(slot));
       break;
     }
+    case serve::WireRequest::Op::kOps: {
+      Slot slot;
+      slot.kind = Slot::Kind::kOps;
+      slot.id = request.id;
+      slot.view = request.view;
+      conn.slots.push_back(std::move(slot));
+      break;
+    }
     case serve::WireRequest::Op::kSelect: {
       static obs::Counter& requests =
           obs::MetricsRegistry::Global().GetCounter("kdsel.net.requests");
       requests.Increment();
+      char trace[obs::FlightRecord::kTraceBytes];
+      if (!request.trace.empty()) {
+        std::snprintf(trace, sizeof(trace), "%s", request.trace.c_str());
+      } else {
+        GenerateTrace(shard.index, shard.trace_seq, trace);
+      }
       const uint64_t seq = conn.base_seq + conn.slots.size();
       Slot slot;
       slot.kind = Slot::Kind::kPending;
       slot.id = request.id;
+      slot.meta.traced = true;
+      slot.meta.ingress_us = now_us;
+      std::memcpy(slot.meta.trace, trace, sizeof(trace));
       conn.slots.push_back(std::move(slot));
       ++conn.pending;
       shard.outstanding.fetch_add(1, std::memory_order_relaxed);
@@ -340,18 +436,33 @@ void NetServer::ProcessLine(
       const int64_t id = request.id;
       const int fd = conn.fd;
       const uint64_t gen = conn.gen;
+      // ".int8" names route to the quantized sibling (protocol variant
+      // rewrite); attribute the request in the flight recorder.
+      const bool int8_variant =
+          request.selector.size() >= 5 &&
+          request.selector.compare(request.selector.size() - 5, 5, ".int8") ==
+              0;
+      std::string trace_echo(trace);
       Shard* shard_ptr = &shard;
       const bool slo = options_.slo_ms > 0.0;
       item.done = [this, shard_ptr, fd, gen, seq, id, labeled, want_scores,
+                   int8_variant, trace_echo = std::move(trace_echo),
                    slo](StatusOr<serve::SelectResponse> response) {
         Completion completion;
         completion.fd = fd;
         completion.gen = gen;
         completion.seq = seq;
+        completion.int8_variant = int8_variant;
         if (response.ok()) {
           if (slo) shedder_.RecordLatency(response->timing.total_us);
+          const serve::RequestTiming& timing = response->timing;
+          completion.verdict = obs::FlightRecord::Verdict::kOk;
+          completion.done_us = timing.done_us;
+          completion.batch_wait_us = static_cast<float>(timing.batch_wait_us);
+          completion.compute_us = static_cast<float>(timing.compute_us);
           completion.line = serve::FormatSelectResponse(id, *response, labeled,
-                                                        want_scores);
+                                                        want_scores,
+                                                        trace_echo);
         } else if (response.status().code() ==
                        StatusCode::kFailedPrecondition &&
                    response.status().message().find("queue full") !=
@@ -360,9 +471,12 @@ void NetServer::ProcessLine(
           // by another door: same cheap reply, same counter, and no
           // latency sample (the request never ran).
           server_->stats().RecordShed();
-          completion.line = OverloadedLine(id);
+          completion.verdict = obs::FlightRecord::Verdict::kShed;
+          completion.line = OverloadedLine(id, trace_echo.c_str());
         } else {
-          completion.line = serve::FormatErrorResponse(id, response.status());
+          completion.verdict = obs::FlightRecord::Verdict::kError;
+          completion.line = serve::FormatErrorResponse(id, response.status(),
+                                                       trace_echo);
         }
         PushCompletion(*shard_ptr, std::move(completion));
       };
@@ -400,7 +514,7 @@ void NetServer::ReadReady(
     size_t end = newline;
     if (end > start && conn.rbuf[end - 1] == '\r') --end;
     if (end - start > options_.max_line_bytes) {
-      LineOverflow(conn);
+      LineOverflow(shard, conn);
       start = conn.rbuf.size();
       break;
     }
@@ -417,22 +531,33 @@ void NetServer::ReadReady(
   conn.rbuf.erase(0, start);
 
   if (!conn.stop_reading && conn.rbuf.size() > options_.max_line_bytes) {
-    LineOverflow(conn);
+    LineOverflow(shard, conn);
     conn.rbuf.clear();
   }
 }
 
 /// Rejects a line (complete or still accumulating) past the length cap:
 /// one error reply, then the connection drains its queue and closes.
-void NetServer::LineOverflow(Conn& conn) {
+/// The line is abusive by definition, so no trace peek: the refusal is
+/// recorded under a generated trace id.
+void NetServer::LineOverflow(Shard& shard, Conn& conn) {
   static obs::Counter& overflows =
       obs::MetricsRegistry::Global().GetCounter("kdsel.net.line_overflows");
   overflows.Increment();
+  char trace[obs::FlightRecord::kTraceBytes];
+  GenerateTrace(shard.index, shard.trace_seq, trace);
   EnqueueReady(conn, serve::FormatErrorResponse(
-                         -1, Status::InvalidArgument(
-                                 "line exceeds " +
-                                 std::to_string(options_.max_line_bytes) +
-                                 " bytes")));
+                         -1,
+                         Status::InvalidArgument(
+                             "line exceeds " +
+                             std::to_string(options_.max_line_bytes) +
+                             " bytes"),
+                         trace));
+  Slot& slot = conn.slots.back();
+  slot.meta.traced = true;
+  slot.meta.verdict = obs::FlightRecord::Verdict::kOverflow;
+  slot.meta.ingress_us = NowUs();
+  std::memcpy(slot.meta.trace, trace, sizeof(trace));
   conn.stop_reading = true;  // Error reply flushes, then the conn closes.
 }
 
@@ -457,6 +582,24 @@ void NetServer::DrainCompletions(Shard& shard) {
     Slot& slot = conn.slots[static_cast<size_t>(index)];
     slot.kind = Slot::Kind::kReady;
     slot.line = std::move(completion.line);
+    slot.meta.done_us = completion.done_us;
+    slot.meta.batch_wait_us = completion.batch_wait_us;
+    slot.meta.compute_us = completion.compute_us;
+    // Queue is the ingress->dequeue span minus batch formation and
+    // compute: socket parse, submit and queue wait. Charging the
+    // residual (rather than serve's submit->dequeue clock) makes the
+    // four stages sum to the e2e total exactly, so per-stage p50s
+    // reconcile against the kdsel.net.e2e histogram.
+    if (completion.done_us > 0 &&
+        completion.verdict == obs::FlightRecord::Verdict::kOk) {
+      const double span_us = static_cast<double>(
+          std::max<int64_t>(completion.done_us - slot.meta.ingress_us, 0));
+      slot.meta.queue_us = static_cast<float>(
+          std::max(span_us - completion.batch_wait_us - completion.compute_us,
+                   0.0));
+    }
+    slot.meta.verdict = completion.verdict;
+    slot.meta.int8_variant = completion.int8_variant;
     --conn.pending;
   }
 }
@@ -466,7 +609,11 @@ void NetServer::FlushConn(Shard& shard, Conn& conn) {
     CloseConn(shard, conn);
     return;
   }
-  // Release the ready prefix in submission order.
+  // Release the ready prefix in submission order. Traced slots park
+  // their metadata in the shard scratch; they are recorded below, after
+  // the send loop, under ONE write timestamp per flush (so tracing adds
+  // one clock read per FlushConn, not per request).
+  shard.flush_scratch.clear();
   while (!conn.slots.empty()) {
     Slot& front = conn.slots.front();
     if (front.kind == Slot::Kind::kPending) break;
@@ -474,7 +621,14 @@ void NetServer::FlushConn(Shard& shard, Conn& conn) {
       // Formatted only now, when every earlier reply has left the
       // queue, so the snapshot covers all previously answered requests.
       front.line = serve::FormatStatsResponse(front.id, *server_);
+    } else if (front.kind == Slot::Kind::kOps) {
+      serve::OpsExtras extras;
+      extras.shedder_json = ShedderJson();
+      extras.flight_json = flight_.DumpJson();
+      front.line =
+          serve::FormatOpsResponse(front.id, front.view, *server_, extras);
     }
+    if (front.meta.traced) shard.flush_scratch.push_back(front.meta);
     conn.wbuf += front.line;
     conn.wbuf.push_back('\n');
     conn.slots.pop_front();
@@ -491,11 +645,19 @@ void NetServer::FlushConn(Shard& shard, Conn& conn) {
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
     CloseConn(shard, conn);  // Peer gone; replies are undeliverable.
-    return;
+    return;  // Scratch metas are dropped with their unsent replies.
   }
   if (conn.woff == conn.wbuf.size() && !conn.wbuf.empty()) {
     conn.wbuf.clear();
     conn.woff = 0;
+  }
+
+  if (!shard.flush_scratch.empty()) {
+    const int64_t flushed_us = NowUs();
+    for (const ReqMeta& meta : shard.flush_scratch) {
+      RecordFlushed(meta, flushed_us);
+    }
+    shard.flush_scratch.clear();
   }
 
   if (conn.stop_reading && conn.slots.empty() &&
@@ -530,6 +692,64 @@ void NetServer::CloseConn(Shard& shard, Conn& conn) {
   epoll_ctl(shard.epoll_fd, EPOLL_CTL_DEL, conn.fd, nullptr);
   close(conn.fd);
   shard.conns.erase(conn.fd);  // Invalidates `conn`.
+}
+
+void NetServer::RecordFlushed(const ReqMeta& meta, int64_t flushed_us) {
+  static obs::Histogram& queue_h =
+      obs::MetricsRegistry::Global().GetHistogram("kdsel.net.stage.queue");
+  static obs::Histogram& batch_wait_h =
+      obs::MetricsRegistry::Global().GetHistogram("kdsel.net.stage.batch_wait");
+  static obs::Histogram& compute_h =
+      obs::MetricsRegistry::Global().GetHistogram("kdsel.net.stage.compute");
+  static obs::Histogram& write_h =
+      obs::MetricsRegistry::Global().GetHistogram("kdsel.net.stage.write");
+  static obs::Histogram& e2e_h =
+      obs::MetricsRegistry::Global().GetHistogram("kdsel.net.e2e");
+
+  obs::FlightRecord record;
+  std::memcpy(record.trace, meta.trace, sizeof(record.trace));
+  record.verdict = meta.verdict;
+  record.int8_variant = meta.int8_variant;
+  record.total_us =
+      static_cast<double>(std::max<int64_t>(flushed_us - meta.ingress_us, 0));
+  if (meta.verdict == obs::FlightRecord::Verdict::kOk) {
+    record.queue_us = meta.queue_us;
+    record.batch_wait_us = meta.batch_wait_us;
+    record.compute_us = meta.compute_us;
+    // Response ready (worker stamp) -> reply handed to the send loop.
+    record.write_us = meta.done_us > 0
+                          ? static_cast<double>(std::max<int64_t>(
+                                flushed_us - meta.done_us, 0))
+                          : 0.0;
+    // Stage histograms only see served requests: a refusal's zeros
+    // would drag every stage p50 toward the shed rate instead of
+    // describing the pipeline.
+    queue_h.Record(record.queue_us);
+    batch_wait_h.Record(record.batch_wait_us);
+    compute_h.Record(record.compute_us);
+    write_h.Record(record.write_us);
+    e2e_h.Record(record.total_us);
+  }
+  flight_.Record(record);
+}
+
+std::string NetServer::ShedderJson() const {
+  auto format_us = [](double us) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", us);
+    return std::string(buf);
+  };
+  std::string out = "{\"enabled\":";
+  out += options_.slo_ms > 0.0 ? "true" : "false";
+  out += ",\"state\":\"";
+  out += shedder_.shedding() ? "shed" : "admit";
+  out += "\",\"slo_us\":" + format_us(shedder_.options().slo_us);
+  out += ",\"window_p99_us\":" + format_us(shedder_.window_p99());
+  out += ",\"transitions\":" + std::to_string(shedder_.transitions());
+  out += ",\"shed\":" + std::to_string(shedder_.shed_count());
+  out += ",\"evaluations\":" + std::to_string(shedder_.evaluations());
+  out += '}';
+  return out;
 }
 
 void NetServer::ShardLoop(Shard& shard) {

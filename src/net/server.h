@@ -14,6 +14,7 @@
 #include "common/annotations.h"
 #include "common/status.h"
 #include "net/shedder.h"
+#include "obs/flight_recorder.h"
 #include "serve/server.h"
 
 namespace kdsel::net {
@@ -52,6 +53,11 @@ struct NetServerOptions {
 struct LinePeek {
   bool is_select = true;  ///< "op" missing (the default op) or "select".
   int64_t id = -1;        ///< Top-level "id" when scannable.
+  /// Top-level "trace" when scannable AND entirely in the sanitized
+  /// charset ([A-Za-z0-9._:-], <= 23 chars); empty otherwise. The
+  /// charset restriction is what makes splicing the peeked bytes into a
+  /// shed reply JSON-safe without a full parse.
+  char trace[obs::FlightRecord::kTraceBytes] = {};
 };
 LinePeek PeekRequestLine(const std::string& line);
 
@@ -71,6 +77,15 @@ LinePeek PeekRequestLine(const std::string& line);
 /// select requests with `{"id":N,"ok":false,"error":"overloaded"}`
 /// (counted as `shed` in ServerStats) before they consume parse or
 /// inference capacity.
+///
+/// Observability: every select (and every refusal) carries a trace id
+/// -- the client's "trace" field when it passes SanitizeTraceId, else a
+/// generated `s<shard>-<seq>` -- which is echoed on the reply and keyed
+/// into an always-on flight recorder together with the request's stage
+/// decomposition (queue/batch_wait/compute/write). Stage latencies feed
+/// the `kdsel.net.stage.*` histograms; the `ops` op (see
+/// serve/protocol.h) exports all of it live. See DESIGN.md "Request
+/// observability".
 ///
 /// Lifecycle: Start() binds and spawns shards; Stop() closes the
 /// listeners, stops reading, drains every in-flight request, flushes
@@ -96,7 +111,28 @@ class NetServer {
     return connections_accepted_.load(std::memory_order_relaxed);
   }
 
+  /// The shard-side flight recorder (for tests and the "ops" op).
+  obs::FlightRecorder& flight_recorder() { return flight_; }
+
  private:
+  /// Per-request observability riding along with a response slot from
+  /// ingress until the reply bytes are handed to the kernel. POD with
+  /// an inline trace id so slots stay allocation-free to annotate.
+  struct ReqMeta {
+    char trace[obs::FlightRecord::kTraceBytes] = {};
+    int64_t ingress_us = 0;  ///< Epoll-wake stamp when the line arrived.
+    int64_t done_us = 0;     ///< Worker completion stamp (selects only).
+    /// Ingress -> worker-dequeue residual not attributed to batch
+    /// formation: socket parse, submit and queue wait. A residual by
+    /// construction, so queue + batch_wait + compute + write == total.
+    float queue_us = 0.0f;
+    float batch_wait_us = 0.0f;  ///< Submit -> micro-batch formed.
+    float compute_us = 0.0f;     ///< Worker dequeue -> response ready.
+    obs::FlightRecord::Verdict verdict = obs::FlightRecord::Verdict::kError;
+    bool int8_variant = false;
+    bool traced = false;  ///< Record stage metrics + flight on flush.
+  };
+
   /// One response slot; replies leave in slot order per connection.
   struct Slot {
     enum class Kind {
@@ -104,10 +140,13 @@ class NetServer {
       kReady,    ///< `line` is final.
       kStats,    ///< Formatted lazily when it reaches the flush front,
                  ///< so the snapshot covers every earlier reply.
+      kOps,      ///< Telemetry reply; formatted lazily like kStats.
     };
     Kind kind = Kind::kReady;
     int64_t id = -1;
     std::string line;
+    std::string view;  ///< "ops" payload selector (kOps only).
+    ReqMeta meta;
   };
 
   struct Conn {
@@ -132,6 +171,14 @@ class NetServer {
     uint64_t gen = 0;
     uint64_t seq = 0;
     std::string line;
+    // Stage attribution from the inference side, merged into the slot's
+    // ReqMeta by DrainCompletions (which derives queue_us as the
+    // ingress->dequeue residual, so it is not carried here).
+    int64_t done_us = 0;
+    float batch_wait_us = 0.0f;
+    float compute_us = 0.0f;
+    obs::FlightRecord::Verdict verdict = obs::FlightRecord::Verdict::kError;
+    bool int8_variant = false;
   };
 
   struct Shard {
@@ -142,6 +189,7 @@ class NetServer {
     int wake_fd = -1;  ///< eventfd: completions arrived or Stop() called.
     std::thread thread;
     uint64_t next_gen = 0;  ///< Generation source for accepted conns.
+    uint64_t trace_seq = 0;  ///< Source for generated trace ids.
     std::map<int, std::unique_ptr<Conn>> conns;  ///< Shard-thread only.
     std::mutex done_mu;
     std::vector<Completion> done KDSEL_GUARDED_BY(done_mu);
@@ -149,6 +197,10 @@ class NetServer {
     /// loop only exits once this drains (the InferenceServer resolves
     /// every accepted request, so this always terminates).
     std::atomic<uint64_t> outstanding{0};
+    /// FlushConn's reusable staging area for traced slot metadata
+    /// (shard-thread only; reused so flushing never allocates in steady
+    /// state).
+    std::vector<ReqMeta> flush_scratch;
   };
 
   void ShardLoop(Shard& shard);
@@ -166,11 +218,20 @@ class NetServer {
   void FlushConn(Shard& shard, Conn& conn);
   void CloseConn(Shard& shard, Conn& conn);
   void EnqueueReady(Conn& conn, std::string line);
-  void LineOverflow(Conn& conn);
+  void LineOverflow(Shard& shard, Conn& conn);
+  /// Records stage histograms and the flight record for one traced
+  /// slot whose reply bytes were just handed to the send loop.
+  /// `flushed_us` is a single per-FlushConn timestamp shared by every
+  /// slot flushed in that call.
+  void RecordFlushed(const ReqMeta& meta, int64_t flushed_us);
+  /// Renders the shedder's current state as a JSON object for "ops"
+  /// snapshot replies.
+  std::string ShedderJson() const;
 
   serve::InferenceServer* server_;
   NetServerOptions options_;
   Shedder shedder_;
+  obs::FlightRecorder flight_;
   std::vector<std::unique_ptr<Shard>> shards_;
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};

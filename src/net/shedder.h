@@ -49,6 +49,13 @@ struct ShedderOptions {
 /// evaluation try_lock. Time is injected (`now_us`, monotonic
 /// microseconds, e.g. obs::NowNs()/1000) so tests can drive the state
 /// machine with a fake clock.
+///
+/// Decisions are published to the global metrics registry so operators
+/// can watch admission control without a debugger:
+///   kdsel.net.shed_state          gauge, 0 = admitting / 1 = shedding
+///   kdsel.net.shed_window_p99_us  gauge, p99 of the last evaluated window
+///   kdsel.net.shed_transitions    counter, ADMIT<->SHED state flips
+///   kdsel.net.shed_requests       counter, requests refused by Admit()
 class Shedder {
  public:
   explicit Shedder(ShedderOptions options);
@@ -69,6 +76,15 @@ class Shedder {
   uint64_t evaluations() const {
     return evaluations_.load(std::memory_order_relaxed);
   }
+  /// ADMIT<->SHED flips since construction.
+  uint64_t transitions() const {
+    return transitions_.load(std::memory_order_relaxed);
+  }
+  /// p99 of the most recently evaluated window in microseconds (0
+  /// before the first evaluation).
+  double window_p99() const {
+    return window_p99_.load(std::memory_order_relaxed);
+  }
   const ShedderOptions& options() const { return options_; }
 
  private:
@@ -79,8 +95,18 @@ class Shedder {
   std::atomic<bool> shedding_{false};
   std::atomic<uint64_t> shed_count_{0};
   std::atomic<uint64_t> evaluations_{0};
+  std::atomic<uint64_t> transitions_{0};
+  std::atomic<double> window_p99_{0.0};
   std::atomic<int64_t> next_eval_us_{0};
   std::mutex eval_mu_;  ///< At most one thread evaluates a window.
+
+  // Registry handles bound once at construction (stable addresses for
+  // the process lifetime), so the hot path pays one atomic per event
+  // and never touches the registry lock.
+  obs::Gauge& state_gauge_;
+  obs::Gauge& window_p99_gauge_;
+  obs::Counter& transitions_counter_;
+  obs::Counter& shed_counter_;
 };
 
 }  // namespace kdsel::net

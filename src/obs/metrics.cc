@@ -1,8 +1,10 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <utility>
 
 namespace kdsel::obs {
 
@@ -63,6 +65,20 @@ void AppendQuoted(std::string& out, const std::string& text) {
   out += '"';
 }
 
+/// `kdsel.<layer>.<name>` -> `kdsel_<layer>_<name>`: the Prometheus
+/// exposition format allows only [a-zA-Z0-9_:] in metric names, and the
+/// documented contract maps every other byte to '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
 }  // namespace
 
 Histogram::Histogram() : min_(std::numeric_limits<double>::infinity()) {
@@ -104,57 +120,71 @@ void Histogram::Record(double value) {
   }
 }
 
-Histogram::Summary Histogram::Summarize() const {
+Histogram::BucketSnapshot Histogram::Snapshot() const {
   for (;;) {
     const uint64_t seq_before = reset_seq_.load(std::memory_order_seq_cst);
     if (seq_before & 1) continue;  // A wipe is in progress; retry.
 
-    std::array<uint64_t, kBuckets> counts;
-    uint64_t samples = 0;
+    BucketSnapshot snapshot;
+    snapshot.samples = 0;
     for (size_t i = 0; i < kBuckets; ++i) {
-      counts[i] = buckets_[i].load(std::memory_order_seq_cst);
-      samples += counts[i];
+      snapshot.counts[i] = buckets_[i].load(std::memory_order_seq_cst);
+      snapshot.samples += snapshot.counts[i];
     }
-    Summary s;
-    s.samples = samples;
     // Count is read after every bucket; clamping covers the transient
     // window where a record straddling a reset has published its bucket
     // tick but not yet re-published its wiped count tick.
-    s.count = std::max(count_.load(std::memory_order_seq_cst), samples);
-    const double sum = sum_.load(std::memory_order_relaxed);
-    const double min = min_.load(std::memory_order_relaxed);
-    const double max = max_.load(std::memory_order_relaxed);
+    snapshot.count =
+        std::max(count_.load(std::memory_order_seq_cst), snapshot.samples);
+    snapshot.sum = sum_.load(std::memory_order_relaxed);
+    snapshot.min = min_.load(std::memory_order_relaxed);
+    snapshot.max = max_.load(std::memory_order_relaxed);
     if (reset_seq_.load(std::memory_order_seq_cst) != seq_before) {
       continue;  // A reset overlapped the snapshot; retry.
     }
-    if (samples == 0) return s;
-
-    s.min = min;
-    s.max = max;
-    s.mean = sum / static_cast<double>(samples);
-
-    auto percentile = [&](double q) {
-      const uint64_t target =
-          static_cast<uint64_t>(std::ceil(q * static_cast<double>(samples)));
-      uint64_t seen = 0;
-      for (size_t i = 0; i < kBuckets; ++i) {
-        seen += counts[i];
-        if (seen >= target && counts[i] > 0) {
-          // Geometric midpoint of the bucket, clamped to observed range.
-          const double lo = BucketLowerBound(i);
-          const double hi = BucketLowerBound(i + 1);
-          const double mid = std::sqrt(std::max(lo, 0.5) * hi);
-          return std::min(std::max(mid, s.min), s.max);
-        }
-      }
-      return s.max;
-    };
-    s.p50 = percentile(0.50);
-    s.p95 = percentile(0.95);
-    s.p99 = percentile(0.99);
-    return s;
+    return snapshot;
   }
 }
+
+double Histogram::PercentileFrom(const BucketSnapshot& snapshot, double q) {
+  if (snapshot.samples == 0) return 0.0;
+  const uint64_t target = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(snapshot.samples)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += snapshot.counts[i];
+    if (seen >= target && snapshot.counts[i] > 0) {
+      // Geometric midpoint of the bucket, clamped to observed range.
+      const double lo = BucketLowerBound(i);
+      const double hi = BucketLowerBound(i + 1);
+      const double mid = std::sqrt(std::max(lo, 0.5) * hi);
+      return std::min(std::max(mid, snapshot.min), snapshot.max);
+    }
+  }
+  return snapshot.max;
+}
+
+Histogram::Summary Histogram::Summarize() const {
+  const BucketSnapshot snapshot = Snapshot();
+  Summary s;
+  s.samples = snapshot.samples;
+  s.count = snapshot.count;
+  if (snapshot.samples == 0) return s;
+  s.min = snapshot.min;
+  s.max = snapshot.max;
+  s.mean = snapshot.sum / static_cast<double>(snapshot.samples);
+  s.p50 = PercentileFrom(snapshot, 0.50);
+  s.p95 = PercentileFrom(snapshot, 0.95);
+  s.p99 = PercentileFrom(snapshot, 0.99);
+  s.p999 = PercentileFrom(snapshot, 0.999);
+  return s;
+}
+
+double Histogram::Percentile(double q) const {
+  return PercentileFrom(Snapshot(), q);
+}
+
+uint64_t Histogram::SampleCount() const { return Snapshot().samples; }
 
 void Histogram::Reset() {
   std::lock_guard<std::mutex> lock(reset_mu_);
@@ -245,9 +275,46 @@ std::string MetricsRegistry::SnapshotJson() const {
     AppendNumber(out, s.p95);
     out += ",\"p99\":";
     AppendNumber(out, s.p99);
+    out += ",\"p999\":";
+    AppendNumber(out, s.p999);
     out += '}';
   }
   out += "}}";
+  return out;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  auto append_number = [&](double value) {
+    AppendNumber(out, value);
+    out += '\n';
+  };
+  for (const auto& [name, counter] : counters_) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(counter->Value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " ";
+    append_number(gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string prom = PrometheusName(name);
+    const Histogram::Summary s = histogram->Summarize();
+    out += "# TYPE " + prom + " summary\n";
+    const std::pair<const char*, double> quantiles[] = {
+        {"0.5", s.p50}, {"0.95", s.p95}, {"0.99", s.p99}, {"0.999", s.p999}};
+    for (const auto& [label, value] : quantiles) {
+      out += prom + "{quantile=\"" + label + "\"} ";
+      append_number(value);
+    }
+    out += prom + "_sum ";
+    append_number(s.mean * static_cast<double>(s.samples));
+    out += prom + "_count " + std::to_string(s.count) + "\n";
+  }
   return out;
 }
 

@@ -79,6 +79,7 @@ class Histogram {
     double p50 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
+    double p999 = 0.0;
   };
 
   /// Consistent snapshot: concurrent Record() calls may or may not be
@@ -86,12 +87,38 @@ class Histogram {
   /// (see the class comment for the exact guarantees).
   Summary Summarize() const;
 
+  /// Single-quantile snapshot (q in (0, 1]): the q-quantile of the
+  /// current population under the same bucket-midpoint estimate as
+  /// Summarize(), with the same never-mixes-resets guarantee. This is
+  /// THE percentile implementation for the codebase -- the shedder, the
+  /// stage histograms and the serving bench all read quantiles through
+  /// it instead of re-deriving their own rank math. Returns 0 when the
+  /// histogram is empty.
+  double Percentile(double q) const;
+
+  /// Population currently visible in the buckets (the `samples` field
+  /// of Summarize(), without computing the quantiles).
+  uint64_t SampleCount() const;
+
   void Reset();
 
  private:
   // 2^(1/4) growth, 128 buckets: covers [0, ~4.3e9] (in microseconds:
   // ~72 minutes).
   static constexpr size_t kBuckets = 128;
+
+  /// One reset-consistent view of the bucket state (seqlock retry loop
+  /// shared by Summarize()/Percentile()/SampleCount()).
+  struct BucketSnapshot {
+    std::array<uint64_t, kBuckets> counts;
+    uint64_t samples = 0;
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  BucketSnapshot Snapshot() const;
+  static double PercentileFrom(const BucketSnapshot& snapshot, double q);
 
   static size_t BucketIndex(double value);
   static double BucketLowerBound(size_t index);
@@ -129,11 +156,21 @@ class MetricsRegistry {
   ///   {"counters": {name: N, ...},
   ///    "gauges": {name: X, ...},
   ///    "histograms": {name: {"count":..,"samples":..,"min":..,"max":..,
-  ///                          "mean":..,"p50":..,"p95":..,"p99":..}, ..}}
+  ///                          "mean":..,"p50":..,"p95":..,"p99":..,
+  ///                          "p999":..}, ..}}
   /// Returned as a string (not serve::Json) so obs stays below serve in
   /// the dependency graph; the text is valid JSON and can be spliced
   /// into larger documents or parsed by serve::Json::Parse.
   std::string SnapshotJson() const;
+
+  /// The same snapshot in the Prometheus text exposition format. Names
+  /// translate mechanically from the registry convention to the metric
+  /// contract `kdsel_<layer>_<name>` (every byte outside [A-Za-z0-9_]
+  /// becomes '_', so `kdsel.net.stage.queue` scrapes as
+  /// `kdsel_net_stage_queue`). Counters/gauges render as single
+  /// samples; histograms render as summaries with quantile labels
+  /// (0.5/0.95/0.99/0.999) plus `_sum`/`_count` series.
+  std::string RenderPrometheus() const;
 
   /// Zeroes every registered counter/gauge/histogram. Handles stay
   /// valid. For tests that need a clean slate.

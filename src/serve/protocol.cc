@@ -33,7 +33,30 @@ std::string FormatUs(double us) {
   return buf;
 }
 
+bool IsTraceChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '.' || c == '_' || c == ':' ||
+         c == '-';
+}
+
+/// Appends `,"trace":"<id>"` when `trace` is non-empty. The id is in
+/// the SanitizeTraceId charset by contract, so raw splicing is safe.
+void AppendTrace(std::string& out, const std::string& trace) {
+  if (trace.empty()) return;
+  out += ",\"trace\":\"";
+  out += trace;
+  out += '"';
+}
+
 }  // namespace
+
+std::string SanitizeTraceId(const std::string& raw) {
+  if (raw.empty() || raw.size() > 23) return std::string();
+  for (char c : raw) {
+    if (!IsTraceChar(c)) return std::string();
+  }
+  return raw;
+}
 
 StatusOr<WireRequest> ParseRequestLine(const std::string& line,
                                        int64_t* error_id) {
@@ -57,6 +80,8 @@ StatusOr<WireRequest> ParseRequestLine(const std::string& line,
     request.op = WireRequest::Op::kReload;
   } else if (op == "stats") {
     request.op = WireRequest::Op::kStats;
+  } else if (op == "ops") {
+    request.op = WireRequest::Op::kOps;
   } else if (op == "quit") {
     request.op = WireRequest::Op::kQuit;
   } else {
@@ -66,6 +91,19 @@ StatusOr<WireRequest> ParseRequestLine(const std::string& line,
   request.selector = doc.GetString("selector", "");
   request.detect = doc.GetBool("detect", true);
   request.want_scores = doc.GetBool("scores", false);
+  // An over-long or out-of-charset trace id is dropped rather than
+  // rejected: tracing must never turn a valid request into an error.
+  request.trace = SanitizeTraceId(doc.GetString("trace", ""));
+
+  if (request.op == WireRequest::Op::kOps) {
+    request.view = doc.GetString("view", "snapshot");
+    if (request.view != "snapshot" && request.view != "flight" &&
+        request.view != "prometheus") {
+      return Status::InvalidArgument(
+          "unknown view '" + request.view +
+          "' (expected \"snapshot\", \"flight\" or \"prometheus\")");
+    }
+  }
 
   if (request.op == WireRequest::Op::kSelect) {
     if (request.selector.empty()) {
@@ -116,7 +154,8 @@ StatusOr<WireRequest> ParseRequestLine(const std::string& line,
 }
 
 std::string FormatSelectResponse(int64_t id, const SelectResponse& response,
-                                 bool labeled, bool want_scores) {
+                                 bool labeled, bool want_scores,
+                                 const std::string& trace) {
   std::string out = "{\"id\":" + std::to_string(id) + ",\"ok\":true";
   out += ",\"model\":";
   AppendJsonString(out, response.result.model_name);
@@ -138,13 +177,16 @@ std::string FormatSelectResponse(int64_t id, const SelectResponse& response,
     out += ",\"scores\":";
     AppendJsonFloatArray(out, response.result.anomaly_scores);
   }
+  AppendTrace(out, trace);
   out.push_back('}');
   return out;
 }
 
-std::string FormatErrorResponse(int64_t id, const Status& status) {
+std::string FormatErrorResponse(int64_t id, const Status& status,
+                                const std::string& trace) {
   std::string out = "{\"id\":" + std::to_string(id) + ",\"ok\":false,\"error\":";
   AppendJsonString(out, status.ToString());
+  AppendTrace(out, trace);
   out.push_back('}');
   return out;
 }
@@ -177,6 +219,26 @@ std::string FormatStatsResponse(int64_t id, const InferenceServer& server) {
          obs::MetricsRegistry::Global().SnapshotJson() + "}";
 }
 
+std::string FormatOpsResponse(int64_t id, const std::string& view,
+                              const InferenceServer& server,
+                              const OpsExtras& extras) {
+  std::string out = "{\"id\":" + std::to_string(id) + ",\"ok\":true";
+  if (view == "flight") {
+    out += ",\"flight\":";
+    out += extras.flight_json.empty() ? "null" : extras.flight_json;
+  } else if (view == "prometheus") {
+    out += ",\"prometheus\":";
+    AppendJsonString(out, obs::MetricsRegistry::Global().RenderPrometheus());
+  } else {  // "snapshot"
+    out += ",\"stats\":" + server.stats().ToJsonString();
+    out += ",\"metrics\":" + obs::MetricsRegistry::Global().SnapshotJson();
+    out += ",\"shedder\":";
+    out += extras.shedder_json.empty() ? "null" : extras.shedder_json;
+  }
+  out.push_back('}');
+  return out;
+}
+
 namespace {
 
 struct PrintItem {
@@ -184,6 +246,9 @@ struct PrintItem {
   bool labeled = false;
   bool want_scores = false;
   bool stats = false;
+  bool ops = false;
+  std::string view;   ///< "ops" payload selector.
+  std::string trace;  ///< Echoed on select/error replies when non-empty.
   std::optional<std::string> ready;
   std::future<StatusOr<SelectResponse>> future;
 };
@@ -221,14 +286,19 @@ Status RunServeLoop(std::istream& in, std::ostream& out,
         // resolved, so the snapshot covers all previously answered
         // requests in the session.
         line = FormatStatsResponse(item.id, server);
+      } else if (item.ops) {
+        // Same print-time semantics as stats. The stdin transport has
+        // no shedder or flight recorder; those fields render as null.
+        line = FormatOpsResponse(item.id, item.view, server, OpsExtras{});
       } else if (item.ready.has_value()) {
         line = *item.ready;
       } else {
         StatusOr<SelectResponse> response = item.future.get();
         line = response.ok()
                    ? FormatSelectResponse(item.id, *response, item.labeled,
-                                          item.want_scores)
-                   : FormatErrorResponse(item.id, response.status());
+                                          item.want_scores, item.trace)
+                   : FormatErrorResponse(item.id, response.status(),
+                                         item.trace);
       }
       out << line << '\n' << std::flush;
     }
@@ -286,18 +356,28 @@ Status RunServeLoop(std::istream& in, std::ostream& out,
         enqueue(std::move(item));
         break;
       }
+      case WireRequest::Op::kOps: {
+        PrintItem item;
+        item.id = request.id;
+        item.ops = true;
+        item.view = request.view;
+        enqueue(std::move(item));
+        break;
+      }
       case WireRequest::Op::kSelect: {
         PrintItem item;
         item.id = request.id;
         item.labeled = request.series.has_labels();
         item.want_scores = request.want_scores;
+        item.trace = request.trace;
         SelectRequest submit;
         submit.selector = request.selector;
         submit.series = std::move(request.series);
         submit.run_detection = request.detect;
         auto future = server.Submit(std::move(submit));
         if (!future.ok()) {
-          enqueue_ready(FormatErrorResponse(request.id, future.status()));
+          enqueue_ready(FormatErrorResponse(request.id, future.status(),
+                                            request.trace));
           break;
         }
         item.future = std::move(future).value();

@@ -12,27 +12,46 @@ namespace kdsel::serve {
 ///
 /// Requests (one JSON object per line):
 ///   {"op":"select","id":1,"selector":"mysel","values":[...],
-///    "labels":[0,1,...],"detect":true,"scores":false,"name":"s1"}
+///    "labels":[0,1,...],"detect":true,"scores":false,"name":"s1",
+///    "trace":"req-001"}
 ///   {"op":"list","id":2}            -- resident + on-disk selector names
 ///   {"op":"reload","id":3,"selector":"mysel"}  -- omit selector: reload all
 ///   {"op":"stats","id":4}           -- request-level metrics snapshot
+///   {"op":"ops","id":5,"view":"snapshot"}  -- live telemetry (see below)
 ///   {"op":"quit"}                   -- drain and exit (EOF works too)
 ///
-/// Responses echo the request id:
+/// Responses echo the request id (and the request's "trace" when one was
+/// supplied; over TCP a server-generated trace id is echoed even when
+/// the client sent none):
 ///   {"id":1,"ok":true,"model":"IForest","model_id":4,"votes":[...],
 ///    "num_windows":8,"auc_pr":0.91,"queue_us":...,"select_us":...,
-///    "detect_us":...,"total_us":...,"batch_size":3,"scores":[...]}
-///   {"id":1,"ok":false,"error":"NotFound: ..."}
+///    "detect_us":...,"total_us":...,"batch_size":3,"scores":[...],
+///    "trace":"req-001"}
+///   {"id":1,"ok":false,"error":"NotFound: ...","trace":"req-001"}
+///
+/// The "ops" op exposes live telemetry; "view" selects the payload:
+///   "snapshot" (default) -- stats + metrics + shedder state as JSON
+///   "flight"             -- flight-recorder dump (recent + slowest)
+///   "prometheus"         -- MetricsRegistry rendered as Prometheus text
 struct WireRequest {
-  enum class Op { kSelect, kList, kReload, kStats, kQuit };
+  enum class Op { kSelect, kList, kReload, kStats, kOps, kQuit };
 
   Op op = Op::kSelect;
   int64_t id = -1;
   std::string selector;
   bool detect = true;        ///< Run the selected detector.
   bool want_scores = false;  ///< Include per-point scores in the response.
+  std::string trace;         ///< Sanitized client trace id; may be empty.
+  std::string view;          ///< "ops" payload selector (validated).
   ts::TimeSeries series;
 };
+
+/// Validates a client-supplied trace id: at most 23 characters, every
+/// one of them in [A-Za-z0-9._:-]. Returns the id unchanged when it is
+/// acceptable and "" otherwise (an unusable id is dropped, not an
+/// error: the server falls back to generating one). The charset is what
+/// makes raw-splicing a peeked trace into a reply JSON-safe.
+std::string SanitizeTraceId(const std::string& raw);
 
 /// Parses one request line. Unknown fields are ignored; unknown ops and
 /// malformed JSON are errors.
@@ -47,14 +66,33 @@ StatusOr<WireRequest> ParseRequestLine(const std::string& line,
                                        int64_t* error_id = nullptr);
 
 /// Response formatting (each returns a complete line WITHOUT the '\n').
+/// A non-empty `trace` is echoed as a trailing "trace" field; it must
+/// already be sanitized (SanitizeTraceId charset), it is spliced raw.
 std::string FormatSelectResponse(int64_t id, const SelectResponse& response,
-                                 bool labeled, bool want_scores);
-std::string FormatErrorResponse(int64_t id, const Status& status);
+                                 bool labeled, bool want_scores,
+                                 const std::string& trace = "");
+std::string FormatErrorResponse(int64_t id, const Status& status,
+                                const std::string& trace = "");
 std::string FormatOkResponse(int64_t id);
 
 /// Control-op replies shared by the stdin loop and the TCP shards.
 std::string FormatListResponse(int64_t id, SelectorRegistry& registry);
 std::string FormatStatsResponse(int64_t id, const InferenceServer& server);
+
+/// Transport-owned telemetry spliced into an "ops" reply. Each field is
+/// pre-rendered JSON text (or empty when the transport has no such
+/// component, e.g. the stdin loop has no shedder or flight recorder, in
+/// which case the reply carries `null`). Keeping these as opaque text
+/// lets serve stay below net in the dependency graph.
+struct OpsExtras {
+  std::string shedder_json;  ///< Shedder state object, or "".
+  std::string flight_json;   ///< FlightRecorder::DumpJson(), or "".
+};
+
+/// Formats one "ops" reply for the given (already validated) view.
+std::string FormatOpsResponse(int64_t id, const std::string& view,
+                              const InferenceServer& server,
+                              const OpsExtras& extras);
 
 /// Runs the NDJSON session: reads requests from `in`, submits "select"
 /// ops to `server` (concurrently, responses are written in submission

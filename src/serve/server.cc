@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "core/selection.h"
@@ -148,6 +149,10 @@ StatusOr<SelectResponse> InferenceServer::Run(SelectRequest request) {
 }
 
 void InferenceServer::PushBatch(Batch batch) {
+  // The batch-formed stamp: everything before this is the micro-batch
+  // wait (max_delay_us/max_batch), everything until a worker dequeues is
+  // time spent waiting for a free worker.
+  batch.formed = Clock::now();
   stats_.RecordBatch(batch.items.size());
   {
     std::lock_guard<std::mutex> lock(batch_mu_);
@@ -379,6 +384,11 @@ void InferenceServer::ProcessBatch(
     response.timing.detect_us = detect ? ToUs(done - detect_begin) : 0.0;
     response.timing.total_us = ToUs(done - item.submit_time);
     response.timing.batch_size = batch.items.size();
+    response.timing.batch_wait_us = ToUs(batch.formed - item.submit_time);
+    response.timing.compute_us = ToUs(done - dequeue_time);
+    response.timing.done_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                                  done.time_since_epoch())
+                                  .count();
 
     endpoint.queue_wait.Record(response.timing.queue_us);
     endpoint.selection.Record(response.timing.select_us);

@@ -42,13 +42,28 @@ struct SelectRequest {
 };
 
 /// Request-level timing, echoed back so clients and the bench can
-/// attribute latency without scraping server logs.
+/// attribute latency without scraping server logs. The first four
+/// fields are the historical wire keys; the stage fields below them
+/// feed the net layer's per-stage histograms (kdsel.net.stage.*) and
+/// the flight recorder, and stay off the wire.
 struct RequestTiming {
   double queue_us = 0.0;   ///< Submit -> worker picked up the batch.
   double select_us = 0.0;  ///< Windowing + (batched) selector forward + vote.
   double detect_us = 0.0;  ///< Selected-detector scoring; 0 if skipped.
   double total_us = 0.0;   ///< Submit -> response completed.
   size_t batch_size = 0;   ///< Number of requests in the serving batch.
+
+  /// Submit -> the batcher flushed this request's micro-batch (the
+  /// max_delay_us/max_batch wait); queue_us minus this is the time the
+  /// formed batch waited for a free worker.
+  double batch_wait_us = 0.0;
+  /// Worker dequeue -> response ready (shared forward pass + this
+  /// request's vote/detection slice).
+  double compute_us = 0.0;
+  /// Absolute completion timestamp, monotonic microseconds on the obs
+  /// timebase (obs::NowNs()/1000); lets the transport attribute the
+  /// remaining completion->reply-flushed time without a clock handoff.
+  int64_t done_us = 0;
 };
 
 struct SelectResponse {
@@ -143,6 +158,7 @@ class InferenceServer {
   struct Batch {
     std::string selector;
     std::vector<Pending> items;
+    Clock::time_point formed;  ///< Stamped when the batcher flushes it.
   };
 
   /// A worker's private clone of one registry snapshot.

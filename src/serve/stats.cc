@@ -12,6 +12,7 @@ Json LatencyHistogramJson(const LatencyHistogram& histogram) {
   out.Set("p50_us", Json::Number(s.p50));
   out.Set("p95_us", Json::Number(s.p95));
   out.Set("p99_us", Json::Number(s.p99));
+  out.Set("p999_us", Json::Number(s.p999));
   return out;
 }
 
@@ -54,11 +55,19 @@ double ServerStats::MeanBatchSize() const {
          static_cast<double>(batches);
 }
 
+double ServerStats::ShedRate() const {
+  const uint64_t shed = shed_.load();
+  const uint64_t arrived = shed + submitted_.load();
+  if (arrived == 0) return 0.0;
+  return static_cast<double>(shed) / static_cast<double>(arrived);
+}
+
 Json ServerStats::ToJson() const {
   Json out = Json::Object();
   out.Set("submitted", Json::Number(static_cast<double>(submitted_.load())));
   out.Set("rejected", Json::Number(static_cast<double>(rejected_.load())));
   out.Set("shed", Json::Number(static_cast<double>(shed_.load())));
+  out.Set("shed_rate", Json::Number(ShedRate()));
   out.Set("completed", Json::Number(static_cast<double>(completed())));
   out.Set("failed", Json::Number(static_cast<double>(failed())));
   out.Set("reloads", Json::Number(static_cast<double>(reloads_.load())));

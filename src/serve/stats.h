@@ -21,7 +21,7 @@ using LatencyHistogram = obs::Histogram;
 
 /// Renders a histogram of microsecond samples with the serving wire
 /// keys: {"count":..,"min_us":..,"max_us":..,"mean_us":..,"p50_us":..,
-/// "p95_us":..,"p99_us":..}.
+/// "p95_us":..,"p99_us":..,"p999_us":..}.
 Json LatencyHistogramJson(const LatencyHistogram& histogram);
 
 /// Counters and latency histograms for one logical endpoint ("select"
@@ -93,6 +93,12 @@ class ServerStats {
 
   /// Mean number of requests per flushed batch (0 when no batches yet).
   double MeanBatchSize() const;
+
+  /// Fraction of arrived requests refused by admission control:
+  /// shed / (shed + submitted), 0 when nothing has arrived. Rejected
+  /// (queue-full) requests were submitted first, so they are already in
+  /// the denominator.
+  double ShedRate() const;
 
   Json ToJson() const;
   std::string ToJsonString() const { return ToJson().Dump(); }

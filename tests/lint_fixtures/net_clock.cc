@@ -1,0 +1,47 @@
+// Lint fixture: ad-hoc request timestamping in a net-layer file, the
+// anti-pattern the extended raw-timing rule exists to catch. Stage
+// stamps in src/net/ and src/serve/ must flow through obs::NowNs
+// (obs/clock.h) so queue/batch_wait/compute/write deltas share one
+// steady timebase; CLOCK_REALTIME and gettimeofday(2) drift under NTP
+// slews and silently corrupt stage attribution.
+// NOT compiled — scanned only.
+//
+// Keep line numbers stable: lint_test pins them.
+
+#include <sys/time.h>
+#include <time.h>
+
+#include <chrono>
+
+namespace kdsel::fixture {
+
+// A "quick" ingress stamp that bypasses the shared timebase.
+long StampIngressUs() {
+  timespec ts = {};
+  clock_gettime(CLOCK_MONOTONIC, &ts);  // 21: raw-timing
+  return ts.tv_sec * 1000000L + ts.tv_nsec / 1000;
+}
+
+// Wall-clock flush stamp: wrong timebase AND wrong clock.
+long StampFlushUs() {
+  timeval tv = {};
+  gettimeofday(&tv, nullptr);  // 28: raw-timing
+  return tv.tv_sec * 1000000L + tv.tv_usec;
+}
+
+// The C++ spelling of the same mistake.
+long StampDoneUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now()  // 35: raw-timing
+                 .time_since_epoch())
+      .count();
+}
+
+struct FakeTimer {
+  int64_t gettimeofday() { return 0; }  // Member decl: not the syscall.
+};
+
+// Member call through an object is not the raw syscall either.
+long StampViaMember(FakeTimer& timer) { return timer.gettimeofday(); }
+
+}  // namespace kdsel::fixture

@@ -163,6 +163,34 @@ TEST(LintTest, RawSocketFixtureCatchesAdHocSockets) {
   EXPECT_EQ(lines[3], prefix + "25: raw-socket: 'accept4" + tail);
 }
 
+// Ad-hoc timestamping in net-layer code: the raw-timing rule catches
+// the C-level bypasses (clock_gettime/gettimeofday) alongside the
+// std::chrono clocks, so every request stage stamp flows through
+// obs::NowNs and shares one steady timebase. Member declarations and
+// member calls that merely reuse a syscall's name stay clean.
+TEST(LintTest, NetClockFixtureCatchesAdHocTimestamps) {
+  const RunResult result = RunLint(RootArgs(FixturePath("net_clock.cc")));
+  EXPECT_EQ(result.exit_code, 1);
+
+  const std::vector<std::string> lines = SplitLines(result.stdout_text);
+  ASSERT_EQ(lines.size(), 3u) << result.stdout_text;
+
+  const std::string prefix = "tests/lint_fixtures/net_clock.cc:";
+  const std::string call_tail =
+      "' outside src/obs/, src/common/ and bench/; stamp through "
+      "obs::NowNs (obs/clock.h) so request stage timings share one "
+      "steady timebase";
+  EXPECT_EQ(lines[0],
+            prefix + "21: raw-timing: 'clock_gettime" + call_tail);
+  EXPECT_EQ(lines[1], prefix + "28: raw-timing: 'gettimeofday" + call_tail);
+  EXPECT_EQ(lines[2],
+            prefix +
+                "35: raw-timing: 'steady_clock' outside src/obs/, "
+                "src/common/ and bench/; time through obs::Clock/NowNs "
+                "(obs/clock.h) or record a span/histogram so all durations "
+                "share one timebase");
+}
+
 TEST(LintTest, SuppressedFixtureIsClean) {
   const RunResult result = RunLint(RootArgs(FixturePath("suppressed.cc")));
   EXPECT_EQ(result.exit_code, 0) << result.stdout_text;
@@ -179,13 +207,14 @@ TEST(LintTest, CleanFixtureIsClean) {
 // so cross-file symbol collection (Status names, classes, the call
 // graph) must not bleed findings between fixtures. Diagnostics sort by
 // file: guarded_by (2), hot_alloc (3), lock_cycle_a (1), lock_cycle_b
-// (1), raw_socket (4), stream_ndjson (2), violations (9) -- 22 total.
+// (1), net_clock (3), raw_socket (4), stream_ndjson (2), violations (9)
+// -- 25 total.
 TEST(LintTest, FixtureDirectoryScanMatchesPerFileResults) {
   const RunResult result =
       RunLint(RootArgs(std::string(KDSEL_SOURCE_DIR) + "/tests/lint_fixtures"));
   EXPECT_EQ(result.exit_code, 1);
   const std::vector<std::string> lines = SplitLines(result.stdout_text);
-  ASSERT_EQ(lines.size(), 22u) << result.stdout_text;
+  ASSERT_EQ(lines.size(), 25u) << result.stdout_text;
   const std::vector<std::pair<std::string, std::string>> expected = {
       {"guarded_by.cc", "guarded-by"},
       {"guarded_by.cc", "guarded-by"},
@@ -194,6 +223,9 @@ TEST(LintTest, FixtureDirectoryScanMatchesPerFileResults) {
       {"hot_alloc.cc", "alloc-in-hot-path"},
       {"lock_cycle_a.cc", "lock-order-inversion"},
       {"lock_cycle_b.cc", "lock-order-inversion"},
+      {"net_clock.cc", "raw-timing"},
+      {"net_clock.cc", "raw-timing"},
+      {"net_clock.cc", "raw-timing"},
       {"raw_socket.cc", "raw-socket"},
       {"raw_socket.cc", "raw-socket"},
       {"raw_socket.cc", "raw-socket"},

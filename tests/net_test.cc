@@ -16,6 +16,7 @@
 #include "net/listener.h"
 #include "net/server.h"
 #include "net/shedder.h"
+#include "obs/metrics.h"
 #include "serve/json.h"
 #include "serve/registry.h"
 #include "serve/server.h"
@@ -454,6 +455,175 @@ TEST(NetServerTest, ShedsUnderSloPressureAndRecovers) {
 
   EXPECT_GE(loopback.net->shedder().shed_count(), 1u);
   EXPECT_EQ(loopback.server->stats().shed(), 1u);
+}
+
+/// SelectLine with a client-supplied trace id spliced in.
+std::string TracedSelectLine(int id, const std::string& trace) {
+  std::string line = SelectLine(id);
+  line.insert(1, "\"trace\":\"" + trace + "\",");
+  return line;
+}
+
+TEST(NetServerTest, TraceEchoRoundTripsOnOkAndErrorReplies) {
+  LoopbackServer loopback;
+  TestClient client(loopback.net->port());
+
+  // Client trace comes back on the ok reply verbatim.
+  client.Send(TracedSelectLine(7, "req-abc.1:2"));
+  auto reply = serve::Json::Parse(client.ReadLine());
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_TRUE(reply->GetBool("ok", false));
+  EXPECT_EQ(reply->GetString("trace", ""), "req-abc.1:2");
+
+  // Error replies echo it too (empty values -> InvalidArgument).
+  client.Send(
+      R"({"id":55,"trace":"err-9","op":"select","selector":"tiny","values":[]})");
+  reply = serve::Json::Parse(client.ReadLine());
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_FALSE(reply->GetBool("ok", true));
+  EXPECT_EQ(reply->GetString("trace", ""), "err-9");
+
+  // A trace outside the sanitized charset is dropped, not echoed; the
+  // server substitutes a generated `s<shard>-<seq>` id instead.
+  client.Send(TracedSelectLine(8, "bad trace"));
+  reply = serve::Json::Parse(client.ReadLine());
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_TRUE(reply->GetBool("ok", false));
+  EXPECT_EQ(reply->GetString("trace", "").rfind("s0-", 0), 0u);
+
+  // No trace at all: same generated-id scheme.
+  client.Send(SelectLine(9));
+  reply = serve::Json::Parse(client.ReadLine());
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->GetString("trace", "").rfind("s0-", 0), 0u);
+}
+
+TEST(NetServerTest, TraceEchoedOnShedRepliesAndFlightRecorded) {
+  // Same deterministic shed sequence as ShedsUnderSloPressureAndRecovers:
+  // request 1 is served, request 2 is refused by admission control.
+  NetServerOptions net_opts;
+  net_opts.slo_ms = 1e-3;
+  net_opts.shedder.eval_interval_us = 0;
+  net_opts.shedder.min_samples = 1;
+  LoopbackServer loopback(net_opts);
+  TestClient client(loopback.net->port());
+
+  client.Send(TracedSelectLine(1, "warm-1"));
+  auto reply = serve::Json::Parse(client.ReadLine());
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_TRUE(reply->GetBool("ok", false));
+
+  client.Send(TracedSelectLine(2, "shed-me"));
+  reply = serve::Json::Parse(client.ReadLine());
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_FALSE(reply->GetBool("ok", true));
+  EXPECT_EQ(reply->GetString("error", ""), "overloaded");
+  EXPECT_EQ(reply->GetString("trace", ""), "shed-me");
+
+  // Flight records land after the reply bytes go out (RecordFlushed
+  // runs at the tail of FlushConn), so a later round-trip on the same
+  // connection is the barrier that makes both records visible.
+  client.Send(R"({"op":"stats","id":99})");
+  ASSERT_FALSE(client.ReadLine().empty());
+
+  // Both requests are in the flight recorder with their verdicts; the
+  // shed record still carries an end-to-end total.
+  const auto recent = loopback.net->flight_recorder().RecentSnapshot();
+  bool saw_ok = false;
+  bool saw_shed = false;
+  for (const auto& record : recent) {
+    if (std::string(record.trace) == "warm-1") {
+      saw_ok = true;
+      EXPECT_EQ(record.verdict, obs::FlightRecord::Verdict::kOk);
+      EXPECT_GT(record.total_us, 0.0);
+      EXPECT_GT(record.compute_us, 0.0);
+    }
+    if (std::string(record.trace) == "shed-me") {
+      saw_shed = true;
+      EXPECT_EQ(record.verdict, obs::FlightRecord::Verdict::kShed);
+      EXPECT_EQ(record.compute_us, 0.0);  // Never ran.
+    }
+  }
+  EXPECT_TRUE(saw_ok);
+  EXPECT_TRUE(saw_shed);
+  EXPECT_EQ(loopback.net->flight_recorder().recorded(), 2u);
+}
+
+TEST(NetServerTest, OpsSnapshotExportsStatsShedderAndStageHistograms) {
+  obs::MetricsRegistry::Global().ResetValuesForTesting();
+  NetServerOptions net_opts;
+  net_opts.slo_ms = 250.0;  // Enabled but never binding.
+  LoopbackServer loopback(net_opts);
+  TestClient client(loopback.net->port());
+  client.Send(SelectLine(1));
+  ASSERT_FALSE(client.ReadLine().empty());
+
+  client.Send(R"({"op":"ops","id":2,"view":"snapshot"})");
+  auto reply = serve::Json::Parse(client.ReadLine());
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->GetNumber("id", -1), 2);
+  EXPECT_TRUE(reply->GetBool("ok", false));
+
+  const serve::Json* stats = reply->Find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GE(stats->GetNumber("completed", -1), 1);
+  EXPECT_EQ(stats->GetNumber("shed_rate", -1), 0);
+
+  const serve::Json* shedder = reply->Find("shedder");
+  ASSERT_NE(shedder, nullptr);
+  ASSERT_TRUE(shedder->is_object());
+  EXPECT_TRUE(shedder->GetBool("enabled", false));
+  EXPECT_EQ(shedder->GetString("state", ""), "admit");
+  EXPECT_EQ(shedder->GetNumber("shed", -1), 0);
+
+  // Every request stage histogram is populated once one reply flushed.
+  const serve::Json* metrics = reply->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const serve::Json* histograms = metrics->Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  for (const char* name :
+       {"kdsel.net.stage.queue", "kdsel.net.stage.batch_wait",
+        "kdsel.net.stage.compute", "kdsel.net.stage.write", "kdsel.net.e2e"}) {
+    const serve::Json* hist = histograms->Find(name);
+    ASSERT_NE(hist, nullptr) << name;
+    EXPECT_GE(hist->GetNumber("samples", -1), 1) << name;
+  }
+}
+
+TEST(NetServerTest, OpsFlightAndPrometheusViewsOverTheWire) {
+  LoopbackServer loopback;
+  TestClient client(loopback.net->port());
+  client.Send(TracedSelectLine(4, "fl-1"));
+  ASSERT_FALSE(client.ReadLine().empty());
+
+  client.Send(R"({"op":"ops","id":5,"view":"flight"})");
+  auto reply = serve::Json::Parse(client.ReadLine());
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  const serve::Json* flight = reply->Find("flight");
+  ASSERT_NE(flight, nullptr);
+  EXPECT_GE(flight->GetNumber("recorded", 0), 1);
+  const serve::Json* recent = flight->Find("recent");
+  ASSERT_NE(recent, nullptr);
+  ASSERT_TRUE(recent->is_array());
+  ASSERT_FALSE(recent->items().empty());
+  EXPECT_EQ(recent->items().back().GetString("trace", ""), "fl-1");
+
+  client.Send(R"({"op":"ops","id":6,"view":"prometheus"})");
+  reply = serve::Json::Parse(client.ReadLine());
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  const serve::Json* text = reply->Find("prometheus");
+  ASSERT_NE(text, nullptr);
+  ASSERT_TRUE(text->is_string());
+  EXPECT_NE(text->as_string().find("# TYPE kdsel_net_requests counter"),
+            std::string::npos);
+  EXPECT_NE(text->as_string().find("kdsel_net_e2e_count"), std::string::npos);
+
+  // An unknown view is a structured error, not a dropped connection.
+  client.Send(R"({"op":"ops","id":7,"view":"bogus"})");
+  reply = serve::Json::Parse(client.ReadLine());
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_FALSE(reply->GetBool("ok", true));
+  EXPECT_EQ(reply->GetNumber("id", -1), 7);
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 
 #include "common/parallel.h"
 #include "obs/clock.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/json.h"
@@ -85,6 +86,28 @@ TEST(HistogramTest, SummaryAndReset) {
   EXPECT_EQ(empty.samples, 0u);
 }
 
+TEST(HistogramTest, PercentileAndSampleCountMatchSummary) {
+  obs::Histogram h;
+  EXPECT_EQ(h.SampleCount(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);  // Empty: defined as 0.
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i));
+  EXPECT_EQ(h.SampleCount(), 1000u);
+  const obs::Histogram::Summary s = h.Summarize();
+  // Percentile(q) is THE percentile implementation: the Summary fields
+  // must be exactly the same estimator, not a parallel computation.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.50), s.p50);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.95), s.p95);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), s.p99);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.999), s.p999);
+  // Bucketed estimate within the 2^(1/4) geometric bucket error bound.
+  EXPECT_GT(h.Percentile(0.50), 500.0 * 0.8);
+  EXPECT_LT(h.Percentile(0.50), 500.0 * 1.25);
+  EXPECT_GE(s.p999, s.p99);
+  EXPECT_LE(s.p999, s.max);
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.Percentile(0.25), h.Percentile(0.75));
+}
+
 TEST(HistogramTest, NegativeAndNanClampToZero) {
   obs::Histogram h;
   h.Record(-5.0);
@@ -120,6 +143,113 @@ TEST(MetricsRegistryTest, SnapshotJsonParsesAndCarriesValues) {
   ASSERT_NE(hist, nullptr);
   EXPECT_DOUBLE_EQ(hist->Find("count")->as_number(), 2.0);
   EXPECT_DOUBLE_EQ(hist->Find("mean")->as_number(), 15.0);
+}
+
+TEST(MetricsRegistryTest, RenderPrometheusExposesAllKindsWithMangledNames) {
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("kdsel.test.prom_counter").Reset();
+  registry.GetCounter("kdsel.test.prom_counter").Increment(7);
+  registry.GetGauge("kdsel.test.prom_gauge").Set(1.5);
+  auto& histogram = registry.GetHistogram("kdsel.test.prom_hist");
+  histogram.Reset();
+  histogram.Record(100.0);
+  histogram.Record(200.0);
+
+  const std::string text = registry.RenderPrometheus();
+  // Dots mangle to underscores per the kdsel_<layer>_<name> contract.
+  EXPECT_NE(text.find("# TYPE kdsel_test_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("kdsel_test_prom_counter 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE kdsel_test_prom_gauge gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("kdsel_test_prom_gauge 1.5"), std::string::npos);
+  // Histograms render as summaries: quantile series plus _sum/_count.
+  EXPECT_NE(text.find("# TYPE kdsel_test_prom_hist summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("kdsel_test_prom_hist{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("kdsel_test_prom_hist{quantile=\"0.999\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("kdsel_test_prom_hist_count 2"), std::string::npos);
+  EXPECT_NE(text.find("kdsel_test_prom_hist_sum 300"), std::string::npos);
+  // Exposition format: every line is `name[{labels}] value`.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_EQ(line.rfind("# TYPE ", 0), 0u) << line;
+      continue;
+    }
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+  }
+}
+
+TEST(FlightRecorderTest, RingKeepsTailAndSlowestPoolKeepsWorst) {
+  obs::FlightRecorder recorder(/*recent_capacity=*/4, /*slowest_capacity=*/2);
+  for (int i = 1; i <= 10; ++i) {
+    obs::FlightRecord record;
+    std::snprintf(record.trace, sizeof(record.trace), "r-%d", i);
+    // Request 3 is the all-time slowest; 7 the runner-up.
+    record.total_us = (i == 3) ? 9000.0 : (i == 7) ? 5000.0 : 100.0 * i;
+    record.compute_us = 10.0 * i;
+    recorder.Record(record);
+  }
+  EXPECT_EQ(recorder.recorded(), 10u);
+  EXPECT_DOUBLE_EQ(recorder.SlowestTotalUs(), 9000.0);
+
+  // Ring: the last 4 records, oldest first.
+  const auto recent = recorder.RecentSnapshot();
+  ASSERT_EQ(recent.size(), 4u);
+  EXPECT_STREQ(recent.front().trace, "r-7");
+  EXPECT_STREQ(recent.back().trace, "r-10");
+
+  // Slowest pool: descending by total_us, survives later fast traffic.
+  const auto slowest = recorder.SlowestSnapshot();
+  ASSERT_EQ(slowest.size(), 2u);
+  EXPECT_STREQ(slowest[0].trace, "r-3");
+  EXPECT_DOUBLE_EQ(slowest[0].total_us, 9000.0);
+  EXPECT_STREQ(slowest[1].trace, "r-7");
+}
+
+TEST(FlightRecorderTest, DumpJsonParsesAndCarriesVerdictsAndStages) {
+  obs::FlightRecorder recorder(/*recent_capacity=*/8, /*slowest_capacity=*/4);
+  obs::FlightRecord served;
+  std::snprintf(served.trace, sizeof(served.trace), "ok-1");
+  served.queue_us = 10.0;
+  served.batch_wait_us = 20.0;
+  served.compute_us = 30.0;
+  served.write_us = 40.0;
+  served.total_us = 100.0;
+  served.int8_variant = true;
+  recorder.Record(served);
+  obs::FlightRecord refused;
+  std::snprintf(refused.trace, sizeof(refused.trace), "shed-1");
+  refused.verdict = obs::FlightRecord::Verdict::kShed;
+  refused.total_us = 5.0;
+  recorder.Record(refused);
+
+  auto parsed = serve::Json::Parse(recorder.DumpJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed->GetNumber("recorded", 0), 2.0);
+  const serve::Json* recent = parsed->Find("recent");
+  ASSERT_NE(recent, nullptr);
+  ASSERT_EQ(recent->items().size(), 2u);
+  const serve::Json& first = recent->items()[0];
+  EXPECT_EQ(first.GetString("trace", ""), "ok-1");
+  EXPECT_EQ(first.GetString("verdict", ""), "ok");
+  EXPECT_EQ(first.GetString("variant", ""), "int8");
+  EXPECT_DOUBLE_EQ(first.GetNumber("queue_us", 0), 10.0);
+  EXPECT_DOUBLE_EQ(first.GetNumber("write_us", 0), 40.0);
+  EXPECT_DOUBLE_EQ(first.GetNumber("total_us", 0), 100.0);
+  const serve::Json& second = recent->items()[1];
+  EXPECT_EQ(second.GetString("verdict", ""), "shed");
+  EXPECT_EQ(second.GetString("variant", ""), "fp32");
+  // Slowest pool mirrors the same records (both fit).
+  const serve::Json* slowest = parsed->Find("slowest");
+  ASSERT_NE(slowest, nullptr);
+  ASSERT_EQ(slowest->items().size(), 2u);
+  EXPECT_EQ(slowest->items()[0].GetString("trace", ""), "ok-1");
 }
 
 TEST(TraceTest, DisabledByDefaultRecordsNothing) {

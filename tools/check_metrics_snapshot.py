@@ -25,9 +25,18 @@ bench_serving: every row must carry the latency percentiles
 overload* must actually have shed requests -- an overload run that
 sheds nothing means the SLO admission path silently stopped firing.
 
+`--profile ops` validates a live-telemetry snapshot saved from
+`kdsel ops --connect HOST:PORT` (one NDJSON reply line). The envelope
+must be ok:true with stats (including shed/shed_rate), a shedder
+object, and a metrics snapshot where every per-stage request histogram
+(kdsel.net.stage.* and kdsel.net.e2e) is present AND non-empty: a
+stage histogram with zero samples under load means the request-tracing
+path silently stopped stamping that stage.
+
 Usage: check_metrics_snapshot.py [--profile micro|stream] METRICS_x.json
        check_metrics_snapshot.py --profile kernels BENCH_kernels.json
        check_metrics_snapshot.py --profile serving BENCH_serving.json
+       check_metrics_snapshot.py --profile ops ops_snapshot.json
 """
 
 import json
@@ -56,7 +65,9 @@ REQUIRED_BY_PROFILE = {
     ],
 }
 
-HISTOGRAM_KEYS = ["count", "samples", "min", "max", "mean", "p50", "p95", "p99"]
+HISTOGRAM_KEYS = [
+    "count", "samples", "min", "max", "mean", "p50", "p95", "p99", "p999",
+]
 
 # Workloads every reporting dispatch variant must measure at 1 thread in
 # BENCH_kernels.json. The int8 rows are load-bearing: dropping them
@@ -122,6 +133,12 @@ SERVING_REQUIRED_METRICS = [
     "ok",
     "errors",
     "slo_ms",
+    # From the driver's mid-run `ops` scrape: stage decomposition and
+    # flight-recorder evidence. Missing keys mean the scrape went dark.
+    "stage_p50_sum_us",
+    "e2e_p50_us",
+    "flight_recorded",
+    "flight_slowest_us",
 ]
 
 
@@ -143,6 +160,11 @@ def check_bench_serving(path, snapshot):
                 f"{path}: '{name}' shed nothing -- the SLO admission "
                 "path never fired under engineered overload"
             )
+        if not metrics.get("flight_recorded", 0) > 0:
+            errors.append(
+                f"{path}: '{name}' flight recorder saw no requests -- "
+                "the ops scrape or the recording path is broken"
+            )
         if metrics.get("errors", 0) != 0:
             errors.append(
                 f"{path}: '{name}' reports {metrics['errors']} protocol "
@@ -151,11 +173,86 @@ def check_bench_serving(path, snapshot):
     return errors
 
 
+# Per-request stage histograms the net layer must populate under load.
+# An empty one means a stage stopped being stamped (or RecordFlushed
+# stopped running), which is exactly the silent regression this guards.
+OPS_STAGE_HISTOGRAMS = [
+    "kdsel.net.stage.queue",
+    "kdsel.net.stage.batch_wait",
+    "kdsel.net.stage.compute",
+    "kdsel.net.stage.write",
+    "kdsel.net.e2e",
+]
+
+# Stats fields every ops snapshot must expose (mirrors the final-stats
+# print of `kdsel serve`; shed_rate is the fraction form of shed).
+OPS_REQUIRED_STATS = [
+    "submitted",
+    "completed",
+    "failed",
+    "shed",
+    "shed_rate",
+]
+
+# Shedder-decision metrics the admission controller publishes.
+OPS_SHEDDER_GAUGES = [
+    "kdsel.net.shed_state",
+    "kdsel.net.shed_window_p99_us",
+]
+
+
+def check_ops_snapshot(path, snapshot):
+    errors = []
+    if snapshot.get("ok") is not True:
+        errors.append(f"{path}: reply is not ok:true")
+        return errors
+    stats = snapshot.get("stats")
+    if not isinstance(stats, dict):
+        errors.append(f"{path}: missing 'stats' object")
+    else:
+        for key in OPS_REQUIRED_STATS:
+            if not isinstance(stats.get(key), (int, float)):
+                errors.append(f"{path}: stats missing numeric '{key}'")
+    shedder = snapshot.get("shedder")
+    if not isinstance(shedder, dict):
+        errors.append(
+            f"{path}: missing 'shedder' object (stdin-mode snapshots have "
+            "no shedder; scrape a TCP server via `kdsel ops --connect`)"
+        )
+    else:
+        for key in ("state", "window_p99_us", "transitions", "shed"):
+            if key not in shedder:
+                errors.append(f"{path}: shedder missing '{key}'")
+    metrics = snapshot.get("metrics")
+    if not isinstance(metrics, dict):
+        errors.append(f"{path}: missing 'metrics' snapshot")
+        return errors
+    gauges = metrics.get("gauges", {})
+    for name in OPS_SHEDDER_GAUGES:
+        if not isinstance(gauges.get(name), (int, float)):
+            errors.append(f"{path}: missing shedder gauge '{name}'")
+    histograms = metrics.get("histograms", {})
+    for name in OPS_STAGE_HISTOGRAMS:
+        hist = histograms.get(name)
+        if not isinstance(hist, dict):
+            errors.append(f"{path}: missing stage histogram '{name}'")
+            continue
+        for key in HISTOGRAM_KEYS:
+            if key not in hist:
+                errors.append(f"{path}: histogram '{name}' missing '{key}'")
+        if not hist.get("samples", 0) > 0:
+            errors.append(
+                f"{path}: stage histogram '{name}' is empty under load -- "
+                "the request-tracing path stopped stamping this stage"
+            )
+    return errors
+
+
 def main(argv):
     args = argv[1:]
     profile = "micro"
     if args and args[0] == "--profile":
-        known = set(REQUIRED_BY_PROFILE) | {"kernels", "serving"}
+        known = set(REQUIRED_BY_PROFILE) | {"kernels", "serving", "ops"}
         if len(args) < 2 or args[1] not in known:
             print(__doc__.strip(), file=sys.stderr)
             return 2
@@ -167,6 +264,22 @@ def main(argv):
     path = args[0]
     with open(path, "r", encoding="utf-8") as f:
         snapshot = json.load(f)
+
+    if profile == "ops":
+        errors = check_ops_snapshot(path, snapshot)
+        if errors:
+            for error in errors:
+                print(error, file=sys.stderr)
+            return 1
+        populated = sum(
+            1 for name in OPS_STAGE_HISTOGRAMS
+            if snapshot["metrics"]["histograms"][name]["samples"] > 0
+        )
+        print(
+            f"{path}: ok ({populated}/{len(OPS_STAGE_HISTOGRAMS)} stage "
+            "histograms populated, shedder state exported)"
+        )
+        return 0
 
     if profile == "serving":
         errors = check_bench_serving(path, snapshot)

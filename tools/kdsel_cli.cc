@@ -14,6 +14,8 @@
 // Each subcommand prints --help-style usage when required flags are
 // missing.
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -32,11 +34,13 @@
 #include "core/trainer.h"
 #include "datagen/benchmark.h"
 #include "metrics/range_metrics.h"
+#include "net/listener.h"
 #include "net/server.h"
 #include "net/signal.h"
 #include "nn/kernels/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/json.h"
 #include "serve/protocol.h"
 #include "serve/registry.h"
 #include "serve/server.h"
@@ -438,8 +442,10 @@ int CmdServe(const Flags& flags) {
     std::fprintf(stderr, "kdsel serve: shutdown signal, draining\n");
     net.Stop();  // Flushes in-flight replies before workers stop.
     server.Stop();
-    std::fprintf(stderr, "kdsel serve: shed %llu, final stats %s\n",
+    std::fprintf(stderr,
+                 "kdsel serve: shed %llu (rate %.4f), final stats %s\n",
                  static_cast<unsigned long long>(net.shedder().shed_count()),
+                 server.stats().ShedRate(),
                  server.stats().ToJsonString().c_str());
     return 0;
   }
@@ -460,6 +466,87 @@ int CmdServe(const Flags& flags) {
   std::fprintf(stderr, "kdsel serve: final stats %s\n",
                server.stats().ToJsonString().c_str());
   if (!session.ok()) return Fail(session);
+  return 0;
+}
+
+/// One-shot telemetry client: connects to a running `kdsel serve
+/// --listen` instance, issues one "ops" request and prints the reply.
+/// The prometheus view unwraps the JSON envelope and prints the raw
+/// exposition text, so the output pipes straight into a scraper.
+int CmdOps(const Flags& flags) {
+  const std::string connect = flags.Get("connect", "");
+  const std::string view = flags.Get("view", "snapshot");
+  if (connect.empty()) {
+    std::fprintf(stderr,
+                 "usage: kdsel ops --connect HOST:PORT"
+                 " [--view snapshot|flight|prometheus] [--id 0]\n"
+                 "fetches live telemetry from a running"
+                 " 'kdsel serve --listen' instance:\n"
+                 "  snapshot    server stats + metrics + shedder state"
+                 " (JSON)\n"
+                 "  flight      flight-recorder dump: recent and slowest"
+                 " requests (JSON)\n"
+                 "  prometheus  metrics in Prometheus text exposition"
+                 " format\n");
+    return 2;
+  }
+  if (view != "snapshot" && view != "flight" && view != "prometheus") {
+    std::fprintf(stderr,
+                 "invalid --view '%s' (expected snapshot, flight or"
+                 " prometheus)\n",
+                 view.c_str());
+    return 2;
+  }
+  auto host_port = net::ParseHostPort(connect);
+  if (!host_port.ok()) return Fail(host_port.status());
+  auto connected = net::ConnectTcp(*host_port);
+  if (!connected.ok()) return Fail(connected.status());
+  const int fd = *connected;
+
+  const std::string request =
+      "{\"op\":\"ops\",\"id\":" +
+      std::to_string(static_cast<int64_t>(flags.GetInt("id", 0))) +
+      ",\"view\":\"" + view + "\"}\n";
+  size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = write(fd, request.data() + off, request.size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      close(fd);
+      return Fail(Status::IoError(std::string("write: ") +
+                                  std::strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+
+  std::string reply;
+  char buffer[64 * 1024];
+  while (reply.find('\n') == std::string::npos) {
+    const ssize_t n = read(fd, buffer, sizeof(buffer));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    reply.append(buffer, static_cast<size_t>(n));
+  }
+  close(fd);
+  const size_t newline = reply.find('\n');
+  if (newline == std::string::npos) {
+    return Fail(Status::IoError("connection closed before a reply line"));
+  }
+  reply.resize(newline);
+
+  if (view == "prometheus") {
+    auto doc = serve::Json::Parse(reply);
+    if (doc.ok() && doc->is_object() && doc->GetBool("ok", false)) {
+      if (const serve::Json* text = doc->Find("prometheus");
+          text != nullptr && text->is_string()) {
+        std::fputs(text->as_string().c_str(), stdout);
+        return 0;
+      }
+    }
+    // Not the expected envelope (likely a structured error): fall
+    // through and print the raw reply line.
+  }
+  std::printf("%s\n", reply.c_str());
   return 0;
 }
 
@@ -699,6 +786,7 @@ void PrintUsage() {
       "  list       list saved selectors\n"
       "  detect     select a model for a series and run the detection\n"
       "  serve      long-lived inference server (NDJSON on stdin/stdout)\n"
+      "  ops        fetch live telemetry from a running TCP server\n"
       "  stream     online scorer: incremental features + drift-triggered"
       " re-selection\n"
       "  quantize   int8-quantize a saved selector (served as NAME.int8)\n"
@@ -727,6 +815,7 @@ int main(int argc, char** argv) {
   if (cmd == "list") return CmdList(flags);
   if (cmd == "detect") return CmdDetect(flags);
   if (cmd == "serve") return CmdServe(flags);
+  if (cmd == "ops") return CmdOps(flags);
   if (cmd == "stream") return CmdStream(flags);
   if (cmd == "quantize") return CmdQuantize(flags);
   if (cmd == "trace") return CmdTrace(flags);

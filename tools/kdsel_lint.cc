@@ -36,8 +36,9 @@
 //                           src/nn/kernels/
 //   raw-socket              socket(2)/epoll_*/accept(2) outside
 //                           src/net/
-//   raw-timing              steady_clock/high_resolution_clock outside
-//                           src/obs/, src/common/ and bench/
+//   raw-timing              steady_clock/high_resolution_clock or
+//                           clock_gettime(2)/gettimeofday(2) calls
+//                           outside src/obs/, src/common/ and bench/
 //
 // Whole-program rules (need the call graph):
 //
@@ -125,8 +126,8 @@ constexpr RuleInfo kRules[] = {
     {"raw-simd", "intrinsics or intrinsic headers outside src/nn/kernels/"},
     {"raw-socket", "socket(2)/epoll_*/accept(2) outside src/net/"},
     {"raw-timing",
-     "steady_clock/high_resolution_clock outside src/obs/, src/common/ and "
-     "bench/"},
+     "steady_clock/high_resolution_clock or clock_gettime/gettimeofday "
+     "outside src/obs/, src/common/ and bench/"},
     {"lock-order-inversion",
      "inconsistent mutex acquisition order across the call graph can "
      "deadlock"},
@@ -2759,6 +2760,22 @@ void RunFilePasses(Program& prog, int fi, std::vector<Diagnostic>* out) {
                  "' outside src/obs/, src/common/ and bench/; time through "
                  "obs::Clock/NowNs (obs/clock.h) or record a span/histogram "
                  "so all durations share one timebase");
+      continue;
+    }
+    // The C-level bypasses of the same rule: request timestamping in
+    // src/net/ and src/serve/ must flow through obs::NowNs so every
+    // stage stamp shares the steady timebase (mixing in CLOCK_REALTIME
+    // or wall-clock gettimeofday silently corrupts stage deltas across
+    // NTP slews).
+    if (!file.in_timing_zone && next_is_call && !prev_is_decl_head &&
+        prev != "." && prev != "->" && prev != "::" &&
+        (t == "clock_gettime" || t == "gettimeofday" ||
+         t == "timespec_get")) {
+      report(tok.line, "raw-timing",
+             "'" + t +
+                 "' outside src/obs/, src/common/ and bench/; stamp through "
+                 "obs::NowNs (obs/clock.h) so request stage timings share "
+                 "one steady timebase");
       continue;
     }
 
